@@ -1,0 +1,43 @@
+// EXP-F4 — Figure 4: average relative makespan of MCPA and HCPA compared
+// to EMTS5 (T_heuristic / T_EMTS5, 95% confidence intervals) for the four
+// PTG classes (FFT, Strassen, layered n=100, irregular n=100) on Chti and
+// Grelon under the monotonically decreasing Model 1 (Amdahl).
+//
+// Expected shape (paper Section V-A):
+//   * all ratios >= 1 (EMTS never loses: plus selection + seeding);
+//   * vs MCPA on regular PTGs (FFT/Strassen/layered) the gain is small;
+//   * vs HCPA and on irregular PTGs the gain is significant;
+//   * gains are larger on the bigger platform (Grelon).
+
+#include <cstdio>
+
+#include "fig_common.hpp"
+
+using namespace ptgsched;
+
+int main(int argc, char** argv) {
+  CliParser cli("fig4_model1",
+                "Reproduce Figure 4: relative makespans under Model 1.");
+  benchutil::add_common_options(cli);
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    ComparisonConfig cfg;
+    cfg.classes = {"fft", "strassen", "layered", "irregular"};
+    cfg.platforms = {"chti", "grelon"};
+    cfg.baselines = {"mcpa", "hcpa"};
+    cfg.model = "model1";
+    cfg.emts = emts5_config();
+    cfg.emts_label = "emts5";
+    benchutil::apply_common_options(cli, cfg);
+
+    std::puts("# EXP-F4 (Figure 4): mean relative makespan vs EMTS5, "
+              "Model 1 (Amdahl), 95% CI");
+    const ComparisonResult result = benchutil::run_with_progress(cfg);
+    benchutil::report(result, "emts5", cli);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fig4_model1: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,68 @@
+// EXP-F5 — Figure 5: average relative makespan of MCPA and HCPA compared
+// to EMTS5 (top half) and EMTS10 (bottom half) under the non-monotonic
+// Model 2, for the four PTG classes on Chti and Grelon, with 95% CIs.
+//
+// Expected shape (paper Section V-B):
+//   * ratios exceed the Model-1 ratios — the CPA-family allocation stalls
+//     at 4-8 processors under Model 2 and EMTS recovers the headroom;
+//   * the gain is much larger on Grelon (120 procs) than Chti (20);
+//   * EMTS10 >= EMTS5, with the extra gain concentrated on irregular PTGs.
+
+#include <cstdio>
+
+#include "fig_common.hpp"
+
+using namespace ptgsched;
+
+int main(int argc, char** argv) {
+  CliParser cli("fig5_model2",
+                "Reproduce Figure 5: relative makespans under Model 2, "
+                "EMTS5 and EMTS10.");
+  benchutil::add_common_options(cli);
+  cli.add_flag("emts5-only", "Skip the EMTS10 half (faster)");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    ComparisonConfig cfg;
+    cfg.classes = {"fft", "strassen", "layered", "irregular"};
+    cfg.platforms = {"chti", "grelon"};
+    cfg.baselines = {"mcpa", "hcpa"};
+    cfg.model = "model2";
+    benchutil::apply_common_options(cli, cfg);
+
+    std::puts("# EXP-F5 (Figure 5, top): mean relative makespan vs EMTS5, "
+              "Model 2 (synthetic), 95% CI");
+    cfg.emts = emts5_config();
+    cfg.emts.threads = static_cast<std::size_t>(cli.get_int("threads"));
+    cfg.emts_label = "emts5";
+    const ComparisonResult top = benchutil::run_with_progress(cfg);
+    benchutil::report(top, "emts5", cli);
+
+    if (!cli.get_flag("emts5-only")) {
+      std::puts("");
+      std::puts("# EXP-F5 (Figure 5, bottom): mean relative makespan vs "
+                "EMTS10, Model 2 (synthetic), 95% CI");
+      cfg.emts = emts10_config();
+      cfg.emts.threads = static_cast<std::size_t>(cli.get_int("threads"));
+      cfg.emts_label = "emts10";
+      const ComparisonResult bottom = benchutil::run_with_progress(cfg);
+      benchutil::report(bottom, "emts10", cli);
+
+      // EMTS10 vs EMTS5 summary per (class, platform), averaged over the
+      // shared baselines — the paper's "EMTS10 shows superior results".
+      std::puts("");
+      std::puts("# EMTS10 improvement over EMTS5 (mean ratio delta):");
+      for (std::size_t i = 0; i < top.cells.size(); ++i) {
+        const RatioCell& a = top.cells[i];
+        const RatioCell& b = bottom.cells[i];
+        std::printf("#   %-10s %-7s vs %-5s: %.4f -> %.4f (%+.4f)\n",
+                    a.cls.c_str(), a.platform.c_str(), a.baseline.c_str(),
+                    a.ratio.mean, b.ratio.mean, b.ratio.mean - a.ratio.mean);
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fig5_model2: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,61 @@
+#pragma once
+// Shared plumbing for the Figure 4/5 reproduction benches: CLI options,
+// experiment execution with a progress line, and paper-style reporting.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "exp/experiment.hpp"
+#include "support/cli.hpp"
+
+namespace ptgsched::benchutil {
+
+inline void add_common_options(CliParser& cli) {
+  cli.add_option("instances",
+                 "Instances per workload class (0 = paper-scale corpus)",
+                 "12");
+  cli.add_flag("full", "Use the paper-scale corpus sizes (overrides "
+                       "--instances)");
+  cli.add_option("seed", "Base seed for corpora and EMTS runs", "42");
+  cli.add_option("tasks", "Task count for the DAGGEN classes", "100");
+  cli.add_option("out", "Directory for CSV dumps (empty = no dump)", "");
+  cli.add_option("threads", "Fitness evaluation threads per EMTS run", "0");
+}
+
+inline void apply_common_options(const CliParser& cli,
+                                 ComparisonConfig& cfg) {
+  cfg.instances = cli.get_flag("full")
+                      ? 0
+                      : static_cast<std::size_t>(cli.get_int("instances"));
+  cfg.seed = cli.get_u64("seed");
+  cfg.num_tasks = static_cast<int>(cli.get_int("tasks"));
+  cfg.emts.threads = static_cast<std::size_t>(cli.get_int("threads"));
+}
+
+inline ComparisonResult run_with_progress(const ComparisonConfig& cfg) {
+  const ComparisonResult result =
+      run_comparison(cfg, [](std::size_t done, std::size_t total) {
+        if (done == total || done % 25 == 0) {
+          std::fprintf(stderr, "\r  [%zu/%zu instances]%s", done, total,
+                       done == total ? "\n" : "");
+          std::fflush(stderr);
+        }
+      });
+  return result;
+}
+
+inline void report(const ComparisonResult& result,
+                   const std::string& emts_label, const CliParser& cli) {
+  std::fputs(format_ratio_table(result.cells, emts_label).c_str(), stdout);
+  const std::string out_dir = cli.get("out");
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+    const auto base = std::filesystem::path(out_dir);
+    write_instances_csv(result,
+                        (base / (emts_label + "_instances.csv")).string());
+    write_cells_csv(result, (base / (emts_label + "_cells.csv")).string());
+    std::printf("# CSV written to %s\n", out_dir.c_str());
+  }
+}
+
+}  // namespace ptgsched::benchutil

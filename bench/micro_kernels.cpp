@@ -1,0 +1,129 @@
+// EXP-M1 — micro benchmarks of the hot kernels (google-benchmark).
+//
+// Section VI: "The execution time of the EA is mainly determined by the
+// mapping function as it evaluates the fitness of individuals." These
+// benchmarks quantify exactly that: bottom levels, one fitness evaluation
+// (list scheduling), CPA-family allocation, the mutation operator, and a
+// whole EMTS generation, across graph and platform sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "daggen/corpus.hpp"
+#include "emts/emts.hpp"
+#include "heuristics/cpa.hpp"
+#include "ptg/algorithms.hpp"
+#include "sched/list_scheduler.hpp"
+
+namespace {
+
+using namespace ptgsched;
+
+Ptg bench_graph(int tasks) {
+  RandomDagParams params;
+  params.num_tasks = tasks;
+  params.width = 0.5;
+  params.regularity = 0.5;
+  params.density = 0.5;
+  params.jump = 2;
+  Rng rng(17);
+  return make_random_ptg(params, rng);
+}
+
+void BM_BottomLevels(benchmark::State& state) {
+  const Ptg g = bench_graph(static_cast<int>(state.range(0)));
+  const auto topo = topological_order(g);
+  std::vector<double> out;
+  const auto time = [&g](TaskId v) { return g.task(v).flops * 1e-12; };
+  for (auto _ : state) {
+    bottom_levels_into(g, topo, time, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BottomLevels)->Arg(20)->Arg(100)->Arg(500);
+
+void BM_FitnessEvaluation(benchmark::State& state) {
+  const Ptg g = bench_graph(static_cast<int>(state.range(0)));
+  const Cluster cluster("c", static_cast<int>(state.range(1)), 3.1);
+  const SyntheticModel model;
+  ListScheduler sched(g, cluster, model);
+  Rng rng(5);
+  Allocation alloc(g.num_tasks());
+  for (auto& s : alloc) {
+    s = static_cast<int>(rng.uniform_int(1, cluster.num_processors()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.makespan(alloc));
+  }
+}
+BENCHMARK(BM_FitnessEvaluation)
+    ->Args({20, 20})
+    ->Args({100, 20})
+    ->Args({100, 120})
+    ->Args({500, 120});
+
+void BM_CpaAllocation(benchmark::State& state) {
+  const Ptg g = bench_graph(static_cast<int>(state.range(0)));
+  const Cluster cluster = grelon();
+  const AmdahlModel model;
+  const CpaAllocation cpa;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpa.allocate(g, model, cluster));
+  }
+}
+BENCHMARK(BM_CpaAllocation)->Arg(20)->Arg(100);
+
+void BM_McpaAllocation(benchmark::State& state) {
+  const Ptg g = bench_graph(static_cast<int>(state.range(0)));
+  const Cluster cluster = grelon();
+  const AmdahlModel model;
+  const McpaAllocation mcpa;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mcpa.allocate(g, model, cluster));
+  }
+}
+BENCHMARK(BM_McpaAllocation)->Arg(20)->Arg(100);
+
+void BM_MutationOperator(benchmark::State& state) {
+  MutationParams params;
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sample_allocation_delta(params, rng));
+  }
+}
+BENCHMARK(BM_MutationOperator);
+
+void BM_MutateIndividual(benchmark::State& state) {
+  const auto V = static_cast<std::size_t>(state.range(0));
+  const MutateFn mutate = Emts::make_mutator(MutationParams{}, 0.33, 5, 120);
+  Rng rng(4);
+  const Allocation parent(V, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mutate(parent, 0, rng));
+  }
+}
+BENCHMARK(BM_MutateIndividual)->Arg(20)->Arg(100);
+
+void BM_EmtsFull(benchmark::State& state) {
+  const Ptg g = bench_graph(static_cast<int>(state.range(0)));
+  const Cluster cluster = grelon();
+  const SyntheticModel model;
+  EmtsConfig cfg = emts5_config();
+  cfg.seed = 11;
+  const Emts emts(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emts.schedule(g, model, cluster).makespan);
+  }
+}
+BENCHMARK(BM_EmtsFull)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        irregular_corpus(100, static_cast<std::size_t>(state.range(0)), 7));
+  }
+}
+BENCHMARK(BM_CorpusGeneration)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace

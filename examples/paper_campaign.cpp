@@ -1,0 +1,83 @@
+// paper_campaign: reproduce the paper's whole evaluation section with one
+// command. Runs the Figure-4 and Figure-5 comparisons, the Section V-B
+// runtime measurements, and an optimality-gap analysis, then writes a JSON
+// report plus per-instance CSVs.
+//
+//   ./examples/paper_campaign --instances=12 --out=campaign_out
+//   ./examples/paper_campaign --full --out=campaign_full   # paper scale
+
+#include <cstdio>
+
+#include "exp/campaign.hpp"
+#include "support/cli.hpp"
+
+using namespace ptgsched;
+
+int main(int argc, char** argv) {
+  CliParser cli("paper_campaign",
+                "Run the full CLUSTER'11 evaluation campaign.");
+  cli.add_option("instances", "Instances per class (0 = paper scale)", "12");
+  cli.add_flag("full", "Paper-scale corpora (400 FFT / 100 Strassen / ...)");
+  cli.add_option("seed", "Base seed", "42");
+  cli.add_option("tasks", "DAGGEN task count", "100");
+  cli.add_option("threads", "Fitness threads per EMTS run", "0");
+  cli.add_flag("skip-emts10", "Skip the EMTS10 half of Figure 5");
+  cli.add_option("out", "Output directory for JSON/CSV artifacts",
+                 "campaign_out");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    CampaignConfig cfg;
+    cfg.instances = cli.get_flag("full")
+                        ? 0
+                        : static_cast<std::size_t>(cli.get_int("instances"));
+    cfg.num_tasks = static_cast<int>(cli.get_int("tasks"));
+    cfg.seed = cli.get_u64("seed");
+    cfg.threads = static_cast<std::size_t>(cli.get_int("threads"));
+    cfg.include_emts10 = !cli.get_flag("skip-emts10");
+    cfg.output_dir = cli.get("out");
+
+    std::string last_phase;
+    const Json report = run_campaign(
+        cfg, [&](const std::string& phase, std::size_t done,
+                 std::size_t total) {
+          if (phase != last_phase) {
+            if (!last_phase.empty()) std::fputc('\n', stderr);
+            last_phase = phase;
+          }
+          if (done == total || done % 20 == 0) {
+            std::fprintf(stderr, "\r%-12s [%zu/%zu]", phase.c_str(), done,
+                         total);
+            std::fflush(stderr);
+          }
+        });
+    std::fputc('\n', stderr);
+
+    // Condensed human-readable summary; the full data is in the report.
+    for (const char* section :
+         {"fig4_model1_emts5", "fig5_model2_emts5", "fig5_model2_emts10"}) {
+      if (!report.contains(section)) continue;
+      std::printf("\n== %s (mean T_baseline / T_emts) ==\n", section);
+      for (const Json& cell : report.at(section).as_array()) {
+        std::printf("  %-10s %-7s vs %-5s : %.4f [%.4f, %.4f]\n",
+                    cell.at("class").as_string().c_str(),
+                    cell.at("platform").as_string().c_str(),
+                    cell.at("baseline").as_string().c_str(),
+                    cell.at("mean_ratio").as_double(),
+                    cell.at("ci95_lo").as_double(),
+                    cell.at("ci95_hi").as_double());
+      }
+    }
+    const Json& gap =
+        report.at("optimality_gap_emts5_model2_irregular_grelon");
+    std::printf("\nEMTS5 makespan / lower bound (irregular, grelon, "
+                "model2): mean %.3f, max %.3f over %lld instances\n",
+                gap.at("mean_makespan_over_lower_bound").as_double(),
+                gap.at("max").as_double(), gap.at("n").as_int());
+    std::printf("artifacts written to %s/\n", cfg.output_dir.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "paper_campaign: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,159 @@
+#include "daggen/application_graphs.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace ptgsched {
+
+namespace {
+
+bool is_power_of_two(int n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+int log2_exact(int n) {
+  int k = 0;
+  while ((1 << k) < n) ++k;
+  return k;
+}
+
+Task named_task(std::string name) {
+  Task t;
+  t.name = std::move(name);
+  t.flops = 1.0;  // placeholder; complexities are sampled afterwards
+  return t;
+}
+
+}  // namespace
+
+Ptg fft_shape(int points) {
+  if (!is_power_of_two(points) || points < 2) {
+    throw std::invalid_argument("fft_shape: points must be a power of two >= 2");
+  }
+  const int n = points;
+  const int k = log2_exact(n);
+  Ptg g("fft-" + std::to_string(n));
+
+  // Recursive-call tree: level t has 2^t nodes, the root is the entry task.
+  std::vector<std::vector<TaskId>> tree(static_cast<std::size_t>(k) + 1);
+  for (int t = 0; t <= k; ++t) {
+    for (int i = 0; i < (1 << t); ++i) {
+      tree[static_cast<std::size_t>(t)].push_back(g.add_task(named_task(
+          "call_" + std::to_string(t) + "_" + std::to_string(i))));
+    }
+  }
+  for (int t = 0; t < k; ++t) {
+    for (int i = 0; i < (1 << t); ++i) {
+      const TaskId parent = tree[static_cast<std::size_t>(t)]
+                                [static_cast<std::size_t>(i)];
+      g.add_edge(parent, tree[static_cast<std::size_t>(t) + 1]
+                             [static_cast<std::size_t>(2 * i)]);
+      g.add_edge(parent, tree[static_cast<std::size_t>(t) + 1]
+                             [static_cast<std::size_t>(2 * i + 1)]);
+    }
+  }
+
+  // Butterfly rows: row 0 is the tree's leaf level; row r vertex i depends
+  // on vertices i and i XOR 2^(r-1) of row r - 1.
+  std::vector<TaskId> prev = tree.back();
+  for (int r = 1; r <= k; ++r) {
+    std::vector<TaskId> row;
+    row.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      row.push_back(g.add_task(named_task(
+          "bfly_" + std::to_string(r) + "_" + std::to_string(i))));
+    }
+    const int stride = 1 << (r - 1);
+    for (int i = 0; i < n; ++i) {
+      g.add_edge(prev[static_cast<std::size_t>(i)],
+                 row[static_cast<std::size_t>(i)]);
+      g.add_edge(prev[static_cast<std::size_t>(i ^ stride)],
+                 row[static_cast<std::size_t>(i)]);
+    }
+    prev = std::move(row);
+  }
+  return g;
+}
+
+namespace {
+
+// Strassen expansion: returns (entry, exit) task ids of a multiply
+// subgraph appended to g. At depth 1 the multiply is a single task.
+std::pair<TaskId, TaskId> strassen_multiply(Ptg& g, int depth,
+                                            const std::string& prefix) {
+  if (depth <= 1) {
+    const TaskId m = g.add_task(named_task(prefix));
+    return {m, m};
+  }
+  const TaskId split = g.add_task(named_task(prefix + ".split"));
+  const TaskId join = g.add_task(named_task(prefix + ".join"));
+
+  // 10 submatrix additions feeding 7 recursive multiplications.
+  std::vector<TaskId> sums;
+  sums.reserve(10);
+  for (int i = 1; i <= 10; ++i) {
+    const TaskId s =
+        g.add_task(named_task(prefix + ".S" + std::to_string(i)));
+    g.add_edge(split, s);
+    sums.push_back(s);
+  }
+  // Which sums feed which multiplication (M2..M5 also read raw
+  // submatrices, i.e. depend on the split directly):
+  //   M1 <- S1, S2   M2 <- S3   M3 <- S4   M4 <- S5   M5 <- S6
+  //   M6 <- S7, S8   M7 <- S9, S10
+  const std::vector<std::vector<int>> feeds = {
+      {1, 2}, {3}, {4}, {5}, {6}, {7, 8}, {9, 10}};
+  std::vector<TaskId> mult_exits;
+  mult_exits.reserve(7);
+  for (int m = 0; m < 7; ++m) {
+    const auto [entry, exit] = strassen_multiply(
+        g, depth - 1, prefix + ".M" + std::to_string(m + 1));
+    for (const int s : feeds[static_cast<std::size_t>(m)]) {
+      g.add_edge(sums[static_cast<std::size_t>(s - 1)], entry);
+    }
+    if (feeds[static_cast<std::size_t>(m)].size() < 2) {
+      g.add_edge(split, entry);  // raw submatrix operand
+    }
+    mult_exits.push_back(exit);
+  }
+
+  // Output combinations:
+  //   C11 <- M1, M4, M5, M7    C12 <- M3, M5
+  //   C21 <- M2, M4            C22 <- M1, M2, M3, M6
+  const std::vector<std::vector<int>> combines = {
+      {1, 4, 5, 7}, {3, 5}, {2, 4}, {1, 2, 3, 6}};
+  static constexpr const char* kCNames[] = {"C11", "C12", "C21", "C22"};
+  for (int c = 0; c < 4; ++c) {
+    const TaskId cc = g.add_task(
+        named_task(prefix + "." + kCNames[c]));
+    for (const int m : combines[static_cast<std::size_t>(c)]) {
+      g.add_edge(mult_exits[static_cast<std::size_t>(m - 1)], cc);
+    }
+    g.add_edge(cc, join);
+  }
+  return {split, join};
+}
+
+}  // namespace
+
+Ptg strassen_shape(int depth) {
+  if (depth < 1) throw std::invalid_argument("strassen_shape: depth < 1");
+  Ptg g("strassen-d" + std::to_string(depth));
+  // The top level is always expanded (depth 1 yields the 23-task graph).
+  strassen_multiply(g, depth + 1, "mm");
+  return g;
+}
+
+Ptg make_fft_ptg(int points, Rng& rng, const ComplexityParams& params) {
+  Ptg g = fft_shape(points);
+  assign_random_complexities(g, rng, params);
+  g.validate();
+  return g;
+}
+
+Ptg make_strassen_ptg(Rng& rng, int depth, const ComplexityParams& params) {
+  Ptg g = strassen_shape(depth);
+  assign_random_complexities(g, rng, params);
+  g.validate();
+  return g;
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,35 @@
+#pragma once
+// Application PTG shapes (Section IV-C, "Application Task Graphs"): the
+// Fast Fourier Transform and Strassen's matrix multiplication. Shapes are
+// deterministic; task complexities are sampled separately (complexity.hpp)
+// so graphs of the same shape differ in their task costs, exactly as in
+// the paper's generator.
+
+#include "daggen/complexity.hpp"
+#include "ptg/graph.hpp"
+#include "support/rng.hpp"
+
+namespace ptgsched {
+
+/// FFT task graph for n = 2^k input points: a binary recursive-decomposition
+/// tree with 2n - 1 vertices followed by k butterfly rows of n vertices
+/// (vertex i of row r depends on vertices i and i XOR 2^(r-1) of row r-1).
+/// Total tasks: (2n - 1) + n * log2(n); the paper's "2, 4, 8, 16 levels"
+/// map to n and give 5, 15, 39, and 95 tasks.
+/// `points` must be a power of two >= 2.
+[[nodiscard]] Ptg fft_shape(int points);
+
+/// Strassen matrix-multiplication task graph, `depth` recursion levels.
+/// One level: split -> 10 submatrix additions S1..S10 -> 7 multiplications
+/// M1..M7 -> 4 output combinations C11..C22 -> join (23 tasks). With
+/// depth > 1 every multiplication expands recursively into a nested
+/// Strassen graph. depth >= 1.
+[[nodiscard]] Ptg strassen_shape(int depth = 1);
+
+/// Shape + random complexities in one call.
+[[nodiscard]] Ptg make_fft_ptg(int points, Rng& rng,
+                               const ComplexityParams& params = {});
+[[nodiscard]] Ptg make_strassen_ptg(Rng& rng, int depth = 1,
+                                    const ComplexityParams& params = {});
+
+}  // namespace ptgsched

@@ -1,0 +1,39 @@
+#include "daggen/complexity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ptgsched {
+
+double pattern_flops(FlopPattern pattern, double d, double a) {
+  if (!(d > 0.0)) throw std::invalid_argument("pattern_flops: d <= 0");
+  if (!(a > 0.0)) throw std::invalid_argument("pattern_flops: a <= 0");
+  switch (pattern) {
+    case FlopPattern::Linear: return a * d;
+    case FlopPattern::LogLinear: return a * d * std::log2(d);
+    case FlopPattern::MatMul: return std::pow(d, 1.5);
+  }
+  throw std::invalid_argument("pattern_flops: bad pattern");
+}
+
+void assign_random_complexity(Task& task, Rng& rng,
+                              const ComplexityParams& params) {
+  if (!(params.min_data > 0.0 && params.min_data <= params.max_data)) {
+    throw std::invalid_argument("ComplexityParams: bad data bounds");
+  }
+  const double d = rng.uniform_real(params.min_data, params.max_data);
+  const double a = rng.uniform_real(params.min_iter, params.max_iter);
+  const auto pattern = static_cast<FlopPattern>(rng.uniform_int(0, 2));
+  task.data_size = d;
+  task.flops = pattern_flops(pattern, d, a);
+  task.alpha = rng.uniform_real(0.0, params.max_alpha);
+}
+
+void assign_random_complexities(Ptg& g, Rng& rng,
+                                const ComplexityParams& params) {
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    assign_random_complexity(g.task(v), rng, params);
+  }
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,43 @@
+#pragma once
+// Task-complexity sampling (Section IV-C, "Choosing Task Complexities").
+//
+// Each task operates on a dataset of d doubles (a sqrt(d) x sqrt(d)
+// matrix); d is bounded by 125e6 (1 GB of doubles per node). The FLOP count
+// follows one of three computational patterns
+//     (1) a * d            (stencil sweep)
+//     (2) a * d * log2(d)  (sorting)
+//     (3) d^(3/2)          (matrix multiplication)
+// with the iteration multiplier a drawn uniformly from [2^6, 2^9]. The
+// serial fraction alpha is uniform in [0, 0.25] ("very scalable tasks").
+//
+// The paper leaves the lower bound of d unspecified; we use 1e5 doubles so
+// even pattern-(1) tasks have non-trivial work (documented in DESIGN.md).
+
+#include "ptg/graph.hpp"
+#include "support/rng.hpp"
+
+namespace ptgsched {
+
+enum class FlopPattern { Linear, LogLinear, MatMul };
+
+struct ComplexityParams {
+  double min_data = 1e5;    ///< Lower bound on d (doubles).
+  double max_data = 125e6;  ///< Paper's 1 GB-per-node bound on d.
+  double min_iter = 64.0;   ///< 2^6.
+  double max_iter = 512.0;  ///< 2^9.
+  double max_alpha = 0.25;  ///< alpha ~ U[0, max_alpha].
+};
+
+/// FLOP count for a dataset of d doubles under a pattern with multiplier a.
+[[nodiscard]] double pattern_flops(FlopPattern pattern, double d, double a);
+
+/// Sample data size, pattern, iteration count and alpha for one task and
+/// fill its flops/data_size/alpha fields (name is left untouched).
+void assign_random_complexity(Task& task, Rng& rng,
+                              const ComplexityParams& params = {});
+
+/// Convenience: assign complexities to every task of a graph.
+void assign_random_complexities(Ptg& g, Rng& rng,
+                                const ComplexityParams& params = {});
+
+}  // namespace ptgsched

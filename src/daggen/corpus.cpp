@@ -1,0 +1,126 @@
+#include "daggen/corpus.hpp"
+
+#include <stdexcept>
+
+namespace ptgsched {
+
+namespace {
+
+constexpr std::uint64_t kFftSalt = 0x0ff7;
+constexpr std::uint64_t kStrassenSalt = 0x57a5;
+constexpr std::uint64_t kLayeredSalt = 0x1a7e;
+constexpr std::uint64_t kIrregularSalt = 0x122e;
+
+struct DaggenConfig {
+  double width;
+  double regularity;
+  double density;
+};
+
+// The 12 (width, regularity, density) combinations of Section IV-C, in a
+// fixed order so corpora are reproducible.
+const std::vector<DaggenConfig>& daggen_configs() {
+  static const std::vector<DaggenConfig> configs = [] {
+    std::vector<DaggenConfig> out;
+    for (const double w : {0.2, 0.5, 0.8}) {
+      for (const double r : {0.2, 0.8}) {
+        for (const double d : {0.2, 0.8}) {
+          out.push_back({w, r, d});
+        }
+      }
+    }
+    return out;
+  }();
+  return configs;
+}
+
+}  // namespace
+
+std::vector<Ptg> fft_corpus(std::size_t count, std::uint64_t base_seed) {
+  static constexpr int kPoints[] = {2, 4, 8, 16};
+  std::vector<Ptg> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng(derive_seed(base_seed, kFftSalt, i));
+    Ptg g = make_fft_ptg(kPoints[i % 4], rng);
+    g.set_name(g.name() + "#" + std::to_string(i));
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<Ptg> strassen_corpus(std::size_t count, std::uint64_t base_seed) {
+  std::vector<Ptg> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng(derive_seed(base_seed, kStrassenSalt, i));
+    Ptg g = make_strassen_ptg(rng, /*depth=*/1);
+    g.set_name(g.name() + "#" + std::to_string(i));
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<Ptg> layered_corpus(int num_tasks, std::size_t count,
+                                std::uint64_t base_seed) {
+  const auto& configs = daggen_configs();
+  std::vector<Ptg> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const DaggenConfig& cfg = configs[i % configs.size()];
+    RandomDagParams params;
+    params.num_tasks = num_tasks;
+    params.width = cfg.width;
+    params.regularity = cfg.regularity;
+    params.density = cfg.density;
+    params.jump = 0;
+    Rng rng(derive_seed(base_seed, kLayeredSalt,
+                        static_cast<std::uint64_t>(num_tasks), i));
+    Ptg g = make_random_ptg(params, rng);
+    g.set_name(g.name() + "#" + std::to_string(i));
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<Ptg> irregular_corpus(int num_tasks, std::size_t count,
+                                  std::uint64_t base_seed) {
+  static constexpr int kJumps[] = {1, 2, 4};
+  const auto& configs = daggen_configs();
+  std::vector<Ptg> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const DaggenConfig& cfg = configs[(i / 3) % configs.size()];
+    RandomDagParams params;
+    params.num_tasks = num_tasks;
+    params.width = cfg.width;
+    params.regularity = cfg.regularity;
+    params.density = cfg.density;
+    params.jump = kJumps[i % 3];
+    Rng rng(derive_seed(base_seed, kIrregularSalt,
+                        static_cast<std::uint64_t>(num_tasks), i));
+    Ptg g = make_random_ptg(params, rng);
+    g.set_name(g.name() + "#" + std::to_string(i));
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<Ptg> corpus_by_name(const std::string& cls, int num_tasks,
+                                std::size_t count, std::uint64_t base_seed) {
+  if (cls == "fft") return fft_corpus(count, base_seed);
+  if (cls == "strassen") return strassen_corpus(count, base_seed);
+  if (cls == "layered") return layered_corpus(num_tasks, count, base_seed);
+  if (cls == "irregular") return irregular_corpus(num_tasks, count, base_seed);
+  throw std::invalid_argument("unknown workload class: " + cls);
+}
+
+std::size_t paper_corpus_size(const std::string& cls) {
+  if (cls == "fft") return 400;
+  if (cls == "strassen") return 100;
+  if (cls == "layered") return 36;    // per task count (108 over 3 sizes)
+  if (cls == "irregular") return 108; // per task count (324 over 3 sizes)
+  throw std::invalid_argument("unknown workload class: " + cls);
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,60 @@
+#pragma once
+// Workload corpora matching Section IV-C.
+//
+// The paper evaluates on four PTG classes:
+//   * FFT       — 400 graphs, 100 each for 2/4/8/16 "levels"
+//                 (5/15/39/95 tasks);
+//   * Strassen  — 100 graphs (23 tasks, depth-1 recursion);
+//   * layered   — DAGGEN graphs with jump = 0; 12 parameter
+//                 configurations (width x regularity x density) per task
+//                 count, 3 instances each;
+//   * irregular — DAGGEN graphs with jump in {1, 2, 4}; 36 configurations
+//                 per task count, 3 instances each.
+//
+// Instance i of a corpus is generated from derive_seed(base_seed, class,
+// i), so a 30-instance smoke corpus is a strict prefix of the 400-instance
+// full corpus — subsampling never reshuffles workloads.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "daggen/application_graphs.hpp"
+#include "daggen/random_dag.hpp"
+#include "ptg/graph.hpp"
+
+namespace ptgsched {
+
+/// FFT corpus: instance i has 2^(1 + i mod 4) points (5..95 tasks).
+[[nodiscard]] std::vector<Ptg> fft_corpus(std::size_t count,
+                                          std::uint64_t base_seed);
+
+/// Strassen corpus: depth-1 Strassen graphs (23 tasks).
+[[nodiscard]] std::vector<Ptg> strassen_corpus(std::size_t count,
+                                               std::uint64_t base_seed);
+
+/// Layered DAGGEN corpus with `num_tasks` tasks; instance i cycles through
+/// the 12 paper configurations width{.2,.5,.8} x reg{.2,.8} x dens{.2,.8}.
+[[nodiscard]] std::vector<Ptg> layered_corpus(int num_tasks,
+                                              std::size_t count,
+                                              std::uint64_t base_seed);
+
+/// Irregular DAGGEN corpus; instance i cycles through the 36 paper
+/// configurations (the 12 above x jump{1,2,4}).
+[[nodiscard]] std::vector<Ptg> irregular_corpus(int num_tasks,
+                                                std::size_t count,
+                                                std::uint64_t base_seed);
+
+/// Lookup by class name: "fft" | "strassen" | "layered" | "irregular".
+/// `num_tasks` is ignored for fft/strassen.
+[[nodiscard]] std::vector<Ptg> corpus_by_name(const std::string& cls,
+                                              int num_tasks,
+                                              std::size_t count,
+                                              std::uint64_t base_seed);
+
+/// The paper-scale instance count for a class ("fft" -> 400, "strassen" ->
+/// 100, "layered" -> 36, "irregular" -> 108 — per task count for the
+/// DAGGEN classes).
+[[nodiscard]] std::size_t paper_corpus_size(const std::string& cls);
+
+}  // namespace ptgsched

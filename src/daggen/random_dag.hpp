@@ -1,0 +1,41 @@
+#pragma once
+// DAGGEN-style random PTG generation (Section IV-C, "Synthetic PTGs").
+//
+// Re-implementation of the documented semantics of Suter's DAGGEN tool
+// (see DESIGN.md): the DAG is built level by level.
+//   * width  — controls the mean number of tasks per level, n^width
+//     (small -> chains, large -> fork-join graphs);
+//   * regularity — uniformity of the per-level task counts (a level's
+//     count is jittered by up to (1 - regularity) * 100%);
+//   * density — fraction of the previous level each task depends on;
+//   * jump — maximum number of *extra* levels an edge may span: parents
+//     are drawn from levels l-1-J with J uniform in [0, jump]; jump = 0
+//     yields a layered DAG (edges between adjacent levels only).
+//
+// Every non-first-level task receives at least one parent, so the graph
+// has no isolated islands below the top level. The generated graph is a
+// valid PTG; complexities are sampled per task as usual. With jump = 0 the
+// tasks within one construction level additionally receive similar work
+// (the paper: "the number of operations of tasks in one layer is similar").
+
+#include "daggen/complexity.hpp"
+#include "ptg/graph.hpp"
+#include "support/rng.hpp"
+
+namespace ptgsched {
+
+struct RandomDagParams {
+  int num_tasks = 100;
+  double width = 0.5;       ///< In (0, 1]: mean level size = n^width.
+  double regularity = 0.5;  ///< In [0, 1].
+  double density = 0.5;     ///< In (0, 1].
+  int jump = 0;             ///< >= 0; 0 = layered.
+  /// Layered graphs (jump == 0) use one complexity per level with a small
+  /// per-task spread instead of fully independent samples.
+  ComplexityParams complexity;
+};
+
+/// Throws std::invalid_argument on parameters outside the ranges above.
+[[nodiscard]] Ptg make_random_ptg(const RandomDagParams& params, Rng& rng);
+
+}  // namespace ptgsched

@@ -1,0 +1,152 @@
+#include "ea/evolution.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace ptgsched {
+
+EvolutionStrategy::EvolutionStrategy(EsConfig config, FitnessFn fitness,
+                                     MutateFn mutate)
+    : config_(config), fitness_(std::move(fitness)),
+      mutate_(std::move(mutate)) {
+  if (config_.mu == 0) throw std::invalid_argument("ES: mu == 0");
+  if (config_.lambda == 0) throw std::invalid_argument("ES: lambda == 0");
+  if (!config_.plus_selection && config_.lambda < config_.mu) {
+    throw std::invalid_argument("ES: comma selection requires lambda >= mu");
+  }
+  if (fitness_ == nullptr || mutate_ == nullptr) {
+    throw std::invalid_argument("ES: fitness and mutate must be callable");
+  }
+}
+
+void EvolutionStrategy::evaluate(std::vector<Individual>& pool,
+                                 std::size_t begin, EsResult& result) {
+  const std::size_t n = pool.size() - begin;
+  if (n == 0) return;
+  const std::size_t slots = std::max<std::size_t>(1, config_.threads);
+  if (slots == 1) {
+    for (std::size_t i = begin; i < pool.size(); ++i) {
+      pool[i].fitness = fitness_(pool[i].genes, 0);
+    }
+  } else {
+    // Chunk the range so each parallel_for index is a stable slot id; the
+    // fitness function may keep per-slot scratch.
+    ThreadPool pool_threads(slots - 1);
+    const std::size_t chunk = (n + slots - 1) / slots;
+    pool_threads.parallel_for(slots, [&](std::size_t slot) {
+      const std::size_t lo = begin + slot * chunk;
+      const std::size_t hi = std::min(pool.size(), lo + chunk);
+      for (std::size_t i = lo; i < hi; ++i) {
+        pool[i].fitness = fitness_(pool[i].genes, slot);
+      }
+    });
+  }
+  result.evaluations += n;
+}
+
+EsResult EvolutionStrategy::run(const std::vector<Individual>& seeds) {
+  if (seeds.empty()) throw std::invalid_argument("ES: no starting solutions");
+  for (const auto& s : seeds) {
+    if (s.genes.empty()) throw std::invalid_argument("ES: empty seed genome");
+  }
+
+  WallTimer timer;
+  EsResult result;
+  Rng rng(config_.seed);
+
+  // Initial population: all seeds, then mutants of random seeds until at
+  // least mu individuals exist.
+  std::vector<Individual> population;
+  population.reserve(std::max(config_.mu, seeds.size()) + config_.lambda);
+  for (const auto& s : seeds) population.push_back(s);
+  while (population.size() < config_.mu) {
+    const Individual& parent = seeds[rng.index(seeds.size())];
+    Individual filler;
+    filler.genes = mutate_(parent.genes, 0, rng);
+    filler.origin = parent.origin.empty() ? "seed-mutant"
+                                          : parent.origin + "-mutant";
+    population.push_back(std::move(filler));
+  }
+  evaluate(population, 0, result);
+
+  const auto by_fitness = [](const Individual& a, const Individual& b) {
+    return a.fitness < b.fitness;
+  };
+  std::stable_sort(population.begin(), population.end(), by_fitness);
+  if (population.size() > config_.mu) population.resize(config_.mu);
+
+  const auto record = [&](std::size_t gen) {
+    GenerationStats gs;
+    gs.generation = gen;
+    gs.best = population.front().fitness;
+    gs.worst = population.back().fitness;
+    RunningStats rs;
+    for (const auto& ind : population) rs.add(ind.fitness);
+    gs.mean = rs.mean();
+    gs.evaluations = result.evaluations;
+    gs.elapsed_seconds = timer.seconds();
+    result.history.push_back(gs);
+    if (config_.on_generation) {
+      config_.on_generation(gen, population.front().fitness,
+                            population.back().fitness);
+    }
+  };
+  record(0);
+
+  double best_seen = population.front().fitness;
+  std::size_t stagnant = 0;
+
+  for (std::size_t u = 0; u < config_.generations; ++u) {
+    if (config_.time_budget_seconds > 0.0 &&
+        timer.seconds() >= config_.time_budget_seconds) {
+      result.stopped_by_time_budget = true;
+      break;
+    }
+
+    // Reproduction: lambda mutants of uniformly chosen parents.
+    std::vector<Individual> pool;
+    pool.reserve((config_.plus_selection ? population.size() : 0) +
+                 config_.lambda);
+    if (config_.plus_selection) {
+      pool.insert(pool.end(), population.begin(), population.end());
+    }
+    const std::size_t offspring_begin = pool.size();
+    for (std::size_t j = 0; j < config_.lambda; ++j) {
+      const Individual& parent = population[rng.index(population.size())];
+      Individual child;
+      child.genes = mutate_(parent.genes, u, rng);
+      child.origin = "gen" + std::to_string(u + 1);
+      pool.push_back(std::move(child));
+    }
+    evaluate(pool, offspring_begin, result);
+
+    std::stable_sort(pool.begin(), pool.end(), by_fitness);
+    pool.resize(std::min(pool.size(), config_.mu));
+    population = std::move(pool);
+
+    ++result.generations_run;
+    record(u + 1);
+
+    if (population.front().fitness < best_seen) {
+      best_seen = population.front().fitness;
+      stagnant = 0;
+    } else {
+      ++stagnant;
+      if (config_.stagnation_limit > 0 &&
+          stagnant >= config_.stagnation_limit) {
+        result.stopped_by_stagnation = true;
+        break;
+      }
+    }
+  }
+
+  result.best = population.front();
+  result.elapsed_seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,110 @@
+#pragma once
+// Generic (mu + lambda) / (mu, lambda) evolution strategy over allocation
+// genomes (Section III, Section V introduction).
+//
+// The framework is deliberately problem-agnostic: it sees a genome
+// (Allocation), a fitness function (lower is better; EMTS plugs in the
+// list-scheduler makespan), and a mutation operator. EMTS (src/emts) is a
+// thin specialization that supplies the paper's seeding and mutation.
+//
+// The paper uses the "Plus-Strategy", where the mu best of parents plus
+// offspring survive, so "the population can never become worse while the
+// generations proceed" — that elitism invariant is tested as a property.
+// Comma selection is provided for ablations.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sched/allocation.hpp"
+#include "support/rng.hpp"
+
+namespace ptgsched {
+
+/// One member of the population.
+struct Individual {
+  Allocation genes;
+  double fitness = std::numeric_limits<double>::infinity();
+  std::string origin;  ///< Which seed/operator produced it (for analysis).
+};
+
+/// Fitness: lower is better (EMTS: schedule makespan). `slot` identifies
+/// the evaluation lane in [0, max(1, threads)); implementations keep any
+/// mutable scratch (e.g. a ListScheduler) per slot.
+using FitnessFn =
+    std::function<double(const Allocation& genes, std::size_t slot)>;
+
+/// Mutation: produce a child genome from a parent at generation `u`.
+using MutateFn = std::function<Allocation(const Allocation& parent,
+                                          std::size_t generation, Rng& rng)>;
+
+struct EsConfig {
+  std::size_t mu = 5;          ///< Parents kept per generation.
+  std::size_t lambda = 25;     ///< Offspring per generation.
+  std::size_t generations = 5; ///< U.
+  bool plus_selection = true;  ///< Plus (elitist) vs Comma strategy.
+  /// Wall-clock budget in seconds; 0 disables the budget. Checked between
+  /// generations (Section II-C: trade time for solution quality).
+  double time_budget_seconds = 0.0;
+  /// Stop after this many consecutive generations without improvement of
+  /// the best fitness; 0 disables stagnation detection.
+  std::size_t stagnation_limit = 0;
+  std::uint64_t seed = 1;
+  /// Worker threads for fitness evaluation; 0 = evaluate inline.
+  std::size_t threads = 0;
+  /// Called after the initial selection and after every generation with
+  /// (generation index, best fitness, worst surviving fitness). No
+  /// evaluations are in flight during the call, so it may safely publish
+  /// an incumbent to the fitness function. EMTS's rejection strategy uses
+  /// the worst survivor: under plus selection an offspring worse than
+  /// every current parent can never be selected, so rejecting it does not
+  /// alter the evolution trajectory.
+  std::function<void(std::size_t, double, double)> on_generation;
+};
+
+/// Per-generation convergence record.
+struct GenerationStats {
+  std::size_t generation = 0;
+  double best = 0.0;
+  double mean = 0.0;
+  double worst = 0.0;
+  std::size_t evaluations = 0;  ///< Cumulative fitness evaluations so far.
+  double elapsed_seconds = 0.0;
+};
+
+struct EsResult {
+  Individual best;
+  std::vector<GenerationStats> history;
+  std::size_t evaluations = 0;
+  std::size_t generations_run = 0;
+  double elapsed_seconds = 0.0;
+  bool stopped_by_time_budget = false;
+  bool stopped_by_stagnation = false;
+};
+
+/// The evolution strategy engine.
+class EvolutionStrategy {
+ public:
+  EvolutionStrategy(EsConfig config, FitnessFn fitness, MutateFn mutate);
+
+  /// Run the ES. `seeds` are starting genomes (may be empty only if
+  /// `fallback` below is provided via seeds — at least one seed required).
+  /// If fewer than mu seeds are given, the population is filled with
+  /// mutants of the seeds; surplus seeds beyond mu still compete in the
+  /// first selection.
+  [[nodiscard]] EsResult run(const std::vector<Individual>& seeds);
+
+  [[nodiscard]] const EsConfig& config() const noexcept { return config_; }
+
+ private:
+  void evaluate(std::vector<Individual>& pool, std::size_t begin,
+                EsResult& result);
+
+  EsConfig config_;
+  FitnessFn fitness_;
+  MutateFn mutate_;
+};
+
+}  // namespace ptgsched

@@ -1,0 +1,69 @@
+#pragma once
+// Alternative search strategies over allocation genomes.
+//
+// The paper's conclusion proposes comparing "different evolutionary
+// methods ... with respect to scheduling performance and speed". This
+// module provides three classic single-solution searches that consume the
+// same fitness function and mutation operator as the (mu + lambda)-ES, so
+// all strategies can be compared at an identical evaluation budget
+// (bench/abl_optimizer):
+//
+//   * RandomSearch       — fresh mutants of the best seed, keep the best
+//                          (sanity floor: any structured search must beat
+//                          it);
+//   * HillClimber        — (1+1) first-improvement local search;
+//   * SimulatedAnnealing — Metropolis acceptance with geometric cooling;
+//                          the initial temperature is a fraction of the
+//                          seed fitness, so the schedule scale does not
+//                          need tuning per instance.
+
+#include <cstdint>
+#include <vector>
+
+#include "ea/evolution.hpp"
+
+namespace ptgsched {
+
+struct SearchResult {
+  Individual best;
+  std::size_t evaluations = 0;
+  double elapsed_seconds = 0.0;
+  /// Best fitness after each evaluation (for convergence plots).
+  std::vector<double> trace;
+};
+
+struct LocalSearchConfig {
+  std::size_t max_evaluations = 130;  ///< EMTS5's budget: 5 + 5 * 25.
+  std::uint64_t seed = 1;
+  /// Mutation schedule: progress through the budget is mapped onto this
+  /// many pseudo-generations so the EMTS operator's adaptive step count
+  /// applies to single-solution searches too.
+  std::size_t pseudo_generations = 5;
+};
+
+/// Keep drawing mutants of the best seed; never walk. Returns the best.
+[[nodiscard]] SearchResult random_search(const std::vector<Individual>& seeds,
+                                         const FitnessFn& fitness,
+                                         const MutateFn& mutate,
+                                         const LocalSearchConfig& config);
+
+/// (1+1) hill climber: accept a mutant iff it strictly improves.
+[[nodiscard]] SearchResult hill_climb(const std::vector<Individual>& seeds,
+                                      const FitnessFn& fitness,
+                                      const MutateFn& mutate,
+                                      const LocalSearchConfig& config);
+
+struct AnnealingConfig : LocalSearchConfig {
+  /// Initial temperature as a fraction of the starting fitness.
+  double initial_temperature_fraction = 0.05;
+  /// Geometric cooling factor applied per evaluation.
+  double cooling = 0.97;
+};
+
+/// Metropolis simulated annealing; the incumbent may worsen, the returned
+/// best never does.
+[[nodiscard]] SearchResult simulated_annealing(
+    const std::vector<Individual>& seeds, const FitnessFn& fitness,
+    const MutateFn& mutate, const AnnealingConfig& config);
+
+}  // namespace ptgsched

@@ -1,0 +1,168 @@
+#include "emts/emts.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <stdexcept>
+
+#include "heuristics/delta_critical.hpp"
+#include "support/timer.hpp"
+
+namespace ptgsched {
+
+EmtsConfig emts5_config() {
+  EmtsConfig cfg;
+  cfg.mu = 5;
+  cfg.lambda = 25;
+  cfg.generations = 5;
+  return cfg;
+}
+
+EmtsConfig emts10_config() {
+  EmtsConfig cfg;
+  cfg.mu = 10;
+  cfg.lambda = 100;
+  cfg.generations = 10;
+  return cfg;
+}
+
+Emts::Emts(EmtsConfig config) : config_(std::move(config)) {
+  if (config_.generations == 0) {
+    throw std::invalid_argument("Emts: generations == 0");
+  }
+  if (!(config_.fm > 0.0 && config_.fm <= 1.0)) {
+    throw std::invalid_argument("Emts: fm must be in (0, 1]");
+  }
+  if (config_.seed_heuristics.empty() && !config_.use_delta_seed &&
+      !config_.use_random_seed) {
+    throw std::invalid_argument("Emts: no seed source configured");
+  }
+  if (config_.use_rejection && !config_.plus_selection) {
+    // With comma selection the whole population is rebuilt from offspring,
+    // so rejecting "worse than the current worst parent" would starve it.
+    throw std::invalid_argument(
+        "Emts: the rejection strategy requires plus selection");
+  }
+}
+
+MutateFn Emts::make_mutator(MutationParams params, double fm,
+                            std::size_t generations, int P) {
+  return [params, fm, generations, P](const Allocation& parent,
+                                      std::size_t u, Rng& rng) {
+    Allocation child = parent;
+    const std::size_t m =
+        mutation_count(std::min(u, generations - 1), generations, fm,
+                       child.size());
+    for (const std::size_t pos : rng.sample_indices(child.size(), m)) {
+      const int delta = sample_allocation_delta(params, rng);
+      child[pos] = static_cast<int>(
+          std::clamp<long long>(static_cast<long long>(child[pos]) + delta,
+                                1, P));
+    }
+    return child;
+  };
+}
+
+EmtsResult Emts::schedule(const Ptg& g, const ExecutionTimeModel& model,
+                          const Cluster& cluster) const {
+  g.validate();
+  WallTimer total_timer;
+  EmtsResult result;
+
+  // --- Step 0: starting solutions (Section III-B). ---------------------
+  WallTimer seed_timer;
+  std::vector<Individual> seeds;
+  ListScheduler seed_eval(g, cluster, model, config_.mapping);
+
+  const auto add_seed = [&](const std::string& label, Allocation alloc) {
+    SeedInfo info;
+    info.heuristic = label;
+    info.makespan = seed_eval.makespan(alloc);
+    info.allocation = alloc;
+    result.seeds.push_back(info);
+    Individual ind;
+    ind.genes = std::move(alloc);
+    ind.origin = label;
+    seeds.push_back(std::move(ind));
+  };
+
+  for (const std::string& name : config_.seed_heuristics) {
+    const auto heuristic = make_heuristic(name);
+    add_seed(name, heuristic->allocate(g, model, cluster));
+  }
+  if (config_.use_delta_seed) {
+    const DeltaCriticalAllocation delta(config_.delta);
+    add_seed("delta", delta.allocate(g, model, cluster));
+  }
+  if (config_.use_random_seed) {
+    Rng rng(derive_seed(config_.seed, 0x5eedULL));
+    Allocation random_alloc(g.num_tasks());
+    for (auto& s : random_alloc) {
+      s = static_cast<int>(
+          rng.uniform_int(1, cluster.num_processors()));
+    }
+    add_seed("random", std::move(random_alloc));
+  }
+  result.seeding_seconds = seed_timer.seconds();
+
+  // --- Step 1: evolutionary allocation optimization (Sections III-C/D). -
+  EsConfig es_cfg;
+  es_cfg.mu = config_.mu;
+  es_cfg.lambda = config_.lambda;
+  es_cfg.generations = config_.generations;
+  es_cfg.plus_selection = config_.plus_selection;
+  es_cfg.time_budget_seconds = config_.time_budget_seconds;
+  es_cfg.stagnation_limit = config_.stagnation_limit;
+  es_cfg.seed = config_.seed;
+  es_cfg.threads = config_.threads;
+
+  // One list scheduler per evaluation slot: the mapping function is the
+  // fitness function (Section III-A) and keeps per-slot scratch buffers.
+  const std::size_t slots = std::max<std::size_t>(1, config_.threads);
+  std::vector<std::unique_ptr<ListScheduler>> schedulers;
+  schedulers.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    schedulers.push_back(
+        std::make_unique<ListScheduler>(g, cluster, model, config_.mapping));
+  }
+  // With rejection enabled, the incumbent bound is the best fitness of the
+  // previous generation, published by the ES between generations (so the
+  // value is stable while evaluations run, even multi-threaded).
+  auto incumbent = std::make_shared<std::atomic<double>>(
+      std::numeric_limits<double>::infinity());
+  FitnessFn fitness;
+  if (config_.use_rejection) {
+    fitness = [&schedulers, incumbent](const Allocation& alloc,
+                                       std::size_t slot) {
+      return schedulers[slot]->makespan_bounded(
+          alloc, incumbent->load(std::memory_order_relaxed));
+    };
+    es_cfg.on_generation = [incumbent](std::size_t, double /*best*/,
+                                       double worst_survivor) {
+      incumbent->store(worst_survivor, std::memory_order_relaxed);
+    };
+  } else {
+    fitness = [&schedulers](const Allocation& alloc, std::size_t slot) {
+      return schedulers[slot]->makespan(alloc);
+    };
+  }
+
+  EvolutionStrategy es(es_cfg, fitness,
+                       make_mutator(config_.mutation, config_.fm,
+                                    config_.generations,
+                                    cluster.num_processors()));
+  result.es = es.run(seeds);
+
+  for (const auto& s : schedulers) {
+    result.rejected_evaluations += s->rejected_count();
+  }
+
+  // --- Step 2: map the best allocation (Section III-A). ----------------
+  result.best_allocation = result.es.best.genes;
+  result.schedule = schedulers.front()->build_schedule(result.best_allocation);
+  result.makespan = result.schedule.makespan();
+  result.total_seconds = total_timer.seconds();
+  return result;
+}
+
+}  // namespace ptgsched

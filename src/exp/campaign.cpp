@@ -1,0 +1,162 @@
+#include "exp/campaign.hpp"
+
+#include <filesystem>
+
+#include "daggen/corpus.hpp"
+#include "sched/lower_bounds.hpp"
+#include "support/stats.hpp"
+
+namespace ptgsched {
+
+namespace {
+
+Json cells_to_json(const std::vector<RatioCell>& cells) {
+  Json arr = Json::array();
+  for (const RatioCell& c : cells) {
+    Json cell = Json::object();
+    cell.set("class", c.cls);
+    cell.set("platform", c.platform);
+    cell.set("baseline", c.baseline);
+    cell.set("mean_ratio", c.ratio.mean);
+    cell.set("ci95_lo", c.ratio.lo);
+    cell.set("ci95_hi", c.ratio.hi);
+    cell.set("n", static_cast<std::int64_t>(c.ratio.n));
+    arr.push_back(std::move(cell));
+  }
+  return arr;
+}
+
+Json runtime_to_json(const ComparisonResult& result) {
+  // Aggregate EMTS wall times per (class, platform) from the instances.
+  Json arr = Json::array();
+  std::map<std::pair<std::string, std::string>, RunningStats> groups;
+  for (const InstanceResult& ir : result.instances) {
+    groups[{ir.cls, ir.platform}].add(ir.emts_seconds);
+  }
+  for (const auto& [key, stats] : groups) {
+    Json row = Json::object();
+    row.set("class", key.first);
+    row.set("platform", key.second);
+    row.set("mean_seconds", stats.mean());
+    row.set("sd_seconds", stats.stddev());
+    row.set("n", static_cast<std::int64_t>(stats.count()));
+    arr.push_back(std::move(row));
+  }
+  return arr;
+}
+
+ComparisonConfig base_config(const CampaignConfig& config) {
+  ComparisonConfig cfg;
+  cfg.classes = {"fft", "strassen", "layered", "irregular"};
+  cfg.platforms = {"chti", "grelon"};
+  cfg.baselines = {"mcpa", "hcpa"};
+  cfg.num_tasks = config.num_tasks;
+  cfg.instances = config.instances;
+  cfg.seed = config.seed;
+  cfg.emts.threads = config.threads;
+  return cfg;
+}
+
+}  // namespace
+
+Json run_campaign(const CampaignConfig& config,
+                  const CampaignProgress& progress) {
+  Json report = Json::object();
+  Json meta = Json::object();
+  meta.set("seed", static_cast<std::int64_t>(config.seed));
+  meta.set("instances_per_class",
+           static_cast<std::int64_t>(config.instances));
+  meta.set("num_tasks", config.num_tasks);
+  report.set("meta", std::move(meta));
+
+  const auto wrap_progress = [&](const std::string& phase) {
+    return [&, phase](std::size_t done, std::size_t total) {
+      if (progress) progress(phase, done, total);
+    };
+  };
+
+  // Phase 1: Figure 4 (Model 1, EMTS5).
+  {
+    ComparisonConfig cfg = base_config(config);
+    cfg.model = "model1";
+    cfg.emts = emts5_config();
+    cfg.emts.threads = config.threads;
+    cfg.emts_label = "emts5";
+    const ComparisonResult r = run_comparison(cfg, wrap_progress("fig4"));
+    report.set("fig4_model1_emts5", cells_to_json(r.cells));
+    if (!config.output_dir.empty()) {
+      std::filesystem::create_directories(config.output_dir);
+      write_instances_csv(
+          r, (std::filesystem::path(config.output_dir) /
+              "fig4_model1_emts5_instances.csv").string());
+    }
+  }
+
+  // Phase 2: Figure 5 (Model 2, EMTS5 + EMTS10) and runtimes.
+  {
+    ComparisonConfig cfg = base_config(config);
+    cfg.model = "model2";
+    cfg.emts = emts5_config();
+    cfg.emts.threads = config.threads;
+    cfg.emts_label = "emts5";
+    const ComparisonResult r5 = run_comparison(cfg, wrap_progress("fig5/emts5"));
+    report.set("fig5_model2_emts5", cells_to_json(r5.cells));
+    report.set("runtime_emts5_model2", runtime_to_json(r5));
+    if (!config.output_dir.empty()) {
+      write_instances_csv(
+          r5, (std::filesystem::path(config.output_dir) /
+               "fig5_model2_emts5_instances.csv").string());
+    }
+
+    if (config.include_emts10) {
+      cfg.emts = emts10_config();
+      cfg.emts.threads = config.threads;
+      cfg.emts_label = "emts10";
+      const ComparisonResult r10 =
+          run_comparison(cfg, wrap_progress("fig5/emts10"));
+      report.set("fig5_model2_emts10", cells_to_json(r10.cells));
+      report.set("runtime_emts10_model2", runtime_to_json(r10));
+      if (!config.output_dir.empty()) {
+        write_instances_csv(
+            r10, (std::filesystem::path(config.output_dir) /
+                  "fig5_model2_emts10_instances.csv").string());
+      }
+    }
+  }
+
+  // Phase 3: optimality gaps vs the makespan lower bounds (Model 2,
+  // irregular on Grelon — the hardest configuration).
+  {
+    const auto model = make_model("model2");
+    const Cluster cluster = grelon();
+    const std::size_t count = config.instances > 0 ? config.instances : 24;
+    const auto graphs =
+        irregular_corpus(config.num_tasks, count, config.seed);
+    RunningStats gaps;
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      EmtsConfig ecfg = emts5_config();
+      ecfg.seed = derive_seed(config.seed, 0xCA4Bull, i);
+      ecfg.threads = config.threads;
+      const EmtsResult r = Emts(ecfg).schedule(graphs[i], *model, cluster);
+      const MakespanLowerBounds lb =
+          makespan_lower_bounds(graphs[i], *model, cluster);
+      gaps.add(r.makespan / lb.combined());
+      if (progress) progress("gap", i + 1, graphs.size());
+    }
+    Json gap = Json::object();
+    gap.set("mean_makespan_over_lower_bound", gaps.mean());
+    gap.set("max", gaps.max());
+    gap.set("min", gaps.min());
+    gap.set("n", static_cast<std::int64_t>(gaps.count()));
+    report.set("optimality_gap_emts5_model2_irregular_grelon",
+               std::move(gap));
+  }
+
+  if (!config.output_dir.empty()) {
+    report.write_file((std::filesystem::path(config.output_dir) /
+                       "campaign_report.json").string());
+  }
+  return report;
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,41 @@
+#pragma once
+// Full evaluation campaign: everything in the paper's Section V in one
+// deterministic run, emitting a machine-readable JSON report plus CSVs.
+//
+// The campaign executes
+//   1. the Figure-4 comparison (Model 1, EMTS5 vs MCPA/HCPA),
+//   2. the Figure-5 comparison (Model 2, EMTS5 and optionally EMTS10),
+//   3. the Section V-B runtime measurements, and
+//   4. an optimality-gap analysis against the makespan lower bounds
+//      (our addition; the paper notes EAs give no such measure),
+// and aggregates them into one JSON document whose structure is stable
+// across runs (goldens can diff it).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "support/json.hpp"
+
+namespace ptgsched {
+
+struct CampaignConfig {
+  std::size_t instances = 12;  ///< Per class; 0 = paper scale.
+  int num_tasks = 100;
+  std::uint64_t seed = 42;
+  bool include_emts10 = true;
+  std::size_t threads = 0;
+  /// If non-empty, CSV and JSON artifacts are written here.
+  std::string output_dir;
+};
+
+/// Progress: (phase label, done, total).
+using CampaignProgress =
+    std::function<void(const std::string&, std::size_t, std::size_t)>;
+
+/// Run everything. Deterministic in config.seed.
+[[nodiscard]] Json run_campaign(const CampaignConfig& config,
+                                const CampaignProgress& progress = {});
+
+}  // namespace ptgsched

@@ -1,0 +1,152 @@
+#include "exp/experiment.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "daggen/corpus.hpp"
+#include "heuristics/allocation_heuristic.hpp"
+#include "sched/list_scheduler.hpp"
+#include "support/strings.hpp"
+
+namespace ptgsched {
+
+ComparisonResult run_comparison(const ComparisonConfig& config,
+                                const ProgressFn& progress) {
+  if (config.classes.empty() || config.platforms.empty() ||
+      config.baselines.empty()) {
+    throw std::invalid_argument("run_comparison: empty class/platform/baseline list");
+  }
+  const auto model = make_model(config.model);
+
+  ComparisonResult result;
+  result.config = config;
+
+  // Generate all corpora first so the total instance count is known.
+  std::vector<std::pair<std::string, std::vector<Ptg>>> corpora;
+  std::size_t total = 0;
+  for (const std::string& cls : config.classes) {
+    const std::size_t count =
+        config.instances > 0 ? config.instances : paper_corpus_size(cls);
+    corpora.emplace_back(
+        cls, corpus_by_name(cls, config.num_tasks, count, config.seed));
+    total += corpora.back().second.size() * config.platforms.size();
+  }
+
+  std::size_t done = 0;
+  for (const auto& [cls, graphs] : corpora) {
+    for (const std::string& platform_name : config.platforms) {
+      const Cluster cluster = platform_by_name(platform_name);
+      for (std::size_t i = 0; i < graphs.size(); ++i) {
+        const Ptg& g = graphs[i];
+
+        InstanceResult ir;
+        ir.cls = cls;
+        ir.graph = g.name();
+        ir.platform = platform_name;
+        ir.num_graph_tasks = g.num_tasks();
+
+        // Baselines: allocation heuristic + shared list-scheduler mapping.
+        ListScheduler mapper(g, cluster, *model, config.emts.mapping);
+        for (const std::string& baseline : config.baselines) {
+          const auto heuristic = make_heuristic(baseline);
+          const Allocation alloc = heuristic->allocate(g, *model, cluster);
+          ir.baseline_makespans[baseline] = mapper.makespan(alloc);
+        }
+
+        // EMTS, seeded deterministically per (instance, platform).
+        EmtsConfig emts_cfg = config.emts;
+        emts_cfg.seed = derive_seed(config.seed,
+                                    splitmix64(std::hash<std::string>{}(cls)),
+                                    splitmix64(std::hash<std::string>{}(
+                                        platform_name)),
+                                    i);
+        const Emts emts(emts_cfg);
+        const EmtsResult er = emts.schedule(g, *model, cluster);
+        ir.emts_makespan = er.makespan;
+        ir.emts_seconds = er.total_seconds;
+        ir.emts_evaluations = er.es.evaluations;
+
+        result.instances.push_back(std::move(ir));
+        ++done;
+        if (progress) progress(done, total);
+      }
+    }
+  }
+
+  // Aggregate into Figure 4/5 cells.
+  for (const auto& [cls, graphs] : corpora) {
+    (void)graphs;
+    for (const std::string& platform_name : config.platforms) {
+      for (const std::string& baseline : config.baselines) {
+        std::vector<double> ratios;
+        std::vector<double> base_makespans;
+        std::vector<double> emts_makespans;
+        for (const InstanceResult& ir : result.instances) {
+          if (ir.cls != cls || ir.platform != platform_name) continue;
+          const double base = ir.baseline_makespans.at(baseline);
+          if (!(ir.emts_makespan > 0.0)) continue;
+          ratios.push_back(base / ir.emts_makespan);
+          base_makespans.push_back(base);
+          emts_makespans.push_back(ir.emts_makespan);
+        }
+        if (ratios.empty()) continue;
+        RatioCell cell;
+        cell.cls = cls;
+        cell.platform = platform_name;
+        cell.baseline = baseline;
+        cell.ratio = mean_confidence_interval(ratios, 0.95);
+        cell.p_value = wilcoxon_signed_rank(base_makespans, emts_makespans);
+        result.cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return result;
+}
+
+std::string format_ratio_table(const std::vector<RatioCell>& cells,
+                               const std::string& emts_label) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"class", "platform", "ratio T_x/T_" + emts_label, "mean",
+                  "ci95_lo", "ci95_hi", "n", "wilcoxon_p"});
+  for (const RatioCell& c : cells) {
+    rows.push_back({c.cls, c.platform, c.baseline,
+                    format_double(c.ratio.mean, 4),
+                    format_double(c.ratio.lo, 4),
+                    format_double(c.ratio.hi, 4),
+                    std::to_string(c.ratio.n),
+                    strfmt("%.2g", c.p_value)});
+  }
+  return render_table(rows);
+}
+
+void write_instances_csv(const ComparisonResult& result,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << "class,graph,platform,tasks,baseline,baseline_makespan,"
+         "emts_makespan,ratio,emts_seconds,emts_evaluations\n";
+  for (const InstanceResult& ir : result.instances) {
+    for (const auto& [baseline, makespan] : ir.baseline_makespans) {
+      out << ir.cls << ',' << ir.graph << ',' << ir.platform << ','
+          << ir.num_graph_tasks << ',' << baseline << ','
+          << strfmt("%.6g", makespan) << ',' << strfmt("%.6g", ir.emts_makespan)
+          << ',' << strfmt("%.6g", makespan / ir.emts_makespan) << ','
+          << strfmt("%.4f", ir.emts_seconds) << ',' << ir.emts_evaluations
+          << '\n';
+    }
+  }
+}
+
+void write_cells_csv(const ComparisonResult& result, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << "class,platform,baseline,mean_ratio,ci95_lo,ci95_hi,n,wilcoxon_p\n";
+  for (const RatioCell& c : result.cells) {
+    out << c.cls << ',' << c.platform << ',' << c.baseline << ','
+        << strfmt("%.6g", c.ratio.mean) << ',' << strfmt("%.6g", c.ratio.lo)
+        << ',' << strfmt("%.6g", c.ratio.hi) << ',' << c.ratio.n << ','
+        << strfmt("%.6g", c.p_value) << '\n';
+  }
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,86 @@
+#pragma once
+// Experiment harness for the paper's evaluation (Section IV/V).
+//
+// Runs the baseline heuristics and an EMTS configuration over a workload
+// corpus on one or more platforms and aggregates the *relative makespans*
+// T_baseline / T_EMTS with 95% confidence intervals — the quantity plotted
+// in Figures 4 and 5. A ratio above 1 means EMTS produced the shorter
+// schedule.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "emts/emts.hpp"
+#include "support/stats.hpp"
+
+namespace ptgsched {
+
+struct ComparisonConfig {
+  /// Workload classes: subset of {"fft","strassen","layered","irregular"}.
+  std::vector<std::string> classes = {"fft", "strassen", "layered",
+                                      "irregular"};
+  int num_tasks = 100;  ///< Task count for the DAGGEN classes.
+  std::vector<std::string> platforms = {"chti", "grelon"};
+  std::string model = "amdahl";  ///< Execution-time model name.
+  /// Instances per class; 0 selects the paper-scale corpus size.
+  std::size_t instances = 0;
+  /// Baselines whose schedules are divided by EMTS's.
+  std::vector<std::string> baselines = {"mcpa", "hcpa"};
+  EmtsConfig emts = emts5_config();
+  std::string emts_label = "emts5";
+  std::uint64_t seed = 42;  ///< Base seed for corpora and EMTS runs.
+};
+
+/// Result for one (graph instance, platform).
+struct InstanceResult {
+  std::string cls;
+  std::string graph;
+  std::string platform;
+  std::size_t num_graph_tasks = 0;
+  double emts_makespan = 0.0;
+  double emts_seconds = 0.0;
+  std::size_t emts_evaluations = 0;
+  std::map<std::string, double> baseline_makespans;
+};
+
+/// Aggregated cell: mean relative makespan of one baseline vs EMTS for one
+/// (class, platform) pair — one bar of Figure 4/5.
+struct RatioCell {
+  std::string cls;
+  std::string platform;
+  std::string baseline;
+  ConfidenceInterval ratio;  ///< T_baseline / T_EMTS, 95% CI.
+  /// Two-sided Wilcoxon signed-rank p-value for paired makespans
+  /// (baseline vs EMTS): small values mean the improvement is systematic.
+  double p_value = 1.0;
+};
+
+struct ComparisonResult {
+  ComparisonConfig config;
+  std::vector<InstanceResult> instances;
+  std::vector<RatioCell> cells;
+};
+
+/// Optional progress callback: (done, total) instance counts.
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+/// Run the full comparison. Deterministic in config.seed.
+[[nodiscard]] ComparisonResult run_comparison(const ComparisonConfig& config,
+                                              const ProgressFn& progress = {});
+
+/// Paper-style text table of the aggregated cells
+/// (class platform baseline mean ci_lo ci_hi n).
+[[nodiscard]] std::string format_ratio_table(
+    const std::vector<RatioCell>& cells, const std::string& emts_label);
+
+/// Per-instance CSV dump (one row per instance x baseline).
+void write_instances_csv(const ComparisonResult& result,
+                         const std::string& path);
+
+/// Aggregate CSV (one row per cell).
+void write_cells_csv(const ComparisonResult& result, const std::string& path);
+
+}  // namespace ptgsched

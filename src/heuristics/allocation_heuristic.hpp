@@ -1,0 +1,37 @@
+#pragma once
+// Allocation heuristics: the first step of two-step PTG schedulers
+// (Section II-B related work, Section III-B starting solutions).
+//
+// Every heuristic maps (graph, model, cluster) to an Allocation. Mapping is
+// deliberately *not* part of the interface — any allocation can be mapped
+// with the shared list scheduler — mirroring the decoupled two-step
+// structure the paper builds on.
+
+#include <memory>
+#include <string>
+
+#include "model/execution_time.hpp"
+#include "platform/cluster.hpp"
+#include "ptg/graph.hpp"
+#include "sched/allocation.hpp"
+
+namespace ptgsched {
+
+class AllocationHeuristic {
+ public:
+  virtual ~AllocationHeuristic() = default;
+
+  /// Compute s(v) for every task. The result is always a valid allocation
+  /// (each entry in [1, P]).
+  [[nodiscard]] virtual Allocation allocate(
+      const Ptg& g, const ExecutionTimeModel& model,
+      const Cluster& cluster) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Factory: "one" | "cpa" | "hcpa" | "mcpa" | "mcpa2" | "delta".
+[[nodiscard]] std::unique_ptr<AllocationHeuristic> make_heuristic(
+    const std::string& name);
+
+}  // namespace ptgsched

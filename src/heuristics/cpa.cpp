@@ -1,0 +1,144 @@
+#include "heuristics/cpa.hpp"
+
+#include <algorithm>
+
+#include "ptg/algorithms.hpp"
+
+namespace ptgsched {
+
+namespace {
+
+/// Shared CPA allocation loop. With `level_bound` the processors granted
+/// within one precedence level never exceed P (MCPA); without it the loop
+/// is classic CPA/HCPA.
+Allocation cpa_core(const Ptg& g, const ExecutionTimeModel& model,
+                    const Cluster& cluster, bool level_bound) {
+  g.validate();
+  const int P = cluster.num_processors();
+  const std::size_t n = g.num_tasks();
+  const auto topo = topological_order(g);
+  const auto levels = precedence_levels(g);
+
+  Allocation alloc(n, 1);
+  std::vector<double> times(n);
+  for (TaskId v = 0; v < n; ++v) times[v] = model.time(g.task(v), 1, cluster);
+
+  std::vector<long long> level_alloc(
+      static_cast<std::size_t>(num_precedence_levels(g)), 0);
+  for (TaskId v = 0; v < n; ++v) {
+    level_alloc[static_cast<std::size_t>(levels[v])] += 1;
+  }
+
+  std::vector<double> bl;
+  const auto time_of = [&](TaskId v) { return times[v]; };
+
+  // Each iteration grants exactly one processor, so the loop runs at most
+  // V * (P - 1) times; the explicit bound guards against model pathologies.
+  const std::size_t max_iters = n * static_cast<std::size_t>(P) + 1;
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    bottom_levels_into(g, topo, time_of, bl);
+    const double t_cp = *std::max_element(bl.begin(), bl.end());
+    double work = 0.0;
+    for (TaskId v = 0; v < n; ++v) {
+      work += static_cast<double>(alloc[v]) * times[v];
+    }
+    const double t_a = work / static_cast<double>(P);
+    if (t_cp <= t_a) break;
+
+    // Candidate = critical-path task with the best improvement of the
+    // average per-processor time T(v,s)/s when granted one more processor.
+    const auto path = critical_path(g, time_of);
+    TaskId best = kInvalidTask;
+    double best_gain = 0.0;
+    for (const TaskId v : path) {
+      const int s = alloc[v];
+      if (s >= P) continue;
+      if (level_bound &&
+          level_alloc[static_cast<std::size_t>(levels[v])] >= P) {
+        continue;
+      }
+      const double t_next = model.time(g.task(v), s + 1, cluster);
+      const double gain = times[v] / static_cast<double>(s) -
+                          t_next / static_cast<double>(s + 1);
+      if (gain > best_gain ||
+          (gain == best_gain && best != kInvalidTask && v < best &&
+           gain > 0.0)) {
+        best = v;
+        best_gain = gain;
+      }
+    }
+    // Under a non-monotonic model every critical task's gain can turn
+    // non-positive; the procedure then stops (Section V-B: allocations
+    // "grow up to a size of 4-8 processors before the allocation procedure
+    // stops").
+    if (best == kInvalidTask || !(best_gain > 0.0)) break;
+
+    alloc[best] += 1;
+    times[best] = model.time(g.task(best), alloc[best], cluster);
+    level_alloc[static_cast<std::size_t>(levels[best])] += 1;
+  }
+  return alloc;
+}
+
+}  // namespace
+
+Allocation CpaAllocation::allocate(const Ptg& g,
+                                   const ExecutionTimeModel& model,
+                                   const Cluster& cluster) const {
+  return cpa_core(g, model, cluster, /*level_bound=*/false);
+}
+
+Allocation HcpaAllocation::allocate(const Ptg& g,
+                                    const ExecutionTimeModel& model,
+                                    const Cluster& cluster) const {
+  // HCPA allocates on a homogeneous *reference cluster* and translates the
+  // result to the target clusters. With a single homogeneous cluster the
+  // reference cluster equals the target, so the translation is the
+  // identity and the procedure reduces to CPA's loop (DESIGN.md).
+  const Cluster reference(cluster.name() + "-ref", cluster.num_processors(),
+                          cluster.gflops());
+  return cpa_core(g, model, reference, /*level_bound=*/false);
+}
+
+Allocation McpaAllocation::allocate(const Ptg& g,
+                                    const ExecutionTimeModel& model,
+                                    const Cluster& cluster) const {
+  return cpa_core(g, model, cluster, /*level_bound=*/true);
+}
+
+Allocation Mcpa2Allocation::allocate(const Ptg& g,
+                                     const ExecutionTimeModel& model,
+                                     const Cluster& cluster) const {
+  Allocation alloc = cpa_core(g, model, cluster, /*level_bound=*/true);
+  const int P = cluster.num_processors();
+  const std::size_t n = g.num_tasks();
+
+  std::vector<double> times(n);
+  for (TaskId v = 0; v < n; ++v) {
+    times[v] = model.time(g.task(v), alloc[v], cluster);
+  }
+
+  // Post pass: spend the capacity MCPA left unused in each level on that
+  // level's longest task, as long as doing so strictly shortens it.
+  for (const auto& level : tasks_by_level(g)) {
+    long long used = 0;
+    for (const TaskId v : level) used += alloc[v];
+    while (used < P) {
+      TaskId longest = kInvalidTask;
+      for (const TaskId v : level) {
+        if (alloc[v] >= P) continue;
+        if (longest == kInvalidTask || times[v] > times[longest]) longest = v;
+      }
+      if (longest == kInvalidTask) break;
+      const double t_next =
+          model.time(g.task(longest), alloc[longest] + 1, cluster);
+      if (!(t_next < times[longest])) break;
+      alloc[longest] += 1;
+      times[longest] = t_next;
+      ++used;
+    }
+  }
+  return alloc;
+}
+
+}  // namespace ptgsched

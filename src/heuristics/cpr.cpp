@@ -1,0 +1,53 @@
+#include "heuristics/cpr.hpp"
+
+#include <algorithm>
+
+#include "ptg/algorithms.hpp"
+
+namespace ptgsched {
+
+Allocation CprAllocation::allocate(const Ptg& g,
+                                   const ExecutionTimeModel& model,
+                                   const Cluster& cluster) const {
+  g.validate();
+  const int P = cluster.num_processors();
+  const std::size_t n = g.num_tasks();
+
+  ListScheduler mapper(g, cluster, model, mapping_);
+  Allocation alloc(n, 1);
+  std::vector<double> times(n);
+  for (TaskId v = 0; v < n; ++v) times[v] = model.time(g.task(v), 1, cluster);
+
+  double best_makespan = mapper.makespan(alloc);
+
+  // Each accepted change adds one processor, so at most V * (P - 1)
+  // iterations; in practice the loop exits as soon as no critical task's
+  // growth pays off in the mapped schedule.
+  const std::size_t max_iters = n * static_cast<std::size_t>(P) + 1;
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    const auto path =
+        critical_path(g, [&](TaskId v) { return times[v]; });
+
+    TaskId best_task = kInvalidTask;
+    double best_candidate = best_makespan;
+    for (const TaskId v : path) {
+      if (alloc[v] >= P) continue;
+      alloc[v] += 1;
+      const double m = mapper.makespan(alloc);
+      alloc[v] -= 1;
+      if (m < best_candidate) {
+        best_candidate = m;
+        best_task = v;
+      }
+    }
+    if (best_task == kInvalidTask) break;
+
+    alloc[best_task] += 1;
+    times[best_task] = model.time(g.task(best_task), alloc[best_task],
+                                  cluster);
+    best_makespan = best_candidate;
+  }
+  return alloc;
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,55 @@
+#include "heuristics/delta_critical.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ptg/algorithms.hpp"
+
+namespace ptgsched {
+
+DeltaCriticalAllocation::DeltaCriticalAllocation(double delta)
+    : delta_(delta) {
+  if (!(delta_ >= 0.0 && delta_ <= 1.0)) {
+    throw std::invalid_argument("DeltaCriticalAllocation: delta not in [0,1]");
+  }
+}
+
+Allocation DeltaCriticalAllocation::allocate(const Ptg& g,
+                                             const ExecutionTimeModel& model,
+                                             const Cluster& cluster) const {
+  g.validate();
+  const int P = cluster.num_processors();
+  const std::size_t n = g.num_tasks();
+
+  // Bottom levels under the all-ones allocation.
+  const auto bl = bottom_levels(
+      g, [&](TaskId v) { return model.time(g.task(v), 1, cluster); });
+
+  Allocation alloc(n, 1);
+  for (const auto& level : tasks_by_level(g)) {
+    double max_bl = 0.0;
+    for (const TaskId v : level) max_bl = std::max(max_bl, bl[v]);
+
+    std::vector<TaskId> critical;
+    for (const TaskId v : level) {
+      if (bl[v] >= delta_ * max_bl) critical.push_back(v);
+    }
+    // max_bl > 0 always (task times are positive), so critical is
+    // non-empty: at least the level's most critical task qualifies.
+    const int share = std::max(
+        1, P / static_cast<int>(critical.size()));
+    for (const TaskId v : critical) {
+      alloc[v] = cluster.clamp_allocation(share);
+    }
+  }
+  return alloc;
+}
+
+Allocation OneEachAllocation::allocate(const Ptg& g,
+                                       const ExecutionTimeModel& /*model*/,
+                                       const Cluster& cluster) const {
+  g.validate();
+  return uniform_allocation(g, cluster, 1);
+}
+
+}  // namespace ptgsched

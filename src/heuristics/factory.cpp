@@ -1,0 +1,21 @@
+#include "heuristics/allocation_heuristic.hpp"
+#include "heuristics/bicpa.hpp"
+#include "heuristics/cpa.hpp"
+#include "heuristics/cpr.hpp"
+#include "heuristics/delta_critical.hpp"
+
+namespace ptgsched {
+
+std::unique_ptr<AllocationHeuristic> make_heuristic(const std::string& name) {
+  if (name == "one") return std::make_unique<OneEachAllocation>();
+  if (name == "cpa") return std::make_unique<CpaAllocation>();
+  if (name == "hcpa") return std::make_unique<HcpaAllocation>();
+  if (name == "mcpa") return std::make_unique<McpaAllocation>();
+  if (name == "mcpa2") return std::make_unique<Mcpa2Allocation>();
+  if (name == "delta") return std::make_unique<DeltaCriticalAllocation>();
+  if (name == "cpr") return std::make_unique<CprAllocation>();
+  if (name == "bicpa") return std::make_unique<BicpaAllocation>();
+  throw std::invalid_argument("unknown allocation heuristic: " + name);
+}
+
+}  // namespace ptgsched

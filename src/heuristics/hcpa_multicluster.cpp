@@ -1,0 +1,58 @@
+#include "heuristics/hcpa_multicluster.hpp"
+
+#include "heuristics/cpa.hpp"
+
+namespace ptgsched {
+
+McAllocation McHcpa::translate(const Ptg& g,
+                               const Allocation& reference_alloc,
+                               const ExecutionTimeModel& model,
+                               const MultiClusterPlatform& platform) {
+  const Cluster reference = platform.reference_cluster();
+  validate_allocation(reference_alloc, g, reference);
+
+  McAllocation out;
+  out.sizes.resize(g.num_tasks());
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const double ref_time =
+        model.time(g.task(v), reference_alloc[v], reference);
+    out.sizes[v].reserve(platform.num_clusters());
+    for (std::size_t k = 0; k < platform.num_clusters(); ++k) {
+      const Cluster& cluster = platform.cluster(k);
+      // Smallest processor count at least as fast as the reference
+      // allocation; the cluster size if none qualifies (e.g. a slow
+      // cluster cannot match a wide reference allocation).
+      int chosen = cluster.num_processors();
+      for (int p = 1; p <= cluster.num_processors(); ++p) {
+        if (model.time(g.task(v), p, cluster) <= ref_time) {
+          chosen = p;
+          break;
+        }
+      }
+      out.sizes[v].push_back(chosen);
+    }
+  }
+  return out;
+}
+
+McHcpaResult McHcpa::schedule(const Ptg& g, const ExecutionTimeModel& model,
+                              const MultiClusterPlatform& platform) const {
+  McHcpaResult result;
+  const Cluster reference = platform.reference_cluster();
+  result.reference_allocation = CpaAllocation().allocate(g, model, reference);
+  result.allocation =
+      translate(g, result.reference_allocation, model, platform);
+
+  // Priorities: reference-cluster execution times (the bottom levels HCPA
+  // computed during its allocation step).
+  std::vector<double> priority(g.num_tasks());
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    priority[v] =
+        model.time(g.task(v), result.reference_allocation[v], reference);
+  }
+  result.schedule =
+      map_mc_allocation(g, result.allocation, model, platform, priority);
+  return result;
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,132 @@
+#include "model/execution_time.hpp"
+
+#include <cmath>
+
+namespace ptgsched {
+
+void ExecutionTimeModel::check_args(const Task& task, int p,
+                                    const Cluster& cluster) {
+  if (p < 1 || p > cluster.num_processors()) {
+    throw ModelError("execution time model: allocation " + std::to_string(p) +
+                     " outside [1, " +
+                     std::to_string(cluster.num_processors()) + "]");
+  }
+  if (!(task.flops > 0.0)) {
+    throw ModelError("execution time model: task has non-positive flops");
+  }
+  if (!(task.alpha >= 0.0 && task.alpha <= 1.0)) {
+    throw ModelError("execution time model: alpha outside [0, 1]");
+  }
+}
+
+bool is_perfect_square(int p) noexcept {
+  if (p < 1) return false;
+  const int r = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
+  return r * r == p;
+}
+
+double AmdahlModel::time(const Task& task, int p,
+                         const Cluster& cluster) const {
+  check_args(task, p, cluster);
+  const double t1 = cluster.sequential_time(task.flops);
+  return (task.alpha + (1.0 - task.alpha) / static_cast<double>(p)) * t1;
+}
+
+SyntheticModel::SyntheticModel(double odd_penalty, double non_square_penalty)
+    : odd_penalty_(odd_penalty), non_square_penalty_(non_square_penalty) {
+  if (!(odd_penalty_ >= 1.0) || !(non_square_penalty_ >= 1.0)) {
+    throw ModelError("SyntheticModel: penalties must be >= 1");
+  }
+}
+
+double SyntheticModel::penalty(int p) const {
+  if (p < 1) throw ModelError("SyntheticModel::penalty: p < 1");
+  if (p == 1) return 1.0;
+  if (p % 2 == 1) return odd_penalty_;
+  if (!is_perfect_square(p)) return non_square_penalty_;
+  return 1.0;
+}
+
+double SyntheticModel::time(const Task& task, int p,
+                            const Cluster& cluster) const {
+  check_args(task, p, cluster);
+  const AmdahlModel base;
+  return base.time(task, p, cluster) * penalty(p);
+}
+
+DowneyModel::DowneyModel(double sigma, double max_parallelism)
+    : sigma_(sigma), max_parallelism_(max_parallelism) {
+  if (!(sigma_ >= 0.0)) throw ModelError("DowneyModel: sigma < 0");
+  if (!(max_parallelism_ >= 1.0)) {
+    throw ModelError("DowneyModel: max_parallelism < 1");
+  }
+}
+
+double DowneyModel::speedup(double n, double A, double sigma) {
+  if (n <= 1.0) return 1.0;
+  if (A <= 1.0) return 1.0;
+  if (sigma <= 1.0) {
+    // Low-variance branch of Downey's model.
+    if (n <= A) {
+      return A * n / (A + sigma / 2.0 * (n - 1.0));
+    }
+    if (n <= 2.0 * A - 1.0) {
+      return A * n / (sigma * (A - 0.5) + n * (1.0 - sigma / 2.0));
+    }
+    return A;
+  }
+  // High-variance branch.
+  const double knee = A + A * sigma - sigma;
+  if (n < knee) {
+    return n * A * (sigma + 1.0) / (sigma * (n + A - 1.0) + A);
+  }
+  return A;
+}
+
+double DowneyModel::time(const Task& task, int p,
+                         const Cluster& cluster) const {
+  check_args(task, p, cluster);
+  const double A =
+      task.alpha > 0.0 ? std::min(1.0 / task.alpha, max_parallelism_)
+                       : max_parallelism_;
+  const double t1 = cluster.sequential_time(task.flops);
+  return t1 / speedup(static_cast<double>(p), A, sigma_);
+}
+
+PenaltyTableModel::PenaltyTableModel(
+    std::shared_ptr<const ExecutionTimeModel> base,
+    std::vector<double> multipliers)
+    : base_(std::move(base)), multipliers_(std::move(multipliers)) {
+  if (base_ == nullptr) throw ModelError("PenaltyTableModel: null base");
+  if (multipliers_.empty()) {
+    throw ModelError("PenaltyTableModel: empty multiplier table");
+  }
+  for (const double m : multipliers_) {
+    if (!(m > 0.0)) throw ModelError("PenaltyTableModel: non-positive entry");
+  }
+}
+
+double PenaltyTableModel::time(const Task& task, int p,
+                               const Cluster& cluster) const {
+  check_args(task, p, cluster);
+  const std::size_t idx =
+      std::min(static_cast<std::size_t>(p - 1), multipliers_.size() - 1);
+  return base_->time(task, p, cluster) * multipliers_[idx];
+}
+
+std::string PenaltyTableModel::name() const {
+  return base_->name() + "+table";
+}
+
+std::shared_ptr<const ExecutionTimeModel> make_model(const std::string& name) {
+  if (name == "amdahl" || name == "model1") {
+    return std::make_shared<AmdahlModel>();
+  }
+  if (name == "synthetic" || name == "model2") {
+    return std::make_shared<SyntheticModel>();
+  }
+  if (name == "downey") return std::make_shared<DowneyModel>();
+  throw ModelError("unknown execution time model: " + name);
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,129 @@
+#pragma once
+// Execution-time models for moldable tasks (Section IV-B).
+//
+// The central premise of the paper is that EMTS is *independent* of the
+// model that predicts T(v, p), the run time of task v on p processors. The
+// model is therefore a polymorphic interface; schedulers and the EA only
+// ever call time(task, p, cluster) and never assume monotonicity.
+//
+// Provided models:
+//   * AmdahlModel        — "Model 1": T(v,p) = (alpha + (1-alpha)/p) T(v,1).
+//   * SyntheticModel     — "Model 2": Amdahl plus PDGEMM-like penalties
+//                          (Algorithm 1): odd p -> x1.3; even, non-perfect-
+//                          square p -> x1.1. Non-monotonic.
+//   * DowneyModel        — Downey's speed-up model (related work), with the
+//                          average parallelism derived from alpha.
+//   * PenaltyTableModel  — wraps any model with a per-p multiplier table
+//                          (e.g. measured slowdowns).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "ptg/graph.hpp"
+
+namespace ptgsched {
+
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Interface: predicted execution time (seconds) of a task on p processors
+/// of the given cluster. Implementations must accept any p in [1, P] and
+/// throw ModelError outside that range.
+class ExecutionTimeModel {
+ public:
+  virtual ~ExecutionTimeModel() = default;
+
+  [[nodiscard]] virtual double time(const Task& task, int p,
+                                    const Cluster& cluster) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// Shared argument validation for implementations.
+  static void check_args(const Task& task, int p, const Cluster& cluster);
+};
+
+/// Model 1: Amdahl's law. Monotonically non-increasing in p.
+class AmdahlModel final : public ExecutionTimeModel {
+ public:
+  [[nodiscard]] double time(const Task& task, int p,
+                            const Cluster& cluster) const override;
+  [[nodiscard]] std::string name() const override { return "amdahl"; }
+};
+
+/// Model 2: Amdahl plus synthetic non-monotonic penalties imitating
+/// PDGEMM's preference for even, perfect-square processor grids (Figure 1).
+///
+/// Note on the paper text: the prose says the run time increases "if the
+/// number of processors is not a multiple of 2 or if this number has no
+/// integer square root", while the printed pseudo code penalizes p whose
+/// square root IS an integer — an obvious typo (it would penalize exactly
+/// the PDGEMM-friendly square grids). We follow the prose; see DESIGN.md.
+class SyntheticModel final : public ExecutionTimeModel {
+ public:
+  /// Penalty multipliers are configurable for ablations; paper values are
+  /// odd_penalty = 1.3 and non_square_penalty = 1.1.
+  explicit SyntheticModel(double odd_penalty = 1.3,
+                          double non_square_penalty = 1.1);
+
+  [[nodiscard]] double time(const Task& task, int p,
+                            const Cluster& cluster) const override;
+  [[nodiscard]] std::string name() const override { return "synthetic"; }
+
+  /// The multiplier applied on top of Amdahl for a given p (>= 1).
+  [[nodiscard]] double penalty(int p) const;
+
+ private:
+  double odd_penalty_;
+  double non_square_penalty_;
+};
+
+/// Downey's speed-up model (extension; see Section II-B related work).
+/// The average parallelism A of a task is derived from its Amdahl serial
+/// fraction as A = 1/alpha (the asymptotic Amdahl speed-up); alpha = 0 maps
+/// to A = P_max_cap. sigma is the parallelism-variance parameter shared by
+/// all tasks.
+class DowneyModel final : public ExecutionTimeModel {
+ public:
+  explicit DowneyModel(double sigma = 0.5, double max_parallelism = 1e6);
+
+  [[nodiscard]] double time(const Task& task, int p,
+                            const Cluster& cluster) const override;
+  [[nodiscard]] std::string name() const override { return "downey"; }
+
+  /// Downey speed-up S(n) for average parallelism A and variance sigma.
+  [[nodiscard]] static double speedup(double n, double A, double sigma);
+
+ private:
+  double sigma_;
+  double max_parallelism_;
+};
+
+/// Wraps a base model and multiplies T(v,p) by table[p-1]; p beyond the
+/// table reuses the last entry. Useful to replay measured slowdown curves.
+class PenaltyTableModel final : public ExecutionTimeModel {
+ public:
+  PenaltyTableModel(std::shared_ptr<const ExecutionTimeModel> base,
+                    std::vector<double> multipliers);
+
+  [[nodiscard]] double time(const Task& task, int p,
+                            const Cluster& cluster) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::shared_ptr<const ExecutionTimeModel> base_;
+  std::vector<double> multipliers_;
+};
+
+/// Factory for the model names used throughout benches and examples:
+/// "amdahl" | "model1", "synthetic" | "model2", "downey".
+[[nodiscard]] std::shared_ptr<const ExecutionTimeModel> make_model(
+    const std::string& name);
+
+/// True iff p is a perfect square (p >= 1).
+[[nodiscard]] bool is_perfect_square(int p) noexcept;
+
+}  // namespace ptgsched

@@ -1,0 +1,34 @@
+#include "model/overhead.hpp"
+
+#include <cmath>
+
+namespace ptgsched {
+
+OverheadModel::OverheadModel(std::shared_ptr<const ExecutionTimeModel> base,
+                             double startup_seconds,
+                             double bandwidth_bytes_per_s)
+    : base_(std::move(base)), startup_(startup_seconds),
+      inv_bandwidth_(1.0 / bandwidth_bytes_per_s) {
+  if (base_ == nullptr) throw ModelError("OverheadModel: null base model");
+  if (!(startup_ >= 0.0)) throw ModelError("OverheadModel: negative startup");
+  if (!(bandwidth_bytes_per_s > 0.0)) {
+    throw ModelError("OverheadModel: non-positive bandwidth");
+  }
+}
+
+double OverheadModel::overhead(const Task& task, int p) const {
+  if (p <= 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(p)));
+  const double bytes = 8.0 * task.data_size;
+  return (startup_ + bytes * inv_bandwidth_) * rounds;
+}
+
+double OverheadModel::time(const Task& task, int p,
+                           const Cluster& cluster) const {
+  check_args(task, p, cluster);
+  return base_->time(task, p, cluster) + overhead(task, p);
+}
+
+std::string OverheadModel::name() const { return base_->name() + "+comm"; }
+
+}  // namespace ptgsched

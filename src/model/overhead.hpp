@@ -1,0 +1,46 @@
+#pragma once
+// Communication/redistribution overhead wrapper model.
+//
+// Section III: "communication costs between tasks are not considered. If
+// communication or data redistributions are necessary, they need to be
+// included in the execution time model of the parallel tasks." This model
+// does exactly that: it wraps any base model and charges each parallel
+// task a data-distribution cost modeled as a log-tree broadcast of its
+// dataset over the cluster interconnect:
+//
+//   T'(v, p) = T_base(v, p) + [p > 1] * (startup + 8 * d(v) / bandwidth)
+//              * ceil(log2(p))
+//
+// The resulting curve is U-shaped in p (another source of non-monotonicity
+// besides Model 2), which makes it a good stress test for allocation
+// heuristics that assume the monotonous penalty property.
+
+#include <memory>
+
+#include "model/execution_time.hpp"
+
+namespace ptgsched {
+
+class OverheadModel final : public ExecutionTimeModel {
+ public:
+  /// startup_seconds: per-message latency; bandwidth_bytes_per_s: link
+  /// bandwidth. Defaults approximate a gigabit-Ethernet cluster of the
+  /// Grid'5000 era (50 us latency, 1 Gb/s).
+  OverheadModel(std::shared_ptr<const ExecutionTimeModel> base,
+                double startup_seconds = 50e-6,
+                double bandwidth_bytes_per_s = 125e6);
+
+  [[nodiscard]] double time(const Task& task, int p,
+                            const Cluster& cluster) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The distribution overhead alone (0 for p == 1).
+  [[nodiscard]] double overhead(const Task& task, int p) const;
+
+ private:
+  std::shared_ptr<const ExecutionTimeModel> base_;
+  double startup_;
+  double inv_bandwidth_;
+};
+
+}  // namespace ptgsched

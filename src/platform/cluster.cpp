@@ -1,0 +1,52 @@
+#include "platform/cluster.hpp"
+
+#include <algorithm>
+
+namespace ptgsched {
+
+Cluster::Cluster(std::string name, int num_processors, double gflops)
+    : name_(std::move(name)), p_(num_processors), gflops_(gflops) {
+  if (p_ < 1) throw PlatformError("Cluster: need at least one processor");
+  if (!(gflops_ > 0.0)) throw PlatformError("Cluster: non-positive speed");
+}
+
+int Cluster::clamp_allocation(long long p) const noexcept {
+  return static_cast<int>(std::clamp<long long>(p, 1, p_));
+}
+
+Json Cluster::to_json() const {
+  Json doc = Json::object();
+  doc.set("name", name_);
+  doc.set("processors", static_cast<std::int64_t>(p_));
+  doc.set("gflops", gflops_);
+  return doc;
+}
+
+Cluster Cluster::from_json(const Json& doc) {
+  const auto p = doc.at("processors").as_int();
+  if (p < 1 || p > 1'000'000) {
+    throw PlatformError("Cluster::from_json: implausible processor count");
+  }
+  return Cluster(doc.get_or("name", std::string("cluster")),
+                 static_cast<int>(p), doc.at("gflops").as_double());
+}
+
+void Cluster::save(const std::string& path) const {
+  to_json().write_file(path);
+}
+
+Cluster Cluster::load(const std::string& path) {
+  return from_json(Json::parse_file(path));
+}
+
+Cluster chti() { return Cluster("chti", 20, 4.3); }
+
+Cluster grelon() { return Cluster("grelon", 120, 3.1); }
+
+Cluster platform_by_name(const std::string& name) {
+  if (name == "chti") return chti();
+  if (name == "grelon") return grelon();
+  throw PlatformError("unknown platform preset: " + name);
+}
+
+}  // namespace ptgsched

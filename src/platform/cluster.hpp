@@ -1,0 +1,67 @@
+#pragma once
+// Homogeneous cluster platform model (Section II-A / IV-A).
+//
+// A cluster is P identical processors of a given speed (GFLOPS); every pair
+// of processors can communicate and communication costs are not modeled
+// (they are folded into the task execution-time model, Section III). The
+// two evaluation platforms from the paper, the Grid'5000 clusters Chti and
+// Grelon, are provided as presets.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace ptgsched {
+
+class PlatformError : public std::runtime_error {
+ public:
+  explicit PlatformError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Homogeneous cluster: `num_processors` identical processors running at
+/// `gflops` * 1e9 floating-point operations per second each.
+class Cluster {
+ public:
+  Cluster(std::string name, int num_processors, double gflops);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int num_processors() const noexcept { return p_; }
+  /// Per-processor speed in GFLOPS.
+  [[nodiscard]] double gflops() const noexcept { return gflops_; }
+  /// Per-processor speed in FLOP per second.
+  [[nodiscard]] double flops_per_second() const noexcept {
+    return gflops_ * 1e9;
+  }
+
+  /// Sequential execution time (seconds) of `flops` work on one processor.
+  [[nodiscard]] double sequential_time(double flops) const {
+    return flops / flops_per_second();
+  }
+
+  /// Clamp an allocation request into the feasible range [1, P].
+  [[nodiscard]] int clamp_allocation(long long p) const noexcept;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static Cluster from_json(const Json& doc);
+  void save(const std::string& path) const;
+  [[nodiscard]] static Cluster load(const std::string& path);
+
+ private:
+  std::string name_;
+  int p_;
+  double gflops_;
+};
+
+/// Grid'5000 "Chti" (Lille): 20 nodes at 4.3 GFLOPS (HP-LinPACK, Sec. IV-A).
+[[nodiscard]] Cluster chti();
+
+/// Grid'5000 "Grelon" (Nancy): 120 nodes at 3.1 GFLOPS.
+[[nodiscard]] Cluster grelon();
+
+/// Look up a preset platform by name ("chti" | "grelon"), case-sensitive.
+[[nodiscard]] Cluster platform_by_name(const std::string& name);
+
+}  // namespace ptgsched

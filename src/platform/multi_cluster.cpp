@@ -1,0 +1,75 @@
+#include "platform/multi_cluster.hpp"
+
+#include <algorithm>
+
+namespace ptgsched {
+
+MultiClusterPlatform::MultiClusterPlatform(std::vector<Cluster> clusters)
+    : clusters_(std::move(clusters)) {
+  if (clusters_.empty()) {
+    throw PlatformError("MultiClusterPlatform: no clusters");
+  }
+  first_.reserve(clusters_.size());
+  for (const Cluster& c : clusters_) {
+    first_.push_back(total_);
+    total_ += c.num_processors();
+  }
+}
+
+const Cluster& MultiClusterPlatform::cluster(std::size_t k) const {
+  if (k >= clusters_.size()) {
+    throw PlatformError("MultiClusterPlatform: cluster index out of range");
+  }
+  return clusters_[k];
+}
+
+int MultiClusterPlatform::first_processor(std::size_t k) const {
+  if (k >= clusters_.size()) {
+    throw PlatformError("MultiClusterPlatform: cluster index out of range");
+  }
+  return first_[k];
+}
+
+std::size_t MultiClusterPlatform::cluster_of(int global_processor) const {
+  if (global_processor < 0 || global_processor >= total_) {
+    throw PlatformError("MultiClusterPlatform: processor out of range");
+  }
+  const auto it = std::upper_bound(first_.begin(), first_.end(),
+                                   global_processor);
+  return static_cast<std::size_t>(it - first_.begin()) - 1;
+}
+
+double MultiClusterPlatform::total_gflops() const noexcept {
+  double sum = 0.0;
+  for (const Cluster& c : clusters_) {
+    sum += c.gflops() * c.num_processors();
+  }
+  return sum;
+}
+
+Cluster MultiClusterPlatform::reference_cluster() const {
+  const double mean_speed = total_gflops() / total_;
+  return Cluster("reference", total_, mean_speed);
+}
+
+Json MultiClusterPlatform::to_json() const {
+  Json arr = Json::array();
+  for (const Cluster& c : clusters_) arr.push_back(c.to_json());
+  Json doc = Json::object();
+  doc.set("clusters", std::move(arr));
+  return doc;
+}
+
+MultiClusterPlatform MultiClusterPlatform::from_json(const Json& doc) {
+  std::vector<Cluster> clusters;
+  for (const Json& jc : doc.at("clusters").as_array()) {
+    clusters.push_back(Cluster::from_json(jc));
+  }
+  return MultiClusterPlatform(std::move(clusters));
+}
+
+MultiClusterPlatform chti_grelon() {
+  return MultiClusterPlatform({chti(), grelon()});
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,61 @@
+#pragma once
+// Multi-cluster platforms (extension; see DESIGN.md).
+//
+// The paper evaluates on single homogeneous clusters, but its baseline
+// HCPA (N'Takpe & Suter, ICPADS'06) was designed for platforms made of
+// several homogeneous clusters of different speeds. This module provides
+// that platform model so the multi-cluster HCPA pipeline
+// (heuristics/hcpa_multicluster) can be exercised as published: a task is
+// moldable *within* one cluster (co-allocation across clusters is not
+// allowed, matching the literature's assumption).
+//
+// Processors are numbered globally and contiguously: cluster 0 owns
+// [0, P0), cluster 1 owns [P0, P0 + P1), and so on.
+
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+
+namespace ptgsched {
+
+class MultiClusterPlatform {
+ public:
+  explicit MultiClusterPlatform(std::vector<Cluster> clusters);
+
+  [[nodiscard]] std::size_t num_clusters() const noexcept {
+    return clusters_.size();
+  }
+  [[nodiscard]] const Cluster& cluster(std::size_t k) const;
+  [[nodiscard]] const std::vector<Cluster>& clusters() const noexcept {
+    return clusters_;
+  }
+
+  [[nodiscard]] int total_processors() const noexcept { return total_; }
+  /// Global index of cluster k's first processor.
+  [[nodiscard]] int first_processor(std::size_t k) const;
+  /// Cluster owning a global processor index.
+  [[nodiscard]] std::size_t cluster_of(int global_processor) const;
+
+  /// Aggregate compute speed in GFLOPS (sum over processors).
+  [[nodiscard]] double total_gflops() const noexcept;
+
+  /// The homogeneous *reference cluster* HCPA allocates on: one processor
+  /// per real processor, all running at the platform's mean per-processor
+  /// speed (an approximation of the published construction; DESIGN.md).
+  [[nodiscard]] Cluster reference_cluster() const;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static MultiClusterPlatform from_json(const Json& doc);
+
+ private:
+  std::vector<Cluster> clusters_;
+  std::vector<int> first_;  ///< Prefix sums of processor counts.
+  int total_ = 0;
+};
+
+/// The two Grid'5000 clusters of the paper combined into one platform
+/// (20 x 4.3 + 120 x 3.1 GFLOPS).
+[[nodiscard]] MultiClusterPlatform chti_grelon();
+
+}  // namespace ptgsched

@@ -1,0 +1,90 @@
+#include "ptg/analysis.hpp"
+
+#include <cmath>
+
+#include "ptg/algorithms.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+
+namespace ptgsched {
+
+GraphStats analyze(const Ptg& g) {
+  g.validate();
+  GraphStats s;
+  s.tasks = g.num_tasks();
+  s.edges = g.num_edges();
+  s.sources = g.sources().size();
+  s.sinks = g.sinks().size();
+  s.total_flops = g.total_flops();
+
+  const auto levels = precedence_levels(g);
+  const auto by_level = tasks_by_level(g);
+  s.levels = static_cast<int>(by_level.size());
+  s.mean_width =
+      static_cast<double>(s.tasks) / static_cast<double>(s.levels);
+
+  RunningStats widths;
+  std::size_t serial_levels = 0;
+  for (const auto& level : by_level) {
+    widths.add(static_cast<double>(level.size()));
+    s.max_width = std::max(s.max_width, level.size());
+    if (level.size() == 1) ++serial_levels;
+  }
+  s.width_cv = widths.mean() > 0.0 ? widths.stddev() / widths.mean() : 0.0;
+  s.serial_fraction =
+      static_cast<double>(serial_levels) / static_cast<double>(s.levels);
+
+  std::size_t non_sources = 0;
+  std::size_t in_edges = 0;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    if (g.in_degree(v) > 0) {
+      ++non_sources;
+      in_edges += g.in_degree(v);
+    }
+    for (const TaskId w : g.successors(v)) {
+      s.max_jump = std::max(
+          s.max_jump, static_cast<std::size_t>(levels[w] - levels[v]));
+    }
+    s.mean_alpha += g.task(v).alpha;
+  }
+  s.mean_in_degree = non_sources > 0 ? static_cast<double>(in_edges) /
+                                           static_cast<double>(non_sources)
+                                     : 0.0;
+  s.mean_alpha /= static_cast<double>(s.tasks);
+  return s;
+}
+
+std::string format_stats(const GraphStats& s) {
+  std::string out;
+  out += strfmt("tasks: %zu, edges: %zu, levels: %d\n", s.tasks, s.edges,
+                s.levels);
+  out += strfmt("width: max %zu, mean %.2f, cv %.2f, serial levels %.0f%%\n",
+                s.max_width, s.mean_width, s.width_cv,
+                s.serial_fraction * 100.0);
+  out += strfmt("degree: mean in-degree %.2f, max edge jump %zu\n",
+                s.mean_in_degree, s.max_jump);
+  out += strfmt("sources: %zu, sinks: %zu\n", s.sources, s.sinks);
+  out += strfmt("work: %.3g GFLOP total, mean alpha %.3f\n",
+                s.total_flops / 1e9, s.mean_alpha);
+  return out;
+}
+
+Json stats_to_json(const GraphStats& s) {
+  Json doc = Json::object();
+  doc.set("tasks", static_cast<std::int64_t>(s.tasks));
+  doc.set("edges", static_cast<std::int64_t>(s.edges));
+  doc.set("levels", s.levels);
+  doc.set("max_width", static_cast<std::int64_t>(s.max_width));
+  doc.set("mean_width", s.mean_width);
+  doc.set("width_cv", s.width_cv);
+  doc.set("mean_in_degree", s.mean_in_degree);
+  doc.set("max_jump", static_cast<std::int64_t>(s.max_jump));
+  doc.set("serial_fraction", s.serial_fraction);
+  doc.set("total_flops", s.total_flops);
+  doc.set("mean_alpha", s.mean_alpha);
+  doc.set("sources", static_cast<std::int64_t>(s.sources));
+  doc.set("sinks", static_cast<std::int64_t>(s.sinks));
+  return doc;
+}
+
+}  // namespace ptgsched

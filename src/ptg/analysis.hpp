@@ -1,0 +1,41 @@
+#pragma once
+// Structural statistics of PTGs.
+//
+// Used by dag_studio to describe generated workloads, by the corpus tests
+// to check that the DAGGEN parameters have their documented effect, and by
+// EXPERIMENTS.md to characterize the evaluation corpora the way the paper
+// characterizes its PTG classes (width, regularity, density, jumps).
+
+#include <string>
+
+#include "ptg/graph.hpp"
+#include "support/json.hpp"
+
+namespace ptgsched {
+
+struct GraphStats {
+  std::size_t tasks = 0;
+  std::size_t edges = 0;
+  int levels = 0;
+  std::size_t max_width = 0;      ///< Largest precedence level.
+  double mean_width = 0.0;        ///< tasks / levels.
+  double width_cv = 0.0;          ///< Coefficient of variation of level sizes.
+  double mean_in_degree = 0.0;    ///< Over non-source tasks.
+  std::size_t max_jump = 0;       ///< Largest level span of any edge.
+  double serial_fraction = 0.0;   ///< Fraction of levels with one task.
+  double total_flops = 0.0;
+  double mean_alpha = 0.0;
+  std::size_t sources = 0;
+  std::size_t sinks = 0;
+};
+
+/// Compute all statistics in one pass over the graph.
+[[nodiscard]] GraphStats analyze(const Ptg& g);
+
+/// Human-readable one-graph summary (multi-line).
+[[nodiscard]] std::string format_stats(const GraphStats& stats);
+
+/// JSON form for machine consumption.
+[[nodiscard]] Json stats_to_json(const GraphStats& stats);
+
+}  // namespace ptgsched

@@ -1,0 +1,107 @@
+#include "ptg/graph.hpp"
+
+#include <algorithm>
+
+#include "ptg/algorithms.hpp"
+
+namespace ptgsched {
+
+TaskId Ptg::add_task(Task task) {
+  const auto id = static_cast<TaskId>(tasks_.size());
+  if (tasks_.size() >= static_cast<std::size_t>(kInvalidTask)) {
+    throw GraphError("Ptg: too many tasks");
+  }
+  tasks_.push_back(std::move(task));
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return id;
+}
+
+void Ptg::check_id(TaskId id, const char* what) const {
+  if (id >= tasks_.size()) {
+    throw GraphError(std::string("Ptg: invalid task id in ") + what + ": " +
+                     std::to_string(id));
+  }
+}
+
+void Ptg::add_edge(TaskId from, TaskId to) {
+  check_id(from, "add_edge");
+  check_id(to, "add_edge");
+  if (from == to) {
+    throw GraphError("Ptg: self loop on task " + std::to_string(from));
+  }
+  if (has_edge(from, to)) {
+    throw GraphError("Ptg: duplicate edge " + std::to_string(from) + " -> " +
+                     std::to_string(to));
+  }
+  succ_[from].push_back(to);
+  pred_[to].push_back(from);
+  ++num_edges_;
+}
+
+const Task& Ptg::task(TaskId id) const {
+  check_id(id, "task");
+  return tasks_[id];
+}
+
+Task& Ptg::task(TaskId id) {
+  check_id(id, "task");
+  return tasks_[id];
+}
+
+std::span<const TaskId> Ptg::successors(TaskId id) const {
+  check_id(id, "successors");
+  return succ_[id];
+}
+
+std::span<const TaskId> Ptg::predecessors(TaskId id) const {
+  check_id(id, "predecessors");
+  return pred_[id];
+}
+
+bool Ptg::has_edge(TaskId from, TaskId to) const {
+  check_id(from, "has_edge");
+  check_id(to, "has_edge");
+  const auto& s = succ_[from];
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+std::vector<TaskId> Ptg::sources() const {
+  std::vector<TaskId> out;
+  for (TaskId v = 0; v < tasks_.size(); ++v) {
+    if (pred_[v].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<TaskId> Ptg::sinks() const {
+  std::vector<TaskId> out;
+  for (TaskId v = 0; v < tasks_.size(); ++v) {
+    if (succ_[v].empty()) out.push_back(v);
+  }
+  return out;
+}
+
+double Ptg::total_flops() const noexcept {
+  double sum = 0.0;
+  for (const auto& t : tasks_) sum += t.flops;
+  return sum;
+}
+
+void Ptg::validate() const {
+  if (tasks_.empty()) throw GraphError("Ptg: empty graph");
+  if (!is_acyclic(*this)) throw GraphError("Ptg: graph contains a cycle");
+  for (TaskId v = 0; v < tasks_.size(); ++v) {
+    const Task& t = tasks_[v];
+    if (!(t.flops > 0.0)) {
+      throw GraphError("Ptg: task " + std::to_string(v) +
+                       " has non-positive flops");
+    }
+    if (!(t.alpha >= 0.0 && t.alpha <= 1.0)) {
+      throw GraphError("Ptg: task " + std::to_string(v) +
+                       " has alpha outside [0, 1]");
+    }
+  }
+}
+
+}  // namespace ptgsched

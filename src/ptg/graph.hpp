@@ -1,0 +1,98 @@
+#pragma once
+// Parallel task graph (PTG) container.
+//
+// Section II-A of the paper: a PTG is a DAG G = (V, E) whose nodes are
+// moldable parallel tasks and whose edges are control/data dependencies.
+// Each task carries its cost in floating-point operations (FLOP), the data
+// size it operates on, and its Amdahl serial fraction alpha; the execution
+// time for a given processor count is provided by an ExecutionTimeModel
+// (src/model), never stored in the graph itself.
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ptgsched {
+
+using TaskId = std::uint32_t;
+inline constexpr TaskId kInvalidTask = static_cast<TaskId>(-1);
+
+/// Error for malformed graphs (cycles, duplicate edges, bad ids).
+class GraphError : public std::runtime_error {
+ public:
+  explicit GraphError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A moldable task: work volume plus model parameters.
+struct Task {
+  std::string name;       ///< Human-readable label (DOT/Gantt output).
+  double flops = 0.0;     ///< Work in floating-point operations.
+  double data_size = 0.0; ///< Dataset size d in doubles (provenance only).
+  double alpha = 0.0;     ///< Non-parallelizable code fraction, in [0, 1].
+};
+
+/// Directed acyclic graph of moldable tasks.
+///
+/// Tasks are identified by dense TaskIds (0..size-1) in insertion order.
+/// Edges are stored as adjacency lists in both directions. The graph is
+/// append-only: tasks and edges can be added but not removed, which keeps
+/// ids stable for allocation vectors (EA individuals index by TaskId).
+class Ptg {
+ public:
+  Ptg() = default;
+  explicit Ptg(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Add a task; returns its id.
+  TaskId add_task(Task task);
+
+  /// Add a dependency edge from -> to. Throws on unknown ids, self loops,
+  /// and duplicate edges. Cycle detection is deferred to validate() /
+  /// topological_order() since it is O(V + E).
+  void add_edge(TaskId from, TaskId to);
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept {
+    return tasks_.size();
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+
+  [[nodiscard]] const Task& task(TaskId id) const;
+  [[nodiscard]] Task& task(TaskId id);
+
+  [[nodiscard]] std::span<const TaskId> successors(TaskId id) const;
+  [[nodiscard]] std::span<const TaskId> predecessors(TaskId id) const;
+  [[nodiscard]] std::size_t in_degree(TaskId id) const {
+    return predecessors(id).size();
+  }
+  [[nodiscard]] std::size_t out_degree(TaskId id) const {
+    return successors(id).size();
+  }
+  [[nodiscard]] bool has_edge(TaskId from, TaskId to) const;
+
+  /// Tasks with no predecessors / successors.
+  [[nodiscard]] std::vector<TaskId> sources() const;
+  [[nodiscard]] std::vector<TaskId> sinks() const;
+
+  /// Total work of all tasks in FLOP.
+  [[nodiscard]] double total_flops() const noexcept;
+
+  /// Throws GraphError unless the graph is a non-empty DAG with task
+  /// parameters in range (flops > 0, 0 <= alpha <= 1).
+  void validate() const;
+
+ private:
+  void check_id(TaskId id, const char* what) const;
+
+  std::string name_;
+  std::vector<Task> tasks_;
+  std::vector<std::vector<TaskId>> succ_;
+  std::vector<std::vector<TaskId>> pred_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace ptgsched

@@ -1,0 +1,87 @@
+#include "ptg/io.hpp"
+
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace ptgsched {
+
+Json ptg_to_json(const Ptg& g) {
+  Json doc = Json::object();
+  doc.set("name", g.name());
+  Json tasks = Json::array();
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const Task& t = g.task(v);
+    Json jt = Json::object();
+    jt.set("name", t.name);
+    jt.set("flops", t.flops);
+    jt.set("data", t.data_size);
+    jt.set("alpha", t.alpha);
+    tasks.push_back(std::move(jt));
+  }
+  doc.set("tasks", std::move(tasks));
+  Json edges = Json::array();
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    for (const TaskId w : g.successors(v)) {
+      Json e = Json::array();
+      e.push_back(Json(static_cast<std::int64_t>(v)));
+      e.push_back(Json(static_cast<std::int64_t>(w)));
+      edges.push_back(std::move(e));
+    }
+  }
+  doc.set("edges", std::move(edges));
+  return doc;
+}
+
+Ptg ptg_from_json(const Json& doc) {
+  Ptg g(doc.get_or("name", std::string("ptg")));
+  for (const Json& jt : doc.at("tasks").as_array()) {
+    Task t;
+    t.name = jt.get_or("name", std::string());
+    t.flops = jt.at("flops").as_double();
+    t.data_size = jt.get_or("data", 0.0);
+    t.alpha = jt.get_or("alpha", 0.0);
+    g.add_task(std::move(t));
+  }
+  if (doc.contains("edges")) {
+    for (const Json& je : doc.at("edges").as_array()) {
+      if (je.size() != 2) throw GraphError("ptg_from_json: edge arity != 2");
+      const auto from = je.at(std::size_t{0}).as_int();
+      const auto to = je.at(std::size_t{1}).as_int();
+      if (from < 0 || to < 0) throw GraphError("ptg_from_json: negative id");
+      g.add_edge(static_cast<TaskId>(from), static_cast<TaskId>(to));
+    }
+  }
+  g.validate();
+  return g;
+}
+
+void save_ptg(const Ptg& g, const std::string& path) {
+  ptg_to_json(g).write_file(path);
+}
+
+Ptg load_ptg(const std::string& path) {
+  return ptg_from_json(Json::parse_file(path));
+}
+
+std::string ptg_to_dot(const Ptg& g) {
+  std::ostringstream out;
+  out << "digraph \"" << g.name() << "\" {\n";
+  out << "  rankdir=TB;\n  node [shape=box];\n";
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const Task& t = g.task(v);
+    const std::string label =
+        t.name.empty() ? ("v" + std::to_string(v)) : t.name;
+    out << "  n" << v << " [label=\"" << label << "\\n"
+        << strfmt("%.3g", t.flops) << " FLOP\"];\n";
+  }
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    for (const TaskId w : g.successors(v)) {
+      out << "  n" << v << " -> n" << w << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ptgsched

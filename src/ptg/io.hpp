@@ -1,0 +1,33 @@
+#pragma once
+// PTG serialization: JSON round-trip (the simulator's on-disk PTG
+// description format) and Graphviz DOT export for visual inspection.
+//
+// JSON schema:
+// {
+//   "name": "fft-16",
+//   "tasks": [ {"name": "t0", "flops": 1e9, "data": 4096, "alpha": 0.1}, ...],
+//   "edges": [ [0, 1], [0, 2], ... ]
+// }
+
+#include <string>
+
+#include "ptg/graph.hpp"
+#include "support/json.hpp"
+
+namespace ptgsched {
+
+/// Serialize a PTG to its JSON document form.
+[[nodiscard]] Json ptg_to_json(const Ptg& g);
+
+/// Parse a PTG from its JSON document form. Validates the result.
+[[nodiscard]] Ptg ptg_from_json(const Json& doc);
+
+/// Convenience file wrappers.
+void save_ptg(const Ptg& g, const std::string& path);
+[[nodiscard]] Ptg load_ptg(const std::string& path);
+
+/// Graphviz DOT text; nodes are labeled "name\nflops" and ranked by
+/// precedence level.
+[[nodiscard]] std::string ptg_to_dot(const Ptg& g);
+
+}  // namespace ptgsched

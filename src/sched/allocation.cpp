@@ -1,0 +1,62 @@
+#include "sched/allocation.hpp"
+
+#include <algorithm>
+
+namespace ptgsched {
+
+void validate_allocation(const Allocation& alloc, const Ptg& g,
+                         const Cluster& cluster) {
+  if (alloc.size() != g.num_tasks()) {
+    throw GraphError("allocation size " + std::to_string(alloc.size()) +
+                     " does not match task count " +
+                     std::to_string(g.num_tasks()));
+  }
+  for (std::size_t i = 0; i < alloc.size(); ++i) {
+    if (alloc[i] < 1 || alloc[i] > cluster.num_processors()) {
+      throw GraphError("allocation of task " + std::to_string(i) + " is " +
+                       std::to_string(alloc[i]) + ", outside [1, " +
+                       std::to_string(cluster.num_processors()) + "]");
+    }
+  }
+}
+
+Allocation uniform_allocation(const Ptg& g, const Cluster& cluster, int p) {
+  return Allocation(g.num_tasks(), cluster.clamp_allocation(p));
+}
+
+std::vector<double> task_times(const Ptg& g, const Allocation& alloc,
+                               const ExecutionTimeModel& model,
+                               const Cluster& cluster) {
+  validate_allocation(alloc, g, cluster);
+  std::vector<double> times(g.num_tasks());
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    times[v] = model.time(g.task(v), alloc[v], cluster);
+  }
+  return times;
+}
+
+double allocation_work(const Ptg& g, const Allocation& alloc,
+                       const ExecutionTimeModel& model,
+                       const Cluster& cluster) {
+  const auto times = task_times(g, alloc, model, cluster);
+  double work = 0.0;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    work += static_cast<double>(alloc[v]) * times[v];
+  }
+  return work;
+}
+
+double average_area(const Ptg& g, const Allocation& alloc,
+                    const ExecutionTimeModel& model, const Cluster& cluster) {
+  return allocation_work(g, alloc, model, cluster) /
+         static_cast<double>(cluster.num_processors());
+}
+
+double allocation_critical_path(const Ptg& g, const Allocation& alloc,
+                                const ExecutionTimeModel& model,
+                                const Cluster& cluster) {
+  const auto times = task_times(g, alloc, model, cluster);
+  return critical_path_length(g, [&](TaskId v) { return times[v]; });
+}
+
+}  // namespace ptgsched

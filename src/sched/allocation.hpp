@@ -1,0 +1,51 @@
+#pragma once
+// Processor allocations: the output of the first step of every two-step
+// scheduler and the genome of the EA (Section III-A, Figure 2).
+//
+// An Allocation assigns every task v its processor count s(v); it is a
+// plain vector indexed by TaskId, exactly like the paper's individual
+// encoding I(i) = s(v_i).
+
+#include <vector>
+
+#include "model/execution_time.hpp"
+#include "platform/cluster.hpp"
+#include "ptg/algorithms.hpp"
+#include "ptg/graph.hpp"
+
+namespace ptgsched {
+
+/// s(v) per task, indexed by TaskId.
+using Allocation = std::vector<int>;
+
+/// Throws GraphError unless `alloc` has one entry per task, each in [1, P].
+void validate_allocation(const Allocation& alloc, const Ptg& g,
+                         const Cluster& cluster);
+
+/// Allocation assigning `p` processors to every task (p clamped to [1, P]).
+[[nodiscard]] Allocation uniform_allocation(const Ptg& g,
+                                            const Cluster& cluster, int p = 1);
+
+/// Per-task execution times under an allocation and model.
+[[nodiscard]] std::vector<double> task_times(const Ptg& g,
+                                             const Allocation& alloc,
+                                             const ExecutionTimeModel& model,
+                                             const Cluster& cluster);
+
+/// Total work area W = sum_v s(v) * T(v, s(v)) (seconds x processors).
+[[nodiscard]] double allocation_work(const Ptg& g, const Allocation& alloc,
+                                     const ExecutionTimeModel& model,
+                                     const Cluster& cluster);
+
+/// Average-area lower bound T_A = W / P used by the CPA family.
+[[nodiscard]] double average_area(const Ptg& g, const Allocation& alloc,
+                                  const ExecutionTimeModel& model,
+                                  const Cluster& cluster);
+
+/// Critical-path length T_CP under an allocation.
+[[nodiscard]] double allocation_critical_path(const Ptg& g,
+                                              const Allocation& alloc,
+                                              const ExecutionTimeModel& model,
+                                              const Cluster& cluster);
+
+}  // namespace ptgsched

@@ -1,0 +1,136 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace ptgsched {
+
+std::string gantt_ascii(const Schedule& sched, AsciiGanttOptions options) {
+  const double makespan = sched.makespan();
+  const int P = sched.num_processors();
+  const int W = std::max(10, options.width);
+  if (makespan <= 0.0 || P <= 0) return "(empty schedule)\n";
+
+  // Character for a task: digits then letters, rotating.
+  static constexpr char kChars[] =
+      "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+  constexpr std::size_t kNumChars = sizeof(kChars) - 1;
+
+  std::vector<std::string> rows(static_cast<std::size_t>(P),
+                                std::string(static_cast<std::size_t>(W), '.'));
+  for (const PlacedTask& p : sched.placed()) {
+    const int c0 = std::clamp(
+        static_cast<int>(p.start / makespan * W), 0, W - 1);
+    int c1 = std::clamp(static_cast<int>(p.finish / makespan * W), 0, W - 1);
+    if (c1 < c0) c1 = c0;
+    const char ch = kChars[p.task % kNumChars];
+    for (const int proc : p.processors) {
+      auto& row = rows[static_cast<std::size_t>(proc)];
+      for (int c = c0; c <= c1; ++c) {
+        row[static_cast<std::size_t>(c)] = ch;
+      }
+    }
+  }
+
+  std::ostringstream out;
+  for (int proc = 0; proc < P; ++proc) {
+    out << strfmt("p%03d |", proc) << rows[static_cast<std::size_t>(proc)]
+        << "|\n";
+  }
+  out << "      0" << std::string(static_cast<std::size_t>(W) - 1, ' ')
+      << strfmt("%.3fs", makespan) << "\n";
+  return out.str();
+}
+
+namespace {
+
+// Stable, readable fill color per task id (golden-angle hue walk).
+std::string task_color(TaskId id) {
+  const double hue = std::fmod(static_cast<double>(splitmix64(id) % 360) +
+                                   137.508 * static_cast<double>(id),
+                               360.0);
+  return strfmt("hsl(%d, 65%%, 62%%)", static_cast<int>(hue));
+}
+
+}  // namespace
+
+std::string gantt_svg(const Schedule& sched, const Ptg& g,
+                      SvgGanttOptions options) {
+  const double makespan = sched.makespan();
+  const int P = sched.num_processors();
+  const int W = std::max(100, options.width_px);
+  const int rh = std::max(4, options.row_height_px);
+  const int margin_left = 60;
+  const int margin_top = 24;
+  const int height = margin_top + P * rh + 30;
+  const double xscale = makespan > 0.0 ? (W - margin_left - 10) / makespan : 1;
+
+  std::ostringstream out;
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << W
+      << "\" height=\"" << height << "\" font-family=\"monospace\">\n";
+  out << "<text x=\"4\" y=\"14\" font-size=\"12\">" << sched.graph_name()
+      << "  makespan=" << strfmt("%.3f", makespan) << "s  P=" << P
+      << "</text>\n";
+
+  // Processor lanes.
+  for (int proc = 0; proc < P; ++proc) {
+    const int y = margin_top + proc * rh;
+    out << "<line x1=\"" << margin_left << "\" y1=\"" << y << "\" x2=\""
+        << W - 10 << "\" y2=\"" << y
+        << "\" stroke=\"#ddd\" stroke-width=\"0.5\"/>\n";
+    if (P <= 40 || proc % 10 == 0) {
+      out << "<text x=\"4\" y=\"" << y + rh - 1 << "\" font-size=\""
+          << std::min(10, rh) << "\">p" << proc << "</text>\n";
+    }
+  }
+
+  for (const PlacedTask& p : sched.placed()) {
+    const double x = margin_left + p.start * xscale;
+    const double w = std::max(0.5, p.duration() * xscale);
+    // Group contiguous processor runs into single rectangles.
+    std::vector<int> procs = p.processors;
+    std::sort(procs.begin(), procs.end());
+    std::size_t i = 0;
+    while (i < procs.size()) {
+      std::size_t j = i;
+      while (j + 1 < procs.size() && procs[j + 1] == procs[j] + 1) ++j;
+      const int y = margin_top + procs[i] * rh;
+      const int h = static_cast<int>(j - i + 1) * rh;
+      out << strfmt(
+          "<rect x=\"%.2f\" y=\"%d\" width=\"%.2f\" height=\"%d\" "
+          "fill=\"%s\" stroke=\"#333\" stroke-width=\"0.4\"/>\n",
+          x, y, w, h, task_color(p.task).c_str());
+      if (options.show_labels && w > 18.0 && h >= 8) {
+        const std::string& name = g.task(p.task).name;
+        out << strfmt(
+            "<text x=\"%.2f\" y=\"%d\" font-size=\"7\">%s</text>\n", x + 2.0,
+            y + std::min(h, 9),
+            name.empty() ? std::to_string(p.task).c_str() : name.c_str());
+      }
+      i = j + 1;
+    }
+  }
+
+  // Time axis.
+  const int axis_y = margin_top + P * rh + 14;
+  out << "<text x=\"" << margin_left << "\" y=\"" << axis_y
+      << "\" font-size=\"10\">0s</text>\n";
+  out << "<text x=\"" << W - 60 << "\" y=\"" << axis_y
+      << "\" font-size=\"10\">" << strfmt("%.3fs", makespan) << "</text>\n";
+  out << "</svg>\n";
+  return out.str();
+}
+
+void write_gantt_svg(const Schedule& sched, const Ptg& g,
+                     const std::string& path, SvgGanttOptions options) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("gantt: cannot write " + path);
+  out << gantt_svg(sched, g, options);
+  if (!out) throw std::runtime_error("gantt: write failed: " + path);
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,39 @@
+#pragma once
+// Gantt-chart export of schedules (Figure 6 of the paper shows MCPA vs
+// EMTS10 side by side). Two renderers:
+//   * ASCII — processors as rows, time binned into columns; task ids drawn
+//     with a rotating character set. Good enough to eyeball packing in a
+//     terminal.
+//   * SVG — exact rectangles with labels, one color per task (stable hash).
+
+#include <string>
+
+#include "ptg/graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace ptgsched {
+
+struct AsciiGanttOptions {
+  int width = 100;  ///< Number of time columns.
+};
+
+/// Render the schedule as monospace text: one row per processor, one final
+/// row with the time axis.
+[[nodiscard]] std::string gantt_ascii(const Schedule& sched,
+                                      AsciiGanttOptions options = {});
+
+struct SvgGanttOptions {
+  int width_px = 900;
+  int row_height_px = 10;
+  bool show_labels = true;
+};
+
+/// Render the schedule as a standalone SVG document.
+[[nodiscard]] std::string gantt_svg(const Schedule& sched, const Ptg& g,
+                                    SvgGanttOptions options = {});
+
+/// Write SVG to a file; throws std::runtime_error on I/O failure.
+void write_gantt_svg(const Schedule& sched, const Ptg& g,
+                     const std::string& path, SvgGanttOptions options = {});
+
+}  // namespace ptgsched

@@ -1,0 +1,96 @@
+#pragma once
+// The mapping step of EMTS and the CPA family (Section III-A).
+//
+// "In the list scheduling algorithm used by EMTS, the ready nodes are
+// sorted by decreasing bottom level and each ready node v is mapped to the
+// first processor set that contains s(v) available processors."
+//
+// This is also the EA's fitness function, so the implementation keeps all
+// scratch buffers preallocated: computing the makespan of one allocation is
+// O(E + V log V + V P log P) with zero heap allocations after warm-up.
+//
+// Two processor-selection policies are provided (our ablation EXP-A3):
+//   * EarliestAvailable — take the s(v) processors that free up first
+//     (the classic CPA mapping; default).
+//   * BestFit — among processors already free at the task's start time,
+//     take the ones that became free *last*, preserving early-free
+//     processors for subsequent ready tasks (a packing-friendly variant).
+
+#include <limits>
+#include <vector>
+
+#include "model/execution_time.hpp"
+#include "platform/cluster.hpp"
+#include "ptg/graph.hpp"
+#include "sched/allocation.hpp"
+#include "sched/schedule.hpp"
+
+namespace ptgsched {
+
+enum class ProcessorSelection { EarliestAvailable, BestFit };
+
+struct ListSchedulerOptions {
+  ProcessorSelection selection = ProcessorSelection::EarliestAvailable;
+};
+
+/// Reusable list scheduler bound to one (graph, cluster, model) triple.
+/// Not thread-safe: use one instance per thread (they are cheap).
+class ListScheduler {
+ public:
+  ListScheduler(const Ptg& g, const Cluster& cluster,
+                const ExecutionTimeModel& model,
+                ListSchedulerOptions options = {});
+
+  /// Makespan of the schedule produced for `alloc` (fitness fast path).
+  [[nodiscard]] double makespan(const Allocation& alloc);
+
+  /// Bounded fitness evaluation implementing the rejection strategy the
+  /// paper proposes as future work (Section VI): while mapping, as soon as
+  /// some scheduled task's start time plus its bottom level exceeds
+  /// `upper_bound` the final makespan provably will too, so the evaluation
+  /// aborts and returns +infinity. Exact makespan otherwise.
+  [[nodiscard]] double makespan_bounded(const Allocation& alloc,
+                                        double upper_bound);
+
+  /// Number of makespan_bounded() calls that were rejected early.
+  [[nodiscard]] std::size_t rejected_count() const noexcept {
+    return rejected_;
+  }
+
+  /// Full schedule (task placements) for `alloc`.
+  [[nodiscard]] Schedule build_schedule(const Allocation& alloc);
+
+  [[nodiscard]] const Ptg& graph() const noexcept { return *graph_; }
+  [[nodiscard]] const Cluster& cluster() const noexcept { return *cluster_; }
+  [[nodiscard]] const ExecutionTimeModel& model() const noexcept {
+    return *model_;
+  }
+
+ private:
+  double run(const Allocation& alloc, Schedule* out,
+             double upper_bound = std::numeric_limits<double>::infinity());
+
+  const Ptg* graph_;
+  const Cluster* cluster_;
+  const ExecutionTimeModel* model_;
+  ListSchedulerOptions options_;
+
+  // Scratch (sized once in the constructor).
+  std::vector<TaskId> topo_;
+  std::vector<double> times_;
+  std::vector<double> bl_;
+  std::vector<double> data_ready_;
+  std::vector<std::size_t> waiting_preds_;
+  std::vector<double> avail_;            // processor -> next free time
+  std::vector<int> proc_order_;          // processor indices, sort scratch
+  std::vector<TaskId> ready_heap_;       // heap of ready tasks (by bl)
+  std::size_t rejected_ = 0;
+};
+
+/// One-shot convenience wrapper.
+[[nodiscard]] Schedule map_allocation(const Ptg& g, const Allocation& alloc,
+                                      const ExecutionTimeModel& model,
+                                      const Cluster& cluster,
+                                      ListSchedulerOptions options = {});
+
+}  // namespace ptgsched

@@ -1,0 +1,47 @@
+#include "sched/lower_bounds.hpp"
+
+#include "ptg/algorithms.hpp"
+
+namespace ptgsched {
+
+TaskAllocationExtremes task_allocation_extremes(
+    const Task& task, const ExecutionTimeModel& model,
+    const Cluster& cluster) {
+  TaskAllocationExtremes ext;
+  ext.min_time = model.time(task, 1, cluster);
+  ext.min_area = ext.min_time;  // p = 1: area == time
+  for (int p = 2; p <= cluster.num_processors(); ++p) {
+    const double t = model.time(task, p, cluster);
+    const double area = static_cast<double>(p) * t;
+    if (t < ext.min_time) {
+      ext.min_time = t;
+      ext.min_time_procs = p;
+    }
+    if (area < ext.min_area) {
+      ext.min_area = area;
+      ext.min_area_procs = p;
+    }
+  }
+  return ext;
+}
+
+MakespanLowerBounds makespan_lower_bounds(const Ptg& g,
+                                          const ExecutionTimeModel& model,
+                                          const Cluster& cluster) {
+  g.validate();
+  MakespanLowerBounds bounds;
+  std::vector<double> fastest(g.num_tasks());
+  double min_work = 0.0;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const TaskAllocationExtremes ext =
+        task_allocation_extremes(g.task(v), model, cluster);
+    fastest[v] = ext.min_time;
+    min_work += ext.min_area;
+  }
+  bounds.area = min_work / static_cast<double>(cluster.num_processors());
+  bounds.chain =
+      critical_path_length(g, [&](TaskId v) { return fastest[v]; });
+  return bounds;
+}
+
+}  // namespace ptgsched

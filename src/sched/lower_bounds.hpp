@@ -1,0 +1,50 @@
+#pragma once
+// Makespan lower bounds.
+//
+// No schedule of a PTG on P processors can beat either of these two
+// classic bounds, whatever the allocation:
+//
+//   * area bound  — the total work area of the *best possible* per-task
+//     allocation divided by P: every processor-second of work must be
+//     executed somewhere;
+//   * chain bound — the critical path of the graph when every task runs
+//     at its individually fastest allocation: dependencies are inescapable.
+//
+// max(area, chain) is a valid lower bound on the optimal makespan. The
+// benches report EMTS's gap to this bound, which bounds EMTS's distance
+// from the (unknown) optimum — the paper notes that evolutionary methods
+// give "no measure of how close the current result is to the optimal
+// solution"; this module provides exactly such a measure.
+
+#include "model/execution_time.hpp"
+#include "platform/cluster.hpp"
+#include "ptg/graph.hpp"
+
+namespace ptgsched {
+
+struct MakespanLowerBounds {
+  double area = 0.0;   ///< min-work area / P.
+  double chain = 0.0;  ///< critical path at per-task fastest allocations.
+  [[nodiscard]] double combined() const noexcept {
+    return area > chain ? area : chain;
+  }
+};
+
+/// For task v, the allocation p in [1, P] minimizing p * T(v, p)
+/// (the cheapest area) and the one minimizing T(v, p) (the fastest).
+/// Exhaustive over p — O(P) model evaluations per task.
+struct TaskAllocationExtremes {
+  int min_area_procs = 1;
+  double min_area = 0.0;       ///< p * T(v, p) at min_area_procs.
+  int min_time_procs = 1;
+  double min_time = 0.0;       ///< T(v, p) at min_time_procs.
+};
+
+[[nodiscard]] TaskAllocationExtremes task_allocation_extremes(
+    const Task& task, const ExecutionTimeModel& model, const Cluster& cluster);
+
+/// Compute both lower bounds for a PTG. O(V * P) model evaluations.
+[[nodiscard]] MakespanLowerBounds makespan_lower_bounds(
+    const Ptg& g, const ExecutionTimeModel& model, const Cluster& cluster);
+
+}  // namespace ptgsched

@@ -1,0 +1,185 @@
+#include "sched/multi_cluster_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ptg/algorithms.hpp"
+#include "sched/validate.hpp"
+
+namespace ptgsched {
+
+void validate_mc_allocation(const McAllocation& alloc, const Ptg& g,
+                            const MultiClusterPlatform& platform) {
+  if (alloc.sizes.size() != g.num_tasks()) {
+    throw GraphError("mc allocation: row count does not match task count");
+  }
+  for (std::size_t v = 0; v < alloc.sizes.size(); ++v) {
+    if (alloc.sizes[v].size() != platform.num_clusters()) {
+      throw GraphError("mc allocation: task " + std::to_string(v) +
+                       " has wrong cluster arity");
+    }
+    for (std::size_t k = 0; k < platform.num_clusters(); ++k) {
+      const int s = alloc.sizes[v][k];
+      if (s < 1 || s > platform.cluster(k).num_processors()) {
+        throw GraphError("mc allocation: task " + std::to_string(v) +
+                         " size " + std::to_string(s) +
+                         " invalid for cluster " + std::to_string(k));
+      }
+    }
+  }
+}
+
+Schedule map_mc_allocation(const Ptg& g, const McAllocation& alloc,
+                           const ExecutionTimeModel& model,
+                           const MultiClusterPlatform& platform,
+                           const std::vector<double>& priority_times) {
+  g.validate();
+  validate_mc_allocation(alloc, g, platform);
+  if (priority_times.size() != g.num_tasks()) {
+    throw GraphError("mc mapping: priority time vector has wrong size");
+  }
+
+  const std::size_t n = g.num_tasks();
+  const auto bl =
+      bottom_levels(g, [&](TaskId v) { return priority_times[v]; });
+
+  // Per-cluster processor availability (local indices).
+  std::vector<std::vector<double>> avail(platform.num_clusters());
+  for (std::size_t k = 0; k < platform.num_clusters(); ++k) {
+    avail[k].assign(
+        static_cast<std::size_t>(platform.cluster(k).num_processors()), 0.0);
+  }
+
+  const auto ready_less = [&bl](TaskId a, TaskId b) {
+    if (bl[a] != bl[b]) return bl[a] < bl[b];
+    return a > b;
+  };
+  std::vector<TaskId> ready;
+  std::vector<std::size_t> waiting(n);
+  std::vector<double> data_ready(n, 0.0);
+  for (TaskId v = 0; v < n; ++v) {
+    waiting[v] = g.in_degree(v);
+    if (waiting[v] == 0) ready.push_back(v);
+  }
+  std::make_heap(ready.begin(), ready.end(), ready_less);
+
+  Schedule out(g.name(), platform.total_processors());
+  std::vector<int> order;  // scratch: processor indices sorted by avail
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    std::pop_heap(ready.begin(), ready.end(), ready_less);
+    const TaskId v = ready.back();
+    ready.pop_back();
+
+    // Choose the cluster that finishes v earliest (ties: lower index).
+    std::size_t best_k = 0;
+    double best_finish = std::numeric_limits<double>::infinity();
+    double best_start = 0.0;
+    for (std::size_t k = 0; k < platform.num_clusters(); ++k) {
+      const auto s = static_cast<std::size_t>(alloc.sizes[v][k]);
+      std::vector<double> times = avail[k];
+      std::nth_element(times.begin(), times.begin() + (s - 1), times.end());
+      const double start = std::max(data_ready[v], times[s - 1]);
+      const double finish =
+          start + model.time(g.task(v), alloc.sizes[v][k],
+                             platform.cluster(k));
+      if (finish < best_finish) {
+        best_finish = finish;
+        best_start = start;
+        best_k = k;
+      }
+    }
+
+    // Occupy the s earliest-available processors of the chosen cluster.
+    const auto s = static_cast<std::size_t>(alloc.sizes[v][best_k]);
+    auto& av = avail[best_k];
+    order.resize(av.size());
+    for (std::size_t i = 0; i < av.size(); ++i) {
+      order[i] = static_cast<int>(i);
+    }
+    std::sort(order.begin(), order.end(), [&av](int a, int b) {
+      const auto ua = static_cast<std::size_t>(a);
+      const auto ub = static_cast<std::size_t>(b);
+      if (av[ua] != av[ub]) return av[ua] < av[ub];
+      return a < b;
+    });
+    PlacedTask placed;
+    placed.task = v;
+    placed.start = best_start;
+    placed.finish = best_finish;
+    const int base = platform.first_processor(best_k);
+    for (std::size_t i = 0; i < s; ++i) {
+      av[static_cast<std::size_t>(order[i])] = best_finish;
+      placed.processors.push_back(base + order[i]);
+    }
+    std::sort(placed.processors.begin(), placed.processors.end());
+    out.add(std::move(placed));
+
+    ++scheduled;
+    for (const TaskId w : g.successors(v)) {
+      data_ready[w] = std::max(data_ready[w], best_finish);
+      if (--waiting[w] == 0) {
+        ready.push_back(w);
+        std::push_heap(ready.begin(), ready.end(), ready_less);
+      }
+    }
+  }
+  if (scheduled != n) throw GraphError("mc mapping: graph has a cycle");
+  return out;
+}
+
+void validate_mc_schedule(const Schedule& sched, const Ptg& g,
+                          const McAllocation& alloc,
+                          const ExecutionTimeModel& model,
+                          const MultiClusterPlatform& platform) {
+  validate_mc_allocation(alloc, g, platform);
+  if (sched.num_tasks() != g.num_tasks()) {
+    throw ScheduleError("mc schedule: task count mismatch");
+  }
+  constexpr double kTol = 1e-9;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const PlacedTask& p = sched.placement(v);
+    // All processors inside one cluster.
+    const std::size_t k = platform.cluster_of(p.processors.front());
+    for (const int proc : p.processors) {
+      if (platform.cluster_of(proc) != k) {
+        throw ScheduleError("mc schedule: task " + std::to_string(v) +
+                                  " spans clusters");
+      }
+    }
+    if (p.allocation() != alloc.sizes[v][k]) {
+      throw ScheduleError("mc schedule: task " + std::to_string(v) +
+                                " placed on wrong processor count");
+    }
+    const double want =
+        model.time(g.task(v), p.allocation(), platform.cluster(k));
+    if (std::fabs(p.duration() - want) > kTol * std::max(1.0, want)) {
+      throw ScheduleError("mc schedule: task " + std::to_string(v) +
+                                " duration inconsistent with its cluster");
+    }
+    for (const TaskId u : g.predecessors(v)) {
+      if (p.start + kTol < sched.placement(u).finish) {
+        throw ScheduleError("mc schedule: precedence violated at task " +
+                                  std::to_string(v));
+      }
+    }
+  }
+  // Capacity per global processor.
+  std::vector<std::vector<std::pair<double, double>>> busy(
+      static_cast<std::size_t>(platform.total_processors()));
+  for (const PlacedTask& p : sched.placed()) {
+    for (const int c : p.processors) {
+      busy[static_cast<std::size_t>(c)].emplace_back(p.start, p.finish);
+    }
+  }
+  for (auto& intervals : busy) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i].first + kTol < intervals[i - 1].second) {
+        throw ScheduleError("mc schedule: processor oversubscribed");
+      }
+    }
+  }
+}
+
+}  // namespace ptgsched

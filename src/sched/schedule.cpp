@@ -1,0 +1,93 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ptgsched {
+
+void Schedule::add(PlacedTask placed) {
+  if (placed.task == kInvalidTask) {
+    throw std::invalid_argument("Schedule::add: invalid task id");
+  }
+  if (has_placement(placed.task)) {
+    throw std::invalid_argument("Schedule::add: task " +
+                                std::to_string(placed.task) +
+                                " placed twice");
+  }
+  if (!(placed.finish >= placed.start) || placed.start < 0.0) {
+    throw std::invalid_argument("Schedule::add: bad task interval");
+  }
+  if (placed.processors.empty()) {
+    throw std::invalid_argument("Schedule::add: empty processor set");
+  }
+  if (index_.size() <= placed.task) {
+    index_.resize(placed.task + 1, static_cast<std::size_t>(-1));
+  }
+  index_[placed.task] = placed_.size();
+  placed_.push_back(std::move(placed));
+}
+
+bool Schedule::has_placement(TaskId task) const noexcept {
+  return task < index_.size() &&
+         index_[task] != static_cast<std::size_t>(-1);
+}
+
+const PlacedTask& Schedule::placement(TaskId task) const {
+  if (!has_placement(task)) {
+    throw std::out_of_range("Schedule::placement: task " +
+                            std::to_string(task) + " not placed");
+  }
+  return placed_[index_[task]];
+}
+
+double Schedule::makespan() const noexcept {
+  double m = 0.0;
+  for (const auto& p : placed_) m = std::max(m, p.finish);
+  return m;
+}
+
+Json Schedule::to_json() const {
+  Json doc = Json::object();
+  doc.set("graph", graph_name_);
+  doc.set("processors", static_cast<std::int64_t>(num_processors_));
+  doc.set("makespan", makespan());
+  Json tasks = Json::array();
+  for (const auto& p : placed_) {
+    Json jt = Json::object();
+    jt.set("task", static_cast<std::int64_t>(p.task));
+    jt.set("start", p.start);
+    jt.set("finish", p.finish);
+    Json procs = Json::array();
+    for (const int c : p.processors) procs.push_back(Json(c));
+    jt.set("processors", std::move(procs));
+    tasks.push_back(std::move(jt));
+  }
+  doc.set("tasks", std::move(tasks));
+  return doc;
+}
+
+Schedule Schedule::from_json(const Json& doc) {
+  const auto procs = doc.at("processors").as_int();
+  if (procs < 1) {
+    throw std::invalid_argument("Schedule::from_json: bad processor count");
+  }
+  Schedule out(doc.get_or("graph", std::string()),
+               static_cast<int>(procs));
+  for (const Json& jt : doc.at("tasks").as_array()) {
+    PlacedTask placed;
+    const auto task = jt.at("task").as_int();
+    if (task < 0) {
+      throw std::invalid_argument("Schedule::from_json: negative task id");
+    }
+    placed.task = static_cast<TaskId>(task);
+    placed.start = jt.at("start").as_double();
+    placed.finish = jt.at("finish").as_double();
+    for (const Json& jp : jt.at("processors").as_array()) {
+      placed.processors.push_back(static_cast<int>(jp.as_int()));
+    }
+    out.add(std::move(placed));
+  }
+  return out;
+}
+
+}  // namespace ptgsched

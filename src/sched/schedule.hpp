@@ -1,0 +1,70 @@
+#pragma once
+// Schedule container: the result of mapping an allocation onto a cluster.
+//
+// A schedule records, for every task, its start/finish times and the exact
+// set of processors it occupies. Schedules are produced by the list
+// scheduler (src/sched/list_scheduler) and consumed by the validator,
+// metrics, and Gantt exporters (Figure 6).
+
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "ptg/graph.hpp"
+#include "support/json.hpp"
+
+namespace ptgsched {
+
+/// Placement of one task.
+struct PlacedTask {
+  TaskId task = kInvalidTask;
+  double start = 0.0;
+  double finish = 0.0;
+  std::vector<int> processors;  ///< Sorted, distinct processor indices.
+
+  [[nodiscard]] double duration() const noexcept { return finish - start; }
+  [[nodiscard]] int allocation() const noexcept {
+    return static_cast<int>(processors.size());
+  }
+};
+
+/// Complete schedule of a PTG on a cluster.
+class Schedule {
+ public:
+  Schedule() = default;
+  Schedule(std::string graph_name, int num_processors)
+      : graph_name_(std::move(graph_name)), num_processors_(num_processors) {}
+
+  void add(PlacedTask placed);
+
+  [[nodiscard]] const std::string& graph_name() const noexcept {
+    return graph_name_;
+  }
+  [[nodiscard]] int num_processors() const noexcept {
+    return num_processors_;
+  }
+  [[nodiscard]] std::size_t num_tasks() const noexcept {
+    return placed_.size();
+  }
+  [[nodiscard]] const std::vector<PlacedTask>& placed() const noexcept {
+    return placed_;
+  }
+  /// Placement of a specific task; throws if the task was never placed.
+  [[nodiscard]] const PlacedTask& placement(TaskId task) const;
+  [[nodiscard]] bool has_placement(TaskId task) const noexcept;
+
+  /// Latest finish time over all tasks (0 for an empty schedule).
+  [[nodiscard]] double makespan() const noexcept;
+
+  [[nodiscard]] Json to_json() const;
+  /// Inverse of to_json(); validates interval/processor sanity on load.
+  [[nodiscard]] static Schedule from_json(const Json& doc);
+
+ private:
+  std::string graph_name_;
+  int num_processors_ = 0;
+  std::vector<PlacedTask> placed_;
+  std::vector<std::size_t> index_;  ///< task id -> position in placed_.
+};
+
+}  // namespace ptgsched

@@ -1,0 +1,104 @@
+#include "sched/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ptg/algorithms.hpp"
+
+namespace ptgsched {
+
+void validate_schedule(const Schedule& sched, const Ptg& g,
+                       const Allocation& alloc,
+                       const ExecutionTimeModel& model,
+                       const Cluster& cluster) {
+  validate_allocation(alloc, g, cluster);
+  if (sched.num_tasks() != g.num_tasks()) {
+    throw ScheduleError("schedule places " + std::to_string(sched.num_tasks()) +
+                        " tasks, graph has " + std::to_string(g.num_tasks()));
+  }
+
+  constexpr double kTol = 1e-9;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    if (!sched.has_placement(v)) {
+      throw ScheduleError("task " + std::to_string(v) + " not placed");
+    }
+    const PlacedTask& p = sched.placement(v);
+
+    if (p.allocation() != alloc[v]) {
+      throw ScheduleError("task " + std::to_string(v) + " placed on " +
+                          std::to_string(p.allocation()) +
+                          " processors, allocation says " +
+                          std::to_string(alloc[v]));
+    }
+    // Distinct, in-range processors.
+    std::vector<int> procs = p.processors;
+    std::sort(procs.begin(), procs.end());
+    if (std::adjacent_find(procs.begin(), procs.end()) != procs.end()) {
+      throw ScheduleError("task " + std::to_string(v) +
+                          " uses a processor twice");
+    }
+    if (procs.front() < 0 || procs.back() >= cluster.num_processors()) {
+      throw ScheduleError("task " + std::to_string(v) +
+                          " uses an out-of-range processor");
+    }
+    // Duration must match the model.
+    const double want = model.time(g.task(v), alloc[v], cluster);
+    if (std::fabs(p.duration() - want) > kTol * std::max(1.0, want)) {
+      throw ScheduleError("task " + std::to_string(v) +
+                          " duration deviates from the model");
+    }
+    // Precedence.
+    for (const TaskId u : g.predecessors(v)) {
+      const PlacedTask& pu = sched.placement(u);
+      if (p.start + kTol < pu.finish) {
+        throw ScheduleError("task " + std::to_string(v) +
+                            " starts before predecessor " +
+                            std::to_string(u) + " finishes");
+      }
+    }
+  }
+
+  // Capacity: no processor executes two overlapping tasks. Sweep per
+  // processor over the placed intervals.
+  std::vector<std::vector<std::pair<double, double>>> busy(
+      static_cast<std::size_t>(cluster.num_processors()));
+  for (const PlacedTask& p : sched.placed()) {
+    for (const int c : p.processors) {
+      busy[static_cast<std::size_t>(c)].emplace_back(p.start, p.finish);
+    }
+  }
+  for (std::size_t c = 0; c < busy.size(); ++c) {
+    auto& intervals = busy[c];
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i].first + kTol < intervals[i - 1].second) {
+        throw ScheduleError("processor " + std::to_string(c) +
+                            " runs two tasks at once");
+      }
+    }
+  }
+}
+
+ScheduleMetrics compute_metrics(const Schedule& sched, const Ptg& g) {
+  ScheduleMetrics m;
+  m.makespan = sched.makespan();
+  double alloc_sum = 0.0;
+  for (const PlacedTask& p : sched.placed()) {
+    m.total_work += static_cast<double>(p.allocation()) * p.duration();
+    alloc_sum += static_cast<double>(p.allocation());
+    m.max_allocation = std::max(m.max_allocation, p.allocation());
+  }
+  if (sched.num_tasks() > 0) {
+    m.mean_allocation = alloc_sum / static_cast<double>(sched.num_tasks());
+  }
+  if (m.makespan > 0.0 && sched.num_processors() > 0) {
+    m.utilization =
+        m.total_work /
+        (static_cast<double>(sched.num_processors()) * m.makespan);
+  }
+  m.critical_path = critical_path_length(
+      g, [&](TaskId v) { return sched.placement(v).duration(); });
+  return m;
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,47 @@
+#pragma once
+// Schedule validation and metrics.
+//
+// The validator checks every invariant a legal mixed-parallel schedule must
+// satisfy (Section II-A platform model): all tasks placed exactly once,
+// allocation sizes respected, precedence constraints met, no processor
+// oversubscribed, durations consistent with the execution-time model. Tests
+// and benches run every produced schedule through it.
+
+#include <string>
+#include <vector>
+
+#include "model/execution_time.hpp"
+#include "platform/cluster.hpp"
+#include "ptg/graph.hpp"
+#include "sched/allocation.hpp"
+#include "sched/schedule.hpp"
+
+namespace ptgsched {
+
+class ScheduleError : public std::runtime_error {
+ public:
+  explicit ScheduleError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Throws ScheduleError with a precise message on the first violated
+/// invariant. `alloc` is the allocation the schedule was built from.
+void validate_schedule(const Schedule& sched, const Ptg& g,
+                       const Allocation& alloc,
+                       const ExecutionTimeModel& model,
+                       const Cluster& cluster);
+
+/// Schedule quality metrics reported by benches and examples.
+struct ScheduleMetrics {
+  double makespan = 0.0;
+  double total_work = 0.0;    ///< sum over tasks of s(v) * duration(v).
+  double utilization = 0.0;   ///< total_work / (P * makespan), in [0, 1].
+  double mean_allocation = 0.0;
+  int max_allocation = 0;
+  double critical_path = 0.0; ///< T_CP under the schedule's durations.
+};
+
+[[nodiscard]] ScheduleMetrics compute_metrics(const Schedule& sched,
+                                              const Ptg& g);
+
+}  // namespace ptgsched

@@ -1,0 +1,182 @@
+#include "support/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace ptgsched {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+CliParser& CliParser::add_option(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& default_value) {
+  if (find(name) != nullptr) {
+    throw CliError("duplicate option --" + name);
+  }
+  options_.push_back(Option{name, help, default_value, false, false});
+  return *this;
+}
+
+CliParser& CliParser::add_flag(const std::string& name,
+                               const std::string& help) {
+  if (find(name) != nullptr) {
+    throw CliError("duplicate option --" + name);
+  }
+  options_.push_back(Option{name, help, "", true, false});
+  return *this;
+}
+
+CliParser& CliParser::add_positional(const std::string& name,
+                                     const std::string& help) {
+  positionals_.push_back(Positional{name, help, ""});
+  return *this;
+}
+
+CliParser::Option* CliParser::find(const std::string& name) {
+  for (auto& o : options_) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+const CliParser::Option* CliParser::find(const std::string& name) const {
+  for (const auto& o : options_) {
+    if (o.name == name) return &o;
+  }
+  return nullptr;
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  std::size_t next_positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::string name = arg.substr(2);
+      std::optional<std::string> value;
+      if (const auto eq = name.find('='); eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+      }
+      Option* opt = find(name);
+      if (opt == nullptr) throw CliError("unknown option --" + name);
+      if (opt->is_flag) {
+        if (value.has_value()) {
+          if (*value == "true" || *value == "1") {
+            opt->flag_set = true;
+          } else if (*value == "false" || *value == "0") {
+            opt->flag_set = false;
+          } else {
+            throw CliError("flag --" + name + " takes no value");
+          }
+        } else {
+          opt->flag_set = true;
+        }
+      } else {
+        if (!value.has_value()) {
+          if (i + 1 >= argc) throw CliError("option --" + name +
+                                            " requires a value");
+          value = argv[++i];
+        }
+        opt->value = *value;
+      }
+    } else {
+      if (next_positional >= positionals_.size()) {
+        throw CliError("unexpected positional argument '" + arg + "'");
+      }
+      positionals_[next_positional++].value = arg;
+    }
+  }
+  if (next_positional < positionals_.size()) {
+    throw CliError("missing positional argument <" +
+                   positionals_[next_positional].name + ">");
+  }
+  return true;
+}
+
+const std::string& CliParser::get(const std::string& name) const {
+  const Option* opt = find(name);
+  if (opt == nullptr || opt->is_flag) {
+    throw CliError("no such value option --" + name);
+  }
+  return opt->value;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  const Option* opt = find(name);
+  if (opt == nullptr || !opt->is_flag) throw CliError("no such flag --" + name);
+  return opt->flag_set;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string& v = get(name);
+  try {
+    std::size_t used = 0;
+    const std::int64_t r = std::stoll(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+    return r;
+  } catch (const std::exception&) {
+    throw CliError("option --" + name + ": '" + v + "' is not an integer");
+  }
+}
+
+std::uint64_t CliParser::get_u64(const std::string& name) const {
+  const std::string& v = get(name);
+  try {
+    std::size_t used = 0;
+    const std::uint64_t r = std::stoull(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+    return r;
+  } catch (const std::exception&) {
+    throw CliError("option --" + name + ": '" + v +
+                   "' is not an unsigned integer");
+  }
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string& v = get(name);
+  try {
+    std::size_t used = 0;
+    const double r = std::stod(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+    return r;
+  } catch (const std::exception&) {
+    throw CliError("option --" + name + ": '" + v + "' is not a number");
+  }
+}
+
+const std::string& CliParser::positional(const std::string& name) const {
+  for (const auto& p : positionals_) {
+    if (p.name == name) return p.value;
+  }
+  throw CliError("no such positional <" + name + ">");
+}
+
+std::string CliParser::help_text() const {
+  std::ostringstream out;
+  out << program_;
+  for (const auto& p : positionals_) out << " <" << p.name << ">";
+  out << " [options]\n\n" << description_ << "\n\n";
+  if (!positionals_.empty()) {
+    out << "Positional arguments:\n";
+    for (const auto& p : positionals_) {
+      out << "  " << p.name << "  " << p.help << "\n";
+    }
+    out << "\n";
+  }
+  out << "Options:\n";
+  for (const auto& o : options_) {
+    out << "  --" << o.name;
+    if (!o.is_flag) out << "=<value>  (default: " << o.value << ")";
+    out << "\n      " << o.help << "\n";
+  }
+  out << "  --help\n      Show this message.\n";
+  return out.str();
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,69 @@
+#pragma once
+// Small command-line argument parser used by the examples and benches.
+//
+// Supports `--name=value`, `--name value`, boolean flags (`--full`),
+// repeated options, positionals, and automatic --help text. Unknown options
+// are an error so typos do not silently run the wrong experiment.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ptgsched {
+
+class CliError : public std::runtime_error {
+ public:
+  explicit CliError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CliParser {
+ public:
+  CliParser(std::string program, std::string description);
+
+  /// Register a value option, e.g. add_option("seed", "Base RNG seed", "42").
+  CliParser& add_option(const std::string& name, const std::string& help,
+                        const std::string& default_value);
+  /// Register a boolean flag (defaults to false).
+  CliParser& add_flag(const std::string& name, const std::string& help);
+  /// Register a named positional argument (required, in order).
+  CliParser& add_positional(const std::string& name, const std::string& help);
+
+  /// Parse argv. Returns false if --help was requested (help text printed).
+  /// Throws CliError on malformed input.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] std::uint64_t get_u64(const std::string& name) const;
+  [[nodiscard]] const std::string& positional(const std::string& name) const;
+
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string help;
+    std::string value;
+    bool is_flag = false;
+    bool flag_set = false;
+  };
+  struct Positional {
+    std::string name;
+    std::string help;
+    std::string value;
+  };
+
+  Option* find(const std::string& name);
+  [[nodiscard]] const Option* find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+  std::vector<Positional> positionals_;
+};
+
+}  // namespace ptgsched

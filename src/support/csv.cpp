@@ -1,0 +1,110 @@
+#include "support/csv.hpp"
+
+#include <fstream>
+
+namespace ptgsched {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_row(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    out += csv_escape(fields[i]);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> csv_parse(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) throw CsvError("csv: quote inside unquoted field");
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',': end_field(); field_started = true; break;
+      case '\r':
+        break;  // handled by the following \n (or ignored)
+      case '\n': end_row(); break;
+      default: field += c; field_started = true;
+    }
+  }
+  if (in_quotes) throw CsvError("csv: unterminated quoted field");
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw CsvError("csv: empty header");
+}
+
+void CsvWriter::add_row(std::vector<std::string> fields) {
+  if (fields.size() != header_.size()) {
+    throw CsvError("csv: row has " + std::to_string(fields.size()) +
+                   " fields, header has " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(fields));
+}
+
+std::string CsvWriter::to_string() const {
+  std::string out = csv_row(header_);
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += csv_row(row);
+    out += '\n';
+  }
+  return out;
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) throw CsvError("csv: cannot write " + path);
+  out << to_string();
+  if (!out) throw CsvError("csv: write failed: " + path);
+}
+
+}  // namespace ptgsched

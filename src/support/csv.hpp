@@ -1,0 +1,49 @@
+#pragma once
+// Minimal CSV writer/reader used by the experiment harness.
+//
+// Writer: RFC-4180-style quoting (fields containing comma, quote, or
+// newline are quoted; embedded quotes doubled). Reader: parses the same
+// dialect back into rows of strings, including quoted fields. Enough to
+// round-trip everything the benches emit.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ptgsched {
+
+class CsvError : public std::runtime_error {
+ public:
+  explicit CsvError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Quote a single field if needed.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Render one row (no trailing newline).
+[[nodiscard]] std::string csv_row(const std::vector<std::string>& fields);
+
+/// Parse a whole CSV document into rows. Handles quoted fields with
+/// embedded commas/newlines/quotes; both \n and \r\n line endings. A
+/// trailing newline does not produce an empty row.
+[[nodiscard]] std::vector<std::vector<std::string>> csv_parse(
+    const std::string& text);
+
+/// Incremental writer with a fixed column schema; throws on arity
+/// mismatch so CSVs can't silently go ragged.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> fields);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::string to_string() const;
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ptgsched

@@ -1,0 +1,503 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ptgsched {
+
+Json::Type Json::type() const noexcept {
+  switch (value_.index()) {
+    case 0: return Type::Null;
+    case 1: return Type::Bool;
+    case 2: return Type::Number;
+    case 3: return Type::String;
+    case 4: return Type::Array;
+    default: return Type::Object;
+  }
+}
+
+namespace {
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  static constexpr const char* kNames[] = {"null",   "bool",  "number",
+                                           "string", "array", "object"};
+  throw JsonError(std::string("json: expected ") + want + ", got " +
+                  kNames[static_cast<int>(got)]);
+}
+}  // namespace
+
+bool Json::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&value_)) return *b;
+  type_error("bool", type());
+}
+
+double Json::as_double() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  type_error("number", type());
+}
+
+std::int64_t Json::as_int() const {
+  const double d = as_double();
+  const double r = std::nearbyint(d);
+  if (r != d || std::fabs(d) > 9.007199254740992e15) {
+    throw JsonError("json: number is not an exact integer: " +
+                    std::to_string(d));
+  }
+  return static_cast<std::int64_t>(r);
+}
+
+const std::string& Json::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  type_error("string", type());
+}
+
+const JsonArray& Json::as_array() const {
+  if (const auto* a = std::get_if<JsonArray>(&value_)) return *a;
+  type_error("array", type());
+}
+
+JsonArray& Json::as_array() {
+  if (auto* a = std::get_if<JsonArray>(&value_)) return *a;
+  type_error("array", type());
+}
+
+const JsonObject& Json::as_object() const {
+  if (const auto* o = std::get_if<JsonObject>(&value_)) return *o;
+  type_error("object", type());
+}
+
+JsonObject& Json::as_object() {
+  if (auto* o = std::get_if<JsonObject>(&value_)) return *o;
+  type_error("object", type());
+}
+
+const Json& Json::at(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw JsonError("json: missing key '" + key + "'");
+  return it->second;
+}
+
+const Json& Json::at(std::size_t i) const {
+  const auto& arr = as_array();
+  if (i >= arr.size()) {
+    throw JsonError("json: index " + std::to_string(i) + " out of range");
+  }
+  return arr[i];
+}
+
+bool Json::contains(const std::string& key) const {
+  const auto* o = std::get_if<JsonObject>(&value_);
+  return o != nullptr && o->count(key) > 0;
+}
+
+double Json::get_or(const std::string& key, double dflt) const {
+  return contains(key) ? at(key).as_double() : dflt;
+}
+
+std::int64_t Json::get_or(const std::string& key, std::int64_t dflt) const {
+  return contains(key) ? at(key).as_int() : dflt;
+}
+
+bool Json::get_or(const std::string& key, bool dflt) const {
+  return contains(key) ? at(key).as_bool() : dflt;
+}
+
+std::string Json::get_or(const std::string& key,
+                         const std::string& dflt) const {
+  return contains(key) ? at(key).as_string() : dflt;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  as_object()[key] = std::move(value);
+  return *this;
+}
+
+Json& Json::push_back(Json value) {
+  as_array().push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  switch (type()) {
+    case Type::Array: return as_array().size();
+    case Type::Object: return as_object().size();
+    default: type_error("array or object", type());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched.
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    throw JsonError("json: cannot serialize non-finite number");
+  }
+  const double r = std::nearbyint(d);
+  if (r == d && std::fabs(d) < 9.007199254740992e15) {
+    out += std::to_string(static_cast<std::int64_t>(r));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out += buf;
+}
+
+void dump_value(const Json& v, int indent, int depth, std::string& out);
+
+void newline_indent(int indent, int depth, std::string& out) {
+  if (indent > 0) {
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+  }
+}
+
+void dump_value(const Json& v, int indent, int depth, std::string& out) {
+  switch (v.type()) {
+    case Json::Type::Null: out += "null"; break;
+    case Json::Type::Bool: out += v.as_bool() ? "true" : "false"; break;
+    case Json::Type::Number: dump_number(v.as_double(), out); break;
+    case Json::Type::String: dump_string(v.as_string(), out); break;
+    case Json::Type::Array: {
+      const auto& arr = v.as_array();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& e : arr) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(indent, depth + 1, out);
+        dump_value(e, indent, depth + 1, out);
+      }
+      newline_indent(indent, depth, out);
+      out += ']';
+      break;
+    }
+    case Json::Type::Object: {
+      const auto& obj = v.as_object();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : obj) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(indent, depth + 1, out);
+        dump_string(k, out);
+        out += indent > 0 ? ": " : ":";
+        dump_value(e, indent, depth + 1, out);
+      }
+      newline_indent(indent, depth, out);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_value(*this, indent, 0, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    skip_ws();
+    Json v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw JsonError("json parse error at line " + std::to_string(line) +
+                    ", column " + std::to_string(col) + ": " + msg);
+  }
+
+  [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void skip_ws() {
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      fail("invalid literal");
+    }
+    pos_ += lit.size();
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    switch (peek()) {
+      case 'n': expect_literal("null"); return Json(nullptr);
+      case 't': expect_literal("true"); return Json(true);
+      case 'f': expect_literal("false"); return Json(false);
+      case '"': return Json(parse_string());
+      case '[': return parse_array(depth);
+      case '{': return parse_object(depth);
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    if (take() != '"') fail("expected '\"'");
+    std::string out;
+    while (true) {
+      if (eof()) fail("unterminated string");
+      const char c = take();
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDFFF) {
+            // Surrogate pair (non-BMP): require the low half.
+            if (cp >= 0xDC00) fail("unexpected low surrogate");
+            if (eof() || take() != '\\' || eof() || take() != 'u') {
+              fail("missing low surrogate");
+            }
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          }
+          append_utf8(cp, out);
+          break;
+        }
+        default: fail("invalid escape sequence");
+      }
+    }
+    return out;
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v += static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v += static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v += static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        fail("invalid \\u escape");
+      }
+    }
+    return v;
+  }
+
+  static void append_utf8(unsigned cp, std::string& out) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    std::size_t consumed = 0;
+    double d = 0.0;
+    try {
+      d = std::stod(token, &consumed);
+    } catch (const std::exception&) {
+      pos_ = start;
+      fail("invalid number '" + token + "'");
+    }
+    if (consumed != token.size()) {
+      pos_ = start;
+      fail("invalid number '" + token + "'");
+    }
+    return Json(d);
+  }
+
+  Json parse_array(int depth) {
+    take();  // '['
+    JsonArray arr;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      take();
+      return Json(std::move(arr));
+    }
+    while (true) {
+      skip_ws();
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = take();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return Json(std::move(arr));
+  }
+
+  Json parse_object(int depth) {
+    take();  // '{'
+    JsonObject obj;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      take();
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_ws();
+      if (take() != ':') {
+        --pos_;
+        fail("expected ':' after object key");
+      }
+      skip_ws();
+      obj[std::move(key)] = parse_value(depth + 1);
+      skip_ws();
+      const char c = take();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return Json(std::move(obj));
+  }
+
+  static constexpr int kMaxDepth = 256;
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+Json Json::parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("json: cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+void Json::write_file(const std::string& path, int indent) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("json: cannot write file: " + path);
+  out << dump(indent) << '\n';
+  if (!out) throw std::runtime_error("json: write failed: " + path);
+}
+
+}  // namespace ptgsched

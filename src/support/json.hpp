@@ -1,0 +1,129 @@
+#pragma once
+// Minimal JSON reader/writer.
+//
+// The simulator described in the paper "reads a platform file ... and the
+// description of the PTG". We use JSON as the on-disk format for platforms,
+// PTGs, and experiment results, and implement the parser in-repo to keep the
+// library dependency-free.
+//
+// Supported: null, bool, number (stored as double; integral values
+// round-trip exactly up to 2^53), string (with \uXXXX escapes, BMP only),
+// array, object. Parse errors carry line/column information.
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace ptgsched {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+// std::map keeps key order deterministic, which makes serialized output and
+// golden-file tests stable.
+using JsonObject = std::map<std::string, Json>;
+
+/// Error thrown on malformed JSON input or type mismatches.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A JSON value with value semantics.
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(unsigned i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::uint64_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  [[nodiscard]] static Json array() { return Json(JsonArray{}); }
+  [[nodiscard]] static Json object() { return Json(JsonObject{}); }
+
+  [[nodiscard]] Type type() const noexcept;
+  [[nodiscard]] bool is_null() const noexcept { return type() == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type() == Type::Bool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type() == Type::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type() == Type::String;
+  }
+  [[nodiscard]] bool is_array() const noexcept {
+    return type() == Type::Array;
+  }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type() == Type::Object;
+  }
+
+  // Checked accessors; throw JsonError on type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;  // requires integral value
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] JsonArray& as_array();
+  [[nodiscard]] const JsonObject& as_object() const;
+  [[nodiscard]] JsonObject& as_object();
+
+  /// Object member access; throws if not an object or key missing.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  /// Array element access; throws if not an array or out of range.
+  [[nodiscard]] const Json& at(std::size_t i) const;
+  /// True if this is an object containing `key`.
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Object member with a default when absent.
+  [[nodiscard]] double get_or(const std::string& key, double dflt) const;
+  [[nodiscard]] std::int64_t get_or(const std::string& key,
+                                    std::int64_t dflt) const;
+  [[nodiscard]] bool get_or(const std::string& key, bool dflt) const;
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& dflt) const;
+
+  /// Insert/overwrite an object member (value must be an object).
+  Json& set(const std::string& key, Json value);
+  /// Append to an array (value must be an array).
+  Json& push_back(Json value);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serialize. indent == 0 produces compact output; indent > 0 pretty-prints.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document (trailing whitespace allowed).
+  [[nodiscard]] static Json parse(std::string_view text);
+
+  /// Read/parse a JSON file; throws JsonError (parse) / runtime_error (I/O).
+  [[nodiscard]] static Json parse_file(const std::string& path);
+  /// Write the serialized value to a file (pretty-printed).
+  void write_file(const std::string& path, int indent = 2) const;
+
+  friend bool operator==(const Json& a, const Json& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+}  // namespace ptgsched

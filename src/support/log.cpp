@@ -1,0 +1,55 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ptgsched {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("PTGSCHED_LOG");
+  if (env == nullptr) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  return LogLevel::Warn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Debug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[ptgsched %s] %s\n", level_name(level),
+               message.c_str());
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,55 @@
+#pragma once
+// Leveled logging to stderr.
+//
+// The level is taken from the PTGSCHED_LOG environment variable
+// (error|warn|info|debug) and defaults to warn, so library users see
+// problems but benches stay quiet unless asked.
+
+#include <sstream>
+#include <string>
+
+namespace ptgsched {
+
+enum class LogLevel : int { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Current global log level (initialized from PTGSCHED_LOG on first use).
+[[nodiscard]] LogLevel log_level();
+
+/// Override the global log level programmatically.
+void set_log_level(LogLevel level);
+
+/// Emit one log line (thread-safe, single write).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace ptgsched
+
+#define PTG_LOG(level)                                    \
+  if (static_cast<int>(level) > static_cast<int>(::ptgsched::log_level())) \
+    ;                                                     \
+  else                                                    \
+    ::ptgsched::detail::LogLine(level)
+
+#define PTG_LOG_ERROR PTG_LOG(::ptgsched::LogLevel::Error)
+#define PTG_LOG_WARN PTG_LOG(::ptgsched::LogLevel::Warn)
+#define PTG_LOG_INFO PTG_LOG(::ptgsched::LogLevel::Info)
+#define PTG_LOG_DEBUG PTG_LOG(::ptgsched::LogLevel::Debug)

@@ -1,0 +1,295 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+#include <stdexcept>
+
+namespace ptgsched {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double nab = na + nb;
+  mean_ += delta * nb / nab;
+  m2_ += other.m2_ + delta * delta * na * nb / nab;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const noexcept {
+  return n_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double log_beta(double a, double b) {
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+namespace {
+
+// Continued fraction for the incomplete beta function (modified Lentz).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 1e-15;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double md = static_cast<double>(m);
+    const double m2 = 2.0 * md;
+    double aa = md * (b - md) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + md) * (qab + md) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::invalid_argument("incomplete_beta: a, b must be positive");
+  }
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front =
+      a * std::log(x) + b * std::log1p(-x) - log_beta(a, b);
+  const double front = std::exp(ln_front);
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double nu) {
+  if (!(nu > 0.0)) throw std::invalid_argument("student_t_cdf: nu <= 0");
+  if (std::isinf(t)) return t > 0 ? 1.0 : 0.0;
+  const double x = nu / (nu + t * t);
+  const double p = 0.5 * incomplete_beta(nu / 2.0, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+double student_t_quantile(double p, double nu) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::invalid_argument("student_t_quantile: p must be in (0,1)");
+  }
+  if (!(nu > 0.0)) throw std::invalid_argument("student_t_quantile: nu <= 0");
+  if (p == 0.5) return 0.0;
+  // Bisection on the CDF: monotone, so this is robust for all nu.
+  double lo = -1.0;
+  double hi = 1.0;
+  while (student_t_cdf(lo, nu) > p) lo *= 2.0;
+  while (student_t_cdf(hi, nu) < p) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, nu) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * std::max(1.0, std::fabs(hi))) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty sample");
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double sample_stddev(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+ConfidenceInterval mean_confidence_interval(std::span<const double> xs,
+                                            double confidence) {
+  if (xs.empty()) {
+    throw std::invalid_argument("mean_confidence_interval: empty sample");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::invalid_argument(
+        "mean_confidence_interval: confidence must be in (0,1)");
+  }
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  ConfidenceInterval ci;
+  ci.mean = s.mean();
+  ci.n = s.count();
+  if (s.count() < 2) {
+    ci.lo = ci.hi = ci.mean;
+    ci.half_width = 0.0;
+    return ci;
+  }
+  const double nu = static_cast<double>(s.count() - 1);
+  const double t = student_t_quantile(0.5 + confidence / 2.0, nu);
+  ci.half_width = t * s.stderr_mean();
+  ci.lo = ci.mean - ci.half_width;
+  ci.hi = ci.mean + ci.half_width;
+  return ci;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (!(p >= 0.0 && p <= 100.0)) {
+    throw std::invalid_argument("percentile: p must be in [0,100]");
+  }
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double wilcoxon_signed_rank(std::span<const double> xs,
+                            std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("wilcoxon: sample size mismatch");
+  }
+  // Non-zero differences with their magnitudes.
+  std::vector<std::pair<double, bool>> diffs;  // (|d|, d > 0)
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double d = xs[i] - ys[i];
+    if (d != 0.0) diffs.emplace_back(std::fabs(d), d > 0.0);
+  }
+  const std::size_t n = diffs.size();
+  if (n < 1) return 1.0;
+
+  // Midranks over |d|.
+  std::sort(diffs.begin(), diffs.end());
+  std::vector<double> ranks(n);
+  double tie_correction = 0.0;
+  for (std::size_t i = 0; i < n;) {
+    std::size_t j = i;
+    while (j + 1 < n && diffs[j + 1].first == diffs[i].first) ++j;
+    const double midrank = (static_cast<double>(i) + static_cast<double>(j)) /
+                               2.0 + 1.0;
+    const double t = static_cast<double>(j - i + 1);
+    tie_correction += t * t * t - t;
+    for (std::size_t k = i; k <= j; ++k) ranks[k] = midrank;
+    i = j + 1;
+  }
+
+  double w_plus = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (diffs[i].second) w_plus += ranks[i];
+  }
+  const double nd = static_cast<double>(n);
+  const double mean_w = nd * (nd + 1.0) / 4.0;
+
+  if (n <= 12 && tie_correction == 0.0) {
+    // Exact two-sided p: enumerate all 2^n sign assignments.
+    const double observed_dev = std::fabs(w_plus - mean_w);
+    std::size_t extreme = 0;
+    const std::size_t total = std::size_t{1} << n;
+    for (std::size_t mask = 0; mask < total; ++mask) {
+      double w = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (std::size_t{1} << i)) w += ranks[i];
+      }
+      if (std::fabs(w - mean_w) >= observed_dev - 1e-12) ++extreme;
+    }
+    return static_cast<double>(extreme) / static_cast<double>(total);
+  }
+
+  // Normal approximation with tie and continuity corrections.
+  const double var_w =
+      nd * (nd + 1.0) * (2.0 * nd + 1.0) / 24.0 - tie_correction / 48.0;
+  if (var_w <= 0.0) return 1.0;
+  const double z =
+      (std::fabs(w_plus - mean_w) - 0.5) / std::sqrt(var_w);
+  const double p = std::erfc(std::max(0.0, z) / std::sqrt(2.0));
+  return std::min(1.0, p);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi <= lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: zero bins");
+}
+
+void Histogram::add(double x) noexcept {
+  double idx = (x - lo_) / width_;
+  if (idx < 0.0) idx = 0.0;
+  auto i = static_cast<std::size_t>(idx);
+  if (i >= counts_.size()) i = counts_.size() - 1;
+  ++counts_[i];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_count");
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + static_cast<double>(i) * width_;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return bin_lo(i) + 0.5 * width_;
+}
+
+double Histogram::density(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(bin_count(i)) /
+         (static_cast<double>(total_) * width_);
+}
+
+}  // namespace ptgsched

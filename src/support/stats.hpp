@@ -1,0 +1,115 @@
+#pragma once
+// Descriptive statistics and confidence intervals.
+//
+// The paper reports mean relative makespans with 95% confidence intervals
+// (Figures 4 and 5) and run times as mean +/- standard deviation (Section
+// V-B). This module provides Welford-style running statistics, Student-t
+// quantiles (computed via the regularized incomplete beta function, no
+// tables), and simple histogram support for the mutation-operator density
+// plot (Figure 3).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ptgsched {
+
+/// Numerically stable running mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  /// Standard error of the mean; 0 for fewer than two samples.
+  [[nodiscard]] double stderr_mean() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided confidence interval for a sample mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  double half_width = 0.0;
+  std::size_t n = 0;
+};
+
+/// Natural-log of the (complete) beta function B(a, b).
+[[nodiscard]] double log_beta(double a, double b);
+
+/// Regularized incomplete beta function I_x(a, b), a,b > 0, x in [0,1].
+/// Continued-fraction evaluation (Lentz), accurate to ~1e-12.
+[[nodiscard]] double incomplete_beta(double a, double b, double x);
+
+/// CDF of Student's t distribution with nu degrees of freedom.
+[[nodiscard]] double student_t_cdf(double t, double nu);
+
+/// Quantile (inverse CDF) of Student's t distribution; p in (0, 1).
+[[nodiscard]] double student_t_quantile(double p, double nu);
+
+/// Mean of a sample; requires non-empty input.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two samples.
+[[nodiscard]] double sample_stddev(std::span<const double> xs);
+
+/// Two-sided Student-t confidence interval for the mean of xs.
+/// `confidence` defaults to 0.95. For n < 2 the interval collapses to the
+/// mean. Requires non-empty input.
+[[nodiscard]] ConfidenceInterval mean_confidence_interval(
+    std::span<const double> xs, double confidence = 0.95);
+
+/// p-th percentile (linear interpolation), p in [0, 100]; non-empty input.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Wilcoxon signed-rank test for paired samples: two-sided p-value for the
+/// null hypothesis that the median of (xs[i] - ys[i]) is zero. Zero
+/// differences are dropped (Wilcoxon's convention); ties share midranks.
+/// Exact enumeration for up to 12 non-zero pairs, normal approximation
+/// with tie correction and continuity correction beyond. Returns 1.0 when
+/// fewer than one non-zero pair remains. Requires xs.size() == ys.size().
+///
+/// The Figure 4/5 benches report this next to the confidence intervals:
+/// a small p-value confirms that EMTS's improvement over a baseline is
+/// systematic across instances, not an artifact of a few outliers.
+[[nodiscard]] double wilcoxon_signed_rank(std::span<const double> xs,
+                                          std::span<const double> ys);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin. Used for the Figure 3 empirical density.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  /// Empirical probability density at bin i: count / (total * bin_width).
+  [[nodiscard]] double density(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace ptgsched

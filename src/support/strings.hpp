@@ -1,0 +1,31 @@
+#pragma once
+// String utilities shared by the parsers, table printers, and CLIs.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptgsched {
+
+/// Split on a delimiter character; empty fields are kept.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string strfmt(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Human-readable fixed-point with the given number of decimals.
+[[nodiscard]] std::string format_double(double v, int decimals);
+
+/// Left/right pad a string with spaces to the given width.
+[[nodiscard]] std::string pad_left(std::string s, std::size_t width);
+[[nodiscard]] std::string pad_right(std::string s, std::size_t width);
+
+/// Render rows as an aligned text table (first row treated as a header).
+[[nodiscard]] std::string render_table(
+    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace ptgsched

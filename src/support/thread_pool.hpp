@@ -1,0 +1,48 @@
+#pragma once
+// Fixed-size worker pool with a parallel_for convenience wrapper.
+//
+// Fitness evaluation of the EA's offspring is embarrassingly parallel (each
+// individual is mapped independently); the pool lets EMTS evaluate a whole
+// generation concurrently. With num_threads <= 1 all work runs inline,
+// which keeps single-core runs deterministic and cheap.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ptgsched {
+
+class ThreadPool {
+ public:
+  /// Create a pool with the given number of worker threads; 0 means
+  /// "run everything inline on the calling thread".
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return workers_.size();
+  }
+
+  /// Run body(i) for i in [0, n), blocking until all iterations finish.
+  /// Exceptions from body are rethrown on the calling thread (first one
+  /// wins). body must be safe to invoke concurrently.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace ptgsched

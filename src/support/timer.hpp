@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock timing helpers for the experiment harness and the EA's
+// time-budgeted termination criterion (the paper optimizes under "a given
+// time constraint", Section II-C).
+
+#include <chrono>
+
+namespace ptgsched {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ptgsched

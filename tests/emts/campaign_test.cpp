@@ -1,0 +1,86 @@
+// Tests for the full-evaluation campaign driver.
+
+#include "exp/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace ptgsched {
+namespace {
+
+CampaignConfig tiny_campaign() {
+  CampaignConfig cfg;
+  cfg.instances = 2;
+  cfg.num_tasks = 20;
+  cfg.seed = 11;
+  cfg.include_emts10 = false;  // keep the test fast
+  return cfg;
+}
+
+TEST(Campaign, ReportHasAllSections) {
+  const Json report = run_campaign(tiny_campaign());
+  EXPECT_TRUE(report.contains("meta"));
+  EXPECT_TRUE(report.contains("fig4_model1_emts5"));
+  EXPECT_TRUE(report.contains("fig5_model2_emts5"));
+  EXPECT_TRUE(report.contains("runtime_emts5_model2"));
+  EXPECT_TRUE(
+      report.contains("optimality_gap_emts5_model2_irregular_grelon"));
+  EXPECT_FALSE(report.contains("fig5_model2_emts10"));
+  // 4 classes x 2 platforms x 2 baselines cells per figure.
+  EXPECT_EQ(report.at("fig4_model1_emts5").size(), 16u);
+  EXPECT_EQ(report.at("fig5_model2_emts5").size(), 16u);
+}
+
+TEST(Campaign, RatiosAndGapsAreSane) {
+  const Json report = run_campaign(tiny_campaign());
+  for (const Json& cell : report.at("fig4_model1_emts5").as_array()) {
+    EXPECT_GE(cell.at("mean_ratio").as_double(), 1.0 - 1e-9);
+    EXPECT_LE(cell.at("ci95_lo").as_double(),
+              cell.at("mean_ratio").as_double());
+  }
+  const Json& gap =
+      report.at("optimality_gap_emts5_model2_irregular_grelon");
+  EXPECT_GE(gap.at("min").as_double(), 1.0 - 1e-9);  // lower bound holds
+  EXPECT_GE(gap.at("mean_makespan_over_lower_bound").as_double(), 1.0);
+}
+
+TEST(Campaign, EmitsProgressForEveryPhase) {
+  std::set<std::string> phases;
+  (void)run_campaign(tiny_campaign(),
+                     [&](const std::string& phase, std::size_t, std::size_t) {
+                       phases.insert(phase);
+                     });
+  EXPECT_TRUE(phases.count("fig4"));
+  EXPECT_TRUE(phases.count("fig5/emts5"));
+  EXPECT_TRUE(phases.count("gap"));
+}
+
+TEST(Campaign, WritesArtifacts) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "ptgsched_campaign_test";
+  std::filesystem::remove_all(dir);
+  CampaignConfig cfg = tiny_campaign();
+  cfg.output_dir = dir.string();
+  (void)run_campaign(cfg);
+  EXPECT_TRUE(std::filesystem::exists(dir / "campaign_report.json"));
+  EXPECT_TRUE(
+      std::filesystem::exists(dir / "fig4_model1_emts5_instances.csv"));
+  EXPECT_TRUE(
+      std::filesystem::exists(dir / "fig5_model2_emts5_instances.csv"));
+  // The report parses back.
+  const Json loaded =
+      Json::parse_file((dir / "campaign_report.json").string());
+  EXPECT_TRUE(loaded.contains("fig4_model1_emts5"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, DeterministicGivenSeed) {
+  const Json a = run_campaign(tiny_campaign());
+  const Json b = run_campaign(tiny_campaign());
+  EXPECT_EQ(a.at("fig4_model1_emts5"), b.at("fig4_model1_emts5"));
+  EXPECT_EQ(a.at("fig5_model2_emts5"), b.at("fig5_model2_emts5"));
+}
+
+}  // namespace
+}  // namespace ptgsched

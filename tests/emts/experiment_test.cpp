@@ -1,0 +1,128 @@
+// Tests for the experiment harness (Figure 4/5 aggregation machinery).
+
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace ptgsched {
+namespace {
+
+ComparisonConfig small_config() {
+  ComparisonConfig cfg;
+  cfg.classes = {"strassen", "irregular"};
+  cfg.num_tasks = 30;
+  cfg.platforms = {"chti"};
+  cfg.model = "model2";
+  cfg.instances = 3;
+  cfg.baselines = {"mcpa", "hcpa"};
+  cfg.emts = emts5_config();
+  cfg.emts.generations = 2;  // keep the test fast
+  cfg.emts.lambda = 10;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(Experiment, ProducesAllCellsAndInstances) {
+  const ComparisonResult r = run_comparison(small_config());
+  // 2 classes x 1 platform x 3 instances.
+  EXPECT_EQ(r.instances.size(), 6u);
+  // 2 classes x 1 platform x 2 baselines.
+  EXPECT_EQ(r.cells.size(), 4u);
+  for (const auto& cell : r.cells) {
+    EXPECT_EQ(cell.ratio.n, 3u);
+    EXPECT_GT(cell.ratio.mean, 0.0);
+    EXPECT_LE(cell.ratio.lo, cell.ratio.mean);
+    EXPECT_GE(cell.ratio.hi, cell.ratio.mean);
+  }
+}
+
+TEST(Experiment, RatiosAtLeastOne) {
+  // EMTS is seeded with the baselines, so T_baseline / T_EMTS >= 1 on
+  // every instance, hence every cell mean >= 1.
+  const ComparisonResult r = run_comparison(small_config());
+  for (const auto& ir : r.instances) {
+    for (const auto& [name, makespan] : ir.baseline_makespans) {
+      EXPECT_GE(makespan / ir.emts_makespan, 1.0 - 1e-9)
+          << ir.graph << " " << name;
+    }
+  }
+  for (const auto& cell : r.cells) {
+    EXPECT_GE(cell.ratio.mean, 1.0 - 1e-9);
+  }
+}
+
+TEST(Experiment, DeterministicGivenSeed) {
+  const ComparisonResult a = run_comparison(small_config());
+  const ComparisonResult b = run_comparison(small_config());
+  ASSERT_EQ(a.instances.size(), b.instances.size());
+  for (std::size_t i = 0; i < a.instances.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.instances[i].emts_makespan,
+                     b.instances[i].emts_makespan);
+  }
+}
+
+TEST(Experiment, ProgressCallbackCoversAllInstances) {
+  std::size_t calls = 0;
+  std::size_t last_done = 0;
+  std::size_t reported_total = 0;
+  (void)run_comparison(small_config(), [&](std::size_t done,
+                                           std::size_t total) {
+    ++calls;
+    EXPECT_GT(done, last_done);
+    last_done = done;
+    reported_total = total;
+  });
+  EXPECT_EQ(calls, 6u);
+  EXPECT_EQ(last_done, reported_total);
+}
+
+TEST(Experiment, RejectsEmptyLists) {
+  ComparisonConfig cfg = small_config();
+  cfg.classes.clear();
+  EXPECT_THROW((void)run_comparison(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.baselines.clear();
+  EXPECT_THROW((void)run_comparison(cfg), std::invalid_argument);
+}
+
+TEST(Experiment, TableContainsEveryCell) {
+  const ComparisonResult r = run_comparison(small_config());
+  const std::string table = format_ratio_table(r.cells, "emts5");
+  EXPECT_NE(table.find("strassen"), std::string::npos);
+  EXPECT_NE(table.find("irregular"), std::string::npos);
+  EXPECT_NE(table.find("mcpa"), std::string::npos);
+  EXPECT_NE(table.find("hcpa"), std::string::npos);
+  EXPECT_NE(table.find("ci95_lo"), std::string::npos);
+}
+
+TEST(Experiment, CsvDumpsParse) {
+  const ComparisonResult r = run_comparison(small_config());
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto inst_csv = (dir / "ptgsched_inst.csv").string();
+  const auto cell_csv = (dir / "ptgsched_cell.csv").string();
+  write_instances_csv(r, inst_csv);
+  write_cells_csv(r, cell_csv);
+
+  std::ifstream in(inst_csv);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("emts_makespan"), std::string::npos);
+  std::size_t rows = 0;
+  for (std::string line; std::getline(in, line);) ++rows;
+  EXPECT_EQ(rows, 12u);  // 6 instances x 2 baselines
+
+  std::ifstream in2(cell_csv);
+  std::getline(in2, header);
+  rows = 0;
+  for (std::string line; std::getline(in2, line);) ++rows;
+  EXPECT_EQ(rows, 4u);
+
+  std::filesystem::remove(inst_csv);
+  std::filesystem::remove(cell_csv);
+}
+
+}  // namespace
+}  // namespace ptgsched

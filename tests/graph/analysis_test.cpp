@@ -1,0 +1,97 @@
+// Tests for the PTG structural statistics.
+
+#include "ptg/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_graphs.hpp"
+#include "daggen/application_graphs.hpp"
+#include "daggen/random_dag.hpp"
+
+namespace ptgsched {
+namespace {
+
+TEST(Analyze, DiamondExactNumbers) {
+  const GraphStats s = analyze(testutil::diamond());
+  EXPECT_EQ(s.tasks, 4u);
+  EXPECT_EQ(s.edges, 4u);
+  EXPECT_EQ(s.levels, 3);
+  EXPECT_EQ(s.max_width, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_width, 4.0 / 3.0);
+  EXPECT_EQ(s.sources, 1u);
+  EXPECT_EQ(s.sinks, 1u);
+  EXPECT_EQ(s.max_jump, 1u);
+  // Non-source tasks: l (1), r (1), t (2) -> mean 4/3.
+  EXPECT_DOUBLE_EQ(s.mean_in_degree, 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.serial_fraction, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.total_flops, 8.0);
+}
+
+TEST(Analyze, ChainIsFullySerial) {
+  const GraphStats s = analyze(testutil::chain3());
+  EXPECT_DOUBLE_EQ(s.serial_fraction, 1.0);
+  EXPECT_EQ(s.max_width, 1u);
+  EXPECT_DOUBLE_EQ(s.width_cv, 0.0);
+}
+
+TEST(Analyze, JumpDetected) {
+  Ptg g;
+  const TaskId a = g.add_task(testutil::simple_task("a", 1));
+  const TaskId b = g.add_task(testutil::simple_task("b", 1));
+  const TaskId c = g.add_task(testutil::simple_task("c", 1));
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(a, c);  // spans 2 levels
+  EXPECT_EQ(analyze(g).max_jump, 2u);
+}
+
+TEST(Analyze, FftStats) {
+  const GraphStats s = analyze(fft_shape(8));
+  EXPECT_EQ(s.tasks, 39u);
+  EXPECT_EQ(s.levels, 7);  // 2 * log2(8) + 1
+  EXPECT_EQ(s.max_width, 8u);
+  EXPECT_EQ(s.sources, 1u);
+  EXPECT_EQ(s.sinks, 8u);
+  EXPECT_EQ(s.max_jump, 1u);  // FFT is layered
+}
+
+TEST(Analyze, WidthCvReflectsIrregularity) {
+  Rng rng(3);
+  RandomDagParams regular;
+  regular.num_tasks = 96;
+  regular.width = 0.5;
+  regular.regularity = 1.0;
+  regular.jump = 0;
+  RandomDagParams ragged = regular;
+  ragged.regularity = 0.0;
+  double cv_regular = 0.0;
+  double cv_ragged = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    cv_regular += analyze(make_random_ptg(regular, rng)).width_cv;
+    cv_ragged += analyze(make_random_ptg(ragged, rng)).width_cv;
+  }
+  EXPECT_LT(cv_regular, cv_ragged);
+}
+
+TEST(Analyze, RejectsInvalidGraph) {
+  const Ptg g;
+  EXPECT_THROW((void)analyze(g), GraphError);
+}
+
+TEST(FormatStats, ContainsKeyFigures) {
+  const std::string text = format_stats(analyze(testutil::diamond()));
+  EXPECT_NE(text.find("tasks: 4"), std::string::npos);
+  EXPECT_NE(text.find("levels: 3"), std::string::npos);
+  EXPECT_NE(text.find("sinks: 1"), std::string::npos);
+}
+
+TEST(StatsJson, RoundTripsThroughParser) {
+  const Json doc = stats_to_json(analyze(testutil::fork_join(4)));
+  const Json back = Json::parse(doc.dump());
+  EXPECT_EQ(back.at("tasks").as_int(), 6);
+  EXPECT_EQ(back.at("max_width").as_int(), 4);
+  EXPECT_EQ(back.at("sources").as_int(), 1);
+}
+
+}  // namespace
+}  // namespace ptgsched

@@ -1,0 +1,102 @@
+// Tests for the workload corpora (Section IV-C counts and determinism).
+
+#include "daggen/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptgsched {
+namespace {
+
+TEST(Corpus, FftCyclesThroughSizes) {
+  const auto graphs = fft_corpus(8, 1);
+  ASSERT_EQ(graphs.size(), 8u);
+  EXPECT_EQ(graphs[0].num_tasks(), 5u);
+  EXPECT_EQ(graphs[1].num_tasks(), 15u);
+  EXPECT_EQ(graphs[2].num_tasks(), 39u);
+  EXPECT_EQ(graphs[3].num_tasks(), 95u);
+  EXPECT_EQ(graphs[4].num_tasks(), 5u);  // cycle repeats
+}
+
+TEST(Corpus, StrassenAll23Tasks) {
+  for (const auto& g : strassen_corpus(6, 1)) {
+    EXPECT_EQ(g.num_tasks(), 23u);
+  }
+}
+
+TEST(Corpus, LayeredAndIrregularTaskCounts) {
+  for (const auto& g : layered_corpus(100, 5, 1)) {
+    EXPECT_EQ(g.num_tasks(), 100u);
+  }
+  for (const auto& g : irregular_corpus(50, 5, 1)) {
+    EXPECT_EQ(g.num_tasks(), 50u);
+  }
+}
+
+TEST(Corpus, AllGraphsValid) {
+  for (const std::string cls : {"fft", "strassen", "layered", "irregular"}) {
+    for (const auto& g : corpus_by_name(cls, 20, 6, 42)) {
+      EXPECT_NO_THROW(g.validate()) << cls << " " << g.name();
+    }
+  }
+}
+
+TEST(Corpus, SmokePrefixOfFullCorpus) {
+  // Subsampling property: instance i is identical whether the corpus has
+  // 5 or 50 entries.
+  const auto small = irregular_corpus(30, 5, 7);
+  const auto large = irregular_corpus(30, 50, 7);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    ASSERT_EQ(small[i].num_tasks(), large[i].num_tasks());
+    ASSERT_EQ(small[i].num_edges(), large[i].num_edges());
+    for (TaskId v = 0; v < small[i].num_tasks(); ++v) {
+      EXPECT_DOUBLE_EQ(small[i].task(v).flops, large[i].task(v).flops);
+    }
+  }
+}
+
+TEST(Corpus, SeedChangesContent) {
+  const auto a = layered_corpus(50, 3, 1);
+  const auto b = layered_corpus(50, 3, 2);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (TaskId v = 0; v < std::min(a[i].num_tasks(), b[i].num_tasks());
+         ++v) {
+      if (a[i].task(v).flops != b[i].task(v).flops) differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Corpus, InstanceNamesAreUnique) {
+  const auto graphs = fft_corpus(12, 3);
+  std::set<std::string> names;
+  for (const auto& g : graphs) names.insert(g.name());
+  EXPECT_EQ(names.size(), graphs.size());
+}
+
+TEST(Corpus, ByNameDispatchAndErrors) {
+  EXPECT_EQ(corpus_by_name("fft", 0, 2, 1).size(), 2u);
+  EXPECT_EQ(corpus_by_name("strassen", 0, 2, 1).size(), 2u);
+  EXPECT_EQ(corpus_by_name("layered", 20, 2, 1)[0].num_tasks(), 20u);
+  EXPECT_THROW((void)corpus_by_name("mystery", 10, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(Corpus, PaperScaleSizes) {
+  EXPECT_EQ(paper_corpus_size("fft"), 400u);
+  EXPECT_EQ(paper_corpus_size("strassen"), 100u);
+  EXPECT_EQ(paper_corpus_size("layered"), 36u);
+  EXPECT_EQ(paper_corpus_size("irregular"), 108u);
+  EXPECT_THROW((void)paper_corpus_size("x"), std::invalid_argument);
+}
+
+TEST(Corpus, IrregularJumpCycles) {
+  // Instances cycle jump over {1, 2, 4}; all must stay irregular (named so).
+  const auto graphs = irregular_corpus(40, 9, 5);
+  for (const auto& g : graphs) {
+    EXPECT_EQ(g.name().rfind("irregular-", 0), 0u) << g.name();
+  }
+}
+
+}  // namespace
+}  // namespace ptgsched

@@ -1,0 +1,155 @@
+// Tests for the FFT and Strassen application graphs (Section IV-C).
+
+#include "daggen/application_graphs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ptg/algorithms.hpp"
+
+namespace ptgsched {
+namespace {
+
+TEST(FftShape, PaperTaskCounts) {
+  // "We use FFT PTGs with 2, 4, 8, and 16 levels, which lead to 5, 15, 39,
+  // or 95 tasks respectively."
+  EXPECT_EQ(fft_shape(2).num_tasks(), 5u);
+  EXPECT_EQ(fft_shape(4).num_tasks(), 15u);
+  EXPECT_EQ(fft_shape(8).num_tasks(), 39u);
+  EXPECT_EQ(fft_shape(16).num_tasks(), 95u);
+}
+
+TEST(FftShape, IsValidDagWithSingleSource) {
+  for (const int n : {2, 4, 8, 16}) {
+    const Ptg g = fft_shape(n);
+    EXPECT_TRUE(is_acyclic(g));
+    EXPECT_EQ(g.sources().size(), 1u) << n;   // the root call task
+    EXPECT_EQ(g.sinks().size(), static_cast<std::size_t>(n)) << n;
+  }
+}
+
+TEST(FftShape, DepthMatchesStructure) {
+  // Tree of log2(n) edges plus log2(n) butterfly rows.
+  for (const int n : {2, 4, 8, 16}) {
+    int k = 0;
+    while ((1 << k) < n) ++k;
+    EXPECT_EQ(num_precedence_levels(fft_shape(n)), 2 * k + 1) << n;
+  }
+}
+
+TEST(FftShape, ButterflyNodesHaveTwoParents) {
+  const Ptg g = fft_shape(8);
+  std::size_t butterfly_nodes = 0;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    if (g.task(v).name.rfind("bfly_", 0) == 0) {
+      ++butterfly_nodes;
+      EXPECT_EQ(g.in_degree(v), 2u) << g.task(v).name;
+    }
+  }
+  EXPECT_EQ(butterfly_nodes, 24u);  // 8 * log2(8)
+}
+
+TEST(FftShape, EdgeCount) {
+  // Tree: 2n - 2 edges; butterfly: 2 * n * log2(n) edges.
+  const Ptg g = fft_shape(16);
+  EXPECT_EQ(g.num_edges(), (2u * 16 - 2) + 2u * 16 * 4);
+}
+
+TEST(FftShape, RejectsBadPointCounts) {
+  EXPECT_THROW((void)fft_shape(0), std::invalid_argument);
+  EXPECT_THROW((void)fft_shape(1), std::invalid_argument);
+  EXPECT_THROW((void)fft_shape(3), std::invalid_argument);
+  EXPECT_THROW((void)fft_shape(12), std::invalid_argument);
+}
+
+TEST(StrassenShape, Depth1Has23Tasks) {
+  // split + 10 additions + 7 multiplications + 4 combines + join.
+  const Ptg g = strassen_shape(1);
+  EXPECT_EQ(g.num_tasks(), 23u);
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST(StrassenShape, SevenMultiplications) {
+  const Ptg g = strassen_shape(1);
+  std::size_t mults = 0;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const std::string& name = g.task(v).name;
+    if (name.find(".M") != std::string::npos &&
+        name.find(".S") == std::string::npos &&
+        name.find("C") == std::string::npos) {
+      ++mults;
+    }
+  }
+  EXPECT_EQ(mults, 7u);
+}
+
+TEST(StrassenShape, CombinesDependOnCorrectMultiplications) {
+  // C11 = M1 + M4 - M5 + M7 must have in-degree 4; C12 = M3 + M5 has 2.
+  const Ptg g = strassen_shape(1);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const std::string& name = g.task(v).name;
+    if (name == "mm.C11") EXPECT_EQ(g.in_degree(v), 4u);
+    if (name == "mm.C12") EXPECT_EQ(g.in_degree(v), 2u);
+    if (name == "mm.C21") EXPECT_EQ(g.in_degree(v), 2u);
+    if (name == "mm.C22") EXPECT_EQ(g.in_degree(v), 4u);
+  }
+}
+
+TEST(StrassenShape, RecursiveExpansion) {
+  // Depth 2: each of the 7 multiplications becomes a 23-task subgraph:
+  // 16 fixed tasks + 7 * 23.
+  const Ptg g = strassen_shape(2);
+  EXPECT_EQ(g.num_tasks(), 16u + 7u * 23u);
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST(StrassenShape, RejectsBadDepth) {
+  EXPECT_THROW((void)strassen_shape(0), std::invalid_argument);
+}
+
+TEST(MakeApplicationPtgs, AssignsComplexities) {
+  Rng rng(5);
+  const Ptg fft = make_fft_ptg(8, rng);
+  const Ptg strassen = make_strassen_ptg(rng);
+  for (const Ptg* g : {&fft, &strassen}) {
+    for (TaskId v = 0; v < g->num_tasks(); ++v) {
+      EXPECT_GT(g->task(v).flops, 0.0);
+      EXPECT_GE(g->task(v).alpha, 0.0);
+      EXPECT_LE(g->task(v).alpha, 0.25);
+      EXPECT_GT(g->task(v).data_size, 0.0);
+    }
+  }
+}
+
+TEST(MakeApplicationPtgs, SameShapeDifferentCosts) {
+  Rng rng1(1);
+  Rng rng2(2);
+  const Ptg a = make_fft_ptg(8, rng1);
+  const Ptg b = make_fft_ptg(8, rng2);
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  bool any_differs = false;
+  for (TaskId v = 0; v < a.num_tasks(); ++v) {
+    if (a.task(v).flops != b.task(v).flops) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(MakeApplicationPtgs, DeterministicGivenSeed) {
+  Rng rng1(77);
+  Rng rng2(77);
+  const Ptg a = make_strassen_ptg(rng1);
+  const Ptg b = make_strassen_ptg(rng2);
+  for (TaskId v = 0; v < a.num_tasks(); ++v) {
+    EXPECT_DOUBLE_EQ(a.task(v).flops, b.task(v).flops);
+    EXPECT_DOUBLE_EQ(a.task(v).alpha, b.task(v).alpha);
+  }
+}
+
+}  // namespace
+}  // namespace ptgsched

@@ -1,0 +1,122 @@
+// Tests for the PTG container invariants.
+
+#include "ptg/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_graphs.hpp"
+
+namespace ptgsched {
+namespace {
+
+using testutil::simple_task;
+
+TEST(Ptg, StartsEmpty) {
+  const Ptg g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.num_tasks(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Ptg, AddTaskAssignsDenseIds) {
+  Ptg g;
+  EXPECT_EQ(g.add_task(simple_task("a", 1)), 0u);
+  EXPECT_EQ(g.add_task(simple_task("b", 1)), 1u);
+  EXPECT_EQ(g.add_task(simple_task("c", 1)), 2u);
+  EXPECT_EQ(g.num_tasks(), 3u);
+  EXPECT_EQ(g.task(1).name, "b");
+}
+
+TEST(Ptg, EdgesUpdateAdjacency) {
+  Ptg g = testutil::diamond();
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(3), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(Ptg, SourcesAndSinks) {
+  const Ptg g = testutil::two_chains();
+  EXPECT_EQ(g.sources(), (std::vector<TaskId>{0, 2}));
+  EXPECT_EQ(g.sinks(), (std::vector<TaskId>{1, 3}));
+}
+
+TEST(Ptg, RejectsSelfLoop) {
+  Ptg g;
+  g.add_task(simple_task("a", 1));
+  EXPECT_THROW(g.add_edge(0, 0), GraphError);
+}
+
+TEST(Ptg, RejectsDuplicateEdge) {
+  Ptg g;
+  g.add_task(simple_task("a", 1));
+  g.add_task(simple_task("b", 1));
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), GraphError);
+}
+
+TEST(Ptg, RejectsUnknownIds) {
+  Ptg g;
+  g.add_task(simple_task("a", 1));
+  EXPECT_THROW(g.add_edge(0, 5), GraphError);
+  EXPECT_THROW(g.add_edge(5, 0), GraphError);
+  EXPECT_THROW((void)g.task(3), GraphError);
+  EXPECT_THROW((void)g.successors(3), GraphError);
+  EXPECT_THROW((void)g.predecessors(3), GraphError);
+}
+
+TEST(Ptg, ValidateAcceptsDag) {
+  const Ptg g = testutil::diamond();
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Ptg, ValidateRejectsEmpty) {
+  const Ptg g;
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST(Ptg, ValidateRejectsCycle) {
+  Ptg g;
+  g.add_task(simple_task("a", 1));
+  g.add_task(simple_task("b", 1));
+  g.add_task(simple_task("c", 1));
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_THROW(g.validate(), GraphError);
+}
+
+TEST(Ptg, ValidateRejectsBadTaskParameters) {
+  Ptg g;
+  g.add_task(simple_task("a", 0.0));  // non-positive flops
+  EXPECT_THROW(g.validate(), GraphError);
+
+  Ptg g2;
+  Task t = simple_task("a", 1.0);
+  t.alpha = 1.5;
+  g2.add_task(t);
+  EXPECT_THROW(g2.validate(), GraphError);
+}
+
+TEST(Ptg, TotalFlops) {
+  const Ptg g = testutil::chain3();
+  EXPECT_DOUBLE_EQ(g.total_flops(), 6.0);
+}
+
+TEST(Ptg, NameRoundTrip) {
+  Ptg g("original");
+  EXPECT_EQ(g.name(), "original");
+  g.set_name("renamed");
+  EXPECT_EQ(g.name(), "renamed");
+}
+
+TEST(Ptg, TaskMutationThroughReference) {
+  Ptg g = testutil::chain3();
+  g.task(0).flops = 42.0;
+  EXPECT_DOUBLE_EQ(g.task(0).flops, 42.0);
+}
+
+}  // namespace
+}  // namespace ptgsched

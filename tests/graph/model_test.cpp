@@ -1,0 +1,207 @@
+// Tests for the execution-time models (Section IV-B), including the
+// monotonicity property of Model 1 and the non-monotonicity of Model 2.
+
+#include "model/execution_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_graphs.hpp"
+
+namespace ptgsched {
+namespace {
+
+Task task_with(double flops, double alpha) {
+  Task t;
+  t.name = "t";
+  t.flops = flops;
+  t.alpha = alpha;
+  return t;
+}
+
+TEST(PerfectSquare, KnownValues) {
+  EXPECT_TRUE(is_perfect_square(1));
+  EXPECT_TRUE(is_perfect_square(4));
+  EXPECT_TRUE(is_perfect_square(9));
+  EXPECT_TRUE(is_perfect_square(100));
+  EXPECT_FALSE(is_perfect_square(2));
+  EXPECT_FALSE(is_perfect_square(8));
+  EXPECT_FALSE(is_perfect_square(99));
+  EXPECT_FALSE(is_perfect_square(0));
+  EXPECT_FALSE(is_perfect_square(-4));
+}
+
+TEST(AmdahlModel, SequentialTimeMatchesCluster) {
+  const AmdahlModel m;
+  const Cluster c("c", 8, 2.0);  // 2e9 flops/s
+  EXPECT_DOUBLE_EQ(m.time(task_with(4e9, 0.5), 1, c), 2.0);
+}
+
+TEST(AmdahlModel, FormulaExact) {
+  const AmdahlModel m;
+  const Cluster c = testutil::unit_cluster(16);
+  // T(v,p) = (alpha + (1-alpha)/p) * T1 with T1 = 100s, alpha = 0.2, p = 4.
+  EXPECT_DOUBLE_EQ(m.time(task_with(100.0, 0.2), 4, c), (0.2 + 0.8 / 4) * 100);
+}
+
+TEST(AmdahlModel, FullyParallelTask) {
+  const AmdahlModel m;
+  const Cluster c = testutil::unit_cluster(10);
+  EXPECT_DOUBLE_EQ(m.time(task_with(100.0, 0.0), 10, c), 10.0);
+}
+
+TEST(AmdahlModel, FullySerialTaskIgnoresProcessors) {
+  const AmdahlModel m;
+  const Cluster c = testutil::unit_cluster(10);
+  EXPECT_DOUBLE_EQ(m.time(task_with(100.0, 1.0), 1, c),
+                   m.time(task_with(100.0, 1.0), 10, c));
+}
+
+TEST(AmdahlModel, MonotonicallyNonIncreasing) {
+  const AmdahlModel m;
+  const Cluster c = testutil::unit_cluster(64);
+  const Task t = task_with(1000.0, 0.1);
+  for (int p = 1; p < 64; ++p) {
+    EXPECT_LE(m.time(t, p + 1, c), m.time(t, p, c)) << "p=" << p;
+  }
+}
+
+TEST(AmdahlModel, AsymptoteIsSerialFraction) {
+  const AmdahlModel m;
+  const Cluster c = testutil::unit_cluster(10000);
+  const Task t = task_with(100.0, 0.25);
+  EXPECT_NEAR(m.time(t, 10000, c), 25.0, 0.01);
+}
+
+TEST(Model, RejectsOutOfRangeAllocation) {
+  const AmdahlModel m;
+  const Cluster c = testutil::unit_cluster(8);
+  EXPECT_THROW((void)m.time(task_with(1, 0), 0, c), ModelError);
+  EXPECT_THROW((void)m.time(task_with(1, 0), 9, c), ModelError);
+  EXPECT_THROW((void)m.time(task_with(1, 0), -1, c), ModelError);
+}
+
+TEST(Model, RejectsBadTask) {
+  const AmdahlModel m;
+  const Cluster c = testutil::unit_cluster(8);
+  EXPECT_THROW((void)m.time(task_with(0.0, 0.0), 1, c), ModelError);
+  EXPECT_THROW((void)m.time(task_with(1.0, 2.0), 1, c), ModelError);
+}
+
+TEST(SyntheticModel, PenaltyRules) {
+  // Algorithm 1 (prose convention): no penalty for p = 1 and even perfect
+  // squares; x1.3 for odd p; x1.1 for even non-squares.
+  const SyntheticModel m;
+  EXPECT_DOUBLE_EQ(m.penalty(1), 1.0);
+  EXPECT_DOUBLE_EQ(m.penalty(2), 1.1);
+  EXPECT_DOUBLE_EQ(m.penalty(3), 1.3);
+  EXPECT_DOUBLE_EQ(m.penalty(4), 1.0);
+  EXPECT_DOUBLE_EQ(m.penalty(5), 1.3);
+  EXPECT_DOUBLE_EQ(m.penalty(6), 1.1);
+  EXPECT_DOUBLE_EQ(m.penalty(8), 1.1);
+  EXPECT_DOUBLE_EQ(m.penalty(9), 1.3);  // odd beats square
+  EXPECT_DOUBLE_EQ(m.penalty(16), 1.0);
+  EXPECT_DOUBLE_EQ(m.penalty(36), 1.0);
+  EXPECT_DOUBLE_EQ(m.penalty(100), 1.0);
+}
+
+TEST(SyntheticModel, MatchesAmdahlTimesPenalty) {
+  const SyntheticModel m;
+  const AmdahlModel base;
+  const Cluster c = testutil::unit_cluster(32);
+  const Task t = task_with(1000.0, 0.05);
+  for (int p = 1; p <= 32; ++p) {
+    EXPECT_DOUBLE_EQ(m.time(t, p, c), base.time(t, p, c) * m.penalty(p));
+  }
+}
+
+TEST(SyntheticModel, IsNonMonotonic) {
+  // The defining property: somewhere T increases with p.
+  const SyntheticModel m;
+  const Cluster c = testutil::unit_cluster(32);
+  const Task t = task_with(1000.0, 0.05);
+  bool increases = false;
+  for (int p = 1; p < 32; ++p) {
+    if (m.time(t, p + 1, c) > m.time(t, p, c)) increases = true;
+  }
+  EXPECT_TRUE(increases);
+  // Concretely: 4 -> 5 processors gets slower for a scalable task.
+  EXPECT_GT(m.time(t, 5, c), m.time(t, 4, c));
+}
+
+TEST(SyntheticModel, ConfigurablePenalties) {
+  const SyntheticModel m(2.0, 1.5);
+  EXPECT_DOUBLE_EQ(m.penalty(3), 2.0);
+  EXPECT_DOUBLE_EQ(m.penalty(2), 1.5);
+  EXPECT_THROW(SyntheticModel(0.5, 1.0), ModelError);
+}
+
+TEST(DowneyModel, SpeedupBasics) {
+  // S(1) = 1; S saturates at A.
+  EXPECT_DOUBLE_EQ(DowneyModel::speedup(1.0, 10.0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(DowneyModel::speedup(100.0, 10.0, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(DowneyModel::speedup(100.0, 10.0, 2.0), 10.0);
+}
+
+TEST(DowneyModel, LowVarianceNearLinearStart) {
+  // sigma = 0: S(n) = n up to A.
+  EXPECT_NEAR(DowneyModel::speedup(5.0, 10.0, 0.0), 5.0, 1e-12);
+}
+
+TEST(DowneyModel, SpeedupMonotoneInProcessors) {
+  for (const double sigma : {0.0, 0.5, 1.0, 2.0}) {
+    double prev = 0.0;
+    for (int n = 1; n <= 64; ++n) {
+      const double s = DowneyModel::speedup(n, 12.0, sigma);
+      EXPECT_GE(s + 1e-12, prev) << "sigma=" << sigma << " n=" << n;
+      prev = s;
+    }
+  }
+}
+
+TEST(DowneyModel, TimeDecreasesWithProcessors) {
+  const DowneyModel m(0.5);
+  const Cluster c = testutil::unit_cluster(64);
+  const Task t = task_with(1000.0, 0.1);  // A = 10
+  for (int p = 1; p < 64; ++p) {
+    EXPECT_LE(m.time(t, p + 1, c), m.time(t, p, c) + 1e-12);
+  }
+}
+
+TEST(DowneyModel, AlphaZeroUsesParallelismCap) {
+  const DowneyModel m(0.0, 16.0);
+  const Cluster c = testutil::unit_cluster(64);
+  const Task t = task_with(64.0, 0.0);
+  EXPECT_NEAR(m.time(t, 64, c), 64.0 / 16.0, 1e-9);
+}
+
+TEST(PenaltyTableModel, AppliesTable) {
+  auto base = std::make_shared<AmdahlModel>();
+  const PenaltyTableModel m(base, {1.0, 2.0, 3.0});
+  const Cluster c = testutil::unit_cluster(8);
+  const Task t = task_with(100.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.time(t, 1, c), 100.0);
+  EXPECT_DOUBLE_EQ(m.time(t, 2, c), 50.0 * 2.0);
+  EXPECT_DOUBLE_EQ(m.time(t, 3, c), 100.0 / 3.0 * 3.0);
+  // Beyond the table: last entry reused.
+  EXPECT_DOUBLE_EQ(m.time(t, 8, c), 100.0 / 8.0 * 3.0);
+  EXPECT_EQ(m.name(), "amdahl+table");
+}
+
+TEST(PenaltyTableModel, RejectsBadTable) {
+  auto base = std::make_shared<AmdahlModel>();
+  EXPECT_THROW(PenaltyTableModel(base, {}), ModelError);
+  EXPECT_THROW(PenaltyTableModel(base, {1.0, 0.0}), ModelError);
+  EXPECT_THROW(PenaltyTableModel(nullptr, {1.0}), ModelError);
+}
+
+TEST(MakeModel, FactoryNames) {
+  EXPECT_EQ(make_model("amdahl")->name(), "amdahl");
+  EXPECT_EQ(make_model("model1")->name(), "amdahl");
+  EXPECT_EQ(make_model("synthetic")->name(), "synthetic");
+  EXPECT_EQ(make_model("model2")->name(), "synthetic");
+  EXPECT_EQ(make_model("downey")->name(), "downey");
+  EXPECT_THROW((void)make_model("gpt"), ModelError);
+}
+
+}  // namespace
+}  // namespace ptgsched

@@ -1,0 +1,89 @@
+// Tests for the communication-overhead wrapper model.
+
+#include "model/overhead.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_graphs.hpp"
+
+namespace ptgsched {
+namespace {
+
+Task task_with(double flops, double alpha, double data) {
+  Task t;
+  t.name = "t";
+  t.flops = flops;
+  t.alpha = alpha;
+  t.data_size = data;
+  return t;
+}
+
+TEST(OverheadModel, NoOverheadSequential) {
+  const OverheadModel m(std::make_shared<AmdahlModel>(), 1.0, 1.0);
+  const Cluster c = testutil::unit_cluster(8);
+  const Task t = task_with(100.0, 0.0, 1e6);
+  const AmdahlModel base;
+  EXPECT_DOUBLE_EQ(m.time(t, 1, c), base.time(t, 1, c));
+  EXPECT_DOUBLE_EQ(m.overhead(t, 1), 0.0);
+}
+
+TEST(OverheadModel, LogTreeRounds) {
+  // startup 1 s, bandwidth so large the bytes term vanishes:
+  // overhead = ceil(log2(p)).
+  const OverheadModel m(std::make_shared<AmdahlModel>(), 1.0, 1e30);
+  const Task t = task_with(100.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(m.overhead(t, 2), 1.0);
+  EXPECT_DOUBLE_EQ(m.overhead(t, 3), 2.0);
+  EXPECT_DOUBLE_EQ(m.overhead(t, 4), 2.0);
+  EXPECT_DOUBLE_EQ(m.overhead(t, 5), 3.0);
+  EXPECT_DOUBLE_EQ(m.overhead(t, 8), 3.0);
+}
+
+TEST(OverheadModel, BandwidthTermScalesWithData) {
+  // zero startup, bandwidth 8 bytes/s: overhead = d * rounds.
+  const OverheadModel m(std::make_shared<AmdahlModel>(), 0.0, 8.0);
+  EXPECT_DOUBLE_EQ(m.overhead(task_with(1, 0, 10.0), 2), 10.0);
+  EXPECT_DOUBLE_EQ(m.overhead(task_with(1, 0, 10.0), 4), 20.0);
+}
+
+TEST(OverheadModel, ProducesUShapedCurve) {
+  // With real overheads, a moderately sized task should have an interior
+  // optimal allocation: faster than sequential somewhere, but slower again
+  // at full machine width.
+  const OverheadModel m(std::make_shared<AmdahlModel>(), 1e-4, 125e6);
+  const Cluster c("giga", 64, 1.0);
+  const Task t = task_with(5e9, 0.02, 2e6);  // 5 s sequential, 16 MB data
+  const double t1 = m.time(t, 1, c);
+  double best = t1;
+  int best_p = 1;
+  for (int p = 2; p <= 64; ++p) {
+    const double tp = m.time(t, p, c);
+    if (tp < best) {
+      best = tp;
+      best_p = p;
+    }
+  }
+  EXPECT_GT(best_p, 1);            // parallelism helps...
+  EXPECT_LT(best_p, 64);           // ...but not all the way
+  EXPECT_GT(m.time(t, 64, c), best);
+}
+
+TEST(OverheadModel, NameAndValidation) {
+  const OverheadModel m(std::make_shared<SyntheticModel>());
+  EXPECT_EQ(m.name(), "synthetic+comm");
+  EXPECT_THROW(OverheadModel(nullptr), ModelError);
+  EXPECT_THROW(OverheadModel(std::make_shared<AmdahlModel>(), -1.0),
+               ModelError);
+  EXPECT_THROW(OverheadModel(std::make_shared<AmdahlModel>(), 0.0, 0.0),
+               ModelError);
+}
+
+TEST(OverheadModel, ArgumentChecksForwarded) {
+  const OverheadModel m(std::make_shared<AmdahlModel>());
+  const Cluster c = testutil::unit_cluster(4);
+  EXPECT_THROW((void)m.time(task_with(1, 0, 1), 0, c), ModelError);
+  EXPECT_THROW((void)m.time(task_with(1, 0, 1), 5, c), ModelError);
+}
+
+}  // namespace
+}  // namespace ptgsched

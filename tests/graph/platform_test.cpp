@@ -1,0 +1,80 @@
+// Tests for the homogeneous cluster platform model.
+
+#include "platform/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace ptgsched {
+namespace {
+
+TEST(Cluster, PaperPresets) {
+  // Section IV-A: Chti = 20 nodes at 4.3 GFLOPS, Grelon = 120 at 3.1.
+  const Cluster c = chti();
+  EXPECT_EQ(c.name(), "chti");
+  EXPECT_EQ(c.num_processors(), 20);
+  EXPECT_DOUBLE_EQ(c.gflops(), 4.3);
+
+  const Cluster g = grelon();
+  EXPECT_EQ(g.name(), "grelon");
+  EXPECT_EQ(g.num_processors(), 120);
+  EXPECT_DOUBLE_EQ(g.gflops(), 3.1);
+}
+
+TEST(Cluster, SequentialTime) {
+  const Cluster c("test", 4, 2.0);  // 2 GFLOPS
+  EXPECT_DOUBLE_EQ(c.flops_per_second(), 2e9);
+  EXPECT_DOUBLE_EQ(c.sequential_time(4e9), 2.0);
+}
+
+TEST(Cluster, ClampAllocation) {
+  const Cluster c("test", 16, 1.0);
+  EXPECT_EQ(c.clamp_allocation(-5), 1);
+  EXPECT_EQ(c.clamp_allocation(0), 1);
+  EXPECT_EQ(c.clamp_allocation(7), 7);
+  EXPECT_EQ(c.clamp_allocation(16), 16);
+  EXPECT_EQ(c.clamp_allocation(1000), 16);
+}
+
+TEST(Cluster, RejectsBadParameters) {
+  EXPECT_THROW(Cluster("x", 0, 1.0), PlatformError);
+  EXPECT_THROW(Cluster("x", -3, 1.0), PlatformError);
+  EXPECT_THROW(Cluster("x", 4, 0.0), PlatformError);
+  EXPECT_THROW(Cluster("x", 4, -1.0), PlatformError);
+}
+
+TEST(Cluster, JsonRoundTrip) {
+  const Cluster c("mycluster", 64, 2.75);
+  const Cluster back = Cluster::from_json(c.to_json());
+  EXPECT_EQ(back.name(), "mycluster");
+  EXPECT_EQ(back.num_processors(), 64);
+  EXPECT_DOUBLE_EQ(back.gflops(), 2.75);
+}
+
+TEST(Cluster, JsonRejectsImplausible) {
+  Json doc = chti().to_json();
+  doc.as_object()["processors"] = Json(0);
+  EXPECT_THROW((void)Cluster::from_json(doc), PlatformError);
+  doc.as_object()["processors"] = Json(std::int64_t{2'000'000});
+  EXPECT_THROW((void)Cluster::from_json(doc), PlatformError);
+}
+
+TEST(Cluster, FileRoundTrip) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "ptgsched_platform.json";
+  grelon().save(path.string());
+  const Cluster back = Cluster::load(path.string());
+  EXPECT_EQ(back.num_processors(), 120);
+  std::filesystem::remove(path);
+}
+
+TEST(PlatformByName, LookupAndErrors) {
+  EXPECT_EQ(platform_by_name("chti").num_processors(), 20);
+  EXPECT_EQ(platform_by_name("grelon").num_processors(), 120);
+  EXPECT_THROW((void)platform_by_name("nope"), PlatformError);
+  EXPECT_THROW((void)platform_by_name("Chti"), PlatformError);
+}
+
+}  // namespace
+}  // namespace ptgsched

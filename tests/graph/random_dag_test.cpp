@@ -1,0 +1,220 @@
+// Tests for the DAGGEN-style random PTG generator and the complexity
+// sampler (Section IV-C).
+
+#include "daggen/random_dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ptg/algorithms.hpp"
+
+namespace ptgsched {
+namespace {
+
+RandomDagParams params_with(int n, double width, double reg, double dens,
+                            int jump) {
+  RandomDagParams p;
+  p.num_tasks = n;
+  p.width = width;
+  p.regularity = reg;
+  p.density = dens;
+  p.jump = jump;
+  return p;
+}
+
+TEST(RandomDag, ExactTaskCount) {
+  Rng rng(1);
+  for (const int n : {1, 5, 20, 50, 100}) {
+    const Ptg g = make_random_ptg(params_with(n, 0.5, 0.5, 0.5, 1), rng);
+    EXPECT_EQ(g.num_tasks(), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(RandomDag, AlwaysAcyclicAndValid) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Ptg g = make_random_ptg(params_with(50, 0.5, 0.2, 0.8, 4), rng);
+    EXPECT_NO_THROW(g.validate());
+  }
+}
+
+TEST(RandomDag, EveryNonSourceLevelTaskHasAParent) {
+  Rng rng(3);
+  const Ptg g = make_random_ptg(params_with(80, 0.5, 0.2, 0.2, 2), rng);
+  // Sources must all live in construction level 0; since level 0 has at
+  // most ceil(width jitter) tasks, most tasks must have parents. A robust
+  // proxy: the graph is connected enough that #sources << n.
+  EXPECT_LT(g.sources().size(), g.num_tasks() / 2);
+}
+
+TEST(RandomDag, WidthControlsParallelism) {
+  Rng rng(4);
+  // Average max level width over several instances.
+  double narrow = 0.0;
+  double wide = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    narrow += static_cast<double>(
+        max_level_width(make_random_ptg(params_with(100, 0.2, 0.8, 0.5, 0), rng)));
+    wide += static_cast<double>(
+        max_level_width(make_random_ptg(params_with(100, 0.8, 0.8, 0.5, 0), rng)));
+  }
+  EXPECT_LT(narrow, wide);
+  // Mean width n^0.2 ~ 2.5 vs n^0.8 ~ 40.
+  EXPECT_LT(narrow / 10.0, 10.0);
+  EXPECT_GT(wide / 10.0, 20.0);
+}
+
+TEST(RandomDag, LayeredHasOnlyAdjacentLevelEdges) {
+  Rng rng(5);
+  const Ptg g = make_random_ptg(params_with(60, 0.5, 0.2, 0.5, 0), rng);
+  const auto level = precedence_levels(g);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    for (const TaskId w : g.successors(v)) {
+      EXPECT_EQ(level[w], level[v] + 1)
+          << "edge " << v << "->" << w << " skips levels in a layered DAG";
+    }
+  }
+}
+
+TEST(RandomDag, JumpAllowsLongEdges) {
+  Rng rng(6);
+  bool found_long_edge = false;
+  for (int trial = 0; trial < 10 && !found_long_edge; ++trial) {
+    const Ptg g = make_random_ptg(params_with(100, 0.8, 0.8, 0.5, 4), rng);
+    const auto level = precedence_levels(g);
+    for (TaskId v = 0; v < g.num_tasks() && !found_long_edge; ++v) {
+      for (const TaskId w : g.successors(v)) {
+        if (level[w] > level[v] + 1) found_long_edge = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_long_edge);
+}
+
+TEST(RandomDag, DensityControlsEdgeCount) {
+  Rng rng(7);
+  std::size_t sparse = 0;
+  std::size_t dense = 0;
+  for (int i = 0; i < 10; ++i) {
+    sparse += make_random_ptg(params_with(100, 0.8, 0.8, 0.2, 0), rng)
+                  .num_edges();
+    dense += make_random_ptg(params_with(100, 0.8, 0.8, 0.8, 0), rng)
+                 .num_edges();
+  }
+  EXPECT_LT(sparse, dense);
+}
+
+TEST(RandomDag, RegularityControlsLevelVariance) {
+  Rng rng(8);
+  // With regularity 1.0 every level has exactly round(n^width) tasks.
+  const Ptg g = make_random_ptg(params_with(96, 0.5, 1.0, 0.5, 0), rng);
+  const auto by_level = tasks_by_level(g);
+  for (std::size_t l = 0; l + 1 < by_level.size(); ++l) {
+    EXPECT_EQ(by_level[l].size(),
+              static_cast<std::size_t>(std::lround(std::pow(96.0, 0.5))));
+  }
+}
+
+TEST(RandomDag, LayeredTasksInLevelHaveSimilarWork) {
+  Rng rng(9);
+  const Ptg g = make_random_ptg(params_with(90, 0.8, 0.8, 0.5, 0), rng);
+  for (const auto& level : tasks_by_level(g)) {
+    if (level.size() < 2) continue;
+    double lo = g.task(level.front()).flops;
+    double hi = lo;
+    for (const TaskId v : level) {
+      lo = std::min(lo, g.task(v).flops);
+      hi = std::max(hi, g.task(v).flops);
+    }
+    EXPECT_LE(hi / lo, 1.3);  // +-10% jitter around a shared reference
+  }
+}
+
+TEST(RandomDag, IrregularTasksAreIndependentlySampled) {
+  Rng rng(10);
+  const Ptg g = make_random_ptg(params_with(90, 0.8, 0.8, 0.5, 2), rng);
+  // With independent sampling, at least one level must have widely
+  // differing work.
+  bool diverse = false;
+  for (const auto& level : tasks_by_level(g)) {
+    if (level.size() < 3) continue;
+    double lo = g.task(level.front()).flops;
+    double hi = lo;
+    for (const TaskId v : level) {
+      lo = std::min(lo, g.task(v).flops);
+      hi = std::max(hi, g.task(v).flops);
+    }
+    if (hi / lo > 2.0) diverse = true;
+  }
+  EXPECT_TRUE(diverse);
+}
+
+TEST(RandomDag, DeterministicGivenSeed) {
+  Rng rng1(11);
+  Rng rng2(11);
+  const Ptg a = make_random_ptg(params_with(50, 0.5, 0.2, 0.8, 2), rng1);
+  const Ptg b = make_random_ptg(params_with(50, 0.5, 0.2, 0.8, 2), rng2);
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (TaskId v = 0; v < a.num_tasks(); ++v) {
+    EXPECT_DOUBLE_EQ(a.task(v).flops, b.task(v).flops);
+  }
+}
+
+TEST(RandomDag, RejectsBadParameters) {
+  Rng rng(12);
+  EXPECT_THROW((void)make_random_ptg(params_with(0, 0.5, 0.5, 0.5, 0), rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_random_ptg(params_with(10, 0.0, 0.5, 0.5, 0), rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_random_ptg(params_with(10, 1.5, 0.5, 0.5, 0), rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_random_ptg(params_with(10, 0.5, -0.1, 0.5, 0), rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_random_ptg(params_with(10, 0.5, 0.5, 0.0, 0), rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_random_ptg(params_with(10, 0.5, 0.5, 0.5, -1), rng),
+               std::invalid_argument);
+}
+
+TEST(ComplexitySampler, PatternFormulas) {
+  EXPECT_DOUBLE_EQ(pattern_flops(FlopPattern::Linear, 1000.0, 64.0), 64000.0);
+  EXPECT_DOUBLE_EQ(pattern_flops(FlopPattern::LogLinear, 1024.0, 2.0),
+                   2.0 * 1024.0 * 10.0);
+  EXPECT_DOUBLE_EQ(pattern_flops(FlopPattern::MatMul, 1e6, 999.0), 1e9);
+  EXPECT_THROW((void)pattern_flops(FlopPattern::Linear, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)pattern_flops(FlopPattern::Linear, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ComplexitySampler, RespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    Task t;
+    assign_random_complexity(t, rng);
+    EXPECT_GE(t.data_size, 1e5);
+    EXPECT_LE(t.data_size, 125e6);  // paper's 1 GB bound
+    EXPECT_GE(t.alpha, 0.0);
+    EXPECT_LE(t.alpha, 0.25);
+    EXPECT_GT(t.flops, 0.0);
+    // flops is at most max-iteration log-linear work or d^1.5.
+    EXPECT_LE(t.flops,
+              std::max(512.0 * t.data_size * std::log2(t.data_size),
+                       std::pow(t.data_size, 1.5)) *
+                  (1.0 + 1e-9));
+  }
+}
+
+TEST(ComplexitySampler, RejectsBadBounds) {
+  Rng rng(14);
+  Task t;
+  ComplexityParams p;
+  p.min_data = 10.0;
+  p.max_data = 1.0;
+  EXPECT_THROW(assign_random_complexity(t, rng, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ptgsched

@@ -1,0 +1,86 @@
+// Tests for allocation helpers (validation, work/area, critical path).
+
+#include "sched/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../common/test_graphs.hpp"
+
+namespace ptgsched {
+namespace {
+
+using testutil::FixedTimeModel;
+using testutil::LinearSpeedupModel;
+using testutil::unit_cluster;
+
+TEST(Allocation, ValidateAcceptsGoodAllocation) {
+  const Ptg g = testutil::chain3();
+  const Cluster c = unit_cluster(4);
+  EXPECT_NO_THROW(validate_allocation({1, 2, 4}, g, c));
+}
+
+TEST(Allocation, ValidateRejectsSizeMismatch) {
+  const Ptg g = testutil::chain3();
+  const Cluster c = unit_cluster(4);
+  EXPECT_THROW(validate_allocation({1, 2}, g, c), GraphError);
+  EXPECT_THROW(validate_allocation({1, 2, 3, 4}, g, c), GraphError);
+}
+
+TEST(Allocation, ValidateRejectsOutOfRange) {
+  const Ptg g = testutil::chain3();
+  const Cluster c = unit_cluster(4);
+  EXPECT_THROW(validate_allocation({0, 1, 1}, g, c), GraphError);
+  EXPECT_THROW(validate_allocation({1, 5, 1}, g, c), GraphError);
+  EXPECT_THROW(validate_allocation({1, -2, 1}, g, c), GraphError);
+}
+
+TEST(Allocation, UniformAllocationClamps) {
+  const Ptg g = testutil::chain3();
+  const Cluster c = unit_cluster(4);
+  EXPECT_EQ(uniform_allocation(g, c), (Allocation{1, 1, 1}));
+  EXPECT_EQ(uniform_allocation(g, c, 3), (Allocation{3, 3, 3}));
+  EXPECT_EQ(uniform_allocation(g, c, 99), (Allocation{4, 4, 4}));
+  EXPECT_EQ(uniform_allocation(g, c, 0), (Allocation{1, 1, 1}));
+}
+
+TEST(Allocation, TaskTimes) {
+  const Ptg g = testutil::chain3();  // flops 1, 2, 3
+  const Cluster c = unit_cluster(4);
+  const LinearSpeedupModel model;
+  const auto times = task_times(g, {1, 2, 3}, model, c);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.0);
+  EXPECT_DOUBLE_EQ(times[2], 1.0);
+}
+
+TEST(Allocation, WorkAndAverageArea) {
+  const Ptg g = testutil::chain3();
+  const Cluster c = unit_cluster(4);
+  const FixedTimeModel model;  // T(v, p) = flops(v)
+  // W = 1*1 + 2*2 + 3*3 = 14; T_A = 14 / 4.
+  EXPECT_DOUBLE_EQ(allocation_work(g, {1, 2, 3}, model, c), 14.0);
+  EXPECT_DOUBLE_EQ(average_area(g, {1, 2, 3}, model, c), 3.5);
+}
+
+TEST(Allocation, CriticalPathUnderAllocation) {
+  const Ptg g = testutil::diamond();  // s=1, l=4, r=2, t=1
+  const Cluster c = unit_cluster(8);
+  const LinearSpeedupModel model;
+  // All ones: CP = 1 + 4 + 1 = 6. Give l four processors: the right branch
+  // (1 + 2 + 1 = 4) becomes critical.
+  EXPECT_DOUBLE_EQ(allocation_critical_path(g, {1, 1, 1, 1}, model, c), 6.0);
+  EXPECT_DOUBLE_EQ(allocation_critical_path(g, {1, 4, 1, 1}, model, c), 4.0);
+  // Widening both branches brings the CP down to 1 + 1 + 1.
+  EXPECT_DOUBLE_EQ(allocation_critical_path(g, {1, 4, 2, 1}, model, c), 3.0);
+}
+
+TEST(Allocation, WorkGrowsWithAllocationUnderFixedTime) {
+  const Ptg g = testutil::chain3();
+  const Cluster c = unit_cluster(8);
+  const FixedTimeModel model;
+  EXPECT_LT(allocation_work(g, {1, 1, 1}, model, c),
+            allocation_work(g, {8, 8, 8}, model, c));
+}
+
+}  // namespace
+}  // namespace ptgsched

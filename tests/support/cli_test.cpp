@@ -1,0 +1,132 @@
+// Tests for the CLI argument parser used by examples and benches.
+
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ptgsched {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_option("seed", "rng seed", "42");
+  cli.add_option("name", "a string", "default");
+  cli.add_option("rate", "a double", "0.5");
+  cli.add_flag("full", "run full scale");
+  return cli;
+}
+
+bool parse(CliParser& cli, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return cli.parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, DefaultsApply) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {}));
+  EXPECT_EQ(cli.get_int("seed"), 42);
+  EXPECT_EQ(cli.get("name"), "default");
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.5);
+  EXPECT_FALSE(cli.get_flag("full"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--seed=7", "--name=abc", "--rate=1.25"}));
+  EXPECT_EQ(cli.get_int("seed"), 7);
+  EXPECT_EQ(cli.get("name"), "abc");
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 1.25);
+}
+
+TEST(Cli, SpaceSyntax) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--seed", "9", "--name", "xyz"}));
+  EXPECT_EQ(cli.get_int("seed"), 9);
+  EXPECT_EQ(cli.get("name"), "xyz");
+}
+
+TEST(Cli, Flags) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--full"}));
+  EXPECT_TRUE(cli.get_flag("full"));
+}
+
+TEST(Cli, FlagWithExplicitValue) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--full=false"}));
+  EXPECT_FALSE(cli.get_flag("full"));
+  CliParser cli2 = make_parser();
+  ASSERT_TRUE(parse(cli2, {"--full=1"}));
+  EXPECT_TRUE(cli2.get_flag("full"));
+}
+
+TEST(Cli, UnknownOptionRejected) {
+  CliParser cli = make_parser();
+  EXPECT_THROW(parse(cli, {"--nope=1"}), CliError);
+}
+
+TEST(Cli, MissingValueRejected) {
+  CliParser cli = make_parser();
+  EXPECT_THROW(parse(cli, {"--seed"}), CliError);
+}
+
+TEST(Cli, NonNumericValueRejected) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--seed=abc"}));
+  EXPECT_THROW((void)cli.get_int("seed"), CliError);
+  EXPECT_THROW((void)cli.get_u64("seed"), CliError);
+}
+
+TEST(Cli, PartiallyNumericValueRejected) {
+  CliParser cli = make_parser();
+  ASSERT_TRUE(parse(cli, {"--rate=1.5x"}));
+  EXPECT_THROW((void)cli.get_double("rate"), CliError);
+}
+
+TEST(Cli, Positionals) {
+  CliParser cli("prog", "d");
+  cli.add_positional("input", "input file");
+  cli.add_option("seed", "s", "1");
+  std::vector<const char*> args{"prog", "file.json", "--seed=3"};
+  ASSERT_TRUE(cli.parse(static_cast<int>(args.size()), args.data()));
+  EXPECT_EQ(cli.positional("input"), "file.json");
+  EXPECT_EQ(cli.get_int("seed"), 3);
+}
+
+TEST(Cli, MissingPositionalRejected) {
+  CliParser cli("prog", "d");
+  cli.add_positional("input", "input file");
+  std::vector<const char*> args{"prog"};
+  EXPECT_THROW(
+      (void)cli.parse(static_cast<int>(args.size()), args.data()), CliError);
+}
+
+TEST(Cli, UnexpectedPositionalRejected) {
+  CliParser cli = make_parser();
+  EXPECT_THROW(parse(cli, {"stray"}), CliError);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliParser cli = make_parser();
+  ASSERT_FALSE(parse(cli, {"--help"}));
+}
+
+TEST(Cli, HelpTextMentionsOptions) {
+  CliParser cli = make_parser();
+  const std::string help = cli.help_text();
+  EXPECT_NE(help.find("--seed"), std::string::npos);
+  EXPECT_NE(help.find("--full"), std::string::npos);
+  EXPECT_NE(help.find("test program"), std::string::npos);
+}
+
+TEST(Cli, DuplicateOptionRejected) {
+  CliParser cli("prog", "d");
+  cli.add_option("x", "h", "1");
+  EXPECT_THROW(cli.add_option("x", "h", "2"), CliError);
+  EXPECT_THROW(cli.add_flag("x", "h"), CliError);
+}
+
+}  // namespace
+}  // namespace ptgsched

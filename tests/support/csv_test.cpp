@@ -1,0 +1,102 @@
+// Tests for the CSV writer/reader.
+
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace ptgsched {
+namespace {
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(csv_escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(csv_escape("has\nnewline"), "\"has\nnewline\"");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvRow, JoinsFields) {
+  EXPECT_EQ(csv_row({"a", "b,c", "d"}), "a,\"b,c\",d");
+  EXPECT_EQ(csv_row({}), "");
+}
+
+TEST(CsvParse, SimpleRows) {
+  const auto rows = csv_parse("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvParse, NoTrailingNewline) {
+  const auto rows = csv_parse("a,b\n1,2");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][1], "2");
+}
+
+TEST(CsvParse, CrLfLineEndings) {
+  const auto rows = csv_parse("a,b\r\n1,2\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+}
+
+TEST(CsvParse, QuotedFields) {
+  const auto rows = csv_parse("\"a,b\",\"c\"\"d\",\"e\nf\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "c\"d");
+  EXPECT_EQ(rows[0][2], "e\nf");
+}
+
+TEST(CsvParse, EmptyFields) {
+  const auto rows = csv_parse(",,\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][0], "");
+}
+
+TEST(CsvParse, EmptyDocument) { EXPECT_TRUE(csv_parse("").empty()); }
+
+TEST(CsvParse, Errors) {
+  EXPECT_THROW((void)csv_parse("\"unterminated"), CsvError);
+  EXPECT_THROW((void)csv_parse("ab\"cd\n"), CsvError);
+}
+
+TEST(CsvParse, RoundTripsEscapedContent) {
+  const std::vector<std::string> fields{"x", "a,b", "q\"q", "multi\nline"};
+  const auto rows = csv_parse(csv_row(fields) + "\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], fields);
+}
+
+TEST(CsvWriter, SchemaEnforced) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "2"});
+  EXPECT_THROW(w.add_row({"1"}), CsvError);
+  EXPECT_THROW(w.add_row({"1", "2", "3"}), CsvError);
+  EXPECT_EQ(w.num_rows(), 1u);
+  EXPECT_THROW(CsvWriter({}), CsvError);
+}
+
+TEST(CsvWriter, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "ptgsched_csv.csv").string();
+  CsvWriter w({"name", "value"});
+  w.add_row({"pi", "3.14"});
+  w.add_row({"with,comma", "x"});
+  w.write_file(path);
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto rows = csv_parse(text);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"name", "value"}));
+  EXPECT_EQ(rows[2][0], "with,comma");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace ptgsched

@@ -1,0 +1,165 @@
+// Tests for the in-repo JSON reader/writer.
+
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+namespace ptgsched {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("3.25").as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(Json::parse("-17").as_double(), -17.0);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_double(), 1000.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, WhitespaceTolerant) {
+  const Json v = Json::parse("  \n\t {\"a\" : [ 1 , 2 ] }  ");
+  EXPECT_EQ(v.at("a").size(), 2u);
+}
+
+TEST(JsonParse, NestedStructure) {
+  const Json v = Json::parse(R"({"x": {"y": [1, {"z": true}]}})");
+  EXPECT_TRUE(v.at("x").at("y").at(1).at("z").as_bool());
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_EQ(Json::parse("[]").size(), 0u);
+  EXPECT_EQ(Json::parse("{}").size(), 0u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  const Json v = Json::parse(R"("a\"b\\c\/d\n\tA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c/d\n\tA");
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");      // é
+  EXPECT_EQ(Json::parse(R"("€")").as_string(), "\xe2\x82\xac");  // €
+  // Surrogate pair: U+1D11E (musical G clef).
+  EXPECT_EQ(Json::parse(R"("𝄞")").as_string(),
+            "\xf0\x9d\x84\x9e");
+}
+
+TEST(JsonParse, ErrorsCarryPosition) {
+  try {
+    (void)Json::parse("{\n  \"a\": ?\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_THROW((void)Json::parse(""), JsonError);
+  EXPECT_THROW((void)Json::parse("{"), JsonError);
+  EXPECT_THROW((void)Json::parse("[1,]"), JsonError);
+  EXPECT_THROW((void)Json::parse("{\"a\" 1}"), JsonError);
+  EXPECT_THROW((void)Json::parse("tru"), JsonError);
+  EXPECT_THROW((void)Json::parse("1 2"), JsonError);
+  EXPECT_THROW((void)Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW((void)Json::parse("1.2.3"), JsonError);
+  EXPECT_THROW((void)Json::parse("{1: 2}"), JsonError);
+}
+
+TEST(JsonParse, RejectsControlCharactersInStrings) {
+  EXPECT_THROW((void)Json::parse("\"a\nb\""), JsonError);
+}
+
+TEST(JsonParse, RejectsLoneSurrogate) {
+  EXPECT_THROW((void)Json::parse(R"("\ud834")"), JsonError);
+  EXPECT_THROW((void)Json::parse(R"("\udd1e")"), JsonError);
+}
+
+TEST(JsonParse, DeepNestingGuard) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_THROW((void)Json::parse(deep), JsonError);
+}
+
+TEST(JsonDump, RoundTripsStructures) {
+  const std::string text =
+      R"({"arr":[1,2.5,"x",null,true],"num":-3,"obj":{"k":"v"}})";
+  const Json v = Json::parse(text);
+  EXPECT_EQ(Json::parse(v.dump()), v);
+  EXPECT_EQ(Json::parse(v.dump(2)), v);  // pretty print round-trips too
+}
+
+TEST(JsonDump, IntegersStayIntegral) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+}
+
+TEST(JsonDump, EscapesSpecialCharacters) {
+  EXPECT_EQ(Json("a\"b\n").dump(), R"("a\"b\n")");
+}
+
+TEST(JsonDump, RejectsNonFinite) {
+  EXPECT_THROW((void)Json(std::nan("")).dump(), JsonError);
+}
+
+TEST(JsonAccess, TypeErrorsAreDescriptive) {
+  const Json v = Json::parse("[1]");
+  EXPECT_THROW((void)v.as_object(), JsonError);
+  EXPECT_THROW((void)v.at("k"), JsonError);
+  EXPECT_THROW((void)v.at(5), JsonError);
+  EXPECT_THROW((void)Json(1.5).as_int(), JsonError);
+}
+
+TEST(JsonAccess, GetOrDefaults) {
+  const Json v = Json::parse(R"({"a": 1, "s": "x", "b": true})");
+  EXPECT_EQ(v.get_or("a", std::int64_t{9}), 1);
+  EXPECT_EQ(v.get_or("missing", std::int64_t{9}), 9);
+  EXPECT_EQ(v.get_or("s", std::string("d")), "x");
+  EXPECT_EQ(v.get_or("missing", std::string("d")), "d");
+  EXPECT_TRUE(v.get_or("b", false));
+  EXPECT_TRUE(v.get_or("missing", true));
+  EXPECT_DOUBLE_EQ(v.get_or("missing", 1.5), 1.5);
+}
+
+TEST(JsonAccess, ContainsWorksOnNonObjects) {
+  EXPECT_FALSE(Json(3).contains("x"));
+  EXPECT_FALSE(Json::parse("[]").contains("x"));
+}
+
+TEST(JsonBuild, SetAndPushBack) {
+  Json obj = Json::object();
+  obj.set("k", Json(1)).set("l", Json("two"));
+  Json arr = Json::array();
+  arr.push_back(Json(true)).push_back(obj);
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.at(1).at("l").as_string(), "two");
+}
+
+TEST(JsonFile, WriteAndReadBack) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "ptgsched_json_test.json";
+  Json doc = Json::object();
+  doc.set("name", Json("test")).set("values", Json::parse("[1,2,3]"));
+  doc.write_file(path.string());
+  const Json loaded = Json::parse_file(path.string());
+  EXPECT_EQ(loaded, doc);
+  std::filesystem::remove(path);
+}
+
+TEST(JsonFile, MissingFileThrows) {
+  EXPECT_THROW((void)Json::parse_file("/nonexistent/nope.json"),
+               std::runtime_error);
+}
+
+TEST(JsonEquality, DeepComparison) {
+  EXPECT_EQ(Json::parse(R"({"a":[1,2]})"), Json::parse(R"({ "a" : [1, 2] })"));
+  EXPECT_FALSE(Json::parse("[1,2]") == Json::parse("[2,1]"));
+}
+
+}  // namespace
+}  // namespace ptgsched

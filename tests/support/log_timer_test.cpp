@@ -1,0 +1,72 @@
+// Tests for the logging and timing utilities.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+namespace ptgsched {
+namespace {
+
+TEST(Log, LevelRoundTrip) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+  set_log_level(original);
+}
+
+TEST(Log, MacroSkipsDisabledLevels) {
+  const LogLevel original = log_level();
+  set_log_level(LogLevel::Error);
+  int evaluations = 0;
+  const auto side_effect = [&] {
+    ++evaluations;
+    return "x";
+  };
+  // The stream expression must not even be evaluated below the level.
+  PTG_LOG_DEBUG << side_effect();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::Debug);
+  PTG_LOG_DEBUG << side_effect();
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(original);
+}
+
+TEST(Log, MessageEmissionDoesNotThrow) {
+  EXPECT_NO_THROW(log_message(LogLevel::Error, "test error message"));
+  EXPECT_NO_THROW(log_message(LogLevel::Info, ""));
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = timer.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  EXPECT_NEAR(timer.milliseconds(), timer.seconds() * 1e3,
+              timer.seconds() * 50.0);
+}
+
+TEST(WallTimer, ResetRestarts) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.reset();
+  EXPECT_LT(timer.seconds(), 0.015);
+}
+
+TEST(WallTimer, MonotonicNonDecreasing) {
+  WallTimer timer;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double s = timer.seconds();
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+}  // namespace
+}  // namespace ptgsched

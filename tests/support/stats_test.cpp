@@ -1,0 +1,252 @@
+// Tests for statistics: Welford accumulation, incomplete beta / Student-t,
+// confidence intervals, percentiles, histograms.
+
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ptgsched {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(IncompleteBeta, KnownValues) {
+  // I_x(1, 1) = x (uniform CDF).
+  EXPECT_NEAR(incomplete_beta(1, 1, 0.3), 0.3, 1e-12);
+  // I_x(2, 2) = 3x^2 - 2x^3.
+  EXPECT_NEAR(incomplete_beta(2, 2, 0.4), 3 * 0.16 - 2 * 0.064, 1e-12);
+  // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+  EXPECT_NEAR(incomplete_beta(2.5, 1.5, 0.7),
+              1.0 - incomplete_beta(1.5, 2.5, 0.3), 1e-12);
+}
+
+TEST(IncompleteBeta, Boundaries) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2, 3, 1.0), 1.0);
+  EXPECT_THROW((void)incomplete_beta(0.0, 1.0, 0.5), std::invalid_argument);
+}
+
+TEST(StudentT, CdfSymmetry) {
+  for (const double nu : {1.0, 3.0, 10.0, 100.0}) {
+    EXPECT_NEAR(student_t_cdf(0.0, nu), 0.5, 1e-12);
+    EXPECT_NEAR(student_t_cdf(1.7, nu) + student_t_cdf(-1.7, nu), 1.0, 1e-12);
+  }
+}
+
+TEST(StudentT, MatchesTablesAt95Percent) {
+  // Classic two-sided 95% critical values.
+  EXPECT_NEAR(student_t_quantile(0.975, 1), 12.706, 1e-2);
+  EXPECT_NEAR(student_t_quantile(0.975, 4), 2.776, 1e-3);
+  EXPECT_NEAR(student_t_quantile(0.975, 9), 2.262, 1e-3);
+  EXPECT_NEAR(student_t_quantile(0.975, 29), 2.045, 1e-3);
+  EXPECT_NEAR(student_t_quantile(0.975, 999), 1.962, 1e-3);
+}
+
+TEST(StudentT, QuantileInvertsCdf) {
+  for (const double nu : {2.0, 7.0, 33.0}) {
+    for (const double p : {0.05, 0.25, 0.5, 0.9, 0.999}) {
+      const double t = student_t_quantile(p, nu);
+      EXPECT_NEAR(student_t_cdf(t, nu), p, 1e-9);
+    }
+  }
+}
+
+TEST(StudentT, QuantileRejectsBadInput) {
+  EXPECT_THROW((void)student_t_quantile(0.0, 5), std::invalid_argument);
+  EXPECT_THROW((void)student_t_quantile(1.0, 5), std::invalid_argument);
+  EXPECT_THROW((void)student_t_quantile(0.5, 0), std::invalid_argument);
+}
+
+TEST(MeanCi, KnownExample) {
+  // For {1..5}: mean 3, sd sqrt(2.5), se 0.7071, t(0.975, 4) = 2.776.
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const auto ci = mean_confidence_interval(xs);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_EQ(ci.n, 5u);
+  EXPECT_NEAR(ci.half_width, 2.776 * std::sqrt(2.5 / 5.0), 1e-3);
+  EXPECT_NEAR(ci.lo, 3.0 - ci.half_width, 1e-12);
+  EXPECT_NEAR(ci.hi, 3.0 + ci.half_width, 1e-12);
+}
+
+TEST(MeanCi, SingleSampleCollapses) {
+  const std::vector<double> xs{7.0};
+  const auto ci = mean_confidence_interval(xs);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.0);
+}
+
+TEST(MeanCi, WiderConfidenceWiderInterval) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto c90 = mean_confidence_interval(xs, 0.90);
+  const auto c99 = mean_confidence_interval(xs, 0.99);
+  EXPECT_LT(c90.half_width, c99.half_width);
+}
+
+TEST(MeanCi, RejectsEmptyAndBadConfidence) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mean_confidence_interval(empty), std::invalid_argument);
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW((void)mean_confidence_interval(xs, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+  EXPECT_NEAR(percentile(xs, 25), 17.5, 1e-12);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndDensity) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(0.5);  // bin 0
+  for (int i = 0; i < 300; ++i) h.add(5.5);  // bin 5
+  EXPECT_EQ(h.total(), 400u);
+  EXPECT_EQ(h.bin_count(0), 100u);
+  EXPECT_EQ(h.bin_count(5), 300u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 1.0);
+  EXPECT_DOUBLE_EQ(h.density(5), 300.0 / 400.0 / 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Wilcoxon, IdenticalSamplesGivePOne) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(wilcoxon_signed_rank(xs, xs), 1.0);
+}
+
+TEST(Wilcoxon, RejectsSizeMismatch) {
+  const std::vector<double> xs{1, 2};
+  const std::vector<double> ys{1};
+  EXPECT_THROW((void)wilcoxon_signed_rank(xs, ys), std::invalid_argument);
+}
+
+TEST(Wilcoxon, SymmetricInArguments) {
+  const std::vector<double> xs{5, 7, 3, 9, 11, 2, 8};
+  const std::vector<double> ys{4, 9, 1, 7, 12, 1, 6};
+  EXPECT_DOUBLE_EQ(wilcoxon_signed_rank(xs, ys),
+                   wilcoxon_signed_rank(ys, xs));
+}
+
+TEST(Wilcoxon, ExactSmallSampleAllPositive) {
+  // n = 5, all differences positive: W+ = 15, the most extreme of 32
+  // assignments together with W+ = 0 -> p = 2/32.
+  const std::vector<double> xs{2, 3, 4, 5, 6};
+  const std::vector<double> ys{1, 1, 1, 1, 1};
+  EXPECT_NEAR(wilcoxon_signed_rank(xs, ys), 2.0 / 32.0, 1e-12);
+}
+
+TEST(Wilcoxon, DetectsSystematicShiftLargeSample) {
+  // 30 pairs, consistent positive shift with noise: p must be tiny.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 30; ++i) {
+    const double noise = 0.1 * std::sin(3.7 * i);
+    xs.push_back(10.0 + 1.0 + noise);
+    ys.push_back(10.0 + noise * 0.5);
+  }
+  EXPECT_LT(wilcoxon_signed_rank(xs, ys), 1e-4);
+}
+
+TEST(Wilcoxon, NoShiftLargeSampleNotSignificant) {
+  // Alternating +/- differences of equal magnitude: no evidence of shift.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(5.0);
+    ys.push_back(5.0 + ((i % 2 == 0) ? 1.0 : -1.0) * (1.0 + 0.01 * i));
+  }
+  EXPECT_GT(wilcoxon_signed_rank(xs, ys), 0.3);
+}
+
+TEST(Wilcoxon, ZeroDifferencesDropped) {
+  // Three informative pairs among many zeros: matches the 3-pair result.
+  const std::vector<double> xs3{2, 3, 4};
+  const std::vector<double> ys3{1, 1, 1};
+  std::vector<double> xs = xs3;
+  std::vector<double> ys = ys3;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(7.0);
+    ys.push_back(7.0);
+  }
+  EXPECT_DOUBLE_EQ(wilcoxon_signed_rank(xs, ys),
+                   wilcoxon_signed_rank(xs3, ys3));
+}
+
+TEST(MeanHelpers, MeanAndStddev) {
+  const std::vector<double> xs{2, 4, 6};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+  EXPECT_DOUBLE_EQ(sample_stddev(xs), 2.0);
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mean(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ptgsched

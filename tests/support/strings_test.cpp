@@ -1,0 +1,67 @@
+// Tests for string utilities and the table renderer.
+
+#include "support/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptgsched {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("\t\n x \r"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(Strfmt, LongOutput) {
+  const std::string long_arg(1000, 'a');
+  EXPECT_EQ(strfmt("%s", long_arg.c_str()).size(), 1000u);
+}
+
+TEST(FormatDouble, Decimals) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 3), "-0.500");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");  // never truncates
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(RenderTable, AlignsColumnsWithHeaderRule) {
+  const std::string out = render_table({{"name", "value"}, {"x", "12345"}});
+  // Header, separator, one data row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_NE(out.find("name  value"), std::string::npos);
+  EXPECT_NE(out.find("----  -----"), std::string::npos);
+}
+
+TEST(RenderTable, EmptyInput) { EXPECT_EQ(render_table({}), ""); }
+
+TEST(RenderTable, RaggedRows) {
+  const std::string out =
+      render_table({{"a", "b", "c"}, {"1"}, {"1", "2", "3"}});
+  EXPECT_NE(out.find("a  b  c"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ptgsched

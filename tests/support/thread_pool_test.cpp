@@ -1,0 +1,101 @@
+// Tests for the thread pool used to evaluate EA offspring in parallel.
+
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ptgsched {
+namespace {
+
+TEST(ThreadPool, InlineModeRunsAllIterations) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0u);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, EachIndexVisitedExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t n = 5000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, SingleIterationRunsInline) {
+  ThreadPool pool(4);
+  int x = 0;
+  pool.parallel_for(1, [&](std::size_t) { ++x; });
+  EXPECT_EQ(x, 1);
+}
+
+TEST(ThreadPool, MoreIterationsThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(1000, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, FewerIterationsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(3, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(50, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 42) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, InlineExceptionPropagates) {
+  ThreadPool pool(0);
+  EXPECT_THROW(
+      pool.parallel_for(5, [](std::size_t) { throw std::logic_error("x"); }),
+      std::logic_error);
+}
+
+TEST(ThreadPool, ParallelSumIsCorrect) {
+  ThreadPool pool(4);
+  constexpr std::size_t n = 10000;
+  std::atomic<long long> sum{0};
+  pool.parallel_for(n, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i));
+  });
+  EXPECT_EQ(sum.load(), static_cast<long long>(n) * (n - 1) / 2);
+}
+
+}  // namespace
+}  // namespace ptgsched
