@@ -8,11 +8,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+
 #include "daggen/corpus.hpp"
 #include "emts/emts.hpp"
+#include "eval/evaluation_engine.hpp"
 #include "heuristics/cpa.hpp"
 #include "ptg/algorithms.hpp"
 #include "sched/list_scheduler.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -117,6 +122,66 @@ void BM_EmtsFull(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EmtsFull)->Arg(20)->Arg(100)->Unit(benchmark::kMillisecond);
+
+// Per-item dispatch: one queue entry (and one lock round-trip) per index.
+void BM_ParallelForPerItem(benchmark::State& state) {
+  ThreadPool pool(3);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::atomic<long long> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for(n, [&](std::size_t i) {
+      sink.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ParallelForPerItem)->Arg(100)->Arg(1000);
+
+// Blocked dispatch: one queue entry per helper, blocks claimed atomically.
+void BM_ParallelForBlocked(benchmark::State& state) {
+  ThreadPool pool(3);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t grain = std::max<std::size_t>(1, n / 16);
+  std::atomic<long long> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for_blocked(n, grain,
+                              [&](std::size_t lo, std::size_t hi, std::size_t) {
+                                long long s = 0;
+                                for (std::size_t i = lo; i < hi; ++i) {
+                                  s += static_cast<long long>(i);
+                                }
+                                sink.fetch_add(s, std::memory_order_relaxed);
+                              });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ParallelForBlocked)->Arg(100)->Arg(1000);
+
+// One EMTS-10-sized generation through the persistent evaluation engine.
+void BM_EngineBatch(benchmark::State& state) {
+  const Ptg g = bench_graph(100);
+  const Cluster cluster = grelon();
+  const SyntheticModel model;
+  EvalEngineConfig cfg;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+  EvaluationEngine engine(g, model, cluster, {}, cfg);
+  const MutateFn mutate =
+      Emts::make_mutator(MutationParams{}, 0.33, 10, cluster.num_processors());
+  const Allocation base(g.num_tasks(), 4);
+  Rng rng(9);
+  std::vector<Individual> batch(100);
+  for (auto& ind : batch) ind.genes = mutate(base, 0, rng);
+  for (auto _ : state) {
+    auto pool = batch;
+    engine.evaluate_batch(pool, 0);
+    benchmark::DoNotOptimize(pool.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_EngineBatch)->Arg(1)->Arg(4)->Arg(8);
 
 void BM_CorpusGeneration(benchmark::State& state) {
   for (auto _ : state) {

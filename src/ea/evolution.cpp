@@ -4,47 +4,75 @@
 #include <stdexcept>
 
 #include "support/stats.hpp"
-#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace ptgsched {
 
-EvolutionStrategy::EvolutionStrategy(EsConfig config, FitnessFn fitness,
+FnBatchEvaluator::FnBatchEvaluator(FitnessFn fitness, std::size_t threads)
+    : fitness_(std::move(fitness)),
+      pool_(threads == 0 ? 0 : threads - 1) {
+  if (fitness_ == nullptr) {
+    throw std::invalid_argument("FnBatchEvaluator: fitness must be callable");
+  }
+}
+
+void FnBatchEvaluator::evaluate_batch(std::vector<Individual>& pool,
+                                      std::size_t begin) {
+  const std::size_t n = pool.size() - begin;
+  if (n == 0) return;
+  if (pool_.num_threads() == 0) {
+    for (std::size_t i = begin; i < pool.size(); ++i) {
+      pool[i].fitness = fitness_(pool[i].genes, 0);
+    }
+    return;
+  }
+  // Small blocks rebalance imbalanced evaluations (e.g. rejection
+  // bailouts) across the persistent workers; the slot stays a stable lane
+  // id so the fitness function may keep per-slot scratch.
+  const std::size_t grain =
+      std::max<std::size_t>(1, n / (4 * pool_.num_slots()));
+  pool_.parallel_for_blocked(
+      n, grain, [&](std::size_t lo, std::size_t hi, std::size_t slot) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          pool[begin + i].fitness = fitness_(pool[begin + i].genes, slot);
+        }
+      });
+}
+
+EvolutionStrategy::EvolutionStrategy(EsConfig config, BatchEvaluator& evaluator,
                                      MutateFn mutate)
-    : config_(config), fitness_(std::move(fitness)),
-      mutate_(std::move(mutate)) {
+    : config_(config), evaluator_(&evaluator), mutate_(std::move(mutate)) {
   if (config_.mu == 0) throw std::invalid_argument("ES: mu == 0");
   if (config_.lambda == 0) throw std::invalid_argument("ES: lambda == 0");
   if (!config_.plus_selection && config_.lambda < config_.mu) {
     throw std::invalid_argument("ES: comma selection requires lambda >= mu");
   }
-  if (fitness_ == nullptr || mutate_ == nullptr) {
+  if (mutate_ == nullptr) {
+    throw std::invalid_argument("ES: mutate must be callable");
+  }
+}
+
+EvolutionStrategy::EvolutionStrategy(EsConfig config, FitnessFn fitness,
+                                     MutateFn mutate)
+    : config_(config), mutate_(std::move(mutate)) {
+  if (config_.mu == 0) throw std::invalid_argument("ES: mu == 0");
+  if (config_.lambda == 0) throw std::invalid_argument("ES: lambda == 0");
+  if (!config_.plus_selection && config_.lambda < config_.mu) {
+    throw std::invalid_argument("ES: comma selection requires lambda >= mu");
+  }
+  if (fitness == nullptr || mutate_ == nullptr) {
     throw std::invalid_argument("ES: fitness and mutate must be callable");
   }
+  owned_evaluator_ =
+      std::make_unique<FnBatchEvaluator>(std::move(fitness), config_.threads);
+  evaluator_ = owned_evaluator_.get();
 }
 
 void EvolutionStrategy::evaluate(std::vector<Individual>& pool,
                                  std::size_t begin, EsResult& result) {
   const std::size_t n = pool.size() - begin;
   if (n == 0) return;
-  const std::size_t slots = std::max<std::size_t>(1, config_.threads);
-  if (slots == 1) {
-    for (std::size_t i = begin; i < pool.size(); ++i) {
-      pool[i].fitness = fitness_(pool[i].genes, 0);
-    }
-  } else {
-    // Chunk the range so each parallel_for index is a stable slot id; the
-    // fitness function may keep per-slot scratch.
-    ThreadPool pool_threads(slots - 1);
-    const std::size_t chunk = (n + slots - 1) / slots;
-    pool_threads.parallel_for(slots, [&](std::size_t slot) {
-      const std::size_t lo = begin + slot * chunk;
-      const std::size_t hi = std::min(pool.size(), lo + chunk);
-      for (std::size_t i = lo; i < hi; ++i) {
-        pool[i].fitness = fitness_(pool[i].genes, slot);
-      }
-    });
-  }
+  evaluator_->evaluate_batch(pool, begin);
   result.evaluations += n;
 }
 
@@ -90,6 +118,8 @@ EsResult EvolutionStrategy::run(const std::vector<Individual>& seeds) {
     gs.evaluations = result.evaluations;
     gs.elapsed_seconds = timer.seconds();
     result.history.push_back(gs);
+    evaluator_->on_selection(gen, population.front().fitness,
+                             population.back().fitness);
     if (config_.on_generation) {
       config_.on_generation(gen, population.front().fitness,
                             population.back().fitness);

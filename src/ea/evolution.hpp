@@ -15,11 +15,13 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sched/allocation.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ptgsched {
 
@@ -39,6 +41,59 @@ using FitnessFn =
 /// Mutation: produce a child genome from a parent at generation `u`.
 using MutateFn = std::function<Allocation(const Allocation& parent,
                                           std::size_t generation, Rng& rng)>;
+
+/// Batch fitness evaluator: the abstraction the ES drives instead of a raw
+/// per-individual callback. An implementation owns whatever it needs to
+/// evaluate a whole population slice — worker threads, per-slot scratch,
+/// caches, incumbent bounds — and keeps that state alive across
+/// generations (the ES never tears an evaluator down between batches).
+/// EMTS plugs in the EvaluationEngine from src/eval; tests and ablations
+/// can use FnBatchEvaluator below to adapt a plain FitnessFn.
+class BatchEvaluator {
+ public:
+  virtual ~BatchEvaluator() = default;
+
+  /// Evaluate pool[begin .. pool.size()) in place, filling `fitness`.
+  /// Individuals are independent; implementations may evaluate them in any
+  /// order and concurrently. Must be deterministic in the genes: the value
+  /// assigned to an individual may not depend on evaluation order or
+  /// thread count.
+  virtual void evaluate_batch(std::vector<Individual>& pool,
+                              std::size_t begin) = 0;
+
+  /// Selection checkpoint: called after the initial selection and after
+  /// every generation's selection with the best and worst surviving
+  /// fitness. No evaluations are in flight during the call, so an
+  /// implementation may safely publish an incumbent bound for the next
+  /// batch (EMTS's rejection strategy uses the worst survivor: under plus
+  /// selection an offspring worse than every current parent can never be
+  /// selected, so rejecting it does not alter the evolution trajectory).
+  virtual void on_selection(std::size_t generation, double best,
+                            double worst) {
+    (void)generation;
+    (void)best;
+    (void)worst;
+  }
+};
+
+/// Adapts a plain FitnessFn to the BatchEvaluator interface, evaluating
+/// over a persistent thread pool (created once, reused every generation).
+/// `threads` counts evaluation lanes exactly like EsConfig::threads: the
+/// fitness function's `slot` argument is in [0, max(1, threads)).
+class FnBatchEvaluator final : public BatchEvaluator {
+ public:
+  FnBatchEvaluator(FitnessFn fitness, std::size_t threads);
+
+  void evaluate_batch(std::vector<Individual>& pool,
+                      std::size_t begin) override;
+
+  /// The persistent pool (exposed so tests can assert worker stability).
+  [[nodiscard]] const ThreadPool& pool() const noexcept { return pool_; }
+
+ private:
+  FitnessFn fitness_;
+  ThreadPool pool_;
+};
 
 struct EsConfig {
   std::size_t mu = 5;          ///< Parents kept per generation.
@@ -87,6 +142,14 @@ struct EsResult {
 /// The evolution strategy engine.
 class EvolutionStrategy {
  public:
+  /// Drive an external batch evaluator (not owned; must outlive run()).
+  /// EsConfig::threads is ignored on this path — the evaluator owns its
+  /// parallelism.
+  EvolutionStrategy(EsConfig config, BatchEvaluator& evaluator,
+                    MutateFn mutate);
+
+  /// Convenience: wrap a plain per-individual fitness function in an owned
+  /// FnBatchEvaluator running on config.threads evaluation lanes.
   EvolutionStrategy(EsConfig config, FitnessFn fitness, MutateFn mutate);
 
   /// Run the ES. `seeds` are starting genomes (may be empty only if
@@ -103,7 +166,8 @@ class EvolutionStrategy {
                 EsResult& result);
 
   EsConfig config_;
-  FitnessFn fitness_;
+  std::unique_ptr<FnBatchEvaluator> owned_evaluator_;  ///< FitnessFn path.
+  BatchEvaluator* evaluator_ = nullptr;  ///< Never null after construction.
   MutateFn mutate_;
 };
 

@@ -1,8 +1,6 @@
 #include "emts/emts.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <limits>
 #include <stdexcept>
 
 #include "heuristics/delta_critical.hpp"
@@ -69,15 +67,23 @@ EmtsResult Emts::schedule(const Ptg& g, const ExecutionTimeModel& model,
   WallTimer total_timer;
   EmtsResult result;
 
+  // The engine owns the whole evaluation hot path for this run: per-slot
+  // list schedulers, the persistent worker pool, the memo cache, and the
+  // rejection incumbent (published by the ES between selections).
+  EvalEngineConfig engine_cfg;
+  engine_cfg.threads = config_.threads;
+  engine_cfg.use_rejection = config_.use_rejection;
+  engine_cfg.memoize = config_.memoize;
+  EvaluationEngine engine(g, model, cluster, config_.mapping, engine_cfg);
+
   // --- Step 0: starting solutions (Section III-B). ---------------------
   WallTimer seed_timer;
   std::vector<Individual> seeds;
-  ListScheduler seed_eval(g, cluster, model, config_.mapping);
 
   const auto add_seed = [&](const std::string& label, Allocation alloc) {
     SeedInfo info;
     info.heuristic = label;
-    info.makespan = seed_eval.makespan(alloc);
+    info.makespan = engine.evaluate_one(alloc);
     info.allocation = alloc;
     result.seeds.push_back(info);
     Individual ind;
@@ -114,52 +120,19 @@ EmtsResult Emts::schedule(const Ptg& g, const ExecutionTimeModel& model,
   es_cfg.time_budget_seconds = config_.time_budget_seconds;
   es_cfg.stagnation_limit = config_.stagnation_limit;
   es_cfg.seed = config_.seed;
-  es_cfg.threads = config_.threads;
 
-  // One list scheduler per evaluation slot: the mapping function is the
-  // fitness function (Section III-A) and keeps per-slot scratch buffers.
-  const std::size_t slots = std::max<std::size_t>(1, config_.threads);
-  std::vector<std::unique_ptr<ListScheduler>> schedulers;
-  schedulers.reserve(slots);
-  for (std::size_t i = 0; i < slots; ++i) {
-    schedulers.push_back(
-        std::make_unique<ListScheduler>(g, cluster, model, config_.mapping));
-  }
-  // With rejection enabled, the incumbent bound is the best fitness of the
-  // previous generation, published by the ES between generations (so the
-  // value is stable while evaluations run, even multi-threaded).
-  auto incumbent = std::make_shared<std::atomic<double>>(
-      std::numeric_limits<double>::infinity());
-  FitnessFn fitness;
-  if (config_.use_rejection) {
-    fitness = [&schedulers, incumbent](const Allocation& alloc,
-                                       std::size_t slot) {
-      return schedulers[slot]->makespan_bounded(
-          alloc, incumbent->load(std::memory_order_relaxed));
-    };
-    es_cfg.on_generation = [incumbent](std::size_t, double /*best*/,
-                                       double worst_survivor) {
-      incumbent->store(worst_survivor, std::memory_order_relaxed);
-    };
-  } else {
-    fitness = [&schedulers](const Allocation& alloc, std::size_t slot) {
-      return schedulers[slot]->makespan(alloc);
-    };
-  }
-
-  EvolutionStrategy es(es_cfg, fitness,
+  EvolutionStrategy es(es_cfg, engine,
                        make_mutator(config_.mutation, config_.fm,
                                     config_.generations,
                                     cluster.num_processors()));
   result.es = es.run(seeds);
 
-  for (const auto& s : schedulers) {
-    result.rejected_evaluations += s->rejected_count();
-  }
+  result.eval_stats = engine.stats();
+  result.rejected_evaluations = result.eval_stats.rejections;
 
   // --- Step 2: map the best allocation (Section III-A). ----------------
   result.best_allocation = result.es.best.genes;
-  result.schedule = schedulers.front()->build_schedule(result.best_allocation);
+  result.schedule = engine.build_schedule(result.best_allocation);
   result.makespan = result.schedule.makespan();
   result.total_seconds = total_timer.seconds();
   return result;

@@ -22,6 +22,7 @@
 
 #include "ea/evolution.hpp"
 #include "emts/mutation.hpp"
+#include "eval/evaluation_engine.hpp"
 #include "heuristics/allocation_heuristic.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/schedule.hpp"
@@ -52,6 +53,11 @@ struct EmtsConfig {
   /// evolution trajectory (and the final schedule) is bit-identical to a
   /// run without rejection — only cheaper. Requires plus selection.
   bool use_rejection = false;
+  /// Memoize exact makespans per allocation in the evaluation engine.
+  /// Mutants frequently collide with their parents and each other under
+  /// small mutation counts; a hit returns the exact cached value, so the
+  /// evolution trajectory and final schedule are bit-identical either way.
+  bool memoize = true;
 };
 
 /// The paper's EMTS5: (5 + 25)-EA over 5 generations.
@@ -71,6 +77,9 @@ struct EmtsResult {
   Schedule schedule;          ///< Best allocation mapped onto the cluster.
   std::vector<SeedInfo> seeds;
   EsResult es;                ///< Convergence history and counters.
+  /// Evaluation-engine telemetry for the whole run (seed evaluations
+  /// included): throughput, cache hits, rejections, eval wall time.
+  EvalStats eval_stats;
   std::size_t rejected_evaluations = 0;  ///< Early-rejected mappings.
   double seeding_seconds = 0.0;
   double total_seconds = 0.0;

@@ -1,0 +1,176 @@
+#include "eval/evaluation_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace ptgsched {
+
+namespace {
+
+/// splitmix64-combined hash of an allocation vector. Collisions are
+/// harmless (the cache verifies the stored allocation before a hit) but
+/// rare, so they only cost a miss.
+std::uint64_t allocation_hash(const Allocation& alloc) noexcept {
+  std::uint64_t h = splitmix64(0x9e3779b97f4a7c15ull + alloc.size());
+  for (const int s : alloc) {
+    h = splitmix64(h ^ static_cast<std::uint64_t>(static_cast<unsigned>(s)));
+  }
+  return h;
+}
+
+}  // namespace
+
+EvaluationEngine::EvaluationEngine(const Ptg& g,
+                                   const ExecutionTimeModel& model,
+                                   const Cluster& cluster,
+                                   ListSchedulerOptions mapping,
+                                   EvalEngineConfig config)
+    : config_(config),
+      pool_(config.threads == 0 ? 0 : config.threads - 1),
+      incumbent_(std::numeric_limits<double>::infinity()),
+      cache_shards_(kCacheShards) {
+  const std::size_t slots = std::max<std::size_t>(1, config_.threads);
+  slots_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    slots_.push_back(
+        std::make_unique<ListScheduler>(g, cluster, model, mapping));
+  }
+  slot_counters_.resize(slots);
+}
+
+bool EvaluationEngine::cache_lookup(std::uint64_t key,
+                                    const Allocation& alloc, double* out) {
+  CacheShard& shard = cache_shards_[key % kCacheShards];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.first != alloc) return false;
+  *out = it->second.second;
+  return true;
+}
+
+void EvaluationEngine::cache_insert(std::uint64_t key, const Allocation& alloc,
+                                    double value) {
+  if (cache_size_.load(std::memory_order_relaxed) >= config_.memo_capacity) {
+    return;
+  }
+  CacheShard& shard = cache_shards_[key % kCacheShards];
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto [it, inserted] = shard.map.try_emplace(key, alloc, value);
+  if (inserted) {
+    cache_size_.fetch_add(1, std::memory_order_relaxed);
+  } else if (it->second.first != alloc) {
+    // Hash collision between distinct allocations: keep the newer entry.
+    it->second = {alloc, value};
+  }
+}
+
+double EvaluationEngine::fitness_for(const Allocation& alloc,
+                                     std::size_t slot, double bound) {
+  SlotCounters& counters = slot_counters_[slot];
+  ++counters.evaluations;
+
+  std::uint64_t key = 0;
+  if (config_.memoize) {
+    key = allocation_hash(alloc);
+    double cached = 0.0;
+    if (cache_lookup(key, alloc, &cached)) {
+      ++counters.cache_hits;
+      return cached;
+    }
+    ++counters.cache_misses;
+  }
+
+  ++counters.scheduled;
+  const double makespan = slots_[slot]->makespan_bounded(alloc, bound);
+  // Only exact makespans may be cached: a rejected (+inf) result is an
+  // artifact of the current bound, not a property of the allocation.
+  if (config_.memoize && std::isfinite(makespan)) {
+    cache_insert(key, alloc, makespan);
+  }
+  return makespan;
+}
+
+void EvaluationEngine::evaluate_batch(std::vector<Individual>& pool,
+                                      std::size_t begin) {
+  const std::size_t n = pool.size() - begin;
+  if (n == 0) return;
+  WallTimer timer;
+  const double bound = config_.use_rejection
+                           ? incumbent_.load(std::memory_order_relaxed)
+                           : std::numeric_limits<double>::infinity();
+  if (pool_.num_threads() == 0) {
+    for (std::size_t i = begin; i < pool.size(); ++i) {
+      pool[i].fitness = fitness_for(pool[i].genes, 0, bound);
+    }
+  } else {
+    // Small blocks keep all workers busy even when rejection bails some
+    // evaluations out early; the slot pins each participant to its own
+    // ListScheduler scratch.
+    const std::size_t grain =
+        std::max<std::size_t>(1, n / (4 * pool_.num_slots()));
+    pool_.parallel_for_blocked(
+        n, grain, [&](std::size_t lo, std::size_t hi, std::size_t slot) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            pool[begin + i].fitness =
+                fitness_for(pool[begin + i].genes, slot, bound);
+          }
+        });
+  }
+  ++batches_;
+  eval_seconds_ += timer.seconds();
+}
+
+void EvaluationEngine::on_selection(std::size_t /*generation*/,
+                                    double /*best*/, double worst) {
+  if (config_.use_rejection) {
+    incumbent_.store(worst, std::memory_order_relaxed);
+  }
+}
+
+double EvaluationEngine::evaluate_one(const Allocation& alloc) {
+  return fitness_for(alloc, 0, std::numeric_limits<double>::infinity());
+}
+
+Schedule EvaluationEngine::build_schedule(const Allocation& alloc) {
+  return slots_.front()->build_schedule(alloc);
+}
+
+EvalStats EvaluationEngine::stats() const {
+  EvalStats s;
+  for (const SlotCounters& c : slot_counters_) {
+    s.evaluations += c.evaluations;
+    s.scheduled += c.scheduled;
+    s.cache_hits += c.cache_hits;
+    s.cache_misses += c.cache_misses;
+  }
+  std::size_t rejections = 0;
+  for (const auto& sched : slots_) rejections += sched->rejected_count();
+  s.rejections = rejections - rejections_offset_;
+  s.batches = batches_;
+  s.eval_seconds = eval_seconds_;
+  return s;
+}
+
+void EvaluationEngine::reset_stats() {
+  std::fill(slot_counters_.begin(), slot_counters_.end(), SlotCounters{});
+  batches_ = 0;
+  eval_seconds_ = 0.0;
+  rejections_offset_ = 0;
+  for (const auto& sched : slots_) {
+    rejections_offset_ += sched->rejected_count();
+  }
+}
+
+void EvaluationEngine::clear_cache() {
+  for (CacheShard& shard : cache_shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+  cache_size_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ptgsched

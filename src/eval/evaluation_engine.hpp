@@ -1,0 +1,168 @@
+#pragma once
+// EvaluationEngine — the parallel fitness-evaluation layer of EMTS.
+//
+// The paper's entire optimization cost sits in the mapping step: every
+// fitness evaluation is a full list-scheduling pass, and EMTS-10 runs
+// lambda = 100 of them per generation (Section III-A, Section V). The
+// engine owns everything that hot path needs and keeps it alive for the
+// whole optimization:
+//
+//   * one ListScheduler per evaluation slot (preallocated scratch),
+//   * a persistent ThreadPool (created once per engine, not per
+//     generation) with dynamic blocked work distribution, so
+//     rejection-bailout imbalance rebalances across workers,
+//   * an optional allocation-memoization cache (exact makespan per
+//     allocation vector — mutants frequently collide with their parents
+//     and each other under small mutation counts),
+//   * the rejection-strategy incumbent bound (Section VI future work),
+//     published between generations via BatchEvaluator::on_selection,
+//   * an EvalStats telemetry snapshot (evaluations, cache hits/misses,
+//     rejections, wall-seconds in evaluation) surfaced through EmtsResult
+//     and the campaign CSV writers.
+//
+// Determinism: the fitness assigned to an individual is a pure function of
+// its allocation (and, with rejection, of the current bound), never of
+// evaluation order or thread count — cache hits return exactly the value a
+// fresh ListScheduler pass would compute, and bounded (rejected, +inf)
+// results are never cached. Only the stats counters may differ between
+// thread counts (duplicate individuals inside one batch can race from
+// "hit" to "miss"); rejections, fitness values, and the evolution
+// trajectory do not.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "ea/evolution.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ptgsched {
+
+struct EvalEngineConfig {
+  /// Evaluation lanes; 0 = evaluate inline on the calling thread. A value
+  /// of T creates T slots served by T - 1 workers plus the caller.
+  std::size_t threads = 0;
+  /// Enable the incumbent-bound rejection strategy: evaluations abort with
+  /// +infinity as soon as the partial schedule provably exceeds the bound
+  /// published by the last selection (ListScheduler::makespan_bounded).
+  bool use_rejection = false;
+  /// Memoize exact makespans per allocation vector. Hits return the exact
+  /// cached value, so results are bit-identical with the cache off.
+  bool memoize = false;
+  /// Maximum number of cached allocations (inserts stop when full; an
+  /// EMTS-10 run performs ~1e3 evaluations, far below the default).
+  std::size_t memo_capacity = 1 << 16;
+};
+
+/// Telemetry snapshot of an engine's lifetime (since construction or the
+/// last reset_stats()).
+struct EvalStats {
+  std::size_t evaluations = 0;   ///< Fitness values requested.
+  std::size_t scheduled = 0;     ///< List-scheduler passes actually run.
+  std::size_t cache_hits = 0;    ///< Served from the memo cache.
+  std::size_t cache_misses = 0;  ///< Looked up but absent (memoize only).
+  std::size_t rejections = 0;    ///< Bounded passes that bailed out early.
+  std::size_t batches = 0;       ///< evaluate_batch() calls.
+  double eval_seconds = 0.0;     ///< Wall seconds inside evaluate_batch().
+
+  /// Evaluations per wall-second inside the engine (0 if no time elapsed).
+  [[nodiscard]] double throughput() const noexcept {
+    return eval_seconds > 0.0
+               ? static_cast<double>(evaluations) / eval_seconds
+               : 0.0;
+  }
+};
+
+/// Reusable parallel evaluator bound to one (graph, model, cluster,
+/// mapping-policy) quadruple. One engine serves one optimization run or
+/// many sequential ones; evaluate_batch() itself is not reentrant (the ES
+/// calls it from a single driver thread).
+class EvaluationEngine final : public BatchEvaluator {
+ public:
+  EvaluationEngine(const Ptg& g, const ExecutionTimeModel& model,
+                   const Cluster& cluster, ListSchedulerOptions mapping = {},
+                   EvalEngineConfig config = {});
+
+  // BatchEvaluator interface -------------------------------------------
+  void evaluate_batch(std::vector<Individual>& pool,
+                      std::size_t begin) override;
+  /// Publishes the worst survivor as the rejection bound (no-op unless
+  /// config.use_rejection).
+  void on_selection(std::size_t generation, double best,
+                    double worst) override;
+
+  // Direct evaluation --------------------------------------------------
+  /// Exact makespan of one allocation on slot 0. Ignores the incumbent
+  /// bound (seed evaluation must be exact) but uses and fills the memo
+  /// cache; counted in stats().
+  [[nodiscard]] double evaluate_one(const Allocation& alloc);
+
+  /// Full schedule for an allocation (slot 0; not counted in stats).
+  [[nodiscard]] Schedule build_schedule(const Allocation& alloc);
+
+  // Rejection bound ----------------------------------------------------
+  /// Manually publish an incumbent bound (evaluate_batch must not be
+  /// running). on_selection does this automatically for the ES.
+  void set_incumbent(double bound) noexcept {
+    incumbent_.store(bound, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double incumbent() const noexcept {
+    return incumbent_.load(std::memory_order_relaxed);
+  }
+
+  // Telemetry ----------------------------------------------------------
+  [[nodiscard]] EvalStats stats() const;
+  void reset_stats();
+  void clear_cache();
+
+  [[nodiscard]] const EvalEngineConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t num_slots() const noexcept {
+    return slots_.size();
+  }
+  /// The persistent pool (exposed so tests can assert worker stability).
+  [[nodiscard]] const ThreadPool& pool() const noexcept { return pool_; }
+
+ private:
+  struct alignas(64) SlotCounters {
+    std::size_t evaluations = 0;
+    std::size_t scheduled = 0;
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+  };
+
+  struct CacheShard {
+    std::mutex mu;
+    std::unordered_map<std::uint64_t, std::pair<Allocation, double>> map;
+  };
+
+  /// Fitness of one allocation on `slot` under `bound` (the memo- and
+  /// rejection-aware hot path).
+  double fitness_for(const Allocation& alloc, std::size_t slot, double bound);
+
+  [[nodiscard]] bool cache_lookup(std::uint64_t key, const Allocation& alloc,
+                                  double* out);
+  void cache_insert(std::uint64_t key, const Allocation& alloc, double value);
+
+  EvalEngineConfig config_;
+  std::vector<std::unique_ptr<ListScheduler>> slots_;
+  ThreadPool pool_;
+  std::atomic<double> incumbent_;
+
+  static constexpr std::size_t kCacheShards = 16;
+  std::vector<CacheShard> cache_shards_;
+  std::atomic<std::size_t> cache_size_{0};
+
+  std::vector<SlotCounters> slot_counters_;
+  std::size_t batches_ = 0;
+  double eval_seconds_ = 0.0;
+  std::size_t rejections_offset_ = 0;  ///< For reset_stats().
+};
+
+}  // namespace ptgsched

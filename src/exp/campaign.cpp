@@ -27,19 +27,39 @@ Json cells_to_json(const std::vector<RatioCell>& cells) {
 }
 
 Json runtime_to_json(const ComparisonResult& result) {
-  // Aggregate EMTS wall times per (class, platform) from the instances.
+  // Aggregate EMTS wall times and evaluation-engine telemetry per
+  // (class, platform) from the instances.
+  struct Group {
+    RunningStats seconds;
+    RunningStats eval_seconds;
+    std::size_t evaluations = 0;
+    std::size_t scheduled = 0;
+    std::size_t cache_hits = 0;
+    std::size_t rejections = 0;
+  };
   Json arr = Json::array();
-  std::map<std::pair<std::string, std::string>, RunningStats> groups;
+  std::map<std::pair<std::string, std::string>, Group> groups;
   for (const InstanceResult& ir : result.instances) {
-    groups[{ir.cls, ir.platform}].add(ir.emts_seconds);
+    Group& g = groups[{ir.cls, ir.platform}];
+    g.seconds.add(ir.emts_seconds);
+    g.eval_seconds.add(ir.emts_eval_seconds);
+    g.evaluations += ir.emts_evaluations;
+    g.scheduled += ir.emts_scheduled;
+    g.cache_hits += ir.emts_cache_hits;
+    g.rejections += ir.emts_rejections;
   }
-  for (const auto& [key, stats] : groups) {
+  for (const auto& [key, g] : groups) {
     Json row = Json::object();
     row.set("class", key.first);
     row.set("platform", key.second);
-    row.set("mean_seconds", stats.mean());
-    row.set("sd_seconds", stats.stddev());
-    row.set("n", static_cast<std::int64_t>(stats.count()));
+    row.set("mean_seconds", g.seconds.mean());
+    row.set("sd_seconds", g.seconds.stddev());
+    row.set("mean_eval_seconds", g.eval_seconds.mean());
+    row.set("evaluations", static_cast<std::int64_t>(g.evaluations));
+    row.set("scheduled", static_cast<std::int64_t>(g.scheduled));
+    row.set("cache_hits", static_cast<std::int64_t>(g.cache_hits));
+    row.set("rejections", static_cast<std::int64_t>(g.rejections));
+    row.set("n", static_cast<std::int64_t>(g.seconds.count()));
     arr.push_back(std::move(row));
   }
   return arr;

@@ -65,6 +65,10 @@ ComparisonResult run_comparison(const ComparisonConfig& config,
         ir.emts_makespan = er.makespan;
         ir.emts_seconds = er.total_seconds;
         ir.emts_evaluations = er.es.evaluations;
+        ir.emts_scheduled = er.eval_stats.scheduled;
+        ir.emts_cache_hits = er.eval_stats.cache_hits;
+        ir.emts_rejections = er.eval_stats.rejections;
+        ir.emts_eval_seconds = er.eval_stats.eval_seconds;
 
         result.instances.push_back(std::move(ir));
         ++done;
@@ -124,7 +128,9 @@ void write_instances_csv(const ComparisonResult& result,
   std::ofstream out(path, std::ios::trunc);
   if (!out) throw std::runtime_error("cannot write " + path);
   out << "class,graph,platform,tasks,baseline,baseline_makespan,"
-         "emts_makespan,ratio,emts_seconds,emts_evaluations\n";
+         "emts_makespan,ratio,emts_seconds,emts_evaluations,"
+         "emts_scheduled,emts_cache_hits,emts_rejections,"
+         "emts_eval_seconds\n";
   for (const InstanceResult& ir : result.instances) {
     for (const auto& [baseline, makespan] : ir.baseline_makespans) {
       out << ir.cls << ',' << ir.graph << ',' << ir.platform << ','
@@ -132,6 +138,8 @@ void write_instances_csv(const ComparisonResult& result,
           << strfmt("%.6g", makespan) << ',' << strfmt("%.6g", ir.emts_makespan)
           << ',' << strfmt("%.6g", makespan / ir.emts_makespan) << ','
           << strfmt("%.4f", ir.emts_seconds) << ',' << ir.emts_evaluations
+          << ',' << ir.emts_scheduled << ',' << ir.emts_cache_hits << ','
+          << ir.emts_rejections << ',' << strfmt("%.4f", ir.emts_eval_seconds)
           << '\n';
     }
   }

@@ -43,6 +43,13 @@ struct InstanceResult {
   double emts_makespan = 0.0;
   double emts_seconds = 0.0;
   std::size_t emts_evaluations = 0;
+  /// Evaluation-engine telemetry (EmtsResult::eval_stats): list-scheduler
+  /// passes actually run, memo-cache hits, early rejections, and wall
+  /// seconds spent evaluating fitness.
+  std::size_t emts_scheduled = 0;
+  std::size_t emts_cache_hits = 0;
+  std::size_t emts_rejections = 0;
+  double emts_eval_seconds = 0.0;
   std::map<std::string, double> baseline_makespans;
 };
 

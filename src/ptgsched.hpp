@@ -26,6 +26,7 @@
 #include "ea/local_search.hpp"
 #include "emts/emts.hpp"
 #include "emts/mutation.hpp"
+#include "eval/evaluation_engine.hpp"
 #include "exp/campaign.hpp"
 #include "exp/experiment.hpp"
 #include "heuristics/allocation_heuristic.hpp"

@@ -30,10 +30,33 @@ class ThreadPool {
     return workers_.size();
   }
 
+  /// Number of participants a parallel call can use: the workers plus the
+  /// calling thread. Also the exclusive upper bound of the `slot` argument
+  /// of parallel_for_blocked.
+  [[nodiscard]] std::size_t num_slots() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// IDs of the worker threads (stable for the pool's whole lifetime).
+  [[nodiscard]] std::vector<std::thread::id> thread_ids() const;
+
   /// Run body(i) for i in [0, n), blocking until all iterations finish.
   /// Exceptions from body are rethrown on the calling thread (first one
   /// wins). body must be safe to invoke concurrently.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Dynamic blocked range: run body(lo, hi, slot) over [0, n) split into
+  /// blocks of at most `grain` indices (grain < 1 is treated as 1). Blocks
+  /// are pulled from a shared atomic counter, so imbalanced iterations
+  /// (e.g. rejection-bailout fitness evaluations) rebalance automatically
+  /// while paying one atomic op per block instead of one queue entry per
+  /// index. `slot` is a stable participant id in [0, num_slots()): slot 0
+  /// is the calling thread and each helper gets a distinct slot, so the
+  /// body may use per-slot scratch without locking — no two concurrent
+  /// invocations ever share a slot. Blocks arrive in arbitrary order.
+  void parallel_for_blocked(
+      std::size_t n, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
 
  private:
   void worker_loop();

@@ -4,8 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <thread>
 
 namespace ptgsched {
 namespace {
@@ -208,6 +212,92 @@ TEST(EvolutionStrategy, ParallelEvaluationMatchesSerial) {
   const EsResult b = parallel.run({seed_of({1, 1, 1})});
   EXPECT_EQ(a.best.genes, b.best.genes);
   EXPECT_DOUBLE_EQ(a.best.fitness, b.best.fitness);
+}
+
+TEST(EvolutionStrategy, WorkerThreadsPersistAcrossGenerations) {
+  // Regression for the per-generation ThreadPool construction the ES used
+  // to do: every fitness evaluation must run either on the evaluator's
+  // persistent workers or on the driving thread, across all generations.
+  EsConfig cfg;
+  cfg.mu = 4;
+  cfg.lambda = 32;
+  cfg.generations = 6;
+  cfg.seed = 21;
+
+  std::mutex mu;
+  std::set<std::thread::id> observed;
+  const Allocation target = {5, 9, 2, 7};
+  FitnessFn fitness = [&](const Allocation& genes, std::size_t) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      observed.insert(std::this_thread::get_id());
+    }
+    double sum = 0.0;
+    for (std::size_t i = 0; i < genes.size(); ++i) {
+      const double d = genes[i] - target[i];
+      sum += d * d;
+    }
+    return sum;
+  };
+
+  FnBatchEvaluator evaluator(std::move(fitness), 4);
+  const auto workers_before = evaluator.pool().thread_ids();
+  ASSERT_EQ(workers_before.size(), 3u);  // threads=4 -> 3 workers + caller
+
+  EvolutionStrategy es(cfg, evaluator, step_mutator(10));
+  const EsResult result = es.run({seed_of({1, 1, 1, 1})});
+  EXPECT_EQ(result.generations_run, 6u);
+
+  // The pool never recreated its workers...
+  EXPECT_EQ(evaluator.pool().thread_ids(), workers_before);
+  // ...and every observed evaluation thread is either a persistent worker
+  // or the driving thread. A fresh pool per generation would leak other
+  // transient thread ids into `observed`.
+  for (const auto& id : observed) {
+    const bool is_worker = std::find(workers_before.begin(),
+                                     workers_before.end(),
+                                     id) != workers_before.end();
+    EXPECT_TRUE(is_worker || id == std::this_thread::get_id());
+  }
+  EXPECT_LE(observed.size(), workers_before.size() + 1);
+}
+
+TEST(EvolutionStrategy, BatchEvaluatorSelectionCheckpoints) {
+  // on_selection fires after the initial selection and after every
+  // generation, with best <= worst and no evaluations in flight.
+  struct Recorder final : BatchEvaluator {
+    std::vector<std::pair<double, double>> checkpoints;
+    Allocation target{4, 4};
+    void evaluate_batch(std::vector<Individual>& pool,
+                        std::size_t begin) override {
+      for (std::size_t i = begin; i < pool.size(); ++i) {
+        double sum = 0.0;
+        for (std::size_t j = 0; j < pool[i].genes.size(); ++j) {
+          const double d = pool[i].genes[j] - target[j];
+          sum += d * d;
+        }
+        pool[i].fitness = sum;
+      }
+    }
+    void on_selection(std::size_t, double best, double worst) override {
+      checkpoints.emplace_back(best, worst);
+    }
+  } recorder;
+
+  EsConfig cfg;
+  cfg.mu = 3;
+  cfg.lambda = 6;
+  cfg.generations = 4;
+  cfg.seed = 9;
+  EvolutionStrategy es(cfg, recorder, step_mutator(8));
+  const EsResult result = es.run({seed_of({1, 1})});
+  EXPECT_EQ(recorder.checkpoints.size(), result.history.size());
+  for (std::size_t i = 0; i < recorder.checkpoints.size(); ++i) {
+    EXPECT_LE(recorder.checkpoints[i].first, recorder.checkpoints[i].second);
+    EXPECT_DOUBLE_EQ(recorder.checkpoints[i].first, result.history[i].best);
+    EXPECT_DOUBLE_EQ(recorder.checkpoints[i].second,
+                     result.history[i].worst);
+  }
 }
 
 TEST(EvolutionStrategy, RejectsBadConfigAndInput) {

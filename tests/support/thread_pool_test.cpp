@@ -87,6 +87,91 @@ TEST(ThreadPool, InlineExceptionPropagates) {
       std::logic_error);
 }
 
+TEST(ThreadPoolBlocked, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t n : {1u, 7u, 100u, 4097u}) {
+    for (const std::size_t grain : {0u, 1u, 3u, 64u, 10000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.parallel_for_blocked(n, grain, [&](std::size_t lo, std::size_t hi,
+                                              std::size_t) {
+        ASSERT_LE(lo, hi);
+        ASSERT_LE(hi, n);
+        for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolBlocked, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for_blocked(
+      0, 8, [&](std::size_t, std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolBlocked, InlineModeUsesSlotZero) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_slots(), 1u);
+  std::size_t covered = 0;
+  pool.parallel_for_blocked(50, 7, [&](std::size_t lo, std::size_t hi,
+                                       std::size_t slot) {
+    EXPECT_EQ(slot, 0u);
+    covered += hi - lo;
+  });
+  EXPECT_EQ(covered, 50u);
+}
+
+TEST(ThreadPoolBlocked, SlotsAreExclusiveWhileRunning) {
+  // No two concurrent body invocations may share a slot (the evaluation
+  // engine keeps one ListScheduler per slot and relies on this).
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.num_slots(), 5u);
+  std::vector<std::atomic<int>> in_flight(pool.num_slots());
+  std::atomic<bool> clash{false};
+  std::atomic<long long> sink{0};
+  pool.parallel_for_blocked(2000, 4, [&](std::size_t lo, std::size_t hi,
+                                         std::size_t slot) {
+    ASSERT_LT(slot, in_flight.size());
+    if (in_flight[slot].fetch_add(1) != 0) clash.store(true);
+    for (std::size_t i = lo; i < hi; ++i) {
+      sink.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+    }
+    in_flight[slot].fetch_sub(1);
+  });
+  EXPECT_FALSE(clash.load());
+}
+
+TEST(ThreadPoolBlocked, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_blocked(
+                   100, 8,
+                   [](std::size_t lo, std::size_t, std::size_t) {
+                     if (lo == 40) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for_blocked(
+      30, 4,
+      [&](std::size_t lo, std::size_t hi, std::size_t) {
+        count.fetch_add(static_cast<int>(hi - lo));
+      });
+  EXPECT_EQ(count.load(), 30);
+}
+
+TEST(ThreadPool, ThreadIdsAreStable) {
+  ThreadPool pool(3);
+  const auto before = pool.thread_ids();
+  ASSERT_EQ(before.size(), 3u);
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(100, [](std::size_t) {});
+  }
+  EXPECT_EQ(pool.thread_ids(), before);
+}
+
 TEST(ThreadPool, ParallelSumIsCorrect) {
   ThreadPool pool(4);
   constexpr std::size_t n = 10000;
