@@ -86,6 +86,10 @@ EsResult EvolutionStrategy::run(const std::vector<Individual>& seeds) {
   EsResult result;
   Rng rng(config_.seed);
 
+  const auto cancel_requested = [&]() noexcept {
+    return config_.cancel != nullptr && config_.cancel->cancelled();
+  };
+
   // Initial population: all seeds, then mutants of random seeds until at
   // least mu individuals exist.
   std::vector<Individual> population;
@@ -100,6 +104,9 @@ EsResult EvolutionStrategy::run(const std::vector<Individual>& seeds) {
     population.push_back(std::move(filler));
   }
   evaluate(population, 0, result);
+  // A cancel during the initial batch may leave torn (+inf) fitness values
+  // in the pool; the flag makes the caller treat `best` as best-effort.
+  if (cancel_requested()) result.stopped_by_cancellation = true;
 
   const auto by_fitness = [](const Individual& a, const Individual& b) {
     return a.fitness < b.fitness;
@@ -131,6 +138,10 @@ EsResult EvolutionStrategy::run(const std::vector<Individual>& seeds) {
   std::size_t stagnant = 0;
 
   for (std::size_t u = 0; u < config_.generations; ++u) {
+    if (result.stopped_by_cancellation || cancel_requested()) {
+      result.stopped_by_cancellation = true;
+      break;
+    }
     if (config_.time_budget_seconds > 0.0 &&
         timer.seconds() >= config_.time_budget_seconds) {
       result.stopped_by_time_budget = true;
@@ -153,6 +164,13 @@ EsResult EvolutionStrategy::run(const std::vector<Individual>& seeds) {
       pool.push_back(std::move(child));
     }
     evaluate(pool, offspring_begin, result);
+    if (cancel_requested()) {
+      // The engine short-circuits remaining evaluations to +inf once the
+      // token trips, so this batch may be torn — discard it and keep the
+      // last fully selected population as the best-so-far result.
+      result.stopped_by_cancellation = true;
+      break;
+    }
 
     std::stable_sort(pool.begin(), pool.end(), by_fitness);
     pool.resize(std::min(pool.size(), config_.mu));

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sched/allocation.hpp"
+#include "support/cancellation.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
@@ -117,6 +118,13 @@ struct EsConfig {
   /// every current parent can never be selected, so rejecting it does not
   /// alter the evolution trajectory.
   std::function<void(std::size_t, double, double)> on_generation;
+  /// Cooperative cancellation (not owned; must outlive run()). Observed at
+  /// generation boundaries and again right after each batch evaluation: a
+  /// cancel seen mid-generation discards the possibly-torn offspring
+  /// batch, keeps the last fully selected population, and returns with
+  /// stopped_by_cancellation set — the result is always the untorn
+  /// best-so-far.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Per-generation convergence record.
@@ -137,6 +145,9 @@ struct EsResult {
   double elapsed_seconds = 0.0;
   bool stopped_by_time_budget = false;
   bool stopped_by_stagnation = false;
+  /// A cancellation request stopped the run early; `best` is the
+  /// best-so-far individual from the last completed selection.
+  bool stopped_by_cancellation = false;
 };
 
 /// The evolution strategy engine.

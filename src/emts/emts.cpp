@@ -74,6 +74,7 @@ EmtsResult Emts::schedule(const Ptg& g, const ExecutionTimeModel& model,
   engine_cfg.threads = config_.threads;
   engine_cfg.use_rejection = config_.use_rejection;
   engine_cfg.memoize = config_.memoize;
+  engine_cfg.cancel = config_.cancel;
   EvaluationEngine engine(g, model, cluster, config_.mapping, engine_cfg);
 
   // --- Step 0: starting solutions (Section III-B). ---------------------
@@ -120,6 +121,7 @@ EmtsResult Emts::schedule(const Ptg& g, const ExecutionTimeModel& model,
   es_cfg.time_budget_seconds = config_.time_budget_seconds;
   es_cfg.stagnation_limit = config_.stagnation_limit;
   es_cfg.seed = config_.seed;
+  es_cfg.cancel = config_.cancel;
 
   EvolutionStrategy es(es_cfg, engine,
                        make_mutator(config_.mutation, config_.fm,
@@ -129,6 +131,7 @@ EmtsResult Emts::schedule(const Ptg& g, const ExecutionTimeModel& model,
 
   result.eval_stats = engine.stats();
   result.rejected_evaluations = result.eval_stats.rejections;
+  result.cancelled = result.es.stopped_by_cancellation;
 
   // --- Step 2: map the best allocation (Section III-A). ----------------
   result.best_allocation = result.es.best.genes;

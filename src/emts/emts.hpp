@@ -58,6 +58,11 @@ struct EmtsConfig {
   /// small mutation counts; a hit returns the exact cached value, so the
   /// evolution trajectory and final schedule are bit-identical either way.
   bool memoize = true;
+  /// Cooperative cancellation (not owned; must outlive schedule()). A
+  /// cancel observed mid-run drains the evaluation pool, skips remaining
+  /// generations, and returns the best-so-far schedule with
+  /// EmtsResult::cancelled set — never a torn result.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// The paper's EMTS5: (5 + 25)-EA over 5 generations.
@@ -83,6 +88,9 @@ struct EmtsResult {
   std::size_t rejected_evaluations = 0;  ///< Early-rejected mappings.
   double seeding_seconds = 0.0;
   double total_seconds = 0.0;
+  /// The run was cut short by a cancellation request; `schedule` is the
+  /// valid best-so-far schedule (at worst the best seed heuristic's).
+  bool cancelled = false;
 };
 
 /// EMTS scheduler instance. Stateless apart from its configuration, so one

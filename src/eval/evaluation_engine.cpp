@@ -69,9 +69,17 @@ void EvaluationEngine::cache_insert(std::uint64_t key, const Allocation& alloc,
 }
 
 double EvaluationEngine::fitness_for(const Allocation& alloc,
-                                     std::size_t slot, double bound) {
+                                     std::size_t slot, double bound,
+                                     bool honor_cancel) {
   SlotCounters& counters = slot_counters_[slot];
   ++counters.evaluations;
+
+  // Drain fast on cancellation: the ES discards this batch anyway, so
+  // skip the list-scheduler pass and return a non-cacheable +infinity.
+  if (honor_cancel && config_.cancel != nullptr &&
+      config_.cancel->cancelled()) {
+    return std::numeric_limits<double>::infinity();
+  }
 
   std::uint64_t key = 0;
   if (config_.memoize) {
@@ -104,7 +112,7 @@ void EvaluationEngine::evaluate_batch(std::vector<Individual>& pool,
                            : std::numeric_limits<double>::infinity();
   if (pool_.num_threads() == 0) {
     for (std::size_t i = begin; i < pool.size(); ++i) {
-      pool[i].fitness = fitness_for(pool[i].genes, 0, bound);
+      pool[i].fitness = fitness_for(pool[i].genes, 0, bound, true);
     }
   } else {
     // Small blocks keep all workers busy even when rejection bails some
@@ -116,7 +124,7 @@ void EvaluationEngine::evaluate_batch(std::vector<Individual>& pool,
         n, grain, [&](std::size_t lo, std::size_t hi, std::size_t slot) {
           for (std::size_t i = lo; i < hi; ++i) {
             pool[begin + i].fitness =
-                fitness_for(pool[begin + i].genes, slot, bound);
+                fitness_for(pool[begin + i].genes, slot, bound, true);
           }
         });
   }
@@ -132,7 +140,10 @@ void EvaluationEngine::on_selection(std::size_t /*generation*/,
 }
 
 double EvaluationEngine::evaluate_one(const Allocation& alloc) {
-  return fitness_for(alloc, 0, std::numeric_limits<double>::infinity());
+  // Seed evaluation must be exact even while a cancel is pending (the
+  // best-so-far result is at worst a seed, never a torn +inf).
+  return fitness_for(alloc, 0, std::numeric_limits<double>::infinity(),
+                     false);
 }
 
 Schedule EvaluationEngine::build_schedule(const Allocation& alloc) {

@@ -57,6 +57,12 @@ struct EvalEngineConfig {
   /// Maximum number of cached allocations (inserts stop when full; an
   /// EMTS-10 run performs ~1e3 evaluations, far below the default).
   std::size_t memo_capacity = 1 << 16;
+  /// Cooperative cancellation (not owned; must outlive the engine). Once
+  /// the token trips, batch evaluations short-circuit to +infinity (never
+  /// cached) so an in-flight generation drains the thread pool in
+  /// microseconds instead of finishing hundreds of list-scheduler passes.
+  /// evaluate_one() stays exact regardless (seed evaluation must be).
+  const CancellationToken* cancel = nullptr;
 };
 
 /// Telemetry snapshot of an engine's lifetime (since construction or the
@@ -143,8 +149,10 @@ class EvaluationEngine final : public BatchEvaluator {
   };
 
   /// Fitness of one allocation on `slot` under `bound` (the memo- and
-  /// rejection-aware hot path).
-  double fitness_for(const Allocation& alloc, std::size_t slot, double bound);
+  /// rejection-aware hot path). With honor_cancel, a tripped cancellation
+  /// token short-circuits to +infinity before the scheduling pass.
+  double fitness_for(const Allocation& alloc, std::size_t slot, double bound,
+                     bool honor_cancel);
 
   [[nodiscard]] bool cache_lookup(std::uint64_t key, const Allocation& alloc,
                                   double* out);

@@ -1,9 +1,15 @@
 #include "exp/campaign.hpp"
 
 #include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
 
 #include "daggen/corpus.hpp"
 #include "sched/lower_bounds.hpp"
+#include "support/atomic_io.hpp"
+#include "support/error_context.hpp"
+#include "support/rng.hpp"
 #include "support/stats.hpp"
 
 namespace ptgsched {
@@ -77,22 +83,190 @@ ComparisonConfig base_config(const CampaignConfig& config) {
   return cfg;
 }
 
+// --- Checkpoint journal ------------------------------------------------
+//
+// `campaign_checkpoint.json` is a JSON-lines journal inside output_dir:
+// the first line is a config fingerprint, then one line per completed
+// unit, appended and fsynced immediately after the unit finishes. On
+// --resume, journaled units are replayed verbatim (doubles round-trip via
+// %.17g), so the resumed report's aggregates are bit-identical to an
+// uninterrupted run. A torn final line (crash mid-append) is tolerated;
+// that unit simply re-runs.
+
+std::string unit_key(const std::string& phase, const std::string& cls,
+                     const std::string& platform, std::size_t index) {
+  return phase + '|' + cls + '|' + platform + '|' + std::to_string(index);
+}
+
+Json campaign_fingerprint(const CampaignConfig& config) {
+  Json fp = Json::object();
+  fp.set("version", 1);
+  fp.set("seed", static_cast<std::int64_t>(config.seed));
+  fp.set("instances", static_cast<std::int64_t>(config.instances));
+  fp.set("num_tasks", config.num_tasks);
+  fp.set("include_emts10", config.include_emts10);
+  return fp;
+}
+
+std::map<std::string, Json> load_checkpoint(const std::string& path,
+                                            const Json& expected) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError(path, "campaign: cannot read checkpoint journal");
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+
+  std::map<std::string, Json> units;
+  bool saw_header = false;
+  for (std::size_t n = 0; n < lines.size(); ++n) {
+    if (lines[n].empty()) continue;
+    Json doc;
+    try {
+      doc = Json::parse(lines[n]);
+    } catch (const JsonError& e) {
+      // Only the final line may be torn (the process died mid-append);
+      // anything earlier is corruption we must not silently skip.
+      if (n + 1 == lines.size()) break;
+      throw LoadError(path, "",
+                      "campaign checkpoint line " + std::to_string(n + 1) +
+                          ": " + e.what());
+    }
+    if (!saw_header) {
+      if (!doc.contains("campaign")) {
+        throw LoadError(path, "campaign",
+                        "checkpoint journal is missing its header line");
+      }
+      if (!(doc.at("campaign") == expected)) {
+        throw LoadError(path, "campaign",
+                        "checkpoint was written by a different campaign "
+                        "configuration (seed/instances/tasks mismatch) — "
+                        "refusing to resume");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (!doc.contains("unit")) continue;  // failure lines: re-run on resume
+    const Json& u = doc.at("unit");
+    const std::string phase =
+        json_require(u, "phase", "checkpoint unit").as_string();
+    if (u.contains("result")) {
+      const Json& res = u.at("result");
+      const std::string key = unit_key(
+          phase, json_require(res, "class", "checkpoint unit").as_string(),
+          json_require(res, "platform", "checkpoint unit").as_string(),
+          static_cast<std::size_t>(
+              json_require(res, "index", "checkpoint unit").as_int()));
+      units[key] = res;
+    } else {
+      const std::string key = unit_key(
+          phase, json_require(u, "class", "checkpoint unit").as_string(),
+          json_require(u, "platform", "checkpoint unit").as_string(),
+          static_cast<std::size_t>(
+              json_require(u, "index", "checkpoint unit").as_int()));
+      units[key] = u;
+    }
+  }
+  if (!saw_header) {
+    throw LoadError(path, "campaign",
+                    "checkpoint journal is missing its header line");
+  }
+  return units;
+}
+
 }  // namespace
 
 Json run_campaign(const CampaignConfig& config,
                   const CampaignProgress& progress) {
+  const bool has_dir = !config.output_dir.empty();
+
+  // Create (and error-check) the output directory before any phase runs,
+  // so a config that only writes in a later phase cannot fail after hours
+  // of computation.
+  if (has_dir) {
+    std::error_code ec;
+    std::filesystem::create_directories(config.output_dir, ec);
+    if (ec) {
+      throw IoError(config.output_dir,
+                    "campaign: cannot create output directory (" +
+                        ec.message() + ")");
+    }
+  }
+
+  // Checkpoint journal: load completed units on resume, else start fresh.
+  std::map<std::string, Json> done_units;
+  std::unique_ptr<AppendJournal> journal;
+  if (has_dir) {
+    const std::string ckpt_path =
+        (std::filesystem::path(config.output_dir) / kCampaignCheckpointFile)
+            .string();
+    const Json fingerprint = campaign_fingerprint(config);
+    if (config.resume && std::filesystem::exists(ckpt_path)) {
+      done_units = load_checkpoint(ckpt_path, fingerprint);
+      journal = std::make_unique<AppendJournal>(ckpt_path);
+    } else {
+      journal = std::make_unique<AppendJournal>(ckpt_path, /*truncate=*/true);
+      Json header = Json::object();
+      header.set("campaign", fingerprint);
+      journal->append_line(header.dump(0));
+    }
+  }
+
   Json report = Json::object();
   Json meta = Json::object();
   meta.set("seed", static_cast<std::int64_t>(config.seed));
   meta.set("instances_per_class",
            static_cast<std::int64_t>(config.instances));
   meta.set("num_tasks", config.num_tasks);
+  meta.set("max_retries", config.max_retries);
+  meta.set("unit_deadline_seconds", config.unit_deadline_seconds);
   report.set("meta", std::move(meta));
+
+  Json failures = Json::array();
+  bool cancelled = false;
+  const auto cancel_requested = [&]() noexcept {
+    return config.cancel != nullptr && config.cancel->cancelled();
+  };
 
   const auto wrap_progress = [&](const std::string& phase) {
     return [&, phase](std::size_t done, std::size_t total) {
       if (progress) progress(phase, done, total);
     };
+  };
+
+  // Fault-tolerance hooks shared by the comparison phases; `phase` keys
+  // the checkpoint journal entries.
+  const auto make_hooks = [&](const std::string& phase) {
+    ComparisonHooks hooks;
+    hooks.cancel = config.cancel;
+    hooks.max_retries = config.max_retries;
+    hooks.unit_deadline_seconds = config.unit_deadline_seconds;
+    hooks.lookup = [&done_units, phase](const std::string& cls,
+                                        const std::string& platform,
+                                        std::size_t index)
+        -> std::optional<InstanceResult> {
+      const auto it = done_units.find(unit_key(phase, cls, platform, index));
+      if (it == done_units.end()) return std::nullopt;
+      return instance_result_from_json(it->second);
+    };
+    hooks.on_unit = [&journal, phase](const InstanceResult& ir) {
+      if (!journal) return;
+      Json unit = Json::object();
+      unit.set("phase", phase);
+      unit.set("result", instance_result_to_json(ir));
+      Json line = Json::object();
+      line.set("unit", std::move(unit));
+      journal->append_line(line.dump(0));
+    };
+    hooks.on_failure = [&failures, &journal, phase](const UnitFailure& f) {
+      Json fj = unit_failure_to_json(f);
+      fj.set("phase", phase);
+      if (journal) {
+        Json line = Json::object();
+        line.set("failure", fj);
+        journal->append_line(line.dump(0));
+      }
+      failures.push_back(std::move(fj));
+    };
+    return hooks;
   };
 
   // Phase 1: Figure 4 (Model 1, EMTS5).
@@ -102,10 +276,11 @@ Json run_campaign(const CampaignConfig& config,
     cfg.emts = emts5_config();
     cfg.emts.threads = config.threads;
     cfg.emts_label = "emts5";
-    const ComparisonResult r = run_comparison(cfg, wrap_progress("fig4"));
+    const ComparisonResult r =
+        run_comparison(cfg, wrap_progress("fig4"), make_hooks("fig4"));
+    cancelled = cancelled || r.cancelled;
     report.set("fig4_model1_emts5", cells_to_json(r.cells));
-    if (!config.output_dir.empty()) {
-      std::filesystem::create_directories(config.output_dir);
+    if (has_dir) {
       write_instances_csv(
           r, (std::filesystem::path(config.output_dir) /
               "fig4_model1_emts5_instances.csv").string());
@@ -113,30 +288,33 @@ Json run_campaign(const CampaignConfig& config,
   }
 
   // Phase 2: Figure 5 (Model 2, EMTS5 + EMTS10) and runtimes.
-  {
+  if (!cancelled && !cancel_requested()) {
     ComparisonConfig cfg = base_config(config);
     cfg.model = "model2";
     cfg.emts = emts5_config();
     cfg.emts.threads = config.threads;
     cfg.emts_label = "emts5";
-    const ComparisonResult r5 = run_comparison(cfg, wrap_progress("fig5/emts5"));
+    const ComparisonResult r5 = run_comparison(
+        cfg, wrap_progress("fig5/emts5"), make_hooks("fig5_emts5"));
+    cancelled = cancelled || r5.cancelled;
     report.set("fig5_model2_emts5", cells_to_json(r5.cells));
     report.set("runtime_emts5_model2", runtime_to_json(r5));
-    if (!config.output_dir.empty()) {
+    if (has_dir) {
       write_instances_csv(
           r5, (std::filesystem::path(config.output_dir) /
                "fig5_model2_emts5_instances.csv").string());
     }
 
-    if (config.include_emts10) {
+    if (config.include_emts10 && !cancelled && !cancel_requested()) {
       cfg.emts = emts10_config();
       cfg.emts.threads = config.threads;
       cfg.emts_label = "emts10";
-      const ComparisonResult r10 =
-          run_comparison(cfg, wrap_progress("fig5/emts10"));
+      const ComparisonResult r10 = run_comparison(
+          cfg, wrap_progress("fig5/emts10"), make_hooks("fig5_emts10"));
+      cancelled = cancelled || r10.cancelled;
       report.set("fig5_model2_emts10", cells_to_json(r10.cells));
       report.set("runtime_emts10_model2", runtime_to_json(r10));
-      if (!config.output_dir.empty()) {
+      if (has_dir) {
         write_instances_csv(
             r10, (std::filesystem::path(config.output_dir) /
                   "fig5_model2_emts10_instances.csv").string());
@@ -145,8 +323,9 @@ Json run_campaign(const CampaignConfig& config,
   }
 
   // Phase 3: optimality gaps vs the makespan lower bounds (Model 2,
-  // irregular on Grelon — the hardest configuration).
-  {
+  // irregular on Grelon — the hardest configuration). Unit-ized like the
+  // comparison phases: per-instance checkpointing, retry, cancellation.
+  if (!cancelled && !cancel_requested()) {
     const auto model = make_model("model2");
     const Cluster cluster = grelon();
     const std::size_t count = config.instances > 0 ? config.instances : 24;
@@ -154,13 +333,86 @@ Json run_campaign(const CampaignConfig& config,
         irregular_corpus(config.num_tasks, count, config.seed);
     RunningStats gaps;
     for (std::size_t i = 0; i < graphs.size(); ++i) {
-      EmtsConfig ecfg = emts5_config();
-      ecfg.seed = derive_seed(config.seed, 0xCA4Bull, i);
-      ecfg.threads = config.threads;
-      const EmtsResult r = Emts(ecfg).schedule(graphs[i], *model, cluster);
-      const MakespanLowerBounds lb =
-          makespan_lower_bounds(graphs[i], *model, cluster);
-      gaps.add(r.makespan / lb.combined());
+      if (cancel_requested()) {
+        cancelled = true;
+        break;
+      }
+      const std::string key = unit_key("gap", "irregular", "grelon", i);
+      if (const auto it = done_units.find(key); it != done_units.end()) {
+        gaps.add(json_require(it->second, "gap", "checkpoint unit")
+                     .as_double());
+        if (progress) progress("gap", i + 1, graphs.size());
+        continue;
+      }
+
+      bool completed = false;
+      UnitFailure failure;
+      failure.cls = "irregular";
+      failure.platform = "grelon";
+      failure.index = i;
+      for (int attempt = 0; attempt <= config.max_retries; ++attempt) {
+        try {
+          EmtsConfig ecfg = emts5_config();
+          // Attempt 0 reproduces the historical gap seed exactly; retries
+          // salt the stream.
+          ecfg.seed =
+              attempt == 0
+                  ? derive_seed(config.seed, 0xCA4Bull, i)
+                  : derive_seed(config.seed,
+                                0xCA4Bull ^ splitmix64(
+                                    static_cast<std::uint64_t>(attempt)),
+                                i);
+          ecfg.threads = config.threads;
+          ecfg.cancel = config.cancel;
+          if (config.unit_deadline_seconds > 0.0) {
+            ecfg.time_budget_seconds = config.unit_deadline_seconds;
+          }
+          const EmtsResult r = Emts(ecfg).schedule(graphs[i], *model, cluster);
+          if (r.cancelled) {
+            throw CancelledError("gap unit cancelled mid-run (#" +
+                                 std::to_string(i) + ")");
+          }
+          const MakespanLowerBounds lb =
+              makespan_lower_bounds(graphs[i], *model, cluster);
+          const double gap = r.makespan / lb.combined();
+          gaps.add(gap);
+          if (journal) {
+            Json unit = Json::object();
+            unit.set("phase", "gap");
+            unit.set("class", "irregular");
+            unit.set("platform", "grelon");
+            unit.set("index", static_cast<std::int64_t>(i));
+            unit.set("gap", gap);
+            Json line = Json::object();
+            line.set("unit", std::move(unit));
+            journal->append_line(line.dump(0));
+          }
+          completed = true;
+          break;
+        } catch (const std::exception& e) {
+          failure.kind = classify_unit_error(e);
+          failure.message = e.what();
+          failure.attempts = attempt + 1;
+          if (failure.kind == UnitErrorKind::kInputError ||
+              failure.kind == UnitErrorKind::kCancelled) {
+            break;
+          }
+        }
+      }
+      if (!completed) {
+        Json fj = unit_failure_to_json(failure);
+        fj.set("phase", "gap");
+        if (journal) {
+          Json line = Json::object();
+          line.set("failure", fj);
+          journal->append_line(line.dump(0));
+        }
+        failures.push_back(std::move(fj));
+        if (failure.kind == UnitErrorKind::kCancelled) {
+          cancelled = true;
+          break;
+        }
+      }
       if (progress) progress("gap", i + 1, graphs.size());
     }
     Json gap = Json::object();
@@ -172,7 +424,10 @@ Json run_campaign(const CampaignConfig& config,
                std::move(gap));
   }
 
-  if (!config.output_dir.empty()) {
+  report.set("failures", std::move(failures));
+  report.set("cancelled", cancelled);
+
+  if (has_dir) {
     report.write_file((std::filesystem::path(config.output_dir) /
                        "campaign_report.json").string());
   }

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "exp/experiment.hpp"
+#include "support/cancellation.hpp"
 #include "support/json.hpp"
 
 namespace ptgsched {
@@ -26,15 +27,39 @@ struct CampaignConfig {
   std::uint64_t seed = 42;
   bool include_emts10 = true;
   std::size_t threads = 0;
-  /// If non-empty, CSV and JSON artifacts are written here.
+  /// If non-empty, CSV and JSON artifacts are written here, and a
+  /// `campaign_checkpoint.json` journal records every completed unit
+  /// (durably, fsynced per line) so an interrupted campaign can resume.
   std::string output_dir;
+  /// Resume from output_dir's checkpoint journal: units already recorded
+  /// there are replayed verbatim instead of re-run, so the final report's
+  /// aggregates are bit-identical to an uninterrupted run with the same
+  /// seed (wall-clock telemetry of replayed units keeps its recorded
+  /// values). The journal's config fingerprint must match; a fresh run
+  /// (resume = false) truncates any existing journal.
+  bool resume = false;
+  /// Extra attempts per failed unit (fresh derived seed per retry).
+  int max_retries = 1;
+  /// Per-unit wall-clock deadline in seconds, plumbed into the EMTS time
+  /// budget; 0 = off. A unit that hits it still yields a valid schedule.
+  double unit_deadline_seconds = 0.0;
+  /// Cooperative cancellation (not owned). On cancel the campaign stops at
+  /// the next unit boundary, journals nothing torn, and returns a partial
+  /// report with "cancelled": true.
+  const CancellationToken* cancel = nullptr;
 };
+
+/// Name of the per-unit checkpoint journal inside output_dir.
+inline constexpr const char* kCampaignCheckpointFile =
+    "campaign_checkpoint.json";
 
 /// Progress: (phase label, done, total).
 using CampaignProgress =
     std::function<void(const std::string&, std::size_t, std::size_t)>;
 
-/// Run everything. Deterministic in config.seed.
+/// Run everything. Deterministic in config.seed; fault-tolerant per unit
+/// (see CampaignConfig::resume / max_retries / cancel). Unit failures are
+/// reported under "failures" in the returned document.
 [[nodiscard]] Json run_campaign(const CampaignConfig& config,
                                 const CampaignProgress& progress = {});
 

@@ -10,10 +10,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "emts/emts.hpp"
+#include "support/cancellation.hpp"
+#include "support/json.hpp"
 #include "support/stats.hpp"
 
 namespace ptgsched {
@@ -39,6 +42,7 @@ struct InstanceResult {
   std::string cls;
   std::string graph;
   std::string platform;
+  std::size_t index = 0;  ///< Instance index within its (class) corpus.
   std::size_t num_graph_tasks = 0;
   double emts_makespan = 0.0;
   double emts_seconds = 0.0;
@@ -50,7 +54,81 @@ struct InstanceResult {
   std::size_t emts_cache_hits = 0;
   std::size_t emts_rejections = 0;
   double emts_eval_seconds = 0.0;
+  /// Attempts beyond the first that this unit needed (see
+  /// ComparisonHooks::max_retries); 0 on the usual first-try success.
+  int retries = 0;
+  /// The per-unit deadline (or configured time budget) cut the EMTS run
+  /// short; the recorded makespan is still a valid best-so-far schedule.
+  bool hit_time_budget = false;
   std::map<std::string, double> baseline_makespans;
+};
+
+/// Round-trippable JSON form of an InstanceResult (doubles serialize with
+/// %.17g, so replaying a checkpointed unit reproduces bit-identical
+/// aggregates).
+[[nodiscard]] Json instance_result_to_json(const InstanceResult& ir);
+[[nodiscard]] InstanceResult instance_result_from_json(const Json& doc);
+
+/// Structured error taxonomy for failed campaign units.
+enum class UnitErrorKind {
+  kInputError,  ///< Malformed graph/platform/JSON input (not retried).
+  kEvalError,   ///< Evaluator/scheduler failure (retried with fresh seed).
+  kTimeout,     ///< Per-unit deadline overrun reported as DeadlineError.
+  kCancelled,   ///< Cooperative cancellation stopped the unit.
+};
+
+/// Stable wire name: "input_error" | "eval_error" | "timeout" | "cancelled".
+[[nodiscard]] const char* unit_error_kind_name(UnitErrorKind kind) noexcept;
+
+/// Map an exception to the taxonomy: CancelledError -> cancelled,
+/// DeadlineError -> timeout, input-shaped errors (GraphError,
+/// PlatformError, JsonError, LoadError, invalid_argument) -> input_error,
+/// anything else -> eval_error.
+[[nodiscard]] UnitErrorKind classify_unit_error(const std::exception& e);
+
+/// One failed (class, platform, instance) unit.
+struct UnitFailure {
+  std::string cls;
+  std::string platform;
+  std::size_t index = 0;
+  UnitErrorKind kind = UnitErrorKind::kEvalError;
+  std::string message;  ///< what() of the last attempt's exception.
+  int attempts = 1;     ///< Total attempts made (1 = failed without retry).
+};
+
+[[nodiscard]] Json unit_failure_to_json(const UnitFailure& f);
+
+/// Fault-tolerance hooks for run_comparison. All members are optional; the
+/// default-constructed hooks reproduce the historical all-or-nothing run
+/// exactly (same seeds, same trajectory).
+struct ComparisonHooks {
+  /// Consulted before each unit executes; a populated return value is used
+  /// verbatim (checkpoint replay) and the unit is not re-run.
+  std::function<std::optional<InstanceResult>(
+      const std::string& cls, const std::string& platform, std::size_t index)>
+      lookup;
+  /// Called after every freshly executed unit (checkpoint append). A throw
+  /// from this hook aborts the sweep (the journal must stay trustworthy).
+  std::function<void(const InstanceResult&)> on_unit;
+  /// Called once per unit that exhausted its attempts.
+  std::function<void(const UnitFailure&)> on_failure;
+  /// Fault-injection seam for tests: invoked at the start of every attempt
+  /// with (cls, platform, index, attempt); a throw fails that attempt and
+  /// is classified through the taxonomy like any evaluator error.
+  std::function<void(const std::string& cls, const std::string& platform,
+                     std::size_t index, int attempt)>
+      before_attempt;
+  /// Cooperative cancellation: checked between units (and, via EmtsConfig,
+  /// inside each EMTS run). On cancel the sweep stops issuing units and
+  /// returns with ComparisonResult::cancelled set.
+  const CancellationToken* cancel = nullptr;
+  /// Extra attempts after a unit's first failure. Retries re-derive the
+  /// EMTS seed with a per-attempt salt, so a poisoned trajectory is not
+  /// replayed verbatim; input errors are deterministic and not retried.
+  int max_retries = 0;
+  /// Per-unit wall-clock deadline plumbed into EmtsConfig::
+  /// time_budget_seconds (tightening any existing budget); 0 = off.
+  double unit_deadline_seconds = 0.0;
 };
 
 /// Aggregated cell: mean relative makespan of one baseline vs EMTS for one
@@ -69,14 +147,24 @@ struct ComparisonResult {
   ComparisonConfig config;
   std::vector<InstanceResult> instances;
   std::vector<RatioCell> cells;
+  /// Units that failed every attempt (the sweep continued past them).
+  std::vector<UnitFailure> failures;
+  /// A cancellation request stopped the sweep early; `instances`/`cells`
+  /// cover only the units completed before the cancel.
+  bool cancelled = false;
 };
 
 /// Optional progress callback: (done, total) instance counts.
 using ProgressFn = std::function<void(std::size_t, std::size_t)>;
 
-/// Run the full comparison. Deterministic in config.seed.
-[[nodiscard]] ComparisonResult run_comparison(const ComparisonConfig& config,
-                                              const ProgressFn& progress = {});
+/// Run the full comparison. Deterministic in config.seed; with
+/// default-constructed hooks the trajectory is identical to the historical
+/// all-or-nothing implementation. Per-unit failures are isolated (recorded
+/// in ComparisonResult::failures, sweep continues) instead of aborting the
+/// whole run.
+[[nodiscard]] ComparisonResult run_comparison(
+    const ComparisonConfig& config, const ProgressFn& progress = {},
+    const ComparisonHooks& hooks = {});
 
 /// Paper-style text table of the aggregated cells
 /// (class platform baseline mean ci_lo ci_hi n).

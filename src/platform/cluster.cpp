@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/error_context.hpp"
+
 namespace ptgsched {
 
 Cluster::Cluster(std::string name, int num_processors, double gflops)
@@ -23,12 +25,13 @@ Json Cluster::to_json() const {
 }
 
 Cluster Cluster::from_json(const Json& doc) {
-  const auto p = doc.at("processors").as_int();
+  const auto p = json_require(doc, "processors", "cluster document").as_int();
   if (p < 1 || p > 1'000'000) {
     throw PlatformError("Cluster::from_json: implausible processor count");
   }
   return Cluster(doc.get_or("name", std::string("cluster")),
-                 static_cast<int>(p), doc.at("gflops").as_double());
+                 static_cast<int>(p),
+                 json_require(doc, "gflops", "cluster document").as_double());
 }
 
 void Cluster::save(const std::string& path) const {
@@ -36,7 +39,15 @@ void Cluster::save(const std::string& path) const {
 }
 
 Cluster Cluster::load(const std::string& path) {
-  return from_json(Json::parse_file(path));
+  // As in load_ptg: annotate failures with the file path; the nested
+  // message names the offending key when one is known.
+  try {
+    return from_json(Json::parse_file(path));
+  } catch (const LoadError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw LoadError(path, "", std::string("Cluster::load: ") + e.what());
+  }
 }
 
 Cluster chti() { return Cluster("chti", 20, 4.3); }

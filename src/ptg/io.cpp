@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "support/error_context.hpp"
 #include "support/strings.hpp"
 
 namespace ptgsched {
@@ -35,13 +36,17 @@ Json ptg_to_json(const Ptg& g) {
 
 Ptg ptg_from_json(const Json& doc) {
   Ptg g(doc.get_or("name", std::string("ptg")));
-  for (const Json& jt : doc.at("tasks").as_array()) {
+  std::size_t task_index = 0;
+  for (const Json& jt : json_require(doc, "tasks", "ptg document").as_array()) {
     Task t;
     t.name = jt.get_or("name", std::string());
-    t.flops = jt.at("flops").as_double();
+    t.flops = json_require(jt, "flops",
+                           "ptg task #" + std::to_string(task_index))
+                  .as_double();
     t.data_size = jt.get_or("data", 0.0);
     t.alpha = jt.get_or("alpha", 0.0);
     g.add_task(std::move(t));
+    ++task_index;
   }
   if (doc.contains("edges")) {
     for (const Json& je : doc.at("edges").as_array()) {
@@ -61,7 +66,15 @@ void save_ptg(const Ptg& g, const std::string& path) {
 }
 
 Ptg load_ptg(const std::string& path) {
-  return ptg_from_json(Json::parse_file(path));
+  // Attach the file path (the nested message already names the offending
+  // key, if any) so a failed load in a long sweep is actionable.
+  try {
+    return ptg_from_json(Json::parse_file(path));
+  } catch (const LoadError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw LoadError(path, "", std::string("load_ptg: ") + e.what());
+  }
 }
 
 std::string ptg_to_dot(const Ptg& g) {

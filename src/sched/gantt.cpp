@@ -1,9 +1,9 @@
 #include "sched/gantt.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <sstream>
 
+#include "support/atomic_io.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
 
@@ -127,10 +127,8 @@ std::string gantt_svg(const Schedule& sched, const Ptg& g,
 
 void write_gantt_svg(const Schedule& sched, const Ptg& g,
                      const std::string& path, SvgGanttOptions options) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) throw std::runtime_error("gantt: cannot write " + path);
-  out << gantt_svg(sched, g, options);
-  if (!out) throw std::runtime_error("gantt: write failed: " + path);
+  // Atomic replace: an interrupted render never leaves a torn SVG behind.
+  write_file_atomic(path, gantt_svg(sched, g, options));
 }
 
 }  // namespace ptgsched

@@ -1,0 +1,95 @@
+#include "support/atomic_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace ptgsched {
+
+namespace {
+
+std::string errno_detail(const char* op) {
+  return std::string("atomic_io: ") + op + " failed (" +
+         std::generic_category().message(errno) + ")";
+}
+
+/// Write the whole buffer, retrying on EINTR/short writes. Returns false
+/// (with errno set) on failure.
+bool write_all(int fd, std::string_view content) {
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable. Failure is ignored (some filesystems refuse it).
+void fsync_parent_dir(const std::string& path) {
+  const std::filesystem::path dir =
+      std::filesystem::path(path).parent_path();
+  const std::string d = dir.empty() ? std::string(".") : dir.string();
+  const int dfd = ::open(d.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return;
+  ::fsync(dfd);
+  ::close(dfd);
+}
+
+}  // namespace
+
+void write_file_atomic(const std::string& path, std::string_view content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw IoError(tmp, errno_detail("open"));
+
+  const auto fail = [&](const char* op) -> IoError {
+    const IoError err(tmp, errno_detail(op));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return err;
+  };
+  if (!write_all(fd, content)) throw fail("write");
+  if (::fsync(fd) != 0) throw fail("fsync");
+  if (::close(fd) != 0) {
+    const IoError err(tmp, errno_detail("close"));
+    ::unlink(tmp.c_str());
+    throw err;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const IoError err(path, errno_detail("rename"));
+    ::unlink(tmp.c_str());
+    throw err;
+  }
+  fsync_parent_dir(path);
+}
+
+AppendJournal::AppendJournal(std::string path, bool truncate)
+    : path_(std::move(path)) {
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) throw IoError(path_, errno_detail("open"));
+}
+
+AppendJournal::~AppendJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void AppendJournal::append_line(std::string_view line) {
+  std::string buf(line);
+  buf += '\n';
+  if (!write_all(fd_, buf)) throw IoError(path_, errno_detail("write"));
+  if (::fsync(fd_) != 0) throw IoError(path_, errno_detail("fsync"));
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,65 @@
+#pragma once
+// Durable, atomic file writes.
+//
+// The campaign writers (campaign_report.json, per-instance CSVs, Gantt
+// SVGs) used to truncate their targets in place, so a crash or SIGKILL
+// mid-write could corrupt a report that an earlier phase had already
+// completed. write_file_atomic() writes to `<path>.tmp` in the same
+// directory, fsyncs, and renames over the target, so readers only ever see
+// the old complete file or the new complete file — never a torn one. All
+// stream/syscall failures (disk full, bad path, ENOSPC at fsync) are
+// reported as IoError instead of being silently dropped.
+//
+// AppendJournal is the complementary primitive for the campaign
+// checkpoint: an append-only file where each line is flushed and fsynced
+// before the append returns, so every unit recorded as complete survives
+// the process dying immediately afterwards.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ptgsched {
+
+/// I/O failure with the offending path attached.
+class IoError : public std::runtime_error {
+ public:
+  IoError(std::string path, const std::string& detail)
+      : std::runtime_error(detail + ": " + path), path_(std::move(path)) {}
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Atomically replace `path` with `content`: write `<path>.tmp`, fsync it,
+/// rename it over `path`, then fsync the directory (best effort). On any
+/// failure the temporary file is removed, the original `path` is left
+/// untouched, and IoError is thrown.
+void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Append-only line journal with per-line durability: append_line() does
+/// not return until the line (plus trailing newline) is written and fsynced.
+/// Lines are the natural unit of recovery — a reader tolerating a torn
+/// final line sees exactly the set of fully durable appends.
+class AppendJournal {
+ public:
+  /// Opens (creating if absent) `path` for appending; throws IoError.
+  /// `truncate` discards any existing content first (fresh journal).
+  explicit AppendJournal(std::string path, bool truncate = false);
+  ~AppendJournal();
+
+  AppendJournal(const AppendJournal&) = delete;
+  AppendJournal& operator=(const AppendJournal&) = delete;
+
+  /// Durably append `line` + '\n'. Throws IoError on write/fsync failure.
+  void append_line(std::string_view line);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace ptgsched

@@ -1,0 +1,53 @@
+#include "support/cancellation.hpp"
+
+#include <signal.h>
+
+namespace ptgsched {
+
+namespace {
+
+std::atomic<CancellationToken*> g_signal_token{nullptr};
+
+extern "C" void on_cancel_signal(int /*signum*/) {
+  // Only async-signal-safe operations: one relaxed load, one relaxed store.
+  if (CancellationToken* token =
+          g_signal_token.load(std::memory_order_relaxed)) {
+    token->request_cancel();
+  }
+}
+
+struct SavedActions {
+  struct sigaction sigint {};
+  struct sigaction sigterm {};
+  bool saved = false;
+};
+SavedActions g_saved;
+
+}  // namespace
+
+void install_signal_cancellation(CancellationToken* token) {
+  if (token != nullptr) {
+    g_signal_token.store(token, std::memory_order_relaxed);
+    struct sigaction sa {};
+    sa.sa_handler = on_cancel_signal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: let blocking syscalls notice.
+    if (!g_saved.saved) {
+      sigaction(SIGINT, &sa, &g_saved.sigint);
+      sigaction(SIGTERM, &sa, &g_saved.sigterm);
+      g_saved.saved = true;
+    } else {
+      sigaction(SIGINT, &sa, nullptr);
+      sigaction(SIGTERM, &sa, nullptr);
+    }
+  } else {
+    if (g_saved.saved) {
+      sigaction(SIGINT, &g_saved.sigint, nullptr);
+      sigaction(SIGTERM, &g_saved.sigterm, nullptr);
+      g_saved.saved = false;
+    }
+    g_signal_token.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace ptgsched

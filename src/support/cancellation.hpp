@@ -1,0 +1,68 @@
+#pragma once
+// Cooperative cancellation for long-running sweeps.
+//
+// A campaign run (Section V: four workload classes x two platforms x two
+// models x up to EMTS10 budgets) takes long enough that Ctrl-C, SIGTERM
+// from a batch scheduler, or a per-unit deadline must be able to stop it
+// *cleanly*: the evolution strategy drains its thread pool, returns the
+// best-so-far schedule flagged `cancelled`, and the experiment driver
+// checkpoints completed units instead of tearing down mid-write.
+//
+// The token is a plain atomic flag: signal handlers may set it
+// (request_cancel() is async-signal-safe), worker threads poll it between
+// fitness evaluations, and drivers either poll cancelled() or call
+// throw_if_cancelled() at unit boundaries.
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace ptgsched {
+
+/// Thrown by throw_if_cancelled() and by drivers that abort a sweep on a
+/// cancellation request. Maps to the `cancelled` entry of the unit-error
+/// taxonomy (see src/exp/experiment.hpp).
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what = "operation cancelled")
+      : std::runtime_error(what) {}
+};
+
+/// A per-unit wall-clock deadline overrun. Distinct from CancelledError so
+/// the error taxonomy can report `timeout` separately from `cancelled`.
+class DeadlineError : public std::runtime_error {
+ public:
+  explicit DeadlineError(const std::string& what = "deadline exceeded")
+      : std::runtime_error(what) {}
+};
+
+/// Sticky cancellation flag shared between a requester (signal handler,
+/// watchdog, test) and any number of observers. All members are safe to
+/// call concurrently; request_cancel() is additionally async-signal-safe.
+class CancellationToken {
+ public:
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  /// Throws CancelledError if cancellation has been requested.
+  void throw_if_cancelled() const {
+    if (cancelled()) throw CancelledError();
+  }
+  /// Re-arm the token (tests and multi-campaign drivers only; observers
+  /// that already saw the flag may have stopped).
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Route SIGINT and SIGTERM to `token->request_cancel()`. The token must
+/// outlive the installation. Passing nullptr uninstalls the handlers and
+/// restores the previous dispositions. Only one token can be installed at
+/// a time (the last call wins).
+void install_signal_cancellation(CancellationToken* token);
+
+}  // namespace ptgsched

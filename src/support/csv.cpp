@@ -1,6 +1,6 @@
 #include "support/csv.hpp"
 
-#include <fstream>
+#include "support/atomic_io.hpp"
 
 namespace ptgsched {
 
@@ -101,10 +101,13 @@ std::string CsvWriter::to_string() const {
 }
 
 void CsvWriter::write_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc | std::ios::binary);
-  if (!out) throw CsvError("csv: cannot write " + path);
-  out << to_string();
-  if (!out) throw CsvError("csv: write failed: " + path);
+  // Atomic replace (tmp + fsync + rename); rethrown as CsvError so callers
+  // keep a single exception type for CSV failures.
+  try {
+    write_file_atomic(path, to_string());
+  } catch (const IoError& e) {
+    throw CsvError(std::string("csv: ") + e.what());
+  }
 }
 
 }  // namespace ptgsched

@@ -1,0 +1,41 @@
+#pragma once
+// Errors that carry their provenance.
+//
+// Loader failures used to surface as bare std::runtime_error messages
+// ("json: expected number, got string") with no hint which file — let
+// alone which key — was malformed. LoadError attaches the file path (and,
+// when known, the offending JSON key) so a failed campaign unit's error
+// taxonomy entry tells the operator what to fix.
+
+#include <stdexcept>
+#include <string>
+
+namespace ptgsched {
+
+/// A loader failure annotated with the file and (when known) the JSON key
+/// that caused it. what() renders "path: [key 'k':] detail".
+class LoadError : public std::runtime_error {
+ public:
+  LoadError(std::string path, std::string key, const std::string& detail)
+      : std::runtime_error(format(path, key, detail)),
+        path_(std::move(path)),
+        key_(std::move(key)) {}
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Offending key, or empty when the failure is not tied to one key.
+  [[nodiscard]] const std::string& key() const noexcept { return key_; }
+
+ private:
+  static std::string format(const std::string& path, const std::string& key,
+                            const std::string& detail) {
+    std::string out = path + ": ";
+    if (!key.empty()) out += "key '" + key + "': ";
+    out += detail;
+    return out;
+  }
+
+  std::string path_;
+  std::string key_;
+};
+
+}  // namespace ptgsched

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/atomic_io.hpp"
+
 namespace ptgsched {
 
 Json::Type Json::type() const noexcept {
@@ -494,10 +496,22 @@ Json Json::parse_file(const std::string& path) {
 }
 
 void Json::write_file(const std::string& path, int indent) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("json: cannot write file: " + path);
-  out << dump(indent) << '\n';
-  if (!out) throw std::runtime_error("json: write failed: " + path);
+  // Atomic replace: a crash mid-write can no longer corrupt a previously
+  // complete report, and every I/O failure (open, write, fsync, rename)
+  // surfaces as IoError instead of a silently truncated file.
+  write_file_atomic(path, dump(indent) + '\n');
+}
+
+const Json& json_require(const Json& doc, const std::string& key,
+                         const std::string& where) {
+  if (!doc.is_object()) {
+    throw JsonError("json: expected object for " + where + " (wanted key '" +
+                    key + "')");
+  }
+  if (!doc.contains(key)) {
+    throw JsonError("json: missing key '" + key + "' in " + where);
+  }
+  return doc.at(key);
 }
 
 }  // namespace ptgsched

@@ -113,7 +113,9 @@ class Json {
 
   /// Read/parse a JSON file; throws JsonError (parse) / runtime_error (I/O).
   [[nodiscard]] static Json parse_file(const std::string& path);
-  /// Write the serialized value to a file (pretty-printed).
+  /// Write the serialized value to a file (pretty-printed). The write is
+  /// atomic (tmp + fsync + rename; see support/atomic_io.hpp) and throws
+  /// IoError on any I/O failure.
   void write_file(const std::string& path, int indent = 2) const;
 
   friend bool operator==(const Json& a, const Json& b) {
@@ -125,5 +127,12 @@ class Json {
                JsonObject>
       value_;
 };
+
+/// doc.at(key) with the offending key named in the error: throws
+/// JsonError("json: missing key 'k' in <where>") instead of a bare
+/// "key not found". Loaders use this so malformed input reports which
+/// field of which document was wrong.
+[[nodiscard]] const Json& json_require(const Json& doc, const std::string& key,
+                                       const std::string& where);
 
 }  // namespace ptgsched

@@ -1,0 +1,83 @@
+#pragma once
+// Fault-injecting BatchEvaluator decorator for the robustness tests: makes
+// the Nth fitness evaluation throw, stall, or come back +infinity, so the
+// suite can prove that the ES / evaluation-engine stack isolates failures,
+// keeps its thread pool reusable after an exception, and that elitism
+// survives poisoned fitness values.
+
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ea/evolution.hpp"
+
+namespace ptgsched::testutil {
+
+/// The exception thrown in kThrow mode (distinct type so tests can assert
+/// it propagates unmangled through the ES driver).
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+enum class FaultMode {
+  kNone,      ///< Transparent pass-through.
+  kThrow,     ///< Throw InjectedFault instead of evaluating the batch.
+  kInfinity,  ///< Evaluate normally, then poison the Nth fitness with +inf.
+  kStall,     ///< Sleep `stall` before evaluating the triggering batch.
+};
+
+/// Decorates an inner BatchEvaluator. The fault fires once, on the batch
+/// containing the `trigger_at`-th individual evaluated (1-based, cumulative
+/// across batches); every other batch passes through untouched.
+class FaultInjectingEvaluator final : public BatchEvaluator {
+ public:
+  FaultInjectingEvaluator(BatchEvaluator& inner, FaultMode mode,
+                          std::size_t trigger_at)
+      : inner_(inner), mode_(mode), trigger_at_(trigger_at) {}
+
+  void evaluate_batch(std::vector<Individual>& pool,
+                      std::size_t begin) override {
+    const std::size_t batch = pool.size() - begin;
+    const bool fires = !fired_ && mode_ != FaultMode::kNone &&
+                       count_ < trigger_at_ && count_ + batch >= trigger_at_;
+    const std::size_t victim = begin + (trigger_at_ - count_ - 1);
+    count_ += batch;
+    if (fires) {
+      fired_ = true;
+      if (mode_ == FaultMode::kThrow) {
+        throw InjectedFault("injected evaluator fault at evaluation #" +
+                            std::to_string(trigger_at_));
+      }
+      if (mode_ == FaultMode::kStall) std::this_thread::sleep_for(stall);
+    }
+    inner_.evaluate_batch(pool, begin);
+    if (fires && mode_ == FaultMode::kInfinity) {
+      pool[victim].fitness = std::numeric_limits<double>::infinity();
+    }
+  }
+
+  void on_selection(std::size_t generation, double best,
+                    double worst) override {
+    inner_.on_selection(generation, best, worst);
+  }
+
+  [[nodiscard]] std::size_t evaluations() const noexcept { return count_; }
+  [[nodiscard]] bool fired() const noexcept { return fired_; }
+
+  std::chrono::milliseconds stall{20};
+
+ private:
+  BatchEvaluator& inner_;
+  FaultMode mode_;
+  std::size_t trigger_at_;
+  std::size_t count_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace ptgsched::testutil

@@ -199,6 +199,13 @@ TEST(Emts, TimeBudgetIsHonored) {
   const EmtsResult r = Emts(cfg).schedule(g, model, c);
   EXPECT_TRUE(r.es.stopped_by_time_budget);
   EXPECT_LT(r.total_seconds, 10.0);
+  // Stopping on the budget must still hand back a complete, valid
+  // best-so-far schedule for the incumbent allocation.
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_EQ(r.best_allocation.size(), g.num_tasks());
+  EXPECT_NO_THROW(
+      validate_schedule(r.schedule, g, r.best_allocation, model, c));
+  EXPECT_FALSE(r.cancelled);
 }
 
 TEST(Emts, MutatorClampsToValidRange) {

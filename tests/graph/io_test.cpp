@@ -8,6 +8,7 @@
 
 #include "../common/test_graphs.hpp"
 #include "daggen/application_graphs.hpp"
+#include "support/error_context.hpp"
 
 namespace ptgsched {
 namespace {
@@ -98,6 +99,48 @@ TEST(PtgDot, ContainsNodesAndEdges) {
   EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
   EXPECT_NE(dot.find("n2 -> n3"), std::string::npos);
   EXPECT_NE(dot.find("\"s\\n"), std::string::npos);  // task label
+}
+
+TEST(PtgFile, LoadErrorCarriesPathAndOffendingKey) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "ptgsched_io_malformed.json";
+  {
+    // Valid JSON, but the second task is missing its required "flops".
+    Json doc = Json::parse(
+        R"({"tasks": [{"flops": 1.0}, {"name": "broken"}], "edges": []})");
+    doc.write_file(path.string());
+  }
+  try {
+    (void)load_ptg(path.string());
+    FAIL() << "expected LoadError";
+  } catch (const LoadError& e) {
+    EXPECT_EQ(e.path(), path.string());
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path.string()), std::string::npos);
+    EXPECT_NE(what.find("flops"), std::string::npos);
+    EXPECT_NE(what.find("task #1"), std::string::npos);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PtgFile, LoadErrorOnMissingTasksKeyNamesTheKey) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "ptgsched_io_no_tasks.json";
+  Json::parse("{}").write_file(path.string());
+  try {
+    (void)load_ptg(path.string());
+    FAIL() << "expected LoadError";
+  } catch (const LoadError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path.string()), std::string::npos);
+    EXPECT_NE(what.find("tasks"), std::string::npos);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(PtgFile, LoadErrorOnMissingFile) {
+  EXPECT_THROW((void)load_ptg("/nonexistent/ptgsched/graph.json"),
+               LoadError);
 }
 
 TEST(PtgDot, UnnamedTasksGetIds) {

@@ -6,6 +6,8 @@
 
 #include <filesystem>
 
+#include "support/error_context.hpp"
+
 namespace ptgsched {
 namespace {
 
@@ -67,6 +69,29 @@ TEST(Cluster, FileRoundTrip) {
   const Cluster back = Cluster::load(path.string());
   EXPECT_EQ(back.num_processors(), 120);
   std::filesystem::remove(path);
+}
+
+TEST(Cluster, LoadErrorCarriesPathAndOffendingKey) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "ptgsched_platform_malformed.json";
+  // Valid JSON, but "gflops" is missing.
+  Json::parse(R"({"name": "broken", "processors": 8})")
+      .write_file(path.string());
+  try {
+    (void)Cluster::load(path.string());
+    FAIL() << "expected LoadError";
+  } catch (const LoadError& e) {
+    EXPECT_EQ(e.path(), path.string());
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path.string()), std::string::npos);
+    EXPECT_NE(what.find("gflops"), std::string::npos);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Cluster, LoadErrorOnMissingFile) {
+  EXPECT_THROW((void)Cluster::load("/nonexistent/ptgsched/cluster.json"),
+               LoadError);
 }
 
 TEST(PlatformByName, LookupAndErrors) {

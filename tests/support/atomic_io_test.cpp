@@ -1,0 +1,103 @@
+// Tests for durable atomic file replacement and the append-only journal.
+
+#include "support/atomic_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace ptgsched {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(AtomicIo, WritesContentAndLeavesNoTempFile) {
+  const fs::path dir = fresh_dir("ptgsched_atomic_io");
+  const fs::path target = dir / "report.json";
+  write_file_atomic(target.string(), "{\"ok\": true}\n");
+  EXPECT_EQ(slurp(target), "{\"ok\": true}\n");
+  EXPECT_FALSE(fs::exists(target.string() + ".tmp"));
+  fs::remove_all(dir);
+}
+
+TEST(AtomicIo, ReplacesExistingFile) {
+  const fs::path dir = fresh_dir("ptgsched_atomic_io");
+  const fs::path target = dir / "data.csv";
+  write_file_atomic(target.string(), "old\n");
+  write_file_atomic(target.string(), "new\n");
+  EXPECT_EQ(slurp(target), "new\n");
+  fs::remove_all(dir);
+}
+
+TEST(AtomicIo, MissingDirectoryThrowsIoErrorWithPath) {
+  const std::string target = "/nonexistent/ptgsched/never/report.json";
+  try {
+    write_file_atomic(target, "x");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/ptgsched/never"),
+              std::string::npos);
+  }
+}
+
+TEST(AtomicIo, FailedReplaceLeavesOriginalUntouched) {
+  const fs::path dir = fresh_dir("ptgsched_atomic_io");
+  const fs::path target = dir / "keep.json";
+  write_file_atomic(target.string(), "precious\n");
+  // Sabotage: the tmp path is occupied by a *directory*, so the write of
+  // <target>.tmp must fail — and the original must survive unmodified.
+  fs::create_directories(target.string() + ".tmp");
+  EXPECT_THROW(write_file_atomic(target.string(), "clobber\n"), IoError);
+  EXPECT_EQ(slurp(target), "precious\n");
+  fs::remove_all(dir);
+}
+
+TEST(AppendJournalTest, AppendsSurviveReopen) {
+  const fs::path dir = fresh_dir("ptgsched_journal");
+  const fs::path path = dir / "journal.jsonl";
+  {
+    AppendJournal journal(path.string(), /*truncate=*/true);
+    journal.append_line("{\"a\": 1}");
+    journal.append_line("{\"b\": 2}");
+  }
+  {
+    AppendJournal journal(path.string());  // reopen, append mode
+    journal.append_line("{\"c\": 3}");
+  }
+  EXPECT_EQ(slurp(path), "{\"a\": 1}\n{\"b\": 2}\n{\"c\": 3}\n");
+  fs::remove_all(dir);
+}
+
+TEST(AppendJournalTest, TruncateDiscardsExistingContent) {
+  const fs::path dir = fresh_dir("ptgsched_journal");
+  const fs::path path = dir / "journal.jsonl";
+  { AppendJournal(path.string(), true).append_line("stale"); }
+  { AppendJournal(path.string(), true).append_line("fresh"); }
+  EXPECT_EQ(slurp(path), "fresh\n");
+  fs::remove_all(dir);
+}
+
+TEST(AppendJournalTest, UnwritablePathThrowsIoError) {
+  EXPECT_THROW(AppendJournal("/nonexistent/ptgsched/journal.jsonl"),
+               IoError);
+}
+
+}  // namespace
+}  // namespace ptgsched

@@ -1,0 +1,85 @@
+// Tests for the cooperative cancellation token and its signal bridge.
+
+#include "support/cancellation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <thread>
+
+namespace ptgsched {
+namespace {
+
+TEST(CancellationToken, StartsClearAndLatchesOnRequest) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_NO_THROW(token.throw_if_cancelled());
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.request_cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationToken, ThrowIfCancelledThrowsCancelledError) {
+  CancellationToken token;
+  token.request_cancel();
+  EXPECT_THROW(token.throw_if_cancelled(), CancelledError);
+}
+
+TEST(CancellationToken, ResetClearsTheFlag) {
+  CancellationToken token;
+  token.request_cancel();
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationToken, VisibleAcrossThreads) {
+  CancellationToken token;
+  std::thread t([&] { token.request_cancel(); });
+  t.join();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancellationErrors, TaxonomyTypesAreDistinct) {
+  // Both derive from std::runtime_error but must stay distinguishable for
+  // the unit-failure taxonomy.
+  const CancelledError c("c");
+  const DeadlineError d("d");
+  const std::exception& ce = c;
+  const std::exception& de = d;
+  EXPECT_NE(dynamic_cast<const CancelledError*>(&ce), nullptr);
+  EXPECT_EQ(dynamic_cast<const CancelledError*>(&de), nullptr);
+  EXPECT_NE(dynamic_cast<const DeadlineError*>(&de), nullptr);
+  EXPECT_EQ(dynamic_cast<const DeadlineError*>(&ce), nullptr);
+}
+
+TEST(SignalCancellation, SigintTripsTheInstalledToken) {
+  CancellationToken token;
+  install_signal_cancellation(&token);
+  EXPECT_FALSE(token.cancelled());
+  std::raise(SIGINT);
+  EXPECT_TRUE(token.cancelled());
+  install_signal_cancellation(nullptr);
+}
+
+TEST(SignalCancellation, SigtermTripsTheInstalledToken) {
+  CancellationToken token;
+  install_signal_cancellation(&token);
+  std::raise(SIGTERM);
+  EXPECT_TRUE(token.cancelled());
+  install_signal_cancellation(nullptr);
+}
+
+TEST(SignalCancellation, ReinstallSwitchesTokens) {
+  CancellationToken first;
+  CancellationToken second;
+  install_signal_cancellation(&first);
+  install_signal_cancellation(&second);
+  std::raise(SIGINT);
+  EXPECT_FALSE(first.cancelled());
+  EXPECT_TRUE(second.cancelled());
+  install_signal_cancellation(nullptr);
+}
+
+}  // namespace
+}  // namespace ptgsched

@@ -98,5 +98,18 @@ TEST(CsvWriter, FileRoundTrip) {
   std::filesystem::remove(path);
 }
 
+TEST(CsvWriter, UnwritablePathThrowsCsvError) {
+  CsvWriter w({"a"});
+  w.add_row({"1"});
+  try {
+    w.write_file("/nonexistent/ptgsched/out.csv");
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    // The I/O failure surfaces as CsvError with the path in the message.
+    EXPECT_NE(std::string(e.what()).find("/nonexistent/ptgsched/out.csv"),
+              std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace ptgsched

@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "support/atomic_io.hpp"
+
 namespace ptgsched {
 namespace {
 
@@ -154,6 +156,33 @@ TEST(JsonFile, WriteAndReadBack) {
 TEST(JsonFile, MissingFileThrows) {
   EXPECT_THROW((void)Json::parse_file("/nonexistent/nope.json"),
                std::runtime_error);
+}
+
+TEST(JsonFile, UnwritablePathThrowsIoError) {
+  EXPECT_THROW(Json::object().write_file("/nonexistent/ptgsched/out.json"),
+               IoError);
+}
+
+TEST(JsonFile, WriteLeavesNoTempFileBehind) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "ptgsched_json_atomic.json";
+  Json::parse("[1,2,3]").write_file(path.string());
+  EXPECT_FALSE(std::filesystem::exists(path.string() + ".tmp"));
+  std::filesystem::remove(path);
+}
+
+TEST(JsonRequire, NamesTheMissingKeyAndContext) {
+  const Json doc = Json::parse(R"({"present": 1})");
+  EXPECT_EQ(json_require(doc, "present", "test doc").as_int(), 1);
+  try {
+    (void)json_require(doc, "absent", "test doc");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("absent"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test doc"), std::string::npos);
+  }
+  EXPECT_THROW((void)json_require(Json::parse("[]"), "k", "array doc"),
+               JsonError);
 }
 
 TEST(JsonEquality, DeepComparison) {
