@@ -10,9 +10,11 @@
 #include <cstdio>
 #include <map>
 
+#include "core/problem_instance.hpp"
 #include "daggen/corpus.hpp"
 #include "ea/local_search.hpp"
 #include "emts/emts.hpp"
+#include "eval/evaluation_engine.hpp"
 #include "heuristics/allocation_heuristic.hpp"
 #include "sched/list_scheduler.hpp"
 #include "support/cli.hpp"
@@ -57,11 +59,10 @@ int main(int argc, char** argv) {
           ind.origin = h;
           seeds.push_back(std::move(ind));
         }
-        ListScheduler sched(g, cluster, model);
-        const FitnessFn fitness = [&sched](const Allocation& a,
-                                           std::size_t) {
-          return sched.makespan(a);
-        };
+        // All strategies draw fitness from one engine sharing one problem
+        // core — the same table-backed hot path EMTS itself evaluates on.
+        EvaluationEngine engine(ProblemInstance::borrow(g, model, cluster));
+        const FitnessFn fitness = engine.fitness_fn();
         const MutateFn mutate =
             Emts::make_mutator(MutationParams{}, 0.33, 5, P);
 

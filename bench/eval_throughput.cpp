@@ -66,14 +66,13 @@ double legacy_seconds(const Ptg& g, const ExecutionTimeModel& model,
   return timer.seconds();
 }
 
-double engine_seconds(const Ptg& g, const ExecutionTimeModel& model,
-                      const Cluster& cluster,
+double engine_seconds(const std::shared_ptr<const ProblemInstance>& instance,
                       const std::vector<std::vector<Individual>>& batches,
                       std::size_t threads, bool memoize) {
   EvalEngineConfig cfg;
   cfg.threads = threads;
   cfg.memoize = memoize;
-  EvaluationEngine engine(g, model, cluster, {}, cfg);
+  EvaluationEngine engine(instance, {}, cfg);
   WallTimer timer;
   for (const auto& batch : batches) {
     auto pool = batch;
@@ -109,6 +108,8 @@ int main(int argc, char** argv) {
     const Cluster cluster = grelon();
     const SyntheticModel model;
     const int P = cluster.num_processors();
+    // The engine lanes share one problem core, as the EMTS driver does.
+    const auto instance = ProblemInstance::borrow(g, model, cluster);
 
     // EMTS-10-shaped batches: mutants of the MCPA seed under the paper's
     // mutation operator (duplicates arise naturally, as in a real run).
@@ -138,10 +139,10 @@ int main(int argc, char** argv) {
       for (std::size_t r = 0; r < reps; ++r) {
         legacy_best =
             std::min(legacy_best, legacy_seconds(g, model, cluster, batches, t));
-        engine_best = std::min(
-            engine_best, engine_seconds(g, model, cluster, batches, t, false));
-        memo_best = std::min(
-            memo_best, engine_seconds(g, model, cluster, batches, t, true));
+        engine_best = std::min(engine_best,
+                               engine_seconds(instance, batches, t, false));
+        memo_best =
+            std::min(memo_best, engine_seconds(instance, batches, t, true));
       }
       table.push_back({std::to_string(t),
                        strfmt("%.0f", total / legacy_best),

@@ -10,13 +10,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 
+#include "core/problem_instance.hpp"
 #include "daggen/corpus.hpp"
 #include "emts/emts.hpp"
 #include "eval/evaluation_engine.hpp"
 #include "heuristics/cpa.hpp"
 #include "ptg/algorithms.hpp"
 #include "sched/list_scheduler.hpp"
+#include "sched/mapping_core.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -67,6 +70,57 @@ BENCHMARK(BM_FitnessEvaluation)
     ->Args({100, 20})
     ->Args({100, 120})
     ->Args({500, 120});
+
+// Virtual-dispatch vs time-table fitness evaluation: identical MappingCore
+// passes, differing only in where the per-task times come from — a virtual
+// ExecutionTimeModel::time call per task (the pre-ProblemInstance hot
+// path) or the instance's dense V x P table. The gap is the
+// devirtualization win the shared problem core buys every evaluation.
+void BM_FitnessTimesSource(benchmark::State& state) {
+  const bool use_table = state.range(2) != 0;
+  const Ptg g = bench_graph(static_cast<int>(state.range(0)));
+  const Cluster cluster("c", static_cast<int>(state.range(1)), 3.1);
+  const SyntheticModel model;
+  const auto instance = ProblemInstance::borrow(g, model, cluster);
+  const double* table = instance->time_table().data();
+  const auto stride = static_cast<std::size_t>(cluster.num_processors());
+
+  MappingCore core(g, instance->topo_order(),
+                   {MappingLane{cluster.num_processors(), 0}});
+  Rng rng(5);
+  Allocation alloc(g.num_tasks());
+  for (auto& s : alloc) {
+    s = static_cast<int>(rng.uniform_int(1, cluster.num_processors()));
+  }
+  std::vector<double> times(g.num_tasks());
+  const auto place = [&](TaskId v, double data_ready) {
+    MappingCore::Placement p;
+    p.lane = 0;
+    p.size = static_cast<std::size_t>(alloc[v]);
+    p.start = core.earliest_start(0, p.size, data_ready);
+    p.finish = p.start + times[v];
+    return p;
+  };
+  const double inf = std::numeric_limits<double>::infinity();
+  for (auto _ : state) {
+    if (use_table) {
+      for (TaskId v = 0; v < g.num_tasks(); ++v) {
+        times[v] = table[v * stride + static_cast<std::size_t>(alloc[v]) - 1];
+      }
+    } else {
+      for (TaskId v = 0; v < g.num_tasks(); ++v) {
+        times[v] = model.time(g.task(v), alloc[v], cluster);
+      }
+    }
+    benchmark::DoNotOptimize(core.run(
+        times, ProcessorSelection::EarliestAvailable, inf, nullptr, place));
+  }
+}
+BENCHMARK(BM_FitnessTimesSource)
+    ->Args({100, 120, 0})   // virtual dispatch
+    ->Args({100, 120, 1})   // time table
+    ->Args({500, 120, 0})
+    ->Args({500, 120, 1});
 
 void BM_CpaAllocation(benchmark::State& state) {
   const Ptg g = bench_graph(static_cast<int>(state.range(0)));

@@ -1,0 +1,123 @@
+#include "core/problem_instance.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "ptg/algorithms.hpp"
+
+namespace ptgsched {
+
+ProblemInstance::ProblemInstance(
+    std::shared_ptr<const Ptg> graph,
+    std::shared_ptr<const ExecutionTimeModel> model,
+    std::shared_ptr<const Cluster> cluster)
+    : graph_(std::move(graph)),
+      model_(std::move(model)),
+      cluster_(std::move(cluster)) {
+  if (graph_ == nullptr || model_ == nullptr || cluster_ == nullptr) {
+    throw std::invalid_argument(
+        "ProblemInstance: graph, model and cluster must be non-null");
+  }
+  graph_->validate();
+  p_ = cluster_->num_processors();
+  topo_ = topological_order(*graph_);
+  // Qualified: the accessor of the same name hides the free function here.
+  levels_ = ptgsched::precedence_levels(*graph_);
+  num_levels_ = levels_.empty()
+                    ? 0
+                    : *std::max_element(levels_.begin(), levels_.end()) + 1;
+  by_level_.resize(static_cast<std::size_t>(num_levels_));
+  for (TaskId v = 0; v < graph_->num_tasks(); ++v) {
+    by_level_[static_cast<std::size_t>(levels_[v])].push_back(v);
+  }
+}
+
+std::shared_ptr<const ProblemInstance> ProblemInstance::create(
+    std::shared_ptr<const Ptg> graph,
+    std::shared_ptr<const ExecutionTimeModel> model,
+    std::shared_ptr<const Cluster> cluster) {
+  return std::shared_ptr<const ProblemInstance>(new ProblemInstance(
+      std::move(graph), std::move(model), std::move(cluster)));
+}
+
+std::shared_ptr<const ProblemInstance> ProblemInstance::borrow(
+    const Ptg& graph, const ExecutionTimeModel& model,
+    const Cluster& cluster) {
+  // Aliasing shared_ptrs with no control block: the instance references the
+  // caller's objects without owning them.
+  return create(std::shared_ptr<const Ptg>(std::shared_ptr<const Ptg>{},
+                                           &graph),
+                std::shared_ptr<const ExecutionTimeModel>(
+                    std::shared_ptr<const ExecutionTimeModel>{}, &model),
+                std::shared_ptr<const Cluster>(
+                    std::shared_ptr<const Cluster>{}, &cluster));
+}
+
+std::span<const double> ProblemInstance::time_table() const {
+  std::call_once(table_once_, [this] {
+    const std::size_t n = num_tasks();
+    table_.resize(n * static_cast<std::size_t>(p_));
+    for (TaskId v = 0; v < n; ++v) {
+      double* row = table_.data() + v * static_cast<std::size_t>(p_);
+      for (int p = 1; p <= p_; ++p) {
+        row[p - 1] = model_->time(graph_->task(v), p, *cluster_);
+      }
+    }
+  });
+  return table_;
+}
+
+double ProblemInstance::time(TaskId v, int p) const {
+  if (v >= num_tasks()) {
+    throw ModelError("ProblemInstance::time: unknown task id " +
+                     std::to_string(v));
+  }
+  if (p < 1 || p > p_) {
+    throw ModelError("ProblemInstance::time: p = " + std::to_string(p) +
+                     " outside [1, " + std::to_string(p_) + "]");
+  }
+  return time_table()[v * static_cast<std::size_t>(p_) +
+                      static_cast<std::size_t>(p - 1)];
+}
+
+std::span<const double> ProblemInstance::times_of(TaskId v) const {
+  if (v >= num_tasks()) {
+    throw ModelError("ProblemInstance::times_of: unknown task id " +
+                     std::to_string(v));
+  }
+  return time_table().subspan(v * static_cast<std::size_t>(p_),
+                              static_cast<std::size_t>(p_));
+}
+
+std::span<const double> ProblemInstance::bottom_levels_seq() const {
+  std::call_once(seq_once_, [this] {
+    const std::span<const double> table = time_table();
+    const auto seq_time = [&](TaskId v) {
+      return table[v * static_cast<std::size_t>(p_)];
+    };
+    bottom_levels_into(*graph_, topo_, seq_time, bl_seq_);
+    tl_seq_ = top_levels(*graph_, seq_time);
+    seq_cp_ = bl_seq_.empty()
+                  ? 0.0
+                  : *std::max_element(bl_seq_.begin(), bl_seq_.end());
+  });
+  return bl_seq_;
+}
+
+std::span<const double> ProblemInstance::top_levels_seq() const {
+  (void)bottom_levels_seq();
+  return tl_seq_;
+}
+
+double ProblemInstance::sequential_critical_path() const {
+  (void)bottom_levels_seq();
+  return seq_cp_;
+}
+
+const ProblemInstance& ProblemInstance::warm() const {
+  (void)time_table();
+  (void)bottom_levels_seq();
+  return *this;
+}
+
+}  // namespace ptgsched

@@ -63,7 +63,16 @@ MutateFn Emts::make_mutator(MutationParams params, double fm,
 
 EmtsResult Emts::schedule(const Ptg& g, const ExecutionTimeModel& model,
                           const Cluster& cluster) const {
-  g.validate();
+  return schedule(ProblemInstance::borrow(g, model, cluster));
+}
+
+EmtsResult Emts::schedule(
+    const std::shared_ptr<const ProblemInstance>& instance) const {
+  if (instance == nullptr) {
+    throw std::invalid_argument("Emts: null problem instance");
+  }
+  const Ptg& g = instance->graph();
+  const int num_processors = instance->num_processors();
   WallTimer total_timer;
   EmtsResult result;
 
@@ -75,7 +84,7 @@ EmtsResult Emts::schedule(const Ptg& g, const ExecutionTimeModel& model,
   engine_cfg.use_rejection = config_.use_rejection;
   engine_cfg.memoize = config_.memoize;
   engine_cfg.cancel = config_.cancel;
-  EvaluationEngine engine(g, model, cluster, config_.mapping, engine_cfg);
+  EvaluationEngine engine(instance, config_.mapping, engine_cfg);
 
   // --- Step 0: starting solutions (Section III-B). ---------------------
   WallTimer seed_timer;
@@ -95,18 +104,17 @@ EmtsResult Emts::schedule(const Ptg& g, const ExecutionTimeModel& model,
 
   for (const std::string& name : config_.seed_heuristics) {
     const auto heuristic = make_heuristic(name);
-    add_seed(name, heuristic->allocate(g, model, cluster));
+    add_seed(name, heuristic->allocate(*instance));
   }
   if (config_.use_delta_seed) {
     const DeltaCriticalAllocation delta(config_.delta);
-    add_seed("delta", delta.allocate(g, model, cluster));
+    add_seed("delta", delta.allocate(*instance));
   }
   if (config_.use_random_seed) {
     Rng rng(derive_seed(config_.seed, 0x5eedULL));
     Allocation random_alloc(g.num_tasks());
     for (auto& s : random_alloc) {
-      s = static_cast<int>(
-          rng.uniform_int(1, cluster.num_processors()));
+      s = static_cast<int>(rng.uniform_int(1, num_processors));
     }
     add_seed("random", std::move(random_alloc));
   }
@@ -125,8 +133,7 @@ EmtsResult Emts::schedule(const Ptg& g, const ExecutionTimeModel& model,
 
   EvolutionStrategy es(es_cfg, engine,
                        make_mutator(config_.mutation, config_.fm,
-                                    config_.generations,
-                                    cluster.num_processors()));
+                                    config_.generations, num_processors));
   result.es = es.run(seeds);
 
   result.eval_stats = engine.stats();

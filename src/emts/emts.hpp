@@ -102,7 +102,13 @@ class Emts {
 
   [[nodiscard]] const EmtsConfig& config() const noexcept { return config_; }
 
-  /// Run the full EMTS pipeline on one PTG.
+  /// Run the full EMTS pipeline against a shared problem core (the
+  /// heuristic seeds, every fitness evaluation, and the final mapping all
+  /// read the same precomputed instance).
+  [[nodiscard]] EmtsResult schedule(
+      const std::shared_ptr<const ProblemInstance>& instance) const;
+
+  /// Legacy adapter: borrows the references for the duration of the call.
   [[nodiscard]] EmtsResult schedule(const Ptg& g,
                                     const ExecutionTimeModel& model,
                                     const Cluster& cluster) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "support/rng.hpp"
 #include "support/timer.hpp"
@@ -24,23 +25,34 @@ std::uint64_t allocation_hash(const Allocation& alloc) noexcept {
 
 }  // namespace
 
+EvaluationEngine::EvaluationEngine(
+    std::shared_ptr<const ProblemInstance> instance,
+    ListSchedulerOptions mapping, EvalEngineConfig config)
+    : config_(config),
+      instance_(std::move(instance)),
+      pool_(config.threads == 0 ? 0 : config.threads - 1),
+      incumbent_(std::numeric_limits<double>::infinity()),
+      cache_shards_(kCacheShards) {
+  if (instance_ == nullptr) {
+    throw std::invalid_argument("EvaluationEngine: null problem instance");
+  }
+  // Build every lazy block now, before any worker touches the instance.
+  instance_->warm();
+  const std::size_t slots = std::max<std::size_t>(1, config_.threads);
+  slots_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    slots_.push_back(std::make_unique<ListScheduler>(instance_, mapping));
+  }
+  slot_counters_.resize(slots);
+}
+
 EvaluationEngine::EvaluationEngine(const Ptg& g,
                                    const ExecutionTimeModel& model,
                                    const Cluster& cluster,
                                    ListSchedulerOptions mapping,
                                    EvalEngineConfig config)
-    : config_(config),
-      pool_(config.threads == 0 ? 0 : config.threads - 1),
-      incumbent_(std::numeric_limits<double>::infinity()),
-      cache_shards_(kCacheShards) {
-  const std::size_t slots = std::max<std::size_t>(1, config_.threads);
-  slots_.reserve(slots);
-  for (std::size_t i = 0; i < slots; ++i) {
-    slots_.push_back(
-        std::make_unique<ListScheduler>(g, cluster, model, mapping));
-  }
-  slot_counters_.resize(slots);
-}
+    : EvaluationEngine(ProblemInstance::borrow(g, model, cluster), mapping,
+                       config) {}
 
 bool EvaluationEngine::cache_lookup(std::uint64_t key,
                                     const Allocation& alloc, double* out) {
@@ -150,6 +162,13 @@ Schedule EvaluationEngine::build_schedule(const Allocation& alloc) {
   return slots_.front()->build_schedule(alloc);
 }
 
+FitnessFn EvaluationEngine::fitness_fn() {
+  return [this](const Allocation& alloc, std::size_t slot) {
+    return fitness_for(alloc, slot % slots_.size(),
+                       std::numeric_limits<double>::infinity(), false);
+  };
+}
+
 EvalStats EvaluationEngine::stats() const {
   EvalStats s;
   for (const SlotCounters& c : slot_counters_) {
@@ -158,9 +177,7 @@ EvalStats EvaluationEngine::stats() const {
     s.cache_hits += c.cache_hits;
     s.cache_misses += c.cache_misses;
   }
-  std::size_t rejections = 0;
-  for (const auto& sched : slots_) rejections += sched->rejected_count();
-  s.rejections = rejections - rejections_offset_;
+  for (const auto& sched : slots_) s.rejections += sched->rejected_count();
   s.batches = batches_;
   s.eval_seconds = eval_seconds_;
   return s;
@@ -170,10 +187,9 @@ void EvaluationEngine::reset_stats() {
   std::fill(slot_counters_.begin(), slot_counters_.end(), SlotCounters{});
   batches_ = 0;
   eval_seconds_ = 0.0;
-  rejections_offset_ = 0;
-  for (const auto& sched : slots_) {
-    rejections_offset_ += sched->rejected_count();
-  }
+  // Zero the schedulers' own counters too, so the next stats() snapshot is
+  // an exact delta rather than a lifetime total minus an offset.
+  for (const auto& sched : slots_) sched->reset_stats();
 }
 
 void EvaluationEngine::clear_cache() {

@@ -90,6 +90,14 @@ struct EvalStats {
 /// calls it from a single driver thread).
 class EvaluationEngine final : public BatchEvaluator {
  public:
+  /// Primary constructor: every evaluation slot shares `instance` (which
+  /// is warmed once, so no worker ever stalls on the lazy builds).
+  explicit EvaluationEngine(std::shared_ptr<const ProblemInstance> instance,
+                            ListSchedulerOptions mapping = {},
+                            EvalEngineConfig config = {});
+
+  /// Legacy adapter: borrows the references (they must outlive the
+  /// engine).
   EvaluationEngine(const Ptg& g, const ExecutionTimeModel& model,
                    const Cluster& cluster, ListSchedulerOptions mapping = {},
                    EvalEngineConfig config = {});
@@ -111,6 +119,12 @@ class EvaluationEngine final : public BatchEvaluator {
   /// Full schedule for an allocation (slot 0; not counted in stats).
   [[nodiscard]] Schedule build_schedule(const Allocation& alloc);
 
+  /// The engine's hot path as a plain FitnessFn (exact per-slot
+  /// evaluation through the memo cache, no incumbent bound): glue for
+  /// LocalSearch and other FitnessFn-based drivers. The engine must
+  /// outlive the returned function.
+  [[nodiscard]] FitnessFn fitness_fn();
+
   // Rejection bound ----------------------------------------------------
   /// Manually publish an incumbent bound (evaluate_batch must not be
   /// running). on_selection does this automatically for the ES.
@@ -128,6 +142,11 @@ class EvaluationEngine final : public BatchEvaluator {
 
   [[nodiscard]] const EvalEngineConfig& config() const noexcept {
     return config_;
+  }
+  /// The shared problem core all slots evaluate against.
+  [[nodiscard]] const std::shared_ptr<const ProblemInstance>& instance()
+      const noexcept {
+    return instance_;
   }
   [[nodiscard]] std::size_t num_slots() const noexcept {
     return slots_.size();
@@ -159,6 +178,7 @@ class EvaluationEngine final : public BatchEvaluator {
   void cache_insert(std::uint64_t key, const Allocation& alloc, double value);
 
   EvalEngineConfig config_;
+  std::shared_ptr<const ProblemInstance> instance_;
   std::vector<std::unique_ptr<ListScheduler>> slots_;
   ThreadPool pool_;
   std::atomic<double> incumbent_;
@@ -170,7 +190,6 @@ class EvaluationEngine final : public BatchEvaluator {
   std::vector<SlotCounters> slot_counters_;
   std::size_t batches_ = 0;
   double eval_seconds_ = 0.0;
-  std::size_t rejections_offset_ = 0;  ///< For reset_stats().
 };
 
 }  // namespace ptgsched

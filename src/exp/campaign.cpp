@@ -367,7 +367,11 @@ Json run_campaign(const CampaignConfig& config,
           if (config.unit_deadline_seconds > 0.0) {
             ecfg.time_budget_seconds = config.unit_deadline_seconds;
           }
-          const EmtsResult r = Emts(ecfg).schedule(graphs[i], *model, cluster);
+          // One shared problem core per gap unit: EMTS and the lower
+          // bounds below read the same precomputed tables.
+          const auto instance =
+              ProblemInstance::borrow(graphs[i], *model, cluster);
+          const EmtsResult r = Emts(ecfg).schedule(instance);
           if (r.cancelled) {
             throw CancelledError("gap unit cancelled mid-run (#" +
                                  std::to_string(i) + ")");

@@ -47,11 +47,17 @@ InstanceResult run_unit(const ComparisonConfig& config,
   ir.num_graph_tasks = g.num_tasks();
   ir.retries = attempt;
 
+  // One shared problem core per unit: the baseline heuristics, their
+  // mapping, and the whole EMTS run below read the same precomputed
+  // tables. Borrowed: g, model and cluster are owned by the caller and
+  // outlive the unit.
+  const auto instance = ProblemInstance::borrow(g, model, cluster);
+
   // Baselines: allocation heuristic + shared list-scheduler mapping.
-  ListScheduler mapper(g, cluster, model, config.emts.mapping);
+  ListScheduler mapper(instance, config.emts.mapping);
   for (const std::string& baseline : config.baselines) {
     const auto heuristic = make_heuristic(baseline);
-    const Allocation alloc = heuristic->allocate(g, model, cluster);
+    const Allocation alloc = heuristic->allocate(*instance);
     ir.baseline_makespans[baseline] = mapper.makespan(alloc);
   }
 
@@ -67,7 +73,7 @@ InstanceResult run_unit(const ComparisonConfig& config,
             : hooks.unit_deadline_seconds;
   }
   const Emts emts(emts_cfg);
-  const EmtsResult er = emts.schedule(g, model, cluster);
+  const EmtsResult er = emts.schedule(instance);
   if (er.cancelled) {
     // A mid-unit cancel yields a valid best-so-far schedule, but the unit
     // did not run to completion — it must not enter the aggregates or the

@@ -2,14 +2,22 @@
 // Allocation heuristics: the first step of two-step PTG schedulers
 // (Section II-B related work, Section III-B starting solutions).
 //
-// Every heuristic maps (graph, model, cluster) to an Allocation. Mapping is
+// Every heuristic maps a problem instance to an Allocation. Mapping is
 // deliberately *not* part of the interface — any allocation can be mapped
 // with the shared list scheduler — mirroring the decoupled two-step
 // structure the paper builds on.
+//
+// The primary interface takes a ProblemInstance, so every heuristic reads
+// precomputed topological orders, precedence levels and execution times
+// from the shared core instead of re-deriving them per call; the
+// three-reference overload is a thin adapter kept for callers that do not
+// hold an instance yet.
 
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "core/problem_instance.hpp"
 #include "model/execution_time.hpp"
 #include "platform/cluster.hpp"
 #include "ptg/graph.hpp"
@@ -24,14 +32,27 @@ class AllocationHeuristic {
   /// Compute s(v) for every task. The result is always a valid allocation
   /// (each entry in [1, P]).
   [[nodiscard]] virtual Allocation allocate(
-      const Ptg& g, const ExecutionTimeModel& model,
-      const Cluster& cluster) const = 0;
+      const ProblemInstance& instance) const = 0;
+
+  /// Adapter for callers without a ProblemInstance at hand: borrows the
+  /// references for the duration of the call. Derived classes re-export it
+  /// with `using AllocationHeuristic::allocate;`.
+  [[nodiscard]] Allocation allocate(const Ptg& g,
+                                    const ExecutionTimeModel& model,
+                                    const Cluster& cluster) const {
+    return allocate(*ProblemInstance::borrow(g, model, cluster));
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
-/// Factory: "one" | "cpa" | "hcpa" | "mcpa" | "mcpa2" | "delta".
+/// Factory: constructs the heuristic registered under `name` (see
+/// heuristic_names()); throws std::invalid_argument listing the valid
+/// names otherwise.
 [[nodiscard]] std::unique_ptr<AllocationHeuristic> make_heuristic(
     const std::string& name);
+
+/// Every name make_heuristic accepts, in registration order.
+[[nodiscard]] const std::vector<std::string>& heuristic_names();
 
 }  // namespace ptgsched

@@ -11,14 +11,17 @@ namespace {
 
 // CPA allocation loop against a virtual cluster of b processors:
 // allocations are clamped to b and the stopping criterion compares the
-// critical path to W / b.
-Allocation cpa_for_virtual_size(const Ptg& g, const ExecutionTimeModel& model,
-                                const Cluster& cluster, int b) {
-  const std::size_t n = g.num_tasks();
-  const auto topo = topological_order(g);
+// critical path to W / b. Times come from the instance's table (b never
+// exceeds the real cluster size, so every lookup is in range).
+Allocation cpa_for_virtual_size(const ProblemInstance& pi, int b) {
+  const Ptg& g = pi.graph();
+  const std::size_t n = pi.num_tasks();
+  const std::span<const TaskId> topo = pi.topo_order();
+  const double* table = pi.time_table().data();
+  const auto stride = static_cast<std::size_t>(pi.num_processors());
   Allocation alloc(n, 1);
   std::vector<double> times(n);
-  for (TaskId v = 0; v < n; ++v) times[v] = model.time(g.task(v), 1, cluster);
+  for (TaskId v = 0; v < n; ++v) times[v] = table[v * stride];
   std::vector<double> bl;
 
   const std::size_t max_iters = n * static_cast<std::size_t>(b) + 1;
@@ -38,7 +41,7 @@ Allocation cpa_for_virtual_size(const Ptg& g, const ExecutionTimeModel& model,
     for (const TaskId v : path) {
       const int s = alloc[v];
       if (s >= b) continue;
-      const double t_next = model.time(g.task(v), s + 1, cluster);
+      const double t_next = table[v * stride + static_cast<std::size_t>(s)];
       const double gain = times[v] / static_cast<double>(s) -
                           t_next / static_cast<double>(s + 1);
       if (gain > best_gain) {
@@ -48,7 +51,8 @@ Allocation cpa_for_virtual_size(const Ptg& g, const ExecutionTimeModel& model,
     }
     if (best == kInvalidTask || !(best_gain > 0.0)) break;
     alloc[best] += 1;
-    times[best] = model.time(g.task(best), alloc[best], cluster);
+    times[best] = table[best * stride + static_cast<std::size_t>(alloc[best]) -
+                        1];
   }
   return alloc;
 }
@@ -60,17 +64,14 @@ BicpaAllocation::BicpaAllocation(int stride, ListSchedulerOptions mapping)
   if (stride_ < 1) throw std::invalid_argument("BicpaAllocation: stride < 1");
 }
 
-Allocation BicpaAllocation::allocate(const Ptg& g,
-                                     const ExecutionTimeModel& model,
-                                     const Cluster& cluster) const {
-  g.validate();
-  const int P = cluster.num_processors();
-  ListScheduler mapper(g, cluster, model, mapping_);
+Allocation BicpaAllocation::allocate(const ProblemInstance& instance) const {
+  const int P = instance.num_processors();
+  ListScheduler mapper(instance.shared_from_this(), mapping_);
 
   Allocation best_alloc;
   double best_makespan = 0.0;
   for (int b = 1; b <= P; b += stride_) {
-    Allocation alloc = cpa_for_virtual_size(g, model, cluster, b);
+    Allocation alloc = cpa_for_virtual_size(instance, b);
     const double m = mapper.makespan(alloc);
     if (best_alloc.empty() || m < best_makespan) {
       best_makespan = m;
@@ -80,7 +81,7 @@ Allocation BicpaAllocation::allocate(const Ptg& g,
   // Always include the full-size sweep endpoint so stride > 1 still
   // considers plain CPA's operating point.
   if ((P - 1) % stride_ != 0) {
-    Allocation alloc = cpa_for_virtual_size(g, model, cluster, P);
+    Allocation alloc = cpa_for_virtual_size(instance, P);
     if (mapper.makespan(alloc) < best_makespan) best_alloc = std::move(alloc);
   }
   return best_alloc;

@@ -26,9 +26,9 @@ class BicpaAllocation : public AllocationHeuristic {
   /// for scheduling speed.
   explicit BicpaAllocation(int stride = 1, ListSchedulerOptions mapping = {});
 
-  [[nodiscard]] Allocation allocate(const Ptg& g,
-                                    const ExecutionTimeModel& model,
-                                    const Cluster& cluster) const override;
+  using AllocationHeuristic::allocate;
+  [[nodiscard]] Allocation allocate(
+      const ProblemInstance& instance) const override;
   [[nodiscard]] std::string name() const override { return "bicpa"; }
 
  private:

@@ -10,21 +10,23 @@ namespace {
 
 /// Shared CPA allocation loop. With `level_bound` the processors granted
 /// within one precedence level never exceed P (MCPA); without it the loop
-/// is classic CPA/HCPA.
-Allocation cpa_core(const Ptg& g, const ExecutionTimeModel& model,
-                    const Cluster& cluster, bool level_bound) {
-  g.validate();
-  const int P = cluster.num_processors();
-  const std::size_t n = g.num_tasks();
-  const auto topo = topological_order(g);
-  const auto levels = precedence_levels(g);
+/// is classic CPA/HCPA. All execution times come from the instance's
+/// precomputed table.
+Allocation cpa_core(const ProblemInstance& pi, bool level_bound) {
+  const Ptg& g = pi.graph();
+  const int P = pi.num_processors();
+  const std::size_t n = pi.num_tasks();
+  const std::span<const TaskId> topo = pi.topo_order();
+  const std::span<const int> levels = pi.precedence_levels();
+  const double* table = pi.time_table().data();
+  const auto stride = static_cast<std::size_t>(P);
 
   Allocation alloc(n, 1);
   std::vector<double> times(n);
-  for (TaskId v = 0; v < n; ++v) times[v] = model.time(g.task(v), 1, cluster);
+  for (TaskId v = 0; v < n; ++v) times[v] = table[v * stride];
 
-  std::vector<long long> level_alloc(
-      static_cast<std::size_t>(num_precedence_levels(g)), 0);
+  std::vector<long long> level_alloc(static_cast<std::size_t>(pi.num_levels()),
+                                     0);
   for (TaskId v = 0; v < n; ++v) {
     level_alloc[static_cast<std::size_t>(levels[v])] += 1;
   }
@@ -57,7 +59,7 @@ Allocation cpa_core(const Ptg& g, const ExecutionTimeModel& model,
           level_alloc[static_cast<std::size_t>(levels[v])] >= P) {
         continue;
       }
-      const double t_next = model.time(g.task(v), s + 1, cluster);
+      const double t_next = table[v * stride + static_cast<std::size_t>(s)];
       const double gain = times[v] / static_cast<double>(s) -
                           t_next / static_cast<double>(s + 1);
       if (gain > best_gain ||
@@ -74,7 +76,8 @@ Allocation cpa_core(const Ptg& g, const ExecutionTimeModel& model,
     if (best == kInvalidTask || !(best_gain > 0.0)) break;
 
     alloc[best] += 1;
-    times[best] = model.time(g.task(best), alloc[best], cluster);
+    times[best] = table[best * stride + static_cast<std::size_t>(alloc[best]) -
+                        1];
     level_alloc[static_cast<std::size_t>(levels[best])] += 1;
   }
   return alloc;
@@ -82,45 +85,38 @@ Allocation cpa_core(const Ptg& g, const ExecutionTimeModel& model,
 
 }  // namespace
 
-Allocation CpaAllocation::allocate(const Ptg& g,
-                                   const ExecutionTimeModel& model,
-                                   const Cluster& cluster) const {
-  return cpa_core(g, model, cluster, /*level_bound=*/false);
+Allocation CpaAllocation::allocate(const ProblemInstance& instance) const {
+  return cpa_core(instance, /*level_bound=*/false);
 }
 
-Allocation HcpaAllocation::allocate(const Ptg& g,
-                                    const ExecutionTimeModel& model,
-                                    const Cluster& cluster) const {
+Allocation HcpaAllocation::allocate(const ProblemInstance& instance) const {
   // HCPA allocates on a homogeneous *reference cluster* and translates the
   // result to the target clusters. With a single homogeneous cluster the
-  // reference cluster equals the target, so the translation is the
-  // identity and the procedure reduces to CPA's loop (DESIGN.md).
-  const Cluster reference(cluster.name() + "-ref", cluster.num_processors(),
-                          cluster.gflops());
-  return cpa_core(g, model, reference, /*level_bound=*/false);
+  // reference cluster has the same processor count and speed as the
+  // target, execution times agree exactly, and the procedure reduces to
+  // CPA's loop on the instance itself (DESIGN.md).
+  return cpa_core(instance, /*level_bound=*/false);
 }
 
-Allocation McpaAllocation::allocate(const Ptg& g,
-                                    const ExecutionTimeModel& model,
-                                    const Cluster& cluster) const {
-  return cpa_core(g, model, cluster, /*level_bound=*/true);
+Allocation McpaAllocation::allocate(const ProblemInstance& instance) const {
+  return cpa_core(instance, /*level_bound=*/true);
 }
 
-Allocation Mcpa2Allocation::allocate(const Ptg& g,
-                                     const ExecutionTimeModel& model,
-                                     const Cluster& cluster) const {
-  Allocation alloc = cpa_core(g, model, cluster, /*level_bound=*/true);
-  const int P = cluster.num_processors();
-  const std::size_t n = g.num_tasks();
+Allocation Mcpa2Allocation::allocate(const ProblemInstance& instance) const {
+  Allocation alloc = cpa_core(instance, /*level_bound=*/true);
+  const int P = instance.num_processors();
+  const std::size_t n = instance.num_tasks();
+  const double* table = instance.time_table().data();
+  const auto stride = static_cast<std::size_t>(P);
 
   std::vector<double> times(n);
   for (TaskId v = 0; v < n; ++v) {
-    times[v] = model.time(g.task(v), alloc[v], cluster);
+    times[v] = table[v * stride + static_cast<std::size_t>(alloc[v]) - 1];
   }
 
   // Post pass: spend the capacity MCPA left unused in each level on that
   // level's longest task, as long as doing so strictly shortens it.
-  for (const auto& level : tasks_by_level(g)) {
+  for (const auto& level : instance.tasks_by_level()) {
     long long used = 0;
     for (const TaskId v : level) used += alloc[v];
     while (used < P) {
@@ -131,7 +127,7 @@ Allocation Mcpa2Allocation::allocate(const Ptg& g,
       }
       if (longest == kInvalidTask) break;
       const double t_next =
-          model.time(g.task(longest), alloc[longest] + 1, cluster);
+          table[longest * stride + static_cast<std::size_t>(alloc[longest])];
       if (!(t_next < times[longest])) break;
       alloc[longest] += 1;
       times[longest] = t_next;

@@ -17,11 +17,12 @@
 //     spends remaining per-level capacity on each level's longest task
 //     while that shortens the level (approximation; see DESIGN.md).
 //
-// All variants consult only ExecutionTimeModel::time and therefore run
-// under non-monotonic models too; the shared gain loop stops when no
-// critical-path task has a strictly positive gain, which is how the paper's
-// observation "allocations will grow up to a size of 4-8 processors before
-// the allocation procedure stops" (Section V-B) emerges under Model 2.
+// All variants consult only the instance's execution-time table and
+// therefore run under non-monotonic models too; the shared gain loop stops
+// when no critical-path task has a strictly positive gain, which is how the
+// paper's observation "allocations will grow up to a size of 4-8 processors
+// before the allocation procedure stops" (Section V-B) emerges under
+// Model 2.
 
 #include "heuristics/allocation_heuristic.hpp"
 
@@ -29,33 +30,33 @@ namespace ptgsched {
 
 class CpaAllocation : public AllocationHeuristic {
  public:
-  [[nodiscard]] Allocation allocate(const Ptg& g,
-                                    const ExecutionTimeModel& model,
-                                    const Cluster& cluster) const override;
+  using AllocationHeuristic::allocate;
+  [[nodiscard]] Allocation allocate(
+      const ProblemInstance& instance) const override;
   [[nodiscard]] std::string name() const override { return "cpa"; }
 };
 
 class HcpaAllocation : public AllocationHeuristic {
  public:
-  [[nodiscard]] Allocation allocate(const Ptg& g,
-                                    const ExecutionTimeModel& model,
-                                    const Cluster& cluster) const override;
+  using AllocationHeuristic::allocate;
+  [[nodiscard]] Allocation allocate(
+      const ProblemInstance& instance) const override;
   [[nodiscard]] std::string name() const override { return "hcpa"; }
 };
 
 class McpaAllocation : public AllocationHeuristic {
  public:
-  [[nodiscard]] Allocation allocate(const Ptg& g,
-                                    const ExecutionTimeModel& model,
-                                    const Cluster& cluster) const override;
+  using AllocationHeuristic::allocate;
+  [[nodiscard]] Allocation allocate(
+      const ProblemInstance& instance) const override;
   [[nodiscard]] std::string name() const override { return "mcpa"; }
 };
 
 class Mcpa2Allocation : public AllocationHeuristic {
  public:
-  [[nodiscard]] Allocation allocate(const Ptg& g,
-                                    const ExecutionTimeModel& model,
-                                    const Cluster& cluster) const override;
+  using AllocationHeuristic::allocate;
+  [[nodiscard]] Allocation allocate(
+      const ProblemInstance& instance) const override;
   [[nodiscard]] std::string name() const override { return "mcpa2"; }
 };
 

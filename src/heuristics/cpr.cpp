@@ -6,17 +6,18 @@
 
 namespace ptgsched {
 
-Allocation CprAllocation::allocate(const Ptg& g,
-                                   const ExecutionTimeModel& model,
-                                   const Cluster& cluster) const {
-  g.validate();
-  const int P = cluster.num_processors();
-  const std::size_t n = g.num_tasks();
+Allocation CprAllocation::allocate(const ProblemInstance& instance) const {
+  const Ptg& g = instance.graph();
+  const int P = instance.num_processors();
+  const std::size_t n = instance.num_tasks();
+  const double* table = instance.time_table().data();
+  const auto stride = static_cast<std::size_t>(P);
 
-  ListScheduler mapper(g, cluster, model, mapping_);
+  // The mapper shares the instance (and its time table) with this loop.
+  ListScheduler mapper(instance.shared_from_this(), mapping_);
   Allocation alloc(n, 1);
   std::vector<double> times(n);
-  for (TaskId v = 0; v < n; ++v) times[v] = model.time(g.task(v), 1, cluster);
+  for (TaskId v = 0; v < n; ++v) times[v] = table[v * stride];
 
   double best_makespan = mapper.makespan(alloc);
 
@@ -43,8 +44,9 @@ Allocation CprAllocation::allocate(const Ptg& g,
     if (best_task == kInvalidTask) break;
 
     alloc[best_task] += 1;
-    times[best_task] = model.time(g.task(best_task), alloc[best_task],
-                                  cluster);
+    times[best_task] =
+        table[best_task * stride + static_cast<std::size_t>(alloc[best_task]) -
+              1];
     best_makespan = best_candidate;
   }
   return alloc;

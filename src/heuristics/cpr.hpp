@@ -22,9 +22,9 @@ class CprAllocation : public AllocationHeuristic {
   explicit CprAllocation(ListSchedulerOptions mapping = {})
       : mapping_(mapping) {}
 
-  [[nodiscard]] Allocation allocate(const Ptg& g,
-                                    const ExecutionTimeModel& model,
-                                    const Cluster& cluster) const override;
+  using AllocationHeuristic::allocate;
+  [[nodiscard]] Allocation allocate(
+      const ProblemInstance& instance) const override;
   [[nodiscard]] std::string name() const override { return "cpr"; }
 
  private:

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "ptg/algorithms.hpp"
-
 namespace ptgsched {
 
 DeltaCriticalAllocation::DeltaCriticalAllocation(double delta)
@@ -14,19 +12,17 @@ DeltaCriticalAllocation::DeltaCriticalAllocation(double delta)
   }
 }
 
-Allocation DeltaCriticalAllocation::allocate(const Ptg& g,
-                                             const ExecutionTimeModel& model,
-                                             const Cluster& cluster) const {
-  g.validate();
-  const int P = cluster.num_processors();
-  const std::size_t n = g.num_tasks();
+Allocation DeltaCriticalAllocation::allocate(
+    const ProblemInstance& instance) const {
+  const int P = instance.num_processors();
+  const std::size_t n = instance.num_tasks();
 
-  // Bottom levels under the all-ones allocation.
-  const auto bl = bottom_levels(
-      g, [&](TaskId v) { return model.time(g.task(v), 1, cluster); });
+  // Bottom levels under the all-ones allocation (precomputed once per
+  // instance and shared with every other consumer).
+  const std::span<const double> bl = instance.bottom_levels_seq();
 
   Allocation alloc(n, 1);
-  for (const auto& level : tasks_by_level(g)) {
+  for (const auto& level : instance.tasks_by_level()) {
     double max_bl = 0.0;
     for (const TaskId v : level) max_bl = std::max(max_bl, bl[v]);
 
@@ -39,17 +35,14 @@ Allocation DeltaCriticalAllocation::allocate(const Ptg& g,
     const int share = std::max(
         1, P / static_cast<int>(critical.size()));
     for (const TaskId v : critical) {
-      alloc[v] = cluster.clamp_allocation(share);
+      alloc[v] = instance.cluster().clamp_allocation(share);
     }
   }
   return alloc;
 }
 
-Allocation OneEachAllocation::allocate(const Ptg& g,
-                                       const ExecutionTimeModel& /*model*/,
-                                       const Cluster& cluster) const {
-  g.validate();
-  return uniform_allocation(g, cluster, 1);
+Allocation OneEachAllocation::allocate(const ProblemInstance& instance) const {
+  return uniform_allocation(instance.graph(), instance.cluster(), 1);
 }
 
 }  // namespace ptgsched

@@ -17,9 +17,9 @@ class DeltaCriticalAllocation : public AllocationHeuristic {
  public:
   explicit DeltaCriticalAllocation(double delta = 0.9);
 
-  [[nodiscard]] Allocation allocate(const Ptg& g,
-                                    const ExecutionTimeModel& model,
-                                    const Cluster& cluster) const override;
+  using AllocationHeuristic::allocate;
+  [[nodiscard]] Allocation allocate(
+      const ProblemInstance& instance) const override;
   [[nodiscard]] std::string name() const override { return "delta"; }
 
   [[nodiscard]] double delta() const noexcept { return delta_; }
@@ -32,9 +32,9 @@ class DeltaCriticalAllocation : public AllocationHeuristic {
 /// data-parallel-free schedule).
 class OneEachAllocation : public AllocationHeuristic {
  public:
-  [[nodiscard]] Allocation allocate(const Ptg& g,
-                                    const ExecutionTimeModel& model,
-                                    const Cluster& cluster) const override;
+  using AllocationHeuristic::allocate;
+  [[nodiscard]] Allocation allocate(
+      const ProblemInstance& instance) const override;
   [[nodiscard]] std::string name() const override { return "one"; }
 };
 

@@ -1,3 +1,5 @@
+#include <stdexcept>
+
 #include "heuristics/allocation_heuristic.hpp"
 #include "heuristics/bicpa.hpp"
 #include "heuristics/cpa.hpp"
@@ -5,6 +7,12 @@
 #include "heuristics/delta_critical.hpp"
 
 namespace ptgsched {
+
+const std::vector<std::string>& heuristic_names() {
+  static const std::vector<std::string> names = {
+      "one", "cpa", "hcpa", "mcpa", "mcpa2", "delta", "cpr", "bicpa"};
+  return names;
+}
 
 std::unique_ptr<AllocationHeuristic> make_heuristic(const std::string& name) {
   if (name == "one") return std::make_unique<OneEachAllocation>();
@@ -15,7 +23,17 @@ std::unique_ptr<AllocationHeuristic> make_heuristic(const std::string& name) {
   if (name == "delta") return std::make_unique<DeltaCriticalAllocation>();
   if (name == "cpr") return std::make_unique<CprAllocation>();
   if (name == "bicpa") return std::make_unique<BicpaAllocation>();
-  throw std::invalid_argument("unknown allocation heuristic: " + name);
+  // std::invalid_argument on purpose: the experiment driver classifies it
+  // as an input error (classify_unit_error), not an internal failure.
+  std::string valid;
+  for (const std::string& n : heuristic_names()) {
+    if (!valid.empty()) valid += ", ";
+    valid += '"';
+    valid += n;
+    valid += '"';
+  }
+  throw std::invalid_argument("unknown allocation heuristic \"" + name +
+                              "\"; valid names: " + valid);
 }
 
 }  // namespace ptgsched

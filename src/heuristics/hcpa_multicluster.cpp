@@ -1,30 +1,46 @@
 #include "heuristics/hcpa_multicluster.hpp"
 
+#include <vector>
+
 #include "heuristics/cpa.hpp"
 
 namespace ptgsched {
 
-McAllocation McHcpa::translate(const Ptg& g,
-                               const Allocation& reference_alloc,
-                               const ExecutionTimeModel& model,
-                               const MultiClusterPlatform& platform) {
-  const Cluster reference = platform.reference_cluster();
-  validate_allocation(reference_alloc, g, reference);
+namespace {
+
+std::vector<std::shared_ptr<const ProblemInstance>> borrow_clusters(
+    const Ptg& g, const ExecutionTimeModel& model,
+    const MultiClusterPlatform& platform) {
+  std::vector<std::shared_ptr<const ProblemInstance>> clusters;
+  clusters.reserve(platform.num_clusters());
+  for (std::size_t k = 0; k < platform.num_clusters(); ++k) {
+    clusters.push_back(
+        ProblemInstance::borrow(g, model, platform.cluster(k)));
+  }
+  return clusters;
+}
+
+}  // namespace
+
+McAllocation McHcpa::translate(
+    const Allocation& reference_alloc, const ProblemInstance& reference,
+    std::span<const std::shared_ptr<const ProblemInstance>> clusters) {
+  const Ptg& g = reference.graph();
+  validate_allocation(reference_alloc, g, reference.cluster());
 
   McAllocation out;
   out.sizes.resize(g.num_tasks());
   for (TaskId v = 0; v < g.num_tasks(); ++v) {
-    const double ref_time =
-        model.time(g.task(v), reference_alloc[v], reference);
-    out.sizes[v].reserve(platform.num_clusters());
-    for (std::size_t k = 0; k < platform.num_clusters(); ++k) {
-      const Cluster& cluster = platform.cluster(k);
+    const double ref_time = reference.time(v, reference_alloc[v]);
+    out.sizes[v].reserve(clusters.size());
+    for (const auto& cluster : clusters) {
       // Smallest processor count at least as fast as the reference
       // allocation; the cluster size if none qualifies (e.g. a slow
       // cluster cannot match a wide reference allocation).
-      int chosen = cluster.num_processors();
-      for (int p = 1; p <= cluster.num_processors(); ++p) {
-        if (model.time(g.task(v), p, cluster) <= ref_time) {
+      const std::span<const double> row = cluster->times_of(v);
+      int chosen = cluster->num_processors();
+      for (int p = 1; p <= cluster->num_processors(); ++p) {
+        if (row[static_cast<std::size_t>(p - 1)] <= ref_time) {
           chosen = p;
           break;
         }
@@ -35,23 +51,36 @@ McAllocation McHcpa::translate(const Ptg& g,
   return out;
 }
 
+McAllocation McHcpa::translate(const Ptg& g,
+                               const Allocation& reference_alloc,
+                               const ExecutionTimeModel& model,
+                               const MultiClusterPlatform& platform) {
+  const Cluster reference = platform.reference_cluster();
+  const auto reference_pi = ProblemInstance::borrow(g, model, reference);
+  return translate(reference_alloc, *reference_pi,
+                   borrow_clusters(g, model, platform));
+}
+
 McHcpaResult McHcpa::schedule(const Ptg& g, const ExecutionTimeModel& model,
                               const MultiClusterPlatform& platform) const {
   McHcpaResult result;
+  // The reference cluster is returned by value: keep it alive for the
+  // whole pipeline, the borrowed instance references it.
   const Cluster reference = platform.reference_cluster();
-  result.reference_allocation = CpaAllocation().allocate(g, model, reference);
+  const auto reference_pi = ProblemInstance::borrow(g, model, reference);
+  const auto clusters = borrow_clusters(g, model, platform);
+
+  result.reference_allocation = CpaAllocation().allocate(*reference_pi);
   result.allocation =
-      translate(g, result.reference_allocation, model, platform);
+      translate(result.reference_allocation, *reference_pi, clusters);
 
   // Priorities: reference-cluster execution times (the bottom levels HCPA
   // computed during its allocation step).
   std::vector<double> priority(g.num_tasks());
   for (TaskId v = 0; v < g.num_tasks(); ++v) {
-    priority[v] =
-        model.time(g.task(v), result.reference_allocation[v], reference);
+    priority[v] = reference_pi->time(v, result.reference_allocation[v]);
   }
-  result.schedule =
-      map_mc_allocation(g, result.allocation, model, platform, priority);
+  result.schedule = map_mc_allocation(result.allocation, clusters, priority);
   return result;
 }
 

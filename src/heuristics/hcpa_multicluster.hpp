@@ -14,9 +14,17 @@
 //   4. Map with a bottom-level list scheduler that places each ready task
 //      on the cluster finishing it earliest.
 //
+// The pipeline builds one ProblemInstance per real cluster (plus one for
+// the reference cluster) up front, so the execution-time tables are
+// computed once and shared by the allocation, translation and mapping
+// steps.
+//
 // On a platform with a single homogeneous cluster the reference cluster
 // equals the real one, translations are the identity, and the result
 // coincides with single-cluster HCPA/CPA + list mapping.
+
+#include <memory>
+#include <span>
 
 #include "heuristics/allocation_heuristic.hpp"
 #include "platform/multi_cluster.hpp"
@@ -32,7 +40,14 @@ struct McHcpaResult {
 
 class McHcpa {
  public:
-  /// Translate a reference allocation to per-cluster candidate sizes.
+  /// Translate a reference allocation to per-cluster candidate sizes,
+  /// reading all times from the instances' precomputed tables.
+  /// `reference` and every entry of `clusters` must share one graph.
+  [[nodiscard]] static McAllocation translate(
+      const Allocation& reference_alloc, const ProblemInstance& reference,
+      std::span<const std::shared_ptr<const ProblemInstance>> clusters);
+
+  /// Legacy adapter: borrows instances for the duration of the call.
   [[nodiscard]] static McAllocation translate(
       const Ptg& g, const Allocation& reference_alloc,
       const ExecutionTimeModel& model, const MultiClusterPlatform& platform);

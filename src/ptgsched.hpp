@@ -18,6 +18,7 @@
 //
 // Individual headers can be included directly for faster builds.
 
+#include "core/problem_instance.hpp"
 #include "daggen/application_graphs.hpp"
 #include "daggen/complexity.hpp"
 #include "daggen/corpus.hpp"
@@ -47,6 +48,7 @@
 #include "sched/gantt.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/lower_bounds.hpp"
+#include "sched/mapping_core.hpp"
 #include "sched/multi_cluster_scheduler.hpp"
 #include "sched/schedule.hpp"
 #include "sched/validate.hpp"

@@ -1,26 +1,32 @@
 #include "sched/list_scheduler.hpp"
 
-#include <algorithm>
-
-#include "ptg/algorithms.hpp"
+#include <stdexcept>
 
 namespace ptgsched {
+
+namespace {
+std::shared_ptr<const ProblemInstance> require_instance(
+    std::shared_ptr<const ProblemInstance> instance) {
+  if (instance == nullptr) {
+    throw std::invalid_argument("ListScheduler: null problem instance");
+  }
+  return instance;
+}
+}  // namespace
+
+ListScheduler::ListScheduler(std::shared_ptr<const ProblemInstance> instance,
+                             ListSchedulerOptions options)
+    : instance_(require_instance(std::move(instance))),
+      options_(options),
+      core_(instance_->graph(), instance_->topo_order(),
+            {MappingLane{instance_->num_processors(), 0}}),
+      table_(instance_->time_table().data()),
+      times_(instance_->num_tasks()) {}
 
 ListScheduler::ListScheduler(const Ptg& g, const Cluster& cluster,
                              const ExecutionTimeModel& model,
                              ListSchedulerOptions options)
-    : graph_(&g), cluster_(&cluster), model_(&model), options_(options) {
-  g.validate();
-  topo_ = topological_order(g);
-  const std::size_t n = g.num_tasks();
-  times_.resize(n);
-  bl_.resize(n);
-  data_ready_.resize(n);
-  waiting_preds_.resize(n);
-  avail_.resize(static_cast<std::size_t>(cluster.num_processors()));
-  proc_order_.resize(avail_.size());
-  ready_heap_.reserve(n);
-}
+    : ListScheduler(ProblemInstance::borrow(g, model, cluster), options) {}
 
 double ListScheduler::makespan(const Allocation& alloc) {
   return run(alloc, nullptr);
@@ -32,118 +38,31 @@ double ListScheduler::makespan_bounded(const Allocation& alloc,
 }
 
 Schedule ListScheduler::build_schedule(const Allocation& alloc) {
-  Schedule out(graph_->name(), cluster_->num_processors());
+  Schedule out(instance_->graph().name(), instance_->num_processors());
   run(alloc, &out);
   return out;
 }
 
 double ListScheduler::run(const Allocation& alloc, Schedule* out,
                           double upper_bound) {
-  const Ptg& g = *graph_;
-  validate_allocation(alloc, g, *cluster_);
+  const Ptg& g = instance_->graph();
+  validate_allocation(alloc, g, instance_->cluster());
 
   const std::size_t n = g.num_tasks();
+  const auto stride = static_cast<std::size_t>(instance_->num_processors());
   for (TaskId v = 0; v < n; ++v) {
-    times_[v] = model_->time(g.task(v), alloc[v], *cluster_);
+    times_[v] = table_[v * stride + static_cast<std::size_t>(alloc[v] - 1)];
   }
-  bottom_levels_into(g, topo_, [&](TaskId v) { return times_[v]; }, bl_);
 
-  std::fill(data_ready_.begin(), data_ready_.end(), 0.0);
-  std::fill(avail_.begin(), avail_.end(), 0.0);
-
-  // Max-heap of ready tasks ordered by (bottom level desc, id asc).
-  const auto ready_less = [this](TaskId a, TaskId b) {
-    if (bl_[a] != bl_[b]) return bl_[a] < bl_[b];
-    return a > b;
+  const auto place = [&](TaskId v, double data_ready) {
+    MappingCore::Placement p;
+    p.lane = 0;
+    p.size = static_cast<std::size_t>(alloc[v]);
+    p.start = core_.earliest_start(0, p.size, data_ready);
+    p.finish = p.start + times_[v];
+    return p;
   };
-  ready_heap_.clear();
-  for (TaskId v = 0; v < n; ++v) {
-    waiting_preds_[v] = g.in_degree(v);
-    if (waiting_preds_[v] == 0) ready_heap_.push_back(v);
-  }
-  std::make_heap(ready_heap_.begin(), ready_heap_.end(), ready_less);
-
-  double makespan = 0.0;
-  std::size_t scheduled = 0;
-  while (!ready_heap_.empty()) {
-    std::pop_heap(ready_heap_.begin(), ready_heap_.end(), ready_less);
-    const TaskId v = ready_heap_.back();
-    ready_heap_.pop_back();
-
-    const auto s = static_cast<std::size_t>(alloc[v]);
-
-    // Sort processor indices by (available time, index): proc_order_[k] is
-    // the k-th processor to become free.
-    for (std::size_t i = 0; i < proc_order_.size(); ++i) {
-      proc_order_[i] = static_cast<int>(i);
-    }
-    std::sort(proc_order_.begin(), proc_order_.end(), [this](int a, int b) {
-      const auto ua = static_cast<std::size_t>(a);
-      const auto ub = static_cast<std::size_t>(b);
-      if (avail_[ua] != avail_[ub]) return avail_[ua] < avail_[ub];
-      return a < b;
-    });
-
-    // The earliest moment s processors are simultaneously free is when the
-    // s-th earliest one frees up; the task additionally waits for its data.
-    const double start =
-        std::max(data_ready_[v], avail_[static_cast<std::size_t>(
-                                     proc_order_[s - 1])]);
-    const double finish = start + times_[v];
-    makespan = std::max(makespan, finish);
-
-    // Rejection strategy (Section VI): once v starts at `start`, the final
-    // makespan is at least start + bl(v) — the chain below v still has to
-    // run. Abort the construction as soon as that bound exceeds the
-    // caller's incumbent.
-    if (start + bl_[v] > upper_bound) {
-      ++rejected_;
-      return std::numeric_limits<double>::infinity();
-    }
-
-    // Choose which s processors (all with avail <= start) actually run v.
-    std::size_t first = 0;
-    if (options_.selection == ProcessorSelection::BestFit) {
-      // Last s processors whose availability is still <= start: keeps the
-      // earliest-free processors open for later ready tasks.
-      std::size_t eligible = s;
-      while (eligible < proc_order_.size() &&
-             avail_[static_cast<std::size_t>(proc_order_[eligible])] <=
-                 start) {
-        ++eligible;
-      }
-      first = eligible - s;
-    }
-    for (std::size_t k = first; k < first + s; ++k) {
-      avail_[static_cast<std::size_t>(proc_order_[k])] = finish;
-    }
-
-    if (out != nullptr) {
-      PlacedTask placed;
-      placed.task = v;
-      placed.start = start;
-      placed.finish = finish;
-      placed.processors.assign(proc_order_.begin() + static_cast<long>(first),
-                               proc_order_.begin() +
-                                   static_cast<long>(first + s));
-      std::sort(placed.processors.begin(), placed.processors.end());
-      out->add(std::move(placed));
-    }
-
-    ++scheduled;
-    for (const TaskId w : g.successors(v)) {
-      data_ready_[w] = std::max(data_ready_[w], finish);
-      if (--waiting_preds_[w] == 0) {
-        ready_heap_.push_back(w);
-        std::push_heap(ready_heap_.begin(), ready_heap_.end(), ready_less);
-      }
-    }
-  }
-
-  if (scheduled != n) {
-    throw GraphError("list scheduler: graph has a cycle");
-  }
-  return makespan;
+  return core_.run(times_, options_.selection, upper_bound, out, place);
 }
 
 Schedule map_allocation(const Ptg& g, const Allocation& alloc,

@@ -6,37 +6,42 @@
 // first processor set that contains s(v) available processors."
 //
 // This is also the EA's fitness function, so the implementation keeps all
-// scratch buffers preallocated: computing the makespan of one allocation is
-// O(E + V log V + V P log P) with zero heap allocations after warm-up.
-//
-// Two processor-selection policies are provided (our ablation EXP-A3):
-//   * EarliestAvailable — take the s(v) processors that free up first
-//     (the classic CPA mapping; default).
-//   * BestFit — among processors already free at the task's start time,
-//     take the ones that became free *last*, preserving early-free
-//     processors for subsequent ready tasks (a packing-friendly variant).
+// scratch buffers preallocated and reads execution times out of the
+// ProblemInstance's dense V x P table instead of calling the model's
+// virtual time(): computing the makespan of one allocation is O(E + V P +
+// V log V) with zero heap allocations after warm-up. The ready-queue and
+// availability logic itself lives in MappingCore (shared with the
+// multi-cluster scheduler); the processor-selection policies
+// (EarliestAvailable / BestFit, ablation EXP-A3) are documented there.
 
 #include <limits>
+#include <memory>
 #include <vector>
 
-#include "model/execution_time.hpp"
-#include "platform/cluster.hpp"
-#include "ptg/graph.hpp"
+#include "core/problem_instance.hpp"
 #include "sched/allocation.hpp"
+#include "sched/mapping_core.hpp"
 #include "sched/schedule.hpp"
 
 namespace ptgsched {
-
-enum class ProcessorSelection { EarliestAvailable, BestFit };
 
 struct ListSchedulerOptions {
   ProcessorSelection selection = ProcessorSelection::EarliestAvailable;
 };
 
-/// Reusable list scheduler bound to one (graph, cluster, model) triple.
-/// Not thread-safe: use one instance per thread (they are cheap).
+/// Reusable list scheduler bound to one shared ProblemInstance.
+/// Not thread-safe: use one instance per thread (they are cheap, and any
+/// number of them may share one ProblemInstance).
 class ListScheduler {
  public:
+  /// Primary constructor: shares the problem core (and thereby keeps the
+  /// graph, model and cluster alive for the scheduler's whole lifetime).
+  explicit ListScheduler(std::shared_ptr<const ProblemInstance> instance,
+                         ListSchedulerOptions options = {});
+
+  /// Legacy adapter: wraps caller-owned references in a borrowed
+  /// ProblemInstance (the referents must outlive the scheduler). Prefer
+  /// the shared-instance constructor, which has no lifetime hazard.
   ListScheduler(const Ptg& g, const Cluster& cluster,
                 const ExecutionTimeModel& model,
                 ListSchedulerOptions options = {});
@@ -52,39 +57,40 @@ class ListScheduler {
   [[nodiscard]] double makespan_bounded(const Allocation& alloc,
                                         double upper_bound);
 
-  /// Number of makespan_bounded() calls that were rejected early.
+  /// Number of makespan_bounded() calls rejected early since construction
+  /// or the last reset_stats().
   [[nodiscard]] std::size_t rejected_count() const noexcept {
-    return rejected_;
+    return core_.rejected_count();
   }
+  /// Zero the rejection counter, so telemetry deltas across unrelated runs
+  /// sharing one scheduler stay exact.
+  void reset_stats() noexcept { core_.reset_stats(); }
 
   /// Full schedule (task placements) for `alloc`.
   [[nodiscard]] Schedule build_schedule(const Allocation& alloc);
 
-  [[nodiscard]] const Ptg& graph() const noexcept { return *graph_; }
-  [[nodiscard]] const Cluster& cluster() const noexcept { return *cluster_; }
+  [[nodiscard]] const ProblemInstance& instance() const noexcept {
+    return *instance_;
+  }
+  [[nodiscard]] const Ptg& graph() const noexcept {
+    return instance_->graph();
+  }
+  [[nodiscard]] const Cluster& cluster() const noexcept {
+    return instance_->cluster();
+  }
   [[nodiscard]] const ExecutionTimeModel& model() const noexcept {
-    return *model_;
+    return instance_->model();
   }
 
  private:
   double run(const Allocation& alloc, Schedule* out,
              double upper_bound = std::numeric_limits<double>::infinity());
 
-  const Ptg* graph_;
-  const Cluster* cluster_;
-  const ExecutionTimeModel* model_;
+  std::shared_ptr<const ProblemInstance> instance_;
   ListSchedulerOptions options_;
-
-  // Scratch (sized once in the constructor).
-  std::vector<TaskId> topo_;
-  std::vector<double> times_;
-  std::vector<double> bl_;
-  std::vector<double> data_ready_;
-  std::vector<std::size_t> waiting_preds_;
-  std::vector<double> avail_;            // processor -> next free time
-  std::vector<int> proc_order_;          // processor indices, sort scratch
-  std::vector<TaskId> ready_heap_;       // heap of ready tasks (by bl)
-  std::size_t rejected_ = 0;
+  MappingCore core_;
+  const double* table_ = nullptr;  ///< instance_->time_table().data().
+  std::vector<double> times_;      ///< Per-task times under the allocation.
 };
 
 /// One-shot convenience wrapper.

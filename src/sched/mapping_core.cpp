@@ -1,0 +1,111 @@
+#include "sched/mapping_core.hpp"
+
+#include <stdexcept>
+
+namespace ptgsched {
+
+MappingCore::MappingCore(const Ptg& g, std::span<const TaskId> topo,
+                         std::vector<MappingLane> lanes)
+    : graph_(&g), topo_(topo), lanes_(std::move(lanes)) {
+  if (lanes_.empty()) {
+    throw std::invalid_argument("MappingCore: no lanes");
+  }
+  std::size_t max_procs = 0;
+  avail_.resize(lanes_.size());
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    if (lanes_[k].num_processors < 1) {
+      throw std::invalid_argument("MappingCore: empty lane");
+    }
+    const auto procs = static_cast<std::size_t>(lanes_[k].num_processors);
+    avail_[k].assign(procs, 0.0);
+    max_procs = std::max(max_procs, procs);
+  }
+  const std::size_t n = g.num_tasks();
+  bl_.reserve(n);
+  data_ready_.reserve(n);
+  waiting_preds_.reserve(n);
+  ready_heap_.reserve(n);
+  proc_order_.reserve(max_procs);
+  query_times_.reserve(max_procs);
+}
+
+double MappingCore::earliest_start(std::size_t lane, std::size_t size,
+                                   double data_ready) const {
+  const std::vector<double>& av = avail_[lane];
+  // The earliest moment `size` processors are simultaneously free is when
+  // the size-th earliest one frees up; the task additionally waits for its
+  // data. Selection runs on a copy so the query leaves the lane untouched.
+  query_times_ = av;
+  std::nth_element(query_times_.begin(),
+                   query_times_.begin() + static_cast<long>(size - 1),
+                   query_times_.end());
+  return std::max(data_ready, query_times_[size - 1]);
+}
+
+void MappingCore::occupy(TaskId v, const Placement& p,
+                         ProcessorSelection selection, Schedule* out) {
+  std::vector<double>& av = avail_[p.lane];
+  const std::size_t s = p.size;
+
+  if (out == nullptr) {
+    // Value path: only the multiset of free times matters, never which
+    // processor index holds which time, so selection is O(P).
+    std::nth_element(av.begin(), av.begin() + static_cast<long>(s - 1),
+                     av.end());
+    if (selection == ProcessorSelection::EarliestAvailable) {
+      // The s earliest-free processors run v.
+      std::fill(av.begin(), av.begin() + static_cast<long>(s), p.finish);
+    } else {
+      // BestFit: among the processors already free at p.start (at least s
+      // of them, by construction of the start time), occupy the ones that
+      // became free last — i.e. overwrite the s largest eligible times.
+      const auto eligible_end = std::partition(
+          av.begin(), av.end(), [&](double t) { return t <= p.start; });
+      std::nth_element(av.begin(), eligible_end - static_cast<long>(s),
+                       eligible_end);
+      std::fill(eligible_end - static_cast<long>(s), eligible_end, p.finish);
+    }
+    return;
+  }
+
+  // Placement path: deterministic processor identities. Sort processor
+  // indices by (available time, index): proc_order_[k] is the k-th
+  // processor of the lane to become free.
+  proc_order_.resize(av.size());
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    proc_order_[i] = static_cast<int>(i);
+  }
+  std::sort(proc_order_.begin(), proc_order_.end(), [&av](int a, int b) {
+    const auto ua = static_cast<std::size_t>(a);
+    const auto ub = static_cast<std::size_t>(b);
+    if (av[ua] != av[ub]) return av[ua] < av[ub];
+    return a < b;
+  });
+
+  std::size_t first = 0;
+  if (selection == ProcessorSelection::BestFit) {
+    // Last s processors whose availability is still <= start: keeps the
+    // earliest-free processors open for later ready tasks.
+    std::size_t eligible = s;
+    while (eligible < proc_order_.size() &&
+           av[static_cast<std::size_t>(proc_order_[eligible])] <= p.start) {
+      ++eligible;
+    }
+    first = eligible - s;
+  }
+
+  PlacedTask placed;
+  placed.task = v;
+  placed.start = p.start;
+  placed.finish = p.finish;
+  placed.processors.reserve(s);
+  const int base = lanes_[p.lane].first_processor;
+  for (std::size_t k = first; k < first + s; ++k) {
+    av[static_cast<std::size_t>(proc_order_[k])] = p.finish;
+    placed.processors.push_back(base + proc_order_[k]);
+  }
+  std::sort(placed.processors.begin(), placed.processors.end());
+  out->add(std::move(placed));
+}
+
+}  // namespace ptgsched

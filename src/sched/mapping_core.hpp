@@ -1,0 +1,184 @@
+#pragma once
+// The one list-mapping engine behind both the single-cluster ListScheduler
+// and the multi-cluster scheduler (Section III-A).
+//
+// "In the list scheduling algorithm used by EMTS, the ready nodes are
+// sorted by decreasing bottom level and each ready node v is mapped to the
+// first processor set that contains s(v) available processors."
+//
+// Both schedulers used to duplicate this ready-queue / availability logic;
+// MappingCore owns it once, parameterized by a placement policy: the core
+// drives the bottom-level-ordered ready heap and the per-lane processor
+// availability, and the policy only decides *where* each ready task runs
+// (which lane, how many processors, at what start/finish time). A "lane"
+// is one homogeneous processor pool — the single cluster, or one cluster
+// of a multi-cluster platform.
+//
+// Two execution paths with bit-identical makespans:
+//   * value path (no Schedule requested): processor identity is
+//     irrelevant, so availability is treated as a multiset of free times
+//     and updated with O(P) selection instead of an O(P log P) sort —
+//     this is the EA's fitness fast path;
+//   * placement path (Schedule requested): processors are chosen by the
+//     deterministic (available time, index) order, exactly as published.
+//
+// Processor-selection policies (ablation EXP-A3):
+//   * EarliestAvailable — take the s(v) processors that free up first
+//     (the classic CPA mapping; default).
+//   * BestFit — among processors already free at the task's start time,
+//     take the ones that became free *last*, preserving early-free
+//     processors for subsequent ready tasks (a packing-friendly variant).
+
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "ptg/graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace ptgsched {
+
+enum class ProcessorSelection { EarliestAvailable, BestFit };
+
+/// One homogeneous processor pool the core schedules onto.
+struct MappingLane {
+  int num_processors = 0;
+  /// Global index of the lane's first processor (0 for a single cluster;
+  /// MultiClusterPlatform::first_processor(k) for lane k).
+  int first_processor = 0;
+};
+
+class MappingCore {
+ public:
+  /// Where a ready task runs, as decided by the placement policy.
+  struct Placement {
+    std::size_t lane = 0;
+    std::size_t size = 0;  ///< Processors occupied, in [1, lane P].
+    double start = 0.0;
+    double finish = 0.0;
+  };
+
+  /// `topo` must be a topological order of `g`; both must outlive the core
+  /// (the ListScheduler keeps them alive through its ProblemInstance).
+  MappingCore(const Ptg& g, std::span<const TaskId> topo,
+              std::vector<MappingLane> lanes);
+
+  /// Earliest moment `size` processors of `lane` are simultaneously free,
+  /// given the task's data-ready time. Pure query: lane state unchanged,
+  /// so a policy may probe every lane before the core commits one.
+  [[nodiscard]] double earliest_start(std::size_t lane, std::size_t size,
+                                      double data_ready) const;
+
+  /// Run one list-mapping pass. `priority_times` are the per-task times
+  /// that define the bottom-level priority order. `place(v, data_ready)`
+  /// returns the Placement for ready task v (typically via
+  /// earliest_start). With `out` non-null the full schedule is emitted
+  /// (placement path); otherwise only the makespan is computed (value
+  /// path). As soon as some task's start plus its bottom level exceeds
+  /// `upper_bound` the final makespan provably will too: the pass aborts,
+  /// counts one rejection, and returns +infinity (the rejection strategy
+  /// of the paper's Section VI).
+  template <typename PlaceFn>
+  double run(std::span<const double> priority_times,
+             ProcessorSelection selection, double upper_bound, Schedule* out,
+             const PlaceFn& place) {
+    const Ptg& g = *graph_;
+    const std::size_t n = g.num_tasks();
+
+    // Bottom levels from the priority times: reverse topological sweep,
+    // bl(v) = t(v) + max over successors (footnote 1 of the paper).
+    bl_.assign(n, 0.0);
+    for (std::size_t i = topo_.size(); i-- > 0;) {
+      const TaskId v = topo_[i];
+      double best = 0.0;
+      for (const TaskId w : g.successors(v)) best = std::max(best, bl_[w]);
+      bl_[v] = priority_times[v] + best;
+    }
+
+    data_ready_.assign(n, 0.0);
+    for (auto& lane : avail_) {
+      std::fill(lane.begin(), lane.end(), 0.0);
+    }
+
+    // Max-heap of ready tasks ordered by (bottom level desc, id asc).
+    const auto ready_less = [this](TaskId a, TaskId b) {
+      if (bl_[a] != bl_[b]) return bl_[a] < bl_[b];
+      return a > b;
+    };
+    ready_heap_.clear();
+    waiting_preds_.resize(n);
+    for (TaskId v = 0; v < n; ++v) {
+      waiting_preds_[v] = g.in_degree(v);
+      if (waiting_preds_[v] == 0) ready_heap_.push_back(v);
+    }
+    std::make_heap(ready_heap_.begin(), ready_heap_.end(), ready_less);
+
+    double makespan = 0.0;
+    std::size_t scheduled = 0;
+    while (!ready_heap_.empty()) {
+      std::pop_heap(ready_heap_.begin(), ready_heap_.end(), ready_less);
+      const TaskId v = ready_heap_.back();
+      ready_heap_.pop_back();
+
+      const Placement p = place(v, data_ready_[v]);
+      makespan = std::max(makespan, p.finish);
+
+      // Once v starts at p.start, the final makespan is at least
+      // start + bl(v) — the chain below v still has to run.
+      if (p.start + bl_[v] > upper_bound) {
+        ++rejected_;
+        return std::numeric_limits<double>::infinity();
+      }
+
+      occupy(v, p, selection, out);
+
+      ++scheduled;
+      for (const TaskId w : g.successors(v)) {
+        data_ready_[w] = std::max(data_ready_[w], p.finish);
+        if (--waiting_preds_[w] == 0) {
+          ready_heap_.push_back(w);
+          std::push_heap(ready_heap_.begin(), ready_heap_.end(), ready_less);
+        }
+      }
+    }
+
+    if (scheduled != n) {
+      throw GraphError("mapping core: graph has a cycle");
+    }
+    return makespan;
+  }
+
+  [[nodiscard]] std::size_t num_lanes() const noexcept {
+    return lanes_.size();
+  }
+  [[nodiscard]] const MappingLane& lane(std::size_t k) const {
+    return lanes_[k];
+  }
+
+  /// Number of run() passes rejected early by the upper bound since
+  /// construction or the last reset_stats().
+  [[nodiscard]] std::size_t rejected_count() const noexcept {
+    return rejected_;
+  }
+  void reset_stats() noexcept { rejected_ = 0; }
+
+ private:
+  void occupy(TaskId v, const Placement& p, ProcessorSelection selection,
+              Schedule* out);
+
+  const Ptg* graph_;
+  std::span<const TaskId> topo_;
+  std::vector<MappingLane> lanes_;
+
+  std::vector<std::vector<double>> avail_;  ///< Per lane: proc -> free time.
+  std::vector<double> bl_;
+  std::vector<double> data_ready_;
+  std::vector<std::size_t> waiting_preds_;
+  std::vector<TaskId> ready_heap_;
+  std::vector<int> proc_order_;              ///< Placement-path scratch.
+  mutable std::vector<double> query_times_;  ///< earliest_start scratch.
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace ptgsched

@@ -2,25 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
 
-#include "ptg/algorithms.hpp"
+#include "sched/mapping_core.hpp"
 #include "sched/validate.hpp"
 
 namespace ptgsched {
 
-void validate_mc_allocation(const McAllocation& alloc, const Ptg& g,
-                            const MultiClusterPlatform& platform) {
+namespace {
+
+/// Shared size checks for both entry points: `procs[k]` is the processor
+/// count of cluster k.
+void validate_mc_sizes(const McAllocation& alloc, const Ptg& g,
+                       const std::vector<int>& procs) {
   if (alloc.sizes.size() != g.num_tasks()) {
     throw GraphError("mc allocation: row count does not match task count");
   }
   for (std::size_t v = 0; v < alloc.sizes.size(); ++v) {
-    if (alloc.sizes[v].size() != platform.num_clusters()) {
+    if (alloc.sizes[v].size() != procs.size()) {
       throw GraphError("mc allocation: task " + std::to_string(v) +
                        " has wrong cluster arity");
     }
-    for (std::size_t k = 0; k < platform.num_clusters(); ++k) {
+    for (std::size_t k = 0; k < procs.size(); ++k) {
       const int s = alloc.sizes[v][k];
-      if (s < 1 || s > platform.cluster(k).num_processors()) {
+      if (s < 1 || s > procs[k]) {
         throw GraphError("mc allocation: task " + std::to_string(v) +
                          " size " + std::to_string(s) +
                          " invalid for cluster " + std::to_string(k));
@@ -29,103 +35,89 @@ void validate_mc_allocation(const McAllocation& alloc, const Ptg& g,
   }
 }
 
-Schedule map_mc_allocation(const Ptg& g, const McAllocation& alloc,
-                           const ExecutionTimeModel& model,
-                           const MultiClusterPlatform& platform,
-                           const std::vector<double>& priority_times) {
-  g.validate();
-  validate_mc_allocation(alloc, g, platform);
+}  // namespace
+
+void validate_mc_allocation(const McAllocation& alloc, const Ptg& g,
+                            const MultiClusterPlatform& platform) {
+  std::vector<int> procs(platform.num_clusters());
+  for (std::size_t k = 0; k < procs.size(); ++k) {
+    procs[k] = platform.cluster(k).num_processors();
+  }
+  validate_mc_sizes(alloc, g, procs);
+}
+
+Schedule map_mc_allocation(
+    const McAllocation& alloc,
+    std::span<const std::shared_ptr<const ProblemInstance>> clusters,
+    const std::vector<double>& priority_times) {
+  if (clusters.empty()) {
+    throw GraphError("mc mapping: no clusters");
+  }
+  for (const auto& c : clusters) {
+    if (c == nullptr) throw GraphError("mc mapping: null cluster instance");
+    if (&c->graph() != &clusters.front()->graph()) {
+      throw GraphError("mc mapping: cluster instances disagree on the graph");
+    }
+  }
+  const ProblemInstance& pi0 = *clusters.front();
+  const Ptg& g = pi0.graph();
   if (priority_times.size() != g.num_tasks()) {
     throw GraphError("mc mapping: priority time vector has wrong size");
   }
 
-  const std::size_t n = g.num_tasks();
-  const auto bl =
-      bottom_levels(g, [&](TaskId v) { return priority_times[v]; });
-
-  // Per-cluster processor availability (local indices).
-  std::vector<std::vector<double>> avail(platform.num_clusters());
-  for (std::size_t k = 0; k < platform.num_clusters(); ++k) {
-    avail[k].assign(
-        static_cast<std::size_t>(platform.cluster(k).num_processors()), 0.0);
+  // Lanes mirror the platform's global processor numbering: cluster k's
+  // first processor sits after all preceding clusters.
+  std::vector<MappingLane> lanes(clusters.size());
+  std::vector<int> procs(clusters.size());
+  std::vector<const double*> tables(clusters.size());
+  int first = 0;
+  for (std::size_t k = 0; k < clusters.size(); ++k) {
+    procs[k] = clusters[k]->num_processors();
+    lanes[k] = MappingLane{procs[k], first};
+    first += procs[k];
+    tables[k] = clusters[k]->time_table().data();
   }
+  validate_mc_sizes(alloc, g, procs);
+  const int total_processors = first;
 
-  const auto ready_less = [&bl](TaskId a, TaskId b) {
-    if (bl[a] != bl[b]) return bl[a] < bl[b];
-    return a > b;
-  };
-  std::vector<TaskId> ready;
-  std::vector<std::size_t> waiting(n);
-  std::vector<double> data_ready(n, 0.0);
-  for (TaskId v = 0; v < n; ++v) {
-    waiting[v] = g.in_degree(v);
-    if (waiting[v] == 0) ready.push_back(v);
-  }
-  std::make_heap(ready.begin(), ready.end(), ready_less);
+  MappingCore core(g, pi0.topo_order(), std::move(lanes));
+  Schedule out(g.name(), total_processors);
 
-  Schedule out(g.name(), platform.total_processors());
-  std::vector<int> order;  // scratch: processor indices sorted by avail
-  std::size_t scheduled = 0;
-  while (!ready.empty()) {
-    std::pop_heap(ready.begin(), ready.end(), ready_less);
-    const TaskId v = ready.back();
-    ready.pop_back();
-
-    // Choose the cluster that finishes v earliest (ties: lower index).
-    std::size_t best_k = 0;
-    double best_finish = std::numeric_limits<double>::infinity();
-    double best_start = 0.0;
-    for (std::size_t k = 0; k < platform.num_clusters(); ++k) {
+  // Lane policy: the cluster that finishes v earliest wins; a strict `<`
+  // keeps the lower cluster index on ties.
+  const auto place = [&](TaskId v, double data_ready) {
+    MappingCore::Placement best;
+    best.finish = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < clusters.size(); ++k) {
       const auto s = static_cast<std::size_t>(alloc.sizes[v][k]);
-      std::vector<double> times = avail[k];
-      std::nth_element(times.begin(), times.begin() + (s - 1), times.end());
-      const double start = std::max(data_ready[v], times[s - 1]);
+      const double start = core.earliest_start(k, s, data_ready);
       const double finish =
-          start + model.time(g.task(v), alloc.sizes[v][k],
-                             platform.cluster(k));
-      if (finish < best_finish) {
-        best_finish = finish;
-        best_start = start;
-        best_k = k;
+          start + tables[k][v * static_cast<std::size_t>(procs[k]) + (s - 1)];
+      if (finish < best.finish) {
+        best.lane = k;
+        best.size = s;
+        best.start = start;
+        best.finish = finish;
       }
     }
-
-    // Occupy the s earliest-available processors of the chosen cluster.
-    const auto s = static_cast<std::size_t>(alloc.sizes[v][best_k]);
-    auto& av = avail[best_k];
-    order.resize(av.size());
-    for (std::size_t i = 0; i < av.size(); ++i) {
-      order[i] = static_cast<int>(i);
-    }
-    std::sort(order.begin(), order.end(), [&av](int a, int b) {
-      const auto ua = static_cast<std::size_t>(a);
-      const auto ub = static_cast<std::size_t>(b);
-      if (av[ua] != av[ub]) return av[ua] < av[ub];
-      return a < b;
-    });
-    PlacedTask placed;
-    placed.task = v;
-    placed.start = best_start;
-    placed.finish = best_finish;
-    const int base = platform.first_processor(best_k);
-    for (std::size_t i = 0; i < s; ++i) {
-      av[static_cast<std::size_t>(order[i])] = best_finish;
-      placed.processors.push_back(base + order[i]);
-    }
-    std::sort(placed.processors.begin(), placed.processors.end());
-    out.add(std::move(placed));
-
-    ++scheduled;
-    for (const TaskId w : g.successors(v)) {
-      data_ready[w] = std::max(data_ready[w], best_finish);
-      if (--waiting[w] == 0) {
-        ready.push_back(w);
-        std::push_heap(ready.begin(), ready.end(), ready_less);
-      }
-    }
-  }
-  if (scheduled != n) throw GraphError("mc mapping: graph has a cycle");
+    return best;
+  };
+  core.run(priority_times, ProcessorSelection::EarliestAvailable,
+           std::numeric_limits<double>::infinity(), &out, place);
   return out;
+}
+
+Schedule map_mc_allocation(const Ptg& g, const McAllocation& alloc,
+                           const ExecutionTimeModel& model,
+                           const MultiClusterPlatform& platform,
+                           const std::vector<double>& priority_times) {
+  std::vector<std::shared_ptr<const ProblemInstance>> clusters;
+  clusters.reserve(platform.num_clusters());
+  for (std::size_t k = 0; k < platform.num_clusters(); ++k) {
+    clusters.push_back(
+        ProblemInstance::borrow(g, model, platform.cluster(k)));
+  }
+  return map_mc_allocation(alloc, clusters, priority_times);
 }
 
 void validate_mc_schedule(const Schedule& sched, const Ptg& g,

@@ -5,11 +5,15 @@
 // per-cluster processor count (sizes[v][k]), and the mapping step decides
 // which cluster actually runs it. The list scheduler is the same
 // bottom-level-ordered greedy as the single-cluster mapping (Section
-// III-A), extended with the cluster choice: each ready task is placed on
-// the cluster that finishes it earliest.
+// III-A) — both run on the shared MappingCore, with one lane per cluster —
+// extended with the cluster choice: each ready task is placed on the
+// cluster that finishes it earliest (ties: lower cluster index).
 
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "core/problem_instance.hpp"
 #include "model/execution_time.hpp"
 #include "platform/multi_cluster.hpp"
 #include "ptg/graph.hpp"
@@ -28,11 +32,25 @@ struct McAllocation {
 void validate_mc_allocation(const McAllocation& alloc, const Ptg& g,
                             const MultiClusterPlatform& platform);
 
-/// Priorities: per-task times used to order ready tasks (bottom levels are
-/// computed from these). HCPA uses the reference-cluster times.
+/// Primary mapping entry point: one ProblemInstance per cluster, all
+/// sharing the same graph (and typically the same model). Cluster k of the
+/// platform is lane k; its execution times come from clusters[k]'s
+/// precomputed table, so repeated mappings of the same platform amortize
+/// every model call. Priorities: per-task times used to order ready tasks
+/// (bottom levels are computed from these); HCPA uses the
+/// reference-cluster times.
 ///
-/// Returns a schedule with *global* processor indices; every task runs
-/// entirely inside one cluster.
+/// Returns a schedule with *global* processor indices (cluster k's
+/// processors start at the sum of the preceding clusters' sizes); every
+/// task runs entirely inside one cluster.
+[[nodiscard]] Schedule map_mc_allocation(
+    const McAllocation& alloc,
+    std::span<const std::shared_ptr<const ProblemInstance>> clusters,
+    const std::vector<double>& priority_times);
+
+/// Legacy adapter: wraps the platform's clusters in borrowed
+/// ProblemInstances (building each time table afresh). Prefer the
+/// instance-based overload when mapping the same platform repeatedly.
 [[nodiscard]] Schedule map_mc_allocation(const Ptg& g,
                                          const McAllocation& alloc,
                                          const ExecutionTimeModel& model,

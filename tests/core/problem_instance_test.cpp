@@ -1,0 +1,157 @@
+// Tests for the shared ProblemInstance core: time-table fidelity against
+// the wrapped model, structural precomputation (topological order,
+// precedence levels), sequential levels, and the create/borrow ownership
+// contract (DESIGN.md section 9).
+
+#include "core/problem_instance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "../common/test_graphs.hpp"
+#include "daggen/corpus.hpp"
+#include "model/execution_time.hpp"
+#include "ptg/algorithms.hpp"
+#include "ptg/analysis.hpp"
+
+namespace ptgsched {
+namespace {
+
+using testutil::FixedTimeModel;
+using testutil::unit_cluster;
+
+TEST(ProblemInstance, TimeTableMatchesModel) {
+  const Ptg g = irregular_corpus(40, 1, 7).front();
+  const Cluster c = chti();
+  const SyntheticModel model;
+  const auto pi = ProblemInstance::borrow(g, model, c);
+
+  ASSERT_EQ(pi->num_tasks(), g.num_tasks());
+  ASSERT_EQ(pi->num_processors(), c.num_processors());
+  ASSERT_EQ(pi->time_table().size(),
+            g.num_tasks() * static_cast<std::size_t>(c.num_processors()));
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const auto row = pi->times_of(v);
+    ASSERT_EQ(row.size(), static_cast<std::size_t>(c.num_processors()));
+    for (int p = 1; p <= c.num_processors(); ++p) {
+      const double expected = model.time(g.task(v), p, c);
+      EXPECT_DOUBLE_EQ(pi->time(v, p), expected);
+      EXPECT_DOUBLE_EQ(row[static_cast<std::size_t>(p - 1)], expected);
+    }
+  }
+}
+
+TEST(ProblemInstance, TimeRejectsOutOfRangeProcessorCount) {
+  const Ptg g = testutil::chain3();
+  const Cluster c = unit_cluster(4);
+  const FixedTimeModel model;
+  const auto pi = ProblemInstance::borrow(g, model, c);
+  EXPECT_THROW((void)pi->time(0, 0), ModelError);
+  EXPECT_THROW((void)pi->time(0, 5), ModelError);
+  EXPECT_NO_THROW((void)pi->time(0, 4));
+}
+
+TEST(ProblemInstance, StructureMatchesFreeFunctions) {
+  const Ptg g = irregular_corpus(35, 1, 11).front();
+  const Cluster c = chti();
+  const SyntheticModel model;
+  const auto pi = ProblemInstance::borrow(g, model, c);
+
+  const std::vector<TaskId> topo = topological_order(g);
+  ASSERT_EQ(pi->topo_order().size(), topo.size());
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    EXPECT_EQ(pi->topo_order()[i], topo[i]);
+  }
+
+  const std::vector<int> levels = precedence_levels(g);
+  ASSERT_EQ(pi->precedence_levels().size(), levels.size());
+  int max_level = -1;
+  std::size_t grouped = 0;
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_EQ(pi->precedence_levels()[v], levels[v]);
+    max_level = std::max(max_level, levels[v]);
+  }
+  EXPECT_EQ(pi->num_levels(), max_level + 1);
+  ASSERT_EQ(pi->tasks_by_level().size(),
+            static_cast<std::size_t>(pi->num_levels()));
+  for (int l = 0; l < pi->num_levels(); ++l) {
+    for (const TaskId v : pi->tasks_by_level()[static_cast<std::size_t>(l)]) {
+      EXPECT_EQ(levels[v], l);
+      ++grouped;
+    }
+  }
+  EXPECT_EQ(grouped, g.num_tasks());
+}
+
+TEST(ProblemInstance, SequentialLevelsUseSingleProcessorTimes) {
+  const Ptg g = testutil::chain3();  // flops 1, 2, 3 in a chain
+  const Cluster c = unit_cluster(4);
+  const FixedTimeModel model;
+  const auto pi = ProblemInstance::borrow(g, model, c);
+  // bl(a) = 1+2+3, bl(b) = 2+3, bl(c) = 3; tl mirrors from the source.
+  EXPECT_DOUBLE_EQ(pi->bottom_levels_seq()[0], 6.0);
+  EXPECT_DOUBLE_EQ(pi->bottom_levels_seq()[1], 5.0);
+  EXPECT_DOUBLE_EQ(pi->bottom_levels_seq()[2], 3.0);
+  EXPECT_DOUBLE_EQ(pi->top_levels_seq()[0], 0.0);
+  EXPECT_DOUBLE_EQ(pi->top_levels_seq()[1], 1.0);
+  EXPECT_DOUBLE_EQ(pi->top_levels_seq()[2], 3.0);
+  EXPECT_DOUBLE_EQ(pi->sequential_critical_path(), 6.0);
+}
+
+TEST(ProblemInstance, CreateKeepsInputsAlive) {
+  auto graph = std::make_shared<const Ptg>(testutil::diamond());
+  auto model = std::make_shared<const FixedTimeModel>();
+  auto cluster = std::make_shared<const Cluster>(unit_cluster(4));
+  const auto pi = ProblemInstance::create(graph, model, cluster);
+
+  // Drop every external reference: the instance co-owns its inputs.
+  graph.reset();
+  model.reset();
+  cluster.reset();
+  EXPECT_EQ(pi->num_tasks(), 4u);
+  EXPECT_DOUBLE_EQ(pi->time(1, 1), 4.0);  // diamond task l, flops 4
+  EXPECT_EQ(pi->cluster().num_processors(), 4);
+}
+
+TEST(ProblemInstance, RejectsNullInputsAndInvalidGraphs) {
+  auto model = std::make_shared<const FixedTimeModel>();
+  auto cluster = std::make_shared<const Cluster>(unit_cluster(2));
+  EXPECT_THROW((void)ProblemInstance::create(nullptr, model, cluster),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)ProblemInstance::create(
+          std::make_shared<const Ptg>(testutil::chain3()), nullptr, cluster),
+      std::invalid_argument);
+  EXPECT_THROW((void)ProblemInstance::create(
+                   std::make_shared<const Ptg>(testutil::chain3()), model,
+                   nullptr),
+               std::invalid_argument);
+}
+
+TEST(ProblemInstance, WarmIsIdempotentAndSharedAcrossThreads) {
+  const Ptg g = irregular_corpus(30, 1, 13).front();
+  const Cluster c = chti();
+  const SyntheticModel model;
+  const auto pi = ProblemInstance::borrow(g, model, c);
+  pi->warm();
+  pi->warm();  // second call must be a no-op
+
+  // Concurrent readers of the lazily-built blocks see one table.
+  const double expected = pi->time(0, 1);
+  std::vector<std::thread> readers;
+  std::vector<double> seen(4, 0.0);
+  for (std::size_t t = 0; t < seen.size(); ++t) {
+    readers.emplace_back([&, t] {
+      seen[t] = pi->time_table()[0] + pi->bottom_levels_seq()[0] -
+                pi->bottom_levels_seq()[0];
+    });
+  }
+  for (auto& th : readers) th.join();
+  for (const double s : seen) EXPECT_DOUBLE_EQ(s, expected);
+}
+
+}  // namespace
+}  // namespace ptgsched

@@ -223,6 +223,57 @@ TEST(EvaluationEngine, StatsAreConsistent) {
   EXPECT_GT(engine.stats().scheduled, 0u);
 }
 
+TEST(EvaluationEngine, FitnessFnMatchesEvaluateOneAndCountsWork) {
+  const Ptg g = irregular_corpus(25, 1, 63).front();
+  const Cluster c = chti();
+  const SyntheticModel model;
+  EvaluationEngine engine(g, model, c);
+  const FitnessFn fitness = engine.fitness_fn();
+
+  Rng rng(14);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Allocation alloc = random_allocation(g, c, rng);
+    // Any slot index is accepted (local search passes a thread id, which
+    // the engine folds onto its own slots) and yields the exact makespan.
+    EXPECT_DOUBLE_EQ(fitness(alloc, static_cast<std::size_t>(trial) * 31),
+                     engine.evaluate_one(alloc));
+  }
+  EXPECT_EQ(engine.stats().evaluations, 10u);
+}
+
+TEST(EvaluationEngine, RejectionCountIsAnExactDeltaAfterReset) {
+  const Ptg g = irregular_corpus(30, 1, 62).front();
+  const Cluster c = chti();
+  const SyntheticModel model;
+  EvalEngineConfig cfg;
+  cfg.use_rejection = true;
+  EvaluationEngine engine(g, model, c, {}, cfg);
+
+  Rng rng(12);
+  auto batch = random_batch(g, c, 10, rng);
+  engine.set_incumbent(0.0);  // every evaluation rejects immediately
+  engine.evaluate_batch(batch, 0);
+  ASSERT_EQ(engine.stats().rejections, batch.size());
+
+  // After a reset the next window counts from zero: the schedulers' own
+  // counters are cleared, not merely offset against a lifetime total.
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats().rejections, 0u);
+
+  auto second = random_batch(g, c, 4, rng);
+  engine.evaluate_batch(second, 0);
+  EXPECT_EQ(engine.stats().rejections, second.size());
+  EXPECT_EQ(engine.stats().evaluations, second.size());
+
+  // An accepted window after relaxing the bound adds no rejections.
+  engine.reset_stats();
+  engine.set_incumbent(kInf);
+  auto third = random_batch(g, c, 4, rng);
+  engine.evaluate_batch(third, 0);
+  EXPECT_EQ(engine.stats().rejections, 0u);
+  EXPECT_EQ(engine.stats().scheduled, third.size());
+}
+
 TEST(EvaluationEngine, BuildScheduleMatchesFitness) {
   const Ptg g = irregular_corpus(25, 1, 61).front();
   const Cluster c = chti();

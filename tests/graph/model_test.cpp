@@ -191,7 +191,32 @@ TEST(PenaltyTableModel, RejectsBadTable) {
   auto base = std::make_shared<AmdahlModel>();
   EXPECT_THROW(PenaltyTableModel(base, {}), ModelError);
   EXPECT_THROW(PenaltyTableModel(base, {1.0, 0.0}), ModelError);
+  EXPECT_THROW(PenaltyTableModel(base, {1.0, -2.0}), ModelError);
   EXPECT_THROW(PenaltyTableModel(nullptr, {1.0}), ModelError);
+}
+
+TEST(PenaltyTableModel, AllOnesTableIsIdentity) {
+  auto base = std::make_shared<SyntheticModel>();
+  const PenaltyTableModel m(base, {1.0});
+  const Cluster c = testutil::unit_cluster(16);
+  const Task t = task_with(250.0, 0.3);
+  for (int p = 1; p <= 16; ++p) {
+    EXPECT_DOUBLE_EQ(m.time(t, p, c), base->time(t, p, c));
+  }
+  EXPECT_EQ(m.name(), "synthetic+table");
+}
+
+TEST(PenaltyTableModel, ComposesWithAnyBaseAndChecksArgs) {
+  // A sub-unit multiplier models a speedup correction; the wrapper must
+  // still delegate argument validation to check_args like every model.
+  auto base = std::make_shared<DowneyModel>(0.5);
+  const PenaltyTableModel m(base, {1.0, 0.5});
+  const Cluster c = testutil::unit_cluster(8);
+  const Task t = task_with(100.0, 0.1);
+  EXPECT_DOUBLE_EQ(m.time(t, 1, c), base->time(t, 1, c));
+  EXPECT_DOUBLE_EQ(m.time(t, 4, c), base->time(t, 4, c) * 0.5);
+  EXPECT_THROW((void)m.time(t, 0, c), ModelError);
+  EXPECT_THROW((void)m.time(t, 9, c), ModelError);
 }
 
 TEST(MakeModel, FactoryNames) {

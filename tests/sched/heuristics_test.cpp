@@ -25,6 +25,26 @@ TEST(Factory, CreatesEveryHeuristic) {
   EXPECT_THROW((void)make_heuristic("unknown"), std::invalid_argument);
 }
 
+TEST(Factory, PublishesNamesAndExplainsUnknownOnes) {
+  const std::vector<std::string>& names = heuristic_names();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    EXPECT_EQ(make_heuristic(name)->name(), name);
+  }
+  try {
+    (void)make_heuristic("cpa2");
+    FAIL() << "make_heuristic accepted an unknown name";
+  } catch (const std::invalid_argument& e) {
+    // The message must identify the bad name and list every valid one, so
+    // a CLI typo is diagnosable without reading the source.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cpa2"), std::string::npos) << what;
+    for (const std::string& name : names) {
+      EXPECT_NE(what.find('"' + name + '"'), std::string::npos) << what;
+    }
+  }
+}
+
 TEST(OneEach, AllOnes) {
   const Ptg g = testutil::diamond();
   const Cluster c = unit_cluster(8);
