@@ -1,0 +1,107 @@
+// Perf smoke for the fault simulator (ctest label "perf-smoke"):
+//
+//   1. fault-free replay is a *correctness* guard — replaying a schedule
+//      against an empty trace must reproduce the list scheduler's makespan
+//      bit for bit on every instance, or the simulator's epoch-0 semantics
+//      have drifted from the mapping it claims to replay;
+//   2. faulted replay is a *liveness* guard — a busy trace with the
+//      restart policy must complete (or fail) deterministically in
+//      bounded time, and the replay rate is printed for the record.
+//
+// Exits non-zero on the first mismatch, so the ctest wrapper fails loudly.
+
+#include <cstdio>
+#include <memory>
+
+#include "daggen/corpus.hpp"
+#include "heuristics/allocation_heuristic.hpp"
+#include "model/execution_time.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+using namespace ptgsched;
+
+int main(int argc, char** argv) {
+  CliParser cli("replay_smoke",
+                "Fault-simulator smoke: fault-free replay must be "
+                "bit-identical to the list scheduler; faulted replay must "
+                "terminate deterministically.");
+  cli.add_option("tasks", "Tasks per PTG", "50");
+  cli.add_option("instances", "Instances per corpus class", "8");
+  cli.add_option("seed", "Base seed", "42");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const int tasks = static_cast<int>(cli.get_int("tasks"));
+    const auto instances = static_cast<std::size_t>(cli.get_int("instances"));
+    const std::uint64_t seed = cli.get_u64("seed");
+
+    const Cluster cluster = chti();
+    const auto model = std::make_shared<SyntheticModel>();
+    const auto heuristic = make_heuristic("mcpa");
+
+    FaultModelConfig faults;
+    faults.crash_rate = 1.0;
+    faults.slowdown_rate = 2.0;
+
+    std::size_t replays = 0;
+    std::size_t faulted_completed = 0;
+    WallTimer timer;
+    for (const char* cls : {"layered", "irregular"}) {
+      const auto graphs = corpus_by_name(cls, tasks, instances, seed);
+      for (std::size_t i = 0; i < graphs.size(); ++i) {
+        const auto instance = ProblemInstance::create(
+            std::make_shared<Ptg>(graphs[i]), model,
+            std::make_shared<Cluster>(cluster));
+        const Allocation alloc = heuristic->allocate(*instance);
+        ListScheduler mapper(instance);
+        const Schedule schedule = mapper.build_schedule(alloc);
+
+        SimulationEngine engine(instance);
+        RestartSurvivorsPolicy policy;
+        const SimulationResult clean =
+            engine.run(schedule, alloc, FaultTrace(), policy);
+        ++replays;
+        if (clean.metrics.degraded_makespan != schedule.makespan() ||
+            clean.metrics.reschedules != 0) {
+          std::fprintf(stderr,
+                       "FAIL %s[%zu]: fault-free replay %.17g != schedule "
+                       "makespan %.17g (reschedules %zu)\n",
+                       cls, i, clean.metrics.degraded_makespan,
+                       schedule.makespan(), clean.metrics.reschedules);
+          return 1;
+        }
+
+        const FaultTrace trace = generate_fault_trace(
+            faults, cluster, schedule.makespan(), derive_seed(seed, i));
+        SimulationResult a = engine.run(schedule, alloc, trace, policy);
+        SimulationResult b = engine.run(schedule, alloc, trace, policy);
+        ++replays;
+        // policy_wall_seconds is wall-clock telemetry; everything else in
+        // the result is a pure function of (schedule, trace, seed).
+        a.metrics.policy_wall_seconds = 0.0;
+        b.metrics.policy_wall_seconds = 0.0;
+        if (a.to_json().dump(0) != b.to_json().dump(0)) {
+          std::fprintf(stderr,
+                       "FAIL %s[%zu]: faulted replay is not deterministic\n",
+                       cls, i);
+          return 1;
+        }
+        if (a.metrics.completed) ++faulted_completed;
+      }
+    }
+    const double seconds = timer.seconds();
+    std::printf("# replay smoke: %zu replays over %zu instances in %.3fs "
+                "(%.0f replays/s), %zu faulted runs completed\n",
+                replays, 2 * instances, seconds,
+                seconds > 0.0 ? static_cast<double>(replays) / seconds : 0.0,
+                faulted_completed);
+    std::printf("OK: fault-free replay bit-identical on every instance\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -39,6 +39,23 @@ int main(int argc, char** argv) {
                  "Per-unit wall-clock deadline (0 = off)", "0");
   cli.add_option("max-retries",
                  "Extra attempts per failed unit (fresh derived seed)", "1");
+  cli.add_option("retry-backoff-seconds",
+                 "Base delay before unit retries; doubles per attempt with "
+                 "deterministic jitter, capped by the deadline (0 = "
+                 "immediate retry)",
+                 "0");
+  cli.add_flag("faults",
+               "Run the robustness phase: fault-injected replay of "
+               "heuristic schedules with reactive rescheduling");
+  cli.add_option("crash-rate",
+                 "Expected permanent crashes per processor over the "
+                 "schedule horizon (with --faults)", "1.0");
+  cli.add_option("slowdown-rate",
+                 "Expected transient slowdowns per processor over the "
+                 "horizon (with --faults)", "2.0");
+  cli.add_option("reschedule-latency-seconds",
+                 "Simulated seconds charged at every reschedule barrier",
+                 "0");
   try {
     if (!cli.parse(argc, argv)) return 0;
 
@@ -53,6 +70,12 @@ int main(int argc, char** argv) {
     cfg.output_dir = cli.get("out");
     cfg.unit_deadline_seconds = cli.get_double("deadline-seconds");
     cfg.max_retries = static_cast<int>(cli.get_int("max-retries"));
+    cfg.retry_backoff_seconds = cli.get_double("retry-backoff-seconds");
+    cfg.faults = cli.get_flag("faults");
+    cfg.fault_model.crash_rate = cli.get_double("crash-rate");
+    cfg.fault_model.slowdown_rate = cli.get_double("slowdown-rate");
+    cfg.reschedule_latency_seconds =
+        cli.get_double("reschedule-latency-seconds");
     if (!cli.get("resume").empty()) {
       cfg.output_dir = cli.get("resume");
       cfg.resume = true;
@@ -105,6 +128,23 @@ int main(int argc, char** argv) {
                   gap.at("mean_makespan_over_lower_bound").as_double(),
                   gap.at("max").as_double(),
                   static_cast<long long>(gap.at("n").as_int()));
+    }
+    if (report.contains("robustness")) {
+      const Json& rob = report.at("robustness");
+      std::printf("\n== robustness over %lld fault-injected unit(s) "
+                  "(mean degraded/ideal makespan) ==\n",
+                  static_cast<long long>(rob.at("units").as_int()));
+      for (const Json& row : rob.at("aggregates").as_array()) {
+        std::printf("  %-10s %-8s : ratio %.4f (max %.4f), completed "
+                    "%lld/%lld, %lld reschedule(s)\n",
+                    row.at("class").as_string().c_str(),
+                    row.at("policy").as_string().c_str(),
+                    row.at("mean_degradation_ratio").as_double(),
+                    row.at("max_degradation_ratio").as_double(),
+                    static_cast<long long>(row.at("completed").as_int()),
+                    static_cast<long long>(row.at("runs").as_int()),
+                    static_cast<long long>(row.at("reschedules").as_int()));
+      }
     }
     if (report.contains("failures") &&
         report.at("failures").size() > 0) {

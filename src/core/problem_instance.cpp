@@ -53,6 +53,42 @@ std::shared_ptr<const ProblemInstance> ProblemInstance::borrow(
                     std::shared_ptr<const Cluster>{}, &cluster));
 }
 
+ResidualProblem ProblemInstance::residual(
+    const std::vector<bool>& completed,
+    std::shared_ptr<const Cluster> cluster) const {
+  if (completed.size() != num_tasks()) {
+    throw std::invalid_argument(
+        "ProblemInstance::residual: completed mask size " +
+        std::to_string(completed.size()) + " != task count " +
+        std::to_string(num_tasks()));
+  }
+  if (cluster == nullptr) {
+    throw std::invalid_argument("ProblemInstance::residual: null cluster");
+  }
+
+  ResidualProblem out;
+  out.from_base.assign(num_tasks(), kInvalidTask);
+  auto residual_graph = std::make_shared<Ptg>(graph_->name());
+  for (TaskId v = 0; v < num_tasks(); ++v) {
+    if (completed[v]) continue;
+    out.from_base[v] = residual_graph->add_task(graph_->task(v));
+    out.to_base.push_back(v);
+  }
+  if (out.to_base.empty()) return out;
+
+  // Only edges between two survivors carry a constraint; an edge out of a
+  // completed task is a dependency that has already been satisfied.
+  for (const TaskId v : out.to_base) {
+    for (const TaskId w : graph_->successors(v)) {
+      if (out.from_base[w] != kInvalidTask) {
+        residual_graph->add_edge(out.from_base[v], out.from_base[w]);
+      }
+    }
+  }
+  out.instance = create(std::move(residual_graph), model_, std::move(cluster));
+  return out;
+}
+
 std::span<const double> ProblemInstance::time_table() const {
   std::call_once(table_once_, [this] {
     const std::size_t n = num_tasks();

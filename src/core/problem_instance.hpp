@@ -36,6 +36,20 @@
 
 namespace ptgsched {
 
+class ProblemInstance;
+
+/// A pruned sub-problem: the not-yet-completed tasks of a base instance,
+/// densely renumbered, on a (possibly smaller) cluster. Produced by
+/// ProblemInstance::residual() for the fault simulator's reactive
+/// rescheduling (DESIGN.md section 10); the id maps translate between the
+/// base instance's TaskIds and the residual graph's.
+struct ResidualProblem {
+  /// Null when every base task was completed (nothing left to schedule).
+  std::shared_ptr<const ProblemInstance> instance;
+  std::vector<TaskId> to_base;    ///< residual id -> base id.
+  std::vector<TaskId> from_base;  ///< base id -> residual id, or kInvalidTask.
+};
+
 class ProblemInstance
     : public std::enable_shared_from_this<ProblemInstance> {
  public:
@@ -53,6 +67,19 @@ class ProblemInstance
   [[nodiscard]] static std::shared_ptr<const ProblemInstance> borrow(
       const Ptg& graph, const ExecutionTimeModel& model,
       const Cluster& cluster);
+
+  /// Prune the tasks marked true in `completed` (size = num_tasks()) and
+  /// rebuild the problem over the survivors on `cluster`: the residual
+  /// graph copies the surviving Task structs (and every edge between two
+  /// survivors; edges from completed tasks are satisfied dependencies and
+  /// drop out), shares this instance's execution-time model, and is
+  /// validated like any created instance. With every task completed the
+  /// returned instance is null. The model's lifetime follows this
+  /// instance's ownership mode: a borrowed base instance yields a residual
+  /// that borrows the same model, so the original referent must stay alive.
+  [[nodiscard]] ResidualProblem residual(
+      const std::vector<bool>& completed,
+      std::shared_ptr<const Cluster> cluster) const;
 
   ProblemInstance(const ProblemInstance&) = delete;
   ProblemInstance& operator=(const ProblemInstance&) = delete;

@@ -43,7 +43,7 @@ EvaluationEngine::EvaluationEngine(
   for (std::size_t i = 0; i < slots; ++i) {
     slots_.push_back(std::make_unique<ListScheduler>(instance_, mapping));
   }
-  slot_counters_.resize(slots);
+  slot_counters_ = std::make_unique<SlotCounters[]>(slots);
 }
 
 EvaluationEngine::EvaluationEngine(const Ptg& g,
@@ -84,7 +84,7 @@ double EvaluationEngine::fitness_for(const Allocation& alloc,
                                      std::size_t slot, double bound,
                                      bool honor_cancel) {
   SlotCounters& counters = slot_counters_[slot];
-  ++counters.evaluations;
+  counters.evaluations.fetch_add(1, std::memory_order_relaxed);
 
   // Drain fast on cancellation: the ES discards this batch anyway, so
   // skip the list-scheduler pass and return a non-cacheable +infinity.
@@ -98,13 +98,13 @@ double EvaluationEngine::fitness_for(const Allocation& alloc,
     key = allocation_hash(alloc);
     double cached = 0.0;
     if (cache_lookup(key, alloc, &cached)) {
-      ++counters.cache_hits;
+      counters.cache_hits.fetch_add(1, std::memory_order_relaxed);
       return cached;
     }
-    ++counters.cache_misses;
+    counters.cache_misses.fetch_add(1, std::memory_order_relaxed);
   }
 
-  ++counters.scheduled;
+  counters.scheduled.fetch_add(1, std::memory_order_relaxed);
   const double makespan = slots_[slot]->makespan_bounded(alloc, bound);
   // Only exact makespans may be cached: a rejected (+inf) result is an
   // artifact of the current bound, not a property of the allocation.
@@ -140,8 +140,8 @@ void EvaluationEngine::evaluate_batch(std::vector<Individual>& pool,
           }
         });
   }
-  ++batches_;
-  eval_seconds_ += timer.seconds();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  eval_seconds_.fetch_add(timer.seconds(), std::memory_order_relaxed);
 }
 
 void EvaluationEngine::on_selection(std::size_t /*generation*/,
@@ -171,22 +171,29 @@ FitnessFn EvaluationEngine::fitness_fn() {
 
 EvalStats EvaluationEngine::stats() const {
   EvalStats s;
-  for (const SlotCounters& c : slot_counters_) {
-    s.evaluations += c.evaluations;
-    s.scheduled += c.scheduled;
-    s.cache_hits += c.cache_hits;
-    s.cache_misses += c.cache_misses;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const SlotCounters& c = slot_counters_[i];
+    s.evaluations += c.evaluations.load(std::memory_order_relaxed);
+    s.scheduled += c.scheduled.load(std::memory_order_relaxed);
+    s.cache_hits += c.cache_hits.load(std::memory_order_relaxed);
+    s.cache_misses += c.cache_misses.load(std::memory_order_relaxed);
   }
   for (const auto& sched : slots_) s.rejections += sched->rejected_count();
-  s.batches = batches_;
-  s.eval_seconds = eval_seconds_;
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.eval_seconds = eval_seconds_.load(std::memory_order_relaxed);
   return s;
 }
 
 void EvaluationEngine::reset_stats() {
-  std::fill(slot_counters_.begin(), slot_counters_.end(), SlotCounters{});
-  batches_ = 0;
-  eval_seconds_ = 0.0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    SlotCounters& c = slot_counters_[i];
+    c.evaluations.store(0, std::memory_order_relaxed);
+    c.scheduled.store(0, std::memory_order_relaxed);
+    c.cache_hits.store(0, std::memory_order_relaxed);
+    c.cache_misses.store(0, std::memory_order_relaxed);
+  }
+  batches_.store(0, std::memory_order_relaxed);
+  eval_seconds_.store(0.0, std::memory_order_relaxed);
   // Zero the schedulers' own counters too, so the next stats() snapshot is
   // an exact delta rather than a lifetime total minus an offset.
   for (const auto& sched : slots_) sched->reset_stats();

@@ -155,11 +155,16 @@ class EvaluationEngine final : public BatchEvaluator {
   [[nodiscard]] const ThreadPool& pool() const noexcept { return pool_; }
 
  private:
+  /// Per-slot telemetry. Atomic (relaxed) because stats()/reset_stats()
+  /// may run on the driver thread while workers are still bumping their
+  /// slots mid-batch — the snapshot is then approximate, but never a data
+  /// race. Each slot is written by one worker at a time, so relaxed
+  /// increments lose nothing in the quiescent case.
   struct alignas(64) SlotCounters {
-    std::size_t evaluations = 0;
-    std::size_t scheduled = 0;
-    std::size_t cache_hits = 0;
-    std::size_t cache_misses = 0;
+    std::atomic<std::size_t> evaluations{0};
+    std::atomic<std::size_t> scheduled{0};
+    std::atomic<std::size_t> cache_hits{0};
+    std::atomic<std::size_t> cache_misses{0};
   };
 
   struct CacheShard {
@@ -187,9 +192,10 @@ class EvaluationEngine final : public BatchEvaluator {
   std::vector<CacheShard> cache_shards_;
   std::atomic<std::size_t> cache_size_{0};
 
-  std::vector<SlotCounters> slot_counters_;
-  std::size_t batches_ = 0;
-  double eval_seconds_ = 0.0;
+  /// Heap array, not a vector: atomics are immovable.
+  std::unique_ptr<SlotCounters[]> slot_counters_;
+  std::atomic<std::size_t> batches_{0};
+  std::atomic<double> eval_seconds_{0.0};
 };
 
 }  // namespace ptgsched

@@ -6,8 +6,10 @@
 #include <optional>
 
 #include "daggen/corpus.hpp"
+#include "exp/robustness.hpp"
 #include "sched/lower_bounds.hpp"
 #include "support/atomic_io.hpp"
+#include "support/backoff.hpp"
 #include "support/error_context.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -105,6 +107,21 @@ Json campaign_fingerprint(const CampaignConfig& config) {
   fp.set("instances", static_cast<std::int64_t>(config.instances));
   fp.set("num_tasks", config.num_tasks);
   fp.set("include_emts10", config.include_emts10);
+  // The robustness phase extends the fingerprint only when enabled, so
+  // journals of plain campaigns keep resuming unchanged; a --faults
+  // journal never resumes into a plain campaign (or vice versa), and any
+  // fault-model/policy change invalidates it.
+  if (config.faults) {
+    Json fj = Json::object();
+    fj.set("fault_model", config.fault_model.to_json());
+    Json policies = Json::array();
+    for (const std::string& p : config.reschedule_policies) {
+      policies.push_back(Json(p));
+    }
+    fj.set("policies", std::move(policies));
+    fj.set("reschedule_latency_seconds", config.reschedule_latency_seconds);
+    fp.set("faults", std::move(fj));
+  }
   return fp;
 }
 
@@ -239,6 +256,7 @@ Json run_campaign(const CampaignConfig& config,
     hooks.cancel = config.cancel;
     hooks.max_retries = config.max_retries;
     hooks.unit_deadline_seconds = config.unit_deadline_seconds;
+    hooks.retry_backoff_seconds = config.retry_backoff_seconds;
     hooks.lookup = [&done_units, phase](const std::string& cls,
                                         const std::string& platform,
                                         std::size_t index)
@@ -401,6 +419,17 @@ Json run_campaign(const CampaignConfig& config,
               failure.kind == UnitErrorKind::kCancelled) {
             break;
           }
+          if (attempt < config.max_retries) {
+            const double delay = backoff_delay_seconds(
+                attempt + 1, config.retry_backoff_seconds,
+                config.unit_deadline_seconds,
+                derive_seed(config.seed, 0xCA4Bull, i));
+            if (!backoff_sleep(delay, config.cancel)) {
+              failure.kind = UnitErrorKind::kCancelled;
+              failure.message = "cancelled while backing off before retry";
+              break;
+            }
+          }
         }
       }
       if (!completed) {
@@ -426,6 +455,133 @@ Json run_campaign(const CampaignConfig& config,
     gap.set("n", static_cast<std::int64_t>(gaps.count()));
     report.set("optimality_gap_emts5_model2_irregular_grelon",
                std::move(gap));
+  }
+
+  // Phase 4: robustness under fault injection (--faults). Model 2 on the
+  // Chti cluster; every unit replays one heuristic schedule against one
+  // deterministic per-unit fault trace, once per reschedule policy, so the
+  // policies' degraded makespans are directly comparable.
+  if (config.faults && !cancelled && !cancel_requested()) {
+    const auto model = make_model("model2");
+    const Cluster cluster = chti();
+    RobustnessOptions opts;
+    opts.faults = config.fault_model;
+    opts.policies = config.reschedule_policies;
+    opts.reschedule_latency_seconds = config.reschedule_latency_seconds;
+    opts.threads = config.threads;
+    opts.cancel = config.cancel;
+
+    const std::vector<std::string> classes = {"fft", "strassen", "layered",
+                                              "irregular"};
+    std::vector<std::pair<std::string, std::vector<Ptg>>> corpora;
+    std::size_t total = 0;
+    for (const std::string& cls : classes) {
+      const std::size_t count =
+          config.instances > 0 ? config.instances : paper_corpus_size(cls);
+      corpora.emplace_back(
+          cls, corpus_by_name(cls, config.num_tasks, count, config.seed));
+      total += corpora.back().second.size();
+    }
+
+    std::vector<RobustnessUnitResult> units;
+    std::size_t done = 0;
+    for (const auto& [cls, graphs] : corpora) {
+      if (cancelled) break;
+      const std::uint64_t cls_salt =
+          splitmix64(std::hash<std::string>{}(cls)) ^ 0xF417ull;
+      for (std::size_t i = 0; i < graphs.size(); ++i) {
+        if (cancel_requested()) {
+          cancelled = true;
+          break;
+        }
+        const std::string key = unit_key("robust", cls, "chti", i);
+        if (const auto it = done_units.find(key); it != done_units.end()) {
+          units.push_back(robustness_unit_from_json(it->second));
+          ++done;
+          if (progress) progress("robust", done, total);
+          continue;
+        }
+
+        bool unit_completed = false;
+        UnitFailure failure;
+        failure.cls = cls;
+        failure.platform = "chti";
+        failure.index = i;
+        for (int attempt = 0; attempt <= config.max_retries; ++attempt) {
+          try {
+            const std::uint64_t seed =
+                attempt == 0
+                    ? derive_seed(config.seed, cls_salt, i)
+                    : derive_seed(config.seed,
+                                  cls_salt ^ splitmix64(
+                                      static_cast<std::uint64_t>(attempt)),
+                                  i);
+            const auto instance =
+                ProblemInstance::borrow(graphs[i], *model, cluster);
+            RobustnessUnitResult u =
+                run_robustness_unit(instance, opts, cls, "chti", i, seed);
+            if (journal) {
+              Json unit = Json::object();
+              unit.set("phase", "robust");
+              unit.set("result", robustness_unit_to_json(u));
+              Json line = Json::object();
+              line.set("unit", std::move(unit));
+              journal->append_line(line.dump(0));
+            }
+            units.push_back(std::move(u));
+            unit_completed = true;
+            break;
+          } catch (const std::exception& e) {
+            failure.kind = classify_unit_error(e);
+            failure.message = e.what();
+            failure.attempts = attempt + 1;
+            if (failure.kind == UnitErrorKind::kInputError ||
+                failure.kind == UnitErrorKind::kCancelled) {
+              break;
+            }
+            if (attempt < config.max_retries) {
+              const double delay = backoff_delay_seconds(
+                  attempt + 1, config.retry_backoff_seconds,
+                  config.unit_deadline_seconds,
+                  derive_seed(config.seed, cls_salt, i));
+              if (!backoff_sleep(delay, config.cancel)) {
+                failure.kind = UnitErrorKind::kCancelled;
+                failure.message = "cancelled while backing off before retry";
+                break;
+              }
+            }
+          }
+        }
+        if (!unit_completed) {
+          Json fj = unit_failure_to_json(failure);
+          fj.set("phase", "robust");
+          if (journal) {
+            Json line = Json::object();
+            line.set("failure", fj);
+            journal->append_line(line.dump(0));
+          }
+          failures.push_back(std::move(fj));
+          if (failure.kind == UnitErrorKind::kCancelled) {
+            cancelled = true;
+            break;
+          }
+        }
+        ++done;
+        if (progress) progress("robust", done, total);
+      }
+    }
+
+    Json rob = Json::object();
+    rob.set("fault_model", config.fault_model.to_json());
+    rob.set("reschedule_latency_seconds", config.reschedule_latency_seconds);
+    rob.set("units", static_cast<std::int64_t>(units.size()));
+    rob.set("aggregates", robustness_aggregate_json(units));
+    report.set("robustness", std::move(rob));
+    if (has_dir) {
+      write_robustness_csv(units,
+                           (std::filesystem::path(config.output_dir) /
+                            "robustness_instances.csv").string());
+    }
   }
 
   report.set("failures", std::move(failures));

@@ -15,7 +15,10 @@
 #include <functional>
 #include <string>
 
+#include <vector>
+
 #include "exp/experiment.hpp"
+#include "sim/fault_model.hpp"
 #include "support/cancellation.hpp"
 #include "support/json.hpp"
 
@@ -43,6 +46,20 @@ struct CampaignConfig {
   /// Per-unit wall-clock deadline in seconds, plumbed into the EMTS time
   /// budget; 0 = off. A unit that hits it still yields a valid schedule.
   double unit_deadline_seconds = 0.0;
+  /// Base delay for exponential backoff between unit retry attempts
+  /// (deterministic seed-derived jitter, capped by unit_deadline_seconds);
+  /// 0 = immediate retry, the historical behavior.
+  double retry_backoff_seconds = 0.0;
+  /// Robustness phase (--faults): replay a heuristic schedule per instance
+  /// against a deterministic fault trace and compare reschedule policies'
+  /// degraded makespans. Adds "robustness" to the report JSON and
+  /// robustness_instances.csv to output_dir; journaled/resumed like every
+  /// other phase.
+  bool faults = false;
+  FaultModelConfig fault_model;
+  std::vector<std::string> reschedule_policies = {"restart", "mcpa", "emts"};
+  /// Simulated seconds charged at every reschedule barrier.
+  double reschedule_latency_seconds = 0.0;
   /// Cooperative cancellation (not owned). On cancel the campaign stops at
   /// the next unit boundary, journals nothing torn, and returns a partial
   /// report with "cancelled": true.

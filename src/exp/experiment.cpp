@@ -8,6 +8,7 @@
 #include "heuristics/allocation_heuristic.hpp"
 #include "sched/list_scheduler.hpp"
 #include "support/atomic_io.hpp"
+#include "support/backoff.hpp"
 #include "support/error_context.hpp"
 #include "support/strings.hpp"
 
@@ -260,6 +261,19 @@ ComparisonResult run_comparison(const ComparisonConfig& config,
             if (failure.kind == UnitErrorKind::kInputError ||
                 failure.kind == UnitErrorKind::kCancelled) {
               break;
+            }
+            // Exponential backoff before the next attempt (deterministic
+            // jitter keyed off the unit's base seed).
+            if (attempt < hooks.max_retries) {
+              const double delay = backoff_delay_seconds(
+                  attempt + 1, hooks.retry_backoff_seconds,
+                  hooks.unit_deadline_seconds,
+                  unit_seed(config.seed, cls, platform_name, i, 0));
+              if (!backoff_sleep(delay, hooks.cancel)) {
+                failure.kind = UnitErrorKind::kCancelled;
+                failure.message = "cancelled while backing off before retry";
+                break;
+              }
             }
           }
         }

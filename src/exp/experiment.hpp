@@ -129,6 +129,11 @@ struct ComparisonHooks {
   /// Per-unit wall-clock deadline plumbed into EmtsConfig::
   /// time_budget_seconds (tightening any existing budget); 0 = off.
   double unit_deadline_seconds = 0.0;
+  /// Base delay for exponential backoff between retry attempts, with
+  /// deterministic seed-derived jitter (see support/backoff.hpp); capped
+  /// by unit_deadline_seconds so backoff alone never blows the deadline.
+  /// 0 preserves the historical immediate retry.
+  double retry_backoff_seconds = 0.0;
 };
 
 /// Aggregated cell: mean relative makespan of one baseline vs EMTS for one

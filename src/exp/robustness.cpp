@@ -1,0 +1,231 @@
+#include "exp/robustness.hpp"
+
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "emts/emts.hpp"
+#include "heuristics/allocation_heuristic.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sim/reschedule_policy.hpp"
+#include "sim/simulation.hpp"
+#include "support/atomic_io.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+
+namespace ptgsched {
+
+namespace {
+
+/// Policy instances for the campaign: the EMTS policy gets the campaign's
+/// thread count and a zero time budget (generation-bounded, so the whole
+/// unit stays a deterministic function of its seed).
+std::unique_ptr<ReschedulePolicy> make_campaign_policy(
+    const std::string& name, std::size_t threads) {
+  if (name == "emts") {
+    EmtsConfig cfg = emts5_config();
+    cfg.threads = threads;
+    cfg.time_budget_seconds = 0.0;
+    return std::make_unique<EmtsReschedulePolicy>(std::move(cfg));
+  }
+  return make_reschedule_policy(name);
+}
+
+}  // namespace
+
+Json robustness_unit_to_json(const RobustnessUnitResult& u) {
+  Json o = Json::object();
+  o.set("class", u.cls);
+  o.set("platform", u.platform);
+  o.set("index", static_cast<std::int64_t>(u.index));
+  o.set("ideal_makespan", u.ideal_makespan);
+  o.set("trace_events", static_cast<std::int64_t>(u.trace_events));
+  o.set("trace_crashes", static_cast<std::int64_t>(u.trace_crashes));
+  o.set("trace_slowdowns", static_cast<std::int64_t>(u.trace_slowdowns));
+  Json arr = Json::array();
+  for (const PolicyOutcome& p : u.outcomes) {
+    Json jp = Json::object();
+    jp.set("policy", p.policy);
+    jp.set("degraded_makespan", p.degraded_makespan);
+    jp.set("degradation_ratio",
+           p.completed ? p.degradation_ratio : -1.0);
+    jp.set("work_lost", p.work_lost);
+    jp.set("stretch_seconds", p.stretch_seconds);
+    jp.set("tasks_killed", static_cast<std::int64_t>(p.tasks_killed));
+    jp.set("reschedules", static_cast<std::int64_t>(p.reschedules));
+    jp.set("completed", p.completed);
+    jp.set("policy_wall_seconds", p.policy_wall_seconds);
+    arr.push_back(std::move(jp));
+  }
+  o.set("outcomes", std::move(arr));
+  return o;
+}
+
+RobustnessUnitResult robustness_unit_from_json(const Json& doc) {
+  RobustnessUnitResult u;
+  u.cls = json_require(doc, "class", "robustness unit").as_string();
+  u.platform = json_require(doc, "platform", "robustness unit").as_string();
+  u.index = static_cast<std::size_t>(
+      json_require(doc, "index", "robustness unit").as_int());
+  u.ideal_makespan =
+      json_require(doc, "ideal_makespan", "robustness unit").as_double();
+  u.trace_events =
+      static_cast<std::size_t>(doc.get_or("trace_events", std::int64_t{0}));
+  u.trace_crashes =
+      static_cast<std::size_t>(doc.get_or("trace_crashes", std::int64_t{0}));
+  u.trace_slowdowns =
+      static_cast<std::size_t>(doc.get_or("trace_slowdowns", std::int64_t{0}));
+  for (const Json& jp :
+       json_require(doc, "outcomes", "robustness unit").as_array()) {
+    PolicyOutcome p;
+    p.policy = json_require(jp, "policy", "policy outcome").as_string();
+    p.degraded_makespan =
+        json_require(jp, "degraded_makespan", "policy outcome").as_double();
+    p.completed = jp.get_or("completed", true);
+    const double ratio = jp.get_or("degradation_ratio", -1.0);
+    p.degradation_ratio =
+        p.completed ? ratio : std::numeric_limits<double>::infinity();
+    p.work_lost = jp.get_or("work_lost", 0.0);
+    p.stretch_seconds = jp.get_or("stretch_seconds", 0.0);
+    p.tasks_killed =
+        static_cast<std::size_t>(jp.get_or("tasks_killed", std::int64_t{0}));
+    p.reschedules =
+        static_cast<std::size_t>(jp.get_or("reschedules", std::int64_t{0}));
+    p.policy_wall_seconds = jp.get_or("policy_wall_seconds", 0.0);
+    u.outcomes.push_back(std::move(p));
+  }
+  return u;
+}
+
+RobustnessUnitResult run_robustness_unit(
+    const std::shared_ptr<const ProblemInstance>& instance,
+    const RobustnessOptions& options, const std::string& cls,
+    const std::string& platform, std::size_t index, std::uint64_t seed) {
+  if (instance == nullptr) {
+    throw std::invalid_argument("run_robustness_unit: null instance");
+  }
+  if (options.policies.empty()) {
+    throw std::invalid_argument("run_robustness_unit: no policies");
+  }
+  if (!(options.trace_horizon_factor > 0.0)) {
+    throw std::invalid_argument(
+        "run_robustness_unit: trace_horizon_factor must be positive");
+  }
+
+  RobustnessUnitResult u;
+  u.cls = cls;
+  u.platform = platform;
+  u.index = index;
+
+  // The schedule under attack: a baseline heuristic allocation mapped by
+  // the shared list scheduler — the fault-free pipeline.
+  const Allocation alloc =
+      make_heuristic(options.input_heuristic)->allocate(*instance);
+  ListScheduler mapper(instance);
+  const Schedule schedule = mapper.build_schedule(alloc);
+  u.ideal_makespan = schedule.makespan();
+
+  // One trace per unit, shared by every policy: all of them face exactly
+  // the same failures.
+  const FaultTrace trace = generate_fault_trace(
+      options.faults, instance->cluster(),
+      u.ideal_makespan * options.trace_horizon_factor,
+      derive_seed(seed, 0xFA07ull));
+  u.trace_events = trace.size();
+  u.trace_crashes = trace.count(FaultKind::kCrash);
+  u.trace_slowdowns = trace.count(FaultKind::kSlowdown);
+
+  SimulationConfig sim_cfg;
+  sim_cfg.reschedule_latency_seconds = options.reschedule_latency_seconds;
+  sim_cfg.seed = seed;
+  sim_cfg.cancel = options.cancel;
+  SimulationEngine engine(instance, sim_cfg);
+
+  for (const std::string& name : options.policies) {
+    const auto policy = make_campaign_policy(name, options.threads);
+    const SimulationResult r = engine.run(schedule, alloc, trace, *policy);
+    PolicyOutcome p;
+    p.policy = name;
+    p.degraded_makespan = r.metrics.completed
+                              ? r.metrics.degraded_makespan
+                              : -1.0;
+    p.degradation_ratio = r.metrics.degradation_ratio();
+    p.work_lost = r.metrics.work_lost;
+    p.stretch_seconds = r.metrics.stretch_seconds;
+    p.tasks_killed = r.metrics.tasks_killed;
+    p.reschedules = r.metrics.reschedules;
+    p.completed = r.metrics.completed;
+    p.policy_wall_seconds = r.metrics.policy_wall_seconds;
+    u.outcomes.push_back(std::move(p));
+  }
+  return u;
+}
+
+Json robustness_aggregate_json(
+    const std::vector<RobustnessUnitResult>& units) {
+  struct Group {
+    RunningStats ratio;      // completed runs only
+    RunningStats work_lost;  // all runs
+    std::size_t reschedules = 0;
+    std::size_t tasks_killed = 0;
+    std::size_t completed = 0;
+    std::size_t runs = 0;
+  };
+  std::map<std::pair<std::string, std::string>, Group> groups;
+  for (const RobustnessUnitResult& u : units) {
+    for (const PolicyOutcome& p : u.outcomes) {
+      Group& g = groups[{u.cls, p.policy}];
+      ++g.runs;
+      if (p.completed) {
+        ++g.completed;
+        g.ratio.add(p.degradation_ratio);
+      }
+      g.work_lost.add(p.work_lost);
+      g.reschedules += p.reschedules;
+      g.tasks_killed += p.tasks_killed;
+    }
+  }
+  Json arr = Json::array();
+  for (const auto& [key, g] : groups) {
+    Json row = Json::object();
+    row.set("class", key.first);
+    row.set("policy", key.second);
+    row.set("mean_degradation_ratio",
+            g.ratio.count() > 0 ? g.ratio.mean() : -1.0);
+    row.set("max_degradation_ratio",
+            g.ratio.count() > 0 ? g.ratio.max() : -1.0);
+    row.set("completed", static_cast<std::int64_t>(g.completed));
+    row.set("runs", static_cast<std::int64_t>(g.runs));
+    row.set("mean_work_lost", g.work_lost.mean());
+    row.set("reschedules", static_cast<std::int64_t>(g.reschedules));
+    row.set("tasks_killed", static_cast<std::int64_t>(g.tasks_killed));
+    arr.push_back(std::move(row));
+  }
+  return arr;
+}
+
+void write_robustness_csv(const std::vector<RobustnessUnitResult>& units,
+                          const std::string& path) {
+  std::ostringstream out;
+  out << "class,platform,index,policy,ideal_makespan,degraded_makespan,"
+         "degradation_ratio,work_lost,stretch_seconds,tasks_killed,"
+         "reschedules,trace_crashes,trace_slowdowns,completed\n";
+  for (const RobustnessUnitResult& u : units) {
+    for (const PolicyOutcome& p : u.outcomes) {
+      out << u.cls << ',' << u.platform << ',' << u.index << ',' << p.policy
+          << ',' << strfmt("%.6g", u.ideal_makespan) << ','
+          << strfmt("%.6g", p.degraded_makespan) << ','
+          << (p.completed ? strfmt("%.6g", p.degradation_ratio)
+                          : std::string("inf"))
+          << ',' << strfmt("%.6g", p.work_lost) << ','
+          << strfmt("%.6g", p.stretch_seconds) << ',' << p.tasks_killed << ','
+          << p.reschedules << ',' << u.trace_crashes << ','
+          << u.trace_slowdowns << ',' << (p.completed ? 1 : 0) << '\n';
+    }
+  }
+  write_file_atomic(path, out.str());
+}
+
+}  // namespace ptgsched

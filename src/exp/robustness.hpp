@@ -1,0 +1,85 @@
+#pragma once
+// Robustness experiment: fault-injected replay of heuristic schedules with
+// reactive rescheduling, comparing recovery policies (DESIGN.md section 10).
+//
+// One *unit* is one (class, platform, instance) triple: an input schedule
+// is built from a baseline heuristic allocation, a deterministic fault
+// trace is generated over its makespan horizon, and the same (schedule,
+// trace) pair is replayed once per reschedule policy — every policy faces
+// exactly the same failures, so their degraded makespans are directly
+// comparable.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/problem_instance.hpp"
+#include "sim/fault_model.hpp"
+#include "support/cancellation.hpp"
+#include "support/json.hpp"
+
+namespace ptgsched {
+
+struct RobustnessOptions {
+  FaultModelConfig faults;
+  /// Reschedule policies compared per unit (make_reschedule_policy names).
+  std::vector<std::string> policies = {"restart", "mcpa", "emts"};
+  /// Heuristic whose allocation produces the input schedule under attack.
+  std::string input_heuristic = "mcpa";
+  /// Simulated seconds charged at every reschedule barrier.
+  double reschedule_latency_seconds = 0.0;
+  /// Fault-trace horizon as a multiple of the input schedule's makespan.
+  double trace_horizon_factor = 1.0;
+  /// Worker threads for the EMTS policy's evaluation engine; 0 = auto.
+  std::size_t threads = 0;
+  const CancellationToken* cancel = nullptr;
+};
+
+/// One policy's robustness metrics for one unit.
+struct PolicyOutcome {
+  std::string policy;
+  double degraded_makespan = 0.0;  ///< Meaningful only when completed.
+  double degradation_ratio = 0.0;  ///< degraded / ideal; +inf if failed.
+  double work_lost = 0.0;
+  double stretch_seconds = 0.0;
+  std::size_t tasks_killed = 0;
+  std::size_t reschedules = 0;
+  bool completed = true;
+  double policy_wall_seconds = 0.0;  ///< Telemetry, excluded from resume cmp.
+};
+
+struct RobustnessUnitResult {
+  std::string cls;
+  std::string platform;
+  std::size_t index = 0;
+  double ideal_makespan = 0.0;
+  std::size_t trace_events = 0;
+  std::size_t trace_crashes = 0;
+  std::size_t trace_slowdowns = 0;
+  std::vector<PolicyOutcome> outcomes;  ///< One per options.policies entry.
+};
+
+/// Round-trippable JSON form (doubles serialize with %.17g, so replaying a
+/// checkpointed unit reproduces bit-identical aggregates on resume).
+[[nodiscard]] Json robustness_unit_to_json(const RobustnessUnitResult& u);
+[[nodiscard]] RobustnessUnitResult robustness_unit_from_json(const Json& doc);
+
+/// Execute one robustness unit. Deterministic in (instance, options, seed):
+/// the trace, every reschedule decision (with the default zero policy time
+/// budget) and all metrics are pure functions of them.
+[[nodiscard]] RobustnessUnitResult run_robustness_unit(
+    const std::shared_ptr<const ProblemInstance>& instance,
+    const RobustnessOptions& options, const std::string& cls,
+    const std::string& platform, std::size_t index, std::uint64_t seed);
+
+/// Aggregate units per (class, policy): mean degradation ratio over the
+/// completed runs, completion rate, mean work lost, reschedule totals.
+[[nodiscard]] Json robustness_aggregate_json(
+    const std::vector<RobustnessUnitResult>& units);
+
+/// Per-unit CSV dump (one row per unit x policy).
+void write_robustness_csv(const std::vector<RobustnessUnitResult>& units,
+                          const std::string& path);
+
+}  // namespace ptgsched

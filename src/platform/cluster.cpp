@@ -1,6 +1,7 @@
 #include "platform/cluster.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/error_context.hpp"
 
@@ -29,9 +30,14 @@ Cluster Cluster::from_json(const Json& doc) {
   if (p < 1 || p > 1'000'000) {
     throw PlatformError("Cluster::from_json: implausible processor count");
   }
+  const double gflops =
+      json_require(doc, "gflops", "cluster document").as_double();
+  if (!std::isfinite(gflops) || !(gflops > 0.0)) {
+    throw PlatformError(
+        "Cluster::from_json: gflops must be finite and positive");
+  }
   return Cluster(doc.get_or("name", std::string("cluster")),
-                 static_cast<int>(p),
-                 json_require(doc, "gflops", "cluster document").as_double());
+                 static_cast<int>(p), gflops);
 }
 
 void Cluster::save(const std::string& path) const {

@@ -1,5 +1,6 @@
 #include "ptg/io.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "support/error_context.hpp"
@@ -34,30 +35,61 @@ Json ptg_to_json(const Ptg& g) {
   return doc;
 }
 
-Ptg ptg_from_json(const Json& doc) {
+Ptg ptg_from_json(const Json& doc, const std::string& path) {
   Ptg g(doc.get_or("name", std::string("ptg")));
   std::size_t task_index = 0;
   for (const Json& jt : json_require(doc, "tasks", "ptg document").as_array()) {
+    const std::string where = "tasks[" + std::to_string(task_index) + "]";
     Task t;
     t.name = jt.get_or("name", std::string());
     t.flops = json_require(jt, "flops",
                            "ptg task #" + std::to_string(task_index))
                   .as_double();
+    // Hostile-input guards, each naming the offending key. !(x > 0) also
+    // rejects NaN, which compares false against everything.
+    if (!std::isfinite(t.flops) || !(t.flops > 0.0)) {
+      throw LoadError(path, where + ".flops",
+                      "execution cost must be finite and positive");
+    }
     t.data_size = jt.get_or("data", 0.0);
+    if (!std::isfinite(t.data_size) || t.data_size < 0.0) {
+      throw LoadError(path, where + ".data",
+                      "data size must be finite and non-negative");
+    }
     t.alpha = jt.get_or("alpha", 0.0);
+    if (!(t.alpha >= 0.0 && t.alpha <= 1.0)) {
+      throw LoadError(path, where + ".alpha",
+                      "Amdahl fraction must be in [0, 1]");
+    }
     g.add_task(std::move(t));
     ++task_index;
   }
   if (doc.contains("edges")) {
+    std::size_t edge_index = 0;
     for (const Json& je : doc.at("edges").as_array()) {
-      if (je.size() != 2) throw GraphError("ptg_from_json: edge arity != 2");
+      const std::string where = "edges[" + std::to_string(edge_index) + "]";
+      if (je.size() != 2) {
+        throw LoadError(path, where, "edge arity != 2");
+      }
       const auto from = je.at(std::size_t{0}).as_int();
       const auto to = je.at(std::size_t{1}).as_int();
-      if (from < 0 || to < 0) throw GraphError("ptg_from_json: negative id");
-      g.add_edge(static_cast<TaskId>(from), static_cast<TaskId>(to));
+      if (from < 0 || to < 0) {
+        throw LoadError(path, where, "negative task id");
+      }
+      try {
+        // add_edge rejects self-loops, duplicate edges, and unknown ids.
+        g.add_edge(static_cast<TaskId>(from), static_cast<TaskId>(to));
+      } catch (const GraphError& e) {
+        throw LoadError(path, where, e.what());
+      }
+      ++edge_index;
     }
   }
-  g.validate();
+  try {
+    g.validate();  // non-empty and acyclic
+  } catch (const GraphError& e) {
+    throw LoadError(path, "", e.what());
+  }
   return g;
 }
 
@@ -69,7 +101,7 @@ Ptg load_ptg(const std::string& path) {
   // Attach the file path (the nested message already names the offending
   // key, if any) so a failed load in a long sweep is actionable.
   try {
-    return ptg_from_json(Json::parse_file(path));
+    return ptg_from_json(Json::parse_file(path), path);
   } catch (const LoadError&) {
     throw;
   } catch (const std::exception& e) {

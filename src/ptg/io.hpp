@@ -19,8 +19,12 @@ namespace ptgsched {
 /// Serialize a PTG to its JSON document form.
 [[nodiscard]] Json ptg_to_json(const Ptg& g);
 
-/// Parse a PTG from its JSON document form. Validates the result.
-[[nodiscard]] Ptg ptg_from_json(const Json& doc);
+/// Parse a PTG from its JSON document form, validating against hostile
+/// input: non-finite or non-positive execution costs, negative data sizes,
+/// out-of-range Amdahl fractions, malformed/self-loop/duplicate edges, and
+/// cycles all raise LoadError naming the offending key (and `path`, when
+/// given — load_ptg passes the file path through).
+[[nodiscard]] Ptg ptg_from_json(const Json& doc, const std::string& path = "");
 
 /// Convenience file wrappers.
 void save_ptg(const Ptg& g, const std::string& path);

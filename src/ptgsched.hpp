@@ -30,6 +30,7 @@
 #include "eval/evaluation_engine.hpp"
 #include "exp/campaign.hpp"
 #include "exp/experiment.hpp"
+#include "exp/robustness.hpp"
 #include "heuristics/allocation_heuristic.hpp"
 #include "heuristics/bicpa.hpp"
 #include "heuristics/cpa.hpp"
@@ -52,6 +53,9 @@
 #include "sched/multi_cluster_scheduler.hpp"
 #include "sched/schedule.hpp"
 #include "sched/validate.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/reschedule_policy.hpp"
+#include "sim/simulation.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 #include "support/json.hpp"

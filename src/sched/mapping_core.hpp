@@ -30,6 +30,7 @@
 //     processors for subsequent ready tasks (a packing-friendly variant).
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <span>
 #include <vector>
@@ -127,7 +128,7 @@ class MappingCore {
       // Once v starts at p.start, the final makespan is at least
       // start + bl(v) — the chain below v still has to run.
       if (p.start + bl_[v] > upper_bound) {
-        ++rejected_;
+        rejected_.fetch_add(1, std::memory_order_relaxed);
         return std::numeric_limits<double>::infinity();
       }
 
@@ -157,11 +158,17 @@ class MappingCore {
   }
 
   /// Number of run() passes rejected early by the upper bound since
-  /// construction or the last reset_stats().
+  /// construction or the last reset_stats(). Atomic (relaxed): the
+  /// evaluation engine reads and resets telemetry concurrently with
+  /// in-flight slot evaluations, so the counter must tolerate torn access
+  /// without a data race (each core is still driven by one thread at a
+  /// time; only the telemetry crosses threads).
   [[nodiscard]] std::size_t rejected_count() const noexcept {
-    return rejected_;
+    return rejected_.load(std::memory_order_relaxed);
   }
-  void reset_stats() noexcept { rejected_ = 0; }
+  void reset_stats() noexcept {
+    rejected_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   void occupy(TaskId v, const Placement& p, ProcessorSelection selection,
@@ -178,7 +185,7 @@ class MappingCore {
   std::vector<TaskId> ready_heap_;
   std::vector<int> proc_order_;              ///< Placement-path scratch.
   mutable std::vector<double> query_times_;  ///< earliest_start scratch.
-  std::size_t rejected_ = 0;
+  std::atomic<std::size_t> rejected_{0};
 };
 
 }  // namespace ptgsched

@@ -1,6 +1,7 @@
 #include "sched/schedule.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace ptgsched {
@@ -82,8 +83,29 @@ Schedule Schedule::from_json(const Json& doc) {
     placed.task = static_cast<TaskId>(task);
     placed.start = jt.at("start").as_double();
     placed.finish = jt.at("finish").as_double();
+    if (!std::isfinite(placed.start) || !std::isfinite(placed.finish)) {
+      throw std::invalid_argument(
+          "Schedule::from_json: non-finite interval for task " +
+          std::to_string(task));
+    }
     for (const Json& jp : jt.at("processors").as_array()) {
-      placed.processors.push_back(static_cast<int>(jp.as_int()));
+      const auto p = jp.as_int();
+      // A placement outside [0, P) is an allocation wider than the
+      // cluster smuggled in through serialization.
+      if (p < 0 || p >= procs) {
+        throw std::invalid_argument(
+            "Schedule::from_json: task " + std::to_string(task) +
+            " uses processor " + std::to_string(p) + " on a cluster of " +
+            std::to_string(procs));
+      }
+      placed.processors.push_back(static_cast<int>(p));
+    }
+    std::vector<int> sorted = placed.processors;
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      throw std::invalid_argument(
+          "Schedule::from_json: task " + std::to_string(task) +
+          " lists a processor twice");
     }
     out.add(std::move(placed));
   }

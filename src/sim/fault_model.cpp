@@ -1,0 +1,217 @@
+#include "sim/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace ptgsched {
+
+namespace {
+
+/// Trace events sort by (time, processor, kind) so replay order — and with
+/// it every downstream metric — is independent of generation order.
+bool event_less(const FaultEvent& a, const FaultEvent& b) noexcept {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.processor != b.processor) return a.processor < b.processor;
+  return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+void check_event(const FaultEvent& e, std::size_t index) {
+  const auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("FaultTrace: event #" + std::to_string(index) +
+                                ": " + what);
+  };
+  if (!std::isfinite(e.time) || e.time < 0.0) fail("non-finite or negative time");
+  if (e.processor < 0) fail("negative processor index");
+  if (e.kind == FaultKind::kSlowdown) {
+    if (!std::isfinite(e.factor) || e.factor < 1.0) {
+      fail("slowdown factor below 1");
+    }
+    if (!std::isfinite(e.duration) || e.duration < 0.0) {
+      fail("non-finite or negative duration");
+    }
+  }
+}
+
+/// Exponential inter-arrival time for an expected `rate` events per
+/// `horizon` seconds. Uses 1 - canonical() so the argument of log is in
+/// (0, 1] and the gap is always finite and positive.
+double exponential_gap(Rng& rng, double rate, double horizon) {
+  return -std::log(1.0 - rng.canonical()) * (horizon / rate);
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kSlowdown: return "slowdown";
+    case FaultKind::kRecovery: return "recovery";
+  }
+  return "crash";
+}
+
+FaultKind fault_kind_from_name(const std::string& name) {
+  if (name == "crash") return FaultKind::kCrash;
+  if (name == "slowdown") return FaultKind::kSlowdown;
+  if (name == "recovery") return FaultKind::kRecovery;
+  throw std::invalid_argument("fault_kind_from_name: unknown kind '" + name +
+                              "'");
+}
+
+FaultTrace::FaultTrace(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  for (std::size_t i = 0; i < events_.size(); ++i) check_event(events_[i], i);
+  std::stable_sort(events_.begin(), events_.end(), event_less);
+}
+
+std::size_t FaultTrace::count(FaultKind kind) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const FaultEvent& e) { return e.kind == kind; }));
+}
+
+Json FaultTrace::to_json() const {
+  Json doc = Json::object();
+  Json arr = Json::array();
+  for (const FaultEvent& e : events_) {
+    Json je = Json::object();
+    je.set("time", e.time);
+    je.set("processor", static_cast<std::int64_t>(e.processor));
+    je.set("kind", fault_kind_name(e.kind));
+    if (e.kind == FaultKind::kSlowdown) {
+      je.set("factor", e.factor);
+      je.set("duration", e.duration);
+    }
+    arr.push_back(std::move(je));
+  }
+  doc.set("events", std::move(arr));
+  return doc;
+}
+
+FaultTrace FaultTrace::from_json(const Json& doc) {
+  std::vector<FaultEvent> events;
+  for (const Json& je :
+       json_require(doc, "events", "fault trace").as_array()) {
+    FaultEvent e;
+    e.time = json_require(je, "time", "fault event").as_double();
+    e.processor = static_cast<int>(
+        json_require(je, "processor", "fault event").as_int());
+    e.kind = fault_kind_from_name(
+        json_require(je, "kind", "fault event").as_string());
+    e.factor = je.get_or("factor", 1.0);
+    e.duration = je.get_or("duration", 0.0);
+    events.push_back(e);
+  }
+  return FaultTrace(std::move(events));
+}
+
+Json FaultModelConfig::to_json() const {
+  Json doc = Json::object();
+  doc.set("crash_rate", crash_rate);
+  doc.set("slowdown_rate", slowdown_rate);
+  doc.set("slowdown_factor_min", slowdown_factor_min);
+  doc.set("slowdown_factor_max", slowdown_factor_max);
+  doc.set("recovery_min", recovery_min);
+  doc.set("recovery_max", recovery_max);
+  doc.set("max_crashes", max_crashes);
+  return doc;
+}
+
+FaultModelConfig FaultModelConfig::from_json(const Json& doc) {
+  FaultModelConfig c;
+  c.crash_rate = doc.get_or("crash_rate", c.crash_rate);
+  c.slowdown_rate = doc.get_or("slowdown_rate", c.slowdown_rate);
+  c.slowdown_factor_min =
+      doc.get_or("slowdown_factor_min", c.slowdown_factor_min);
+  c.slowdown_factor_max =
+      doc.get_or("slowdown_factor_max", c.slowdown_factor_max);
+  c.recovery_min = doc.get_or("recovery_min", c.recovery_min);
+  c.recovery_max = doc.get_or("recovery_max", c.recovery_max);
+  c.max_crashes =
+      static_cast<int>(doc.get_or("max_crashes", std::int64_t{c.max_crashes}));
+  return c;
+}
+
+FaultTrace generate_fault_trace(const FaultModelConfig& config,
+                                const Cluster& cluster, double horizon,
+                                std::uint64_t seed) {
+  if (!(horizon > 0.0) || !std::isfinite(horizon)) {
+    throw std::invalid_argument(
+        "generate_fault_trace: horizon must be positive and finite");
+  }
+  if (config.crash_rate < 0.0 || config.slowdown_rate < 0.0) {
+    throw std::invalid_argument("generate_fault_trace: negative rate");
+  }
+  if (config.slowdown_factor_min < 1.0 ||
+      config.slowdown_factor_max < config.slowdown_factor_min) {
+    throw std::invalid_argument(
+        "generate_fault_trace: bad slowdown factor range");
+  }
+  if (config.recovery_min < 0.0 ||
+      config.recovery_max < config.recovery_min) {
+    throw std::invalid_argument("generate_fault_trace: bad recovery range");
+  }
+
+  const int P = cluster.num_processors();
+  const int crash_cap =
+      config.max_crashes < 0 ? P - 1 : std::min(config.max_crashes, P - 1);
+
+  // Per-processor sub-streams: the events of processor p depend only on
+  // (seed, p), so growing the cluster or re-ordering the loop never
+  // perturbs an existing processor's faults.
+  std::vector<FaultEvent> crashes;
+  std::vector<FaultEvent> events;
+  for (int p = 0; p < P; ++p) {
+    Rng rng(derive_seed(seed, 0xFA177ull, static_cast<std::uint64_t>(p)));
+
+    // At most one crash matters per processor: the time of the first
+    // Poisson arrival, if it lands inside the horizon.
+    double crash_time = horizon;
+    if (config.crash_rate > 0.0) {
+      const double t = exponential_gap(rng, config.crash_rate, horizon);
+      if (t < horizon) {
+        crash_time = t;
+        crashes.push_back({t, p, FaultKind::kCrash, 1.0, 0.0});
+      }
+    }
+
+    // Transient slowdowns: a full Poisson stream, truncated at the crash
+    // (a dead processor cannot degrade further).
+    if (config.slowdown_rate > 0.0) {
+      double t = exponential_gap(rng, config.slowdown_rate, horizon);
+      while (t < crash_time) {
+        FaultEvent e;
+        e.time = t;
+        e.processor = p;
+        e.kind = FaultKind::kSlowdown;
+        e.factor = rng.uniform_real(config.slowdown_factor_min,
+                                    config.slowdown_factor_max);
+        e.duration = horizon * rng.uniform_real(config.recovery_min,
+                                                config.recovery_max);
+        // The delayed recovery is materialized as its own event; it may
+        // land after the horizon (the window simply outlives the trace)
+        // but never after the processor's crash.
+        const double recovery_at = t + e.duration;
+        events.push_back(e);
+        if (recovery_at < crash_time) {
+          events.push_back({recovery_at, p, FaultKind::kRecovery, 1.0, 0.0});
+        }
+        t += exponential_gap(rng, config.slowdown_rate, horizon);
+      }
+    }
+  }
+
+  // Enforce the crash cap deterministically: keep the earliest crashes
+  // (ties broken by processor index), drop the rest.
+  std::stable_sort(crashes.begin(), crashes.end(), event_less);
+  if (static_cast<int>(crashes.size()) > crash_cap) {
+    crashes.resize(static_cast<std::size_t>(std::max(crash_cap, 0)));
+  }
+  events.insert(events.end(), crashes.begin(), crashes.end());
+  return FaultTrace(std::move(events));
+}
+
+}  // namespace ptgsched

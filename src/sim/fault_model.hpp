@@ -1,0 +1,106 @@
+#pragma once
+// Fault model: deterministic, seed-derived fault traces over a cluster.
+//
+// The paper evaluates EMTS on ideal clusters; real clusters lose and
+// degrade processors mid-execution. A FaultTrace is the ground truth one
+// simulated execution replays against (src/sim/simulation): a time-sorted
+// list of events over the processors of one homogeneous cluster,
+//
+//   * kCrash    — the processor fails permanently,
+//   * kSlowdown — the processor degrades by `factor` for `duration`
+//                 seconds (a transient thermal/contention fault),
+//   * kRecovery — the delayed end of a slowdown window: the processor
+//                 returns to the schedulable pool.
+//
+// Traces are generated from a 64-bit seed with per-processor splitmix64
+// sub-streams, so a trace is a pure function of (config, cluster, horizon,
+// seed) — independent of evaluation order, schedulers, or thread count —
+// and two schedulers simulated against the same trace face exactly the
+// same failures. The JSON form round-trips bit-exactly (doubles via
+// %.17g), so campaign artifacts can archive the traces they used.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "support/json.hpp"
+
+namespace ptgsched {
+
+enum class FaultKind { kCrash, kSlowdown, kRecovery };
+
+/// Stable wire name: "crash" | "slowdown" | "recovery".
+[[nodiscard]] const char* fault_kind_name(FaultKind kind) noexcept;
+/// Inverse of fault_kind_name; throws std::invalid_argument otherwise.
+[[nodiscard]] FaultKind fault_kind_from_name(const std::string& name);
+
+/// One event of a trace. For kSlowdown, `factor` (> 1) multiplies the
+/// remaining execution time of work caught on the processor and `duration`
+/// is the length of the degraded window; the matching kRecovery event is
+/// materialized in the trace at time + duration (so replay never needs to
+/// pair events itself).
+struct FaultEvent {
+  double time = 0.0;
+  int processor = 0;
+  FaultKind kind = FaultKind::kCrash;
+  double factor = 1.0;
+  double duration = 0.0;
+};
+
+/// A validated, time-sorted fault trace.
+class FaultTrace {
+ public:
+  FaultTrace() = default;
+  /// Sorts by (time, processor, kind) and validates every event
+  /// (finite time >= 0, factor >= 1, duration >= 0, processor >= 0);
+  /// throws std::invalid_argument on a malformed event.
+  explicit FaultTrace(std::vector<FaultEvent> events);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+  /// Events of the given kind (trace summaries and CSV columns).
+  [[nodiscard]] std::size_t count(FaultKind kind) const noexcept;
+
+  [[nodiscard]] Json to_json() const;
+  /// Inverse of to_json(); validates like the vector constructor.
+  [[nodiscard]] static FaultTrace from_json(const Json& doc);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Knobs of the generator. Rates are expected event counts per processor
+/// over one horizon (the trace generator scales them into exponential
+/// inter-arrival times), so a config keeps the same failure pressure
+/// across platforms of different sizes and workloads of different lengths.
+struct FaultModelConfig {
+  double crash_rate = 0.0;     ///< Expected permanent crashes / processor.
+  double slowdown_rate = 0.0;  ///< Expected transient slowdowns / processor.
+  double slowdown_factor_min = 1.5;  ///< Degradation multiplier range.
+  double slowdown_factor_max = 3.0;
+  double recovery_min = 0.05;  ///< Slowdown duration, fraction of horizon.
+  double recovery_max = 0.25;
+  /// Cap on total crashes; negative selects P - 1 (at least one processor
+  /// always survives, so a workload can run to completion).
+  int max_crashes = -1;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static FaultModelConfig from_json(const Json& doc);
+};
+
+/// Generate the deterministic trace of (config, cluster, horizon, seed).
+/// `horizon` is the window (seconds of simulated time) the rates refer to;
+/// events beyond it are not generated (except recoveries, which may land
+/// after it). Throws std::invalid_argument on a non-positive horizon or
+/// inverted config ranges.
+[[nodiscard]] FaultTrace generate_fault_trace(const FaultModelConfig& config,
+                                              const Cluster& cluster,
+                                              double horizon,
+                                              std::uint64_t seed);
+
+}  // namespace ptgsched

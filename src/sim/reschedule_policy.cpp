@@ -1,0 +1,73 @@
+#include "sim/reschedule_policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "heuristics/allocation_heuristic.hpp"
+#include "support/rng.hpp"
+
+namespace ptgsched {
+
+Allocation RestartSurvivorsPolicy::reallocate(const RescheduleContext& ctx) {
+  return ctx.previous_allocation;
+}
+
+HeuristicReschedulePolicy::HeuristicReschedulePolicy(
+    const std::string& heuristic)
+    : heuristic_(make_heuristic(heuristic)) {}
+
+Allocation HeuristicReschedulePolicy::reallocate(
+    const RescheduleContext& ctx) {
+  return heuristic_->allocate(*ctx.residual);
+}
+
+std::string HeuristicReschedulePolicy::name() const {
+  return heuristic_->name();
+}
+
+EmtsReschedulePolicy::EmtsReschedulePolicy(EmtsConfig base)
+    : base_(std::move(base)) {}
+
+Allocation EmtsReschedulePolicy::reallocate(const RescheduleContext& ctx) {
+  EmtsConfig cfg = base_;
+  cfg.seed = derive_seed(ctx.seed, 0x4E5Cull,
+                         static_cast<std::uint64_t>(ctx.reschedule_index));
+  cfg.cancel = ctx.cancel;
+  if (ctx.time_budget_seconds > 0.0) {
+    cfg.time_budget_seconds =
+        cfg.time_budget_seconds > 0.0
+            ? std::min(cfg.time_budget_seconds, ctx.time_budget_seconds)
+            : ctx.time_budget_seconds;
+  }
+  // A cancel mid-reoptimization still yields a valid best-so-far
+  // allocation (at worst the best seed heuristic's) — exactly what a
+  // runtime under failure pressure wants.
+  return Emts(cfg).schedule(ctx.residual).best_allocation;
+}
+
+std::unique_ptr<ReschedulePolicy> make_reschedule_policy(
+    const std::string& name) {
+  if (name == "restart") return std::make_unique<RestartSurvivorsPolicy>();
+  if (name == "emts") return std::make_unique<EmtsReschedulePolicy>();
+  const auto& heuristics = heuristic_names();
+  if (std::find(heuristics.begin(), heuristics.end(), name) !=
+      heuristics.end()) {
+    return std::make_unique<HeuristicReschedulePolicy>(name);
+  }
+  std::string valid;
+  for (const std::string& n : reschedule_policy_names()) {
+    if (!valid.empty()) valid += ", ";
+    valid += n;
+  }
+  throw std::invalid_argument("make_reschedule_policy: unknown policy \"" +
+                              name + "\"; valid names: " + valid);
+}
+
+std::vector<std::string> reschedule_policy_names() {
+  std::vector<std::string> names = {"restart", "emts"};
+  const auto& heuristics = heuristic_names();
+  names.insert(names.end(), heuristics.begin(), heuristics.end());
+  return names;
+}
+
+}  // namespace ptgsched

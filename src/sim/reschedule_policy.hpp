@@ -1,0 +1,105 @@
+#pragma once
+// Reactive rescheduling policies: what the simulated runtime does with the
+// residual PTG after a fault (DESIGN.md section 10).
+//
+// When the simulator hits a disruptive event it prunes the completed tasks
+// out of the problem (ProblemInstance::residual) and asks a policy for a
+// fresh allocation of the survivors on the remaining processors. The
+// spectrum mirrors the paper's two-step structure:
+//
+//   * restart    — keep the original allocation, clamped to the surviving
+//                  processor count (no re-optimization; the cheapest and
+//                  the baseline every smarter policy must beat),
+//   * <heuristic> — re-run an allocation heuristic (MCPA, HCPA, ...) on
+//                  the residual graph,
+//   * emts       — re-optimize with a budgeted EMTS run on the residual
+//                  instance, reusing the evaluation engine with the
+//                  cancellation/deadline plumbing of the campaign layer.
+//
+// Policies only produce the allocation; the simulator always maps it with
+// the shared list scheduler, exactly like the fault-free pipeline.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/problem_instance.hpp"
+#include "emts/emts.hpp"
+#include "sched/allocation.hpp"
+#include "support/cancellation.hpp"
+
+namespace ptgsched {
+
+/// Everything a policy may consult for one reschedule decision.
+struct RescheduleContext {
+  /// The pruned problem: surviving tasks, densely renumbered, on a cluster
+  /// of the currently usable processors.
+  std::shared_ptr<const ProblemInstance> residual;
+  /// The allocation the killed schedule used, projected onto residual ids
+  /// and clamped into [1, P'] for the shrunken cluster.
+  Allocation previous_allocation;
+  double now = 0.0;              ///< Absolute simulated time of the barrier.
+  int reschedule_index = 0;      ///< 0 for the first reschedule of a run.
+  /// Wall-clock compute budget for optimizing policies; 0 = unlimited
+  /// (generation-bounded EMTS stays deterministic only with 0).
+  double time_budget_seconds = 0.0;
+  std::uint64_t seed = 0;        ///< Derived per reschedule by the engine.
+  const CancellationToken* cancel = nullptr;
+};
+
+class ReschedulePolicy {
+ public:
+  virtual ~ReschedulePolicy() = default;
+
+  /// A valid allocation for ctx.residual (every entry in [1, P']).
+  [[nodiscard]] virtual Allocation reallocate(
+      const RescheduleContext& ctx) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// (a) Restart on the survivors with the original allocation (already
+/// projected and clamped by the engine).
+class RestartSurvivorsPolicy final : public ReschedulePolicy {
+ public:
+  [[nodiscard]] Allocation reallocate(const RescheduleContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "restart"; }
+};
+
+/// (b) Re-run an allocation heuristic on the residual graph.
+class HeuristicReschedulePolicy final : public ReschedulePolicy {
+ public:
+  /// `heuristic` is any make_heuristic() name; throws like the factory.
+  explicit HeuristicReschedulePolicy(const std::string& heuristic);
+
+  [[nodiscard]] Allocation reallocate(const RescheduleContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::unique_ptr<AllocationHeuristic> heuristic_;
+};
+
+/// (c) Budgeted EMTS re-optimization of the residual instance. Seed,
+/// cancellation token and time budget come from the context (the base
+/// config's own budget, if any, is tightened by the context's).
+class EmtsReschedulePolicy final : public ReschedulePolicy {
+ public:
+  explicit EmtsReschedulePolicy(EmtsConfig base = emts5_config());
+
+  [[nodiscard]] Allocation reallocate(const RescheduleContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "emts"; }
+
+ private:
+  EmtsConfig base_;
+};
+
+/// Factory over the names above: "restart", "emts", or any allocation
+/// heuristic name; throws std::invalid_argument listing the valid names.
+[[nodiscard]] std::unique_ptr<ReschedulePolicy> make_reschedule_policy(
+    const std::string& name);
+
+/// Every name make_reschedule_policy accepts.
+[[nodiscard]] std::vector<std::string> reschedule_policy_names();
+
+}  // namespace ptgsched

@@ -1,0 +1,358 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace ptgsched {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One scheduled task attempt of the current epoch, in absolute simulated
+/// time and global processor ids.
+struct Attempt {
+  TaskId task = kInvalidTask;
+  double start = 0.0;
+  double finish = 0.0;
+  std::vector<int> procs;
+
+  [[nodiscard]] bool uses(int p) const noexcept {
+    return std::binary_search(procs.begin(), procs.end(), p);
+  }
+};
+
+}  // namespace
+
+double RobustnessMetrics::degradation_ratio() const noexcept {
+  if (!completed || !(ideal_makespan > 0.0)) return kInf;
+  return degraded_makespan / ideal_makespan;
+}
+
+double RobustnessMetrics::recovery_overhead() const noexcept {
+  if (!completed) return kInf;
+  return degraded_makespan - ideal_makespan;
+}
+
+Json RobustnessMetrics::to_json() const {
+  Json o = Json::object();
+  o.set("ideal_makespan", ideal_makespan);
+  o.set("degraded_makespan", completed ? degraded_makespan : -1.0);
+  o.set("work_lost", work_lost);
+  o.set("stretch_seconds", stretch_seconds);
+  o.set("tasks_killed", static_cast<std::int64_t>(tasks_killed));
+  o.set("reschedules", static_cast<std::int64_t>(reschedules));
+  o.set("crashes", static_cast<std::int64_t>(crashes));
+  o.set("slowdowns", static_cast<std::int64_t>(slowdowns));
+  o.set("recoveries", static_cast<std::int64_t>(recoveries));
+  o.set("completed", completed);
+  o.set("policy_wall_seconds", policy_wall_seconds);
+  return o;
+}
+
+Json SimulationResult::to_json() const {
+  Json o = Json::object();
+  o.set("metrics", metrics.to_json());
+  Json eps = Json::array();
+  for (const EpochRecord& e : epochs) {
+    Json je = Json::object();
+    je.set("start", e.start);
+    je.set("usable_processors",
+           static_cast<std::int64_t>(e.usable_processors));
+    je.set("tasks", static_cast<std::int64_t>(e.tasks));
+    je.set("policy", e.policy);
+    je.set("planned_makespan", e.planned_makespan);
+    eps.push_back(std::move(je));
+  }
+  o.set("epochs", std::move(eps));
+  return o;
+}
+
+SimulationEngine::SimulationEngine(
+    std::shared_ptr<const ProblemInstance> instance, SimulationConfig config)
+    : instance_(std::move(instance)), config_(config) {
+  if (instance_ == nullptr) {
+    throw std::invalid_argument("SimulationEngine: null problem instance");
+  }
+}
+
+SimulationResult SimulationEngine::simulate_allocation(
+    const Allocation& alloc, const FaultTrace& trace,
+    ReschedulePolicy& policy) {
+  ListScheduler scheduler(instance_, config_.mapping);
+  return run(scheduler.build_schedule(alloc), alloc, trace, policy);
+}
+
+SimulationResult SimulationEngine::run(const Schedule& schedule,
+                                       const Allocation& alloc,
+                                       const FaultTrace& trace,
+                                       ReschedulePolicy& policy) {
+  const Ptg& graph = instance_->graph();
+  const Cluster& cluster = instance_->cluster();
+  const std::size_t n = graph.num_tasks();
+  const int P = cluster.num_processors();
+
+  validate_allocation(alloc, graph, cluster);
+  if (schedule.num_tasks() != n) {
+    throw std::invalid_argument(
+        "SimulationEngine: schedule covers " +
+        std::to_string(schedule.num_tasks()) + " of " + std::to_string(n) +
+        " tasks");
+  }
+  for (const FaultEvent& e : trace.events()) {
+    if (e.processor >= P) {
+      throw std::invalid_argument(
+          "SimulationEngine: trace names processor " +
+          std::to_string(e.processor) + " on a cluster of " +
+          std::to_string(P));
+    }
+  }
+
+  SimulationResult result;
+  RobustnessMetrics& m = result.metrics;
+  m.ideal_makespan = schedule.makespan();
+
+  // Mutable execution state.
+  std::vector<bool> completed(n, false);
+  result.completion_times.assign(n, 0.0);
+  std::vector<bool> alive(static_cast<std::size_t>(P), true);
+  std::vector<int> degraded(static_cast<std::size_t>(P), 0);  // window depth
+  Allocation cur_alloc = alloc;
+
+  // Epoch 0: the input schedule, verbatim.
+  std::vector<Attempt> cur;
+  cur.reserve(n);
+  for (const PlacedTask& p : schedule.placed()) {
+    if (p.task >= n) {
+      throw std::invalid_argument("SimulationEngine: schedule places task " +
+                                  std::to_string(p.task));
+    }
+    for (const int proc : p.processors) {
+      if (proc < 0 || proc >= P) {
+        throw std::invalid_argument(
+            "SimulationEngine: schedule uses processor " +
+            std::to_string(proc) + " on a cluster of " + std::to_string(P));
+      }
+    }
+    cur.push_back({p.task, p.start, p.finish, p.processors});
+  }
+  result.epochs.push_back(
+      {0.0, static_cast<std::size_t>(P), n, "", m.ideal_makespan});
+
+  // Pool bookkeeping shared by the in-epoch and drain-window paths: a
+  // crash or slowdown onset removes the processor from the usable pool, a
+  // recovery closes one degradation window.
+  const auto apply_pool = [&](const FaultEvent& e) {
+    const auto p = static_cast<std::size_t>(e.processor);
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        if (alive[p]) {
+          alive[p] = false;
+          degraded[p] = 0;
+          ++m.crashes;
+        }
+        break;
+      case FaultKind::kSlowdown:
+        if (alive[p]) {
+          ++degraded[p];
+          ++m.slowdowns;
+        }
+        break;
+      case FaultKind::kRecovery:
+        if (alive[p] && degraded[p] > 0) {
+          --degraded[p];
+          ++m.recoveries;
+        }
+        break;
+    }
+  };
+  const auto usable_processors = [&] {
+    std::vector<int> usable;
+    for (int p = 0; p < P; ++p) {
+      if (alive[static_cast<std::size_t>(p)] &&
+          degraded[static_cast<std::size_t>(p)] == 0) {
+        usable.push_back(p);
+      }
+    }
+    return usable;
+  };
+
+  const std::vector<FaultEvent>& events = trace.events();
+  std::size_t ev = 0;
+  int reschedule_index = 0;
+
+  while (!cur.empty()) {
+    if (config_.cancel != nullptr && config_.cancel->cancelled()) {
+      throw CancelledError("simulation cancelled mid-replay");
+    }
+
+    double epoch_end = 0.0;
+    for (const Attempt& a : cur) epoch_end = std::max(epoch_end, a.finish);
+
+    if (ev == events.size() || events[ev].time >= epoch_end) {
+      // No event lands before the epoch finishes: it runs to completion.
+      for (const Attempt& a : cur) {
+        completed[a.task] = true;
+        result.completion_times[a.task] = a.finish;
+      }
+      cur.clear();
+      break;
+    }
+
+    // --- One disruptive step: all events at time t. ---------------------
+    const double t = events[ev].time;
+    const std::size_t batch_begin = ev;
+    while (ev < events.size() && events[ev].time == t) ++ev;
+
+    // Retire attempts that finished before the event.
+    std::erase_if(cur, [&](const Attempt& a) {
+      if (a.finish > t) return false;
+      completed[a.task] = true;
+      result.completion_times[a.task] = a.finish;
+      return true;
+    });
+
+    // Apply the batch: pool updates first, then kills (crashes) and
+    // stretches (slowdown onsets) against the running attempts. An
+    // attempt is running iff start <= t < finish; later attempts are
+    // pending and simply return to the residual pool.
+    std::vector<bool> killed(cur.size(), false);
+    for (std::size_t i = batch_begin; i < ev; ++i) {
+      const FaultEvent& e = events[i];
+      const bool was_alive = alive[static_cast<std::size_t>(e.processor)];
+      apply_pool(e);
+      if (!was_alive) continue;
+      if (e.kind == FaultKind::kCrash) {
+        for (std::size_t k = 0; k < cur.size(); ++k) {
+          if (!killed[k] && cur[k].start <= t && cur[k].uses(e.processor)) {
+            killed[k] = true;
+          }
+        }
+      }
+    }
+    for (std::size_t i = batch_begin; i < ev; ++i) {
+      const FaultEvent& e = events[i];
+      if (e.kind != FaultKind::kSlowdown) continue;
+      for (std::size_t k = 0; k < cur.size(); ++k) {
+        Attempt& a = cur[k];
+        if (killed[k] || a.start > t || !a.uses(e.processor)) continue;
+        // The whole gang waits for the degraded member: the remaining
+        // execution time stretches by the slowdown factor.
+        const double stretched = t + (a.finish - t) * e.factor;
+        m.stretch_seconds += stretched - a.finish;
+        a.finish = stretched;
+      }
+    }
+
+    // Account killed attempts and drain the surviving running ones; the
+    // next epoch starts at the barrier.
+    double barrier = t;
+    std::vector<Attempt> survivors;
+    for (std::size_t k = 0; k < cur.size(); ++k) {
+      const Attempt& a = cur[k];
+      if (killed[k]) {
+        m.work_lost += (t - a.start) * static_cast<double>(a.procs.size());
+        ++m.tasks_killed;
+        continue;
+      }
+      if (a.start > t) continue;  // pending: rescheduled below
+      completed[a.task] = true;
+      result.completion_times[a.task] = a.finish;
+      barrier = std::max(barrier, a.finish);
+    }
+    cur.clear();
+
+    // Events inside the drain window only update the pool (draining tasks
+    // are committed; their outputs checkpoint at the barrier).
+    while (ev < events.size() && events[ev].time <= barrier) {
+      apply_pool(events[ev]);
+      ++ev;
+    }
+
+    if (std::find(completed.begin(), completed.end(), false) ==
+        completed.end()) {
+      break;  // the drain finished the workload
+    }
+
+    // Idle through outages: with zero usable processors the runtime waits
+    // for a recovery; if none is coming the workload cannot finish.
+    std::vector<int> usable = usable_processors();
+    while (usable.empty()) {
+      if (ev == events.size()) {
+        m.completed = false;
+        m.degraded_makespan = kInf;
+        return result;
+      }
+      barrier = std::max(barrier, events[ev].time);
+      apply_pool(events[ev]);
+      ++ev;
+      usable = usable_processors();
+    }
+
+    // Reactive reschedule: prune the completed tasks, ask the policy for a
+    // fresh allocation of the survivors, and map it with the shared list
+    // scheduler onto the usable processors.
+    auto residual_cluster = std::make_shared<Cluster>(
+        cluster.name(), static_cast<int>(usable.size()), cluster.gflops());
+    const ResidualProblem residual =
+        instance_->residual(completed, std::move(residual_cluster));
+
+    RescheduleContext ctx;
+    ctx.residual = residual.instance;
+    ctx.previous_allocation.reserve(residual.to_base.size());
+    for (const TaskId base : residual.to_base) {
+      ctx.previous_allocation.push_back(std::min(
+          cur_alloc[base], static_cast<int>(usable.size())));
+    }
+    ctx.now = barrier;
+    ctx.reschedule_index = reschedule_index;
+    ctx.time_budget_seconds = config_.policy_time_budget_seconds;
+    ctx.seed = derive_seed(config_.seed, 0x5EC5ull,
+                           static_cast<std::uint64_t>(reschedule_index));
+    ctx.cancel = config_.cancel;
+
+    WallTimer policy_timer;
+    const Allocation next_alloc = policy.reallocate(ctx);
+    m.policy_wall_seconds += policy_timer.seconds();
+    ++m.reschedules;
+    ++reschedule_index;
+
+    const double epoch_start = barrier + config_.reschedule_latency_seconds;
+    ListScheduler mapper(residual.instance, config_.mapping);
+    const Schedule epoch_schedule = mapper.build_schedule(next_alloc);
+
+    for (const PlacedTask& p : epoch_schedule.placed()) {
+      Attempt a;
+      a.task = residual.to_base[p.task];
+      a.start = epoch_start + p.start;
+      a.finish = epoch_start + p.finish;
+      a.procs.reserve(p.processors.size());
+      for (const int local : p.processors) {
+        a.procs.push_back(usable[static_cast<std::size_t>(local)]);
+      }
+      std::sort(a.procs.begin(), a.procs.end());
+      cur.push_back(std::move(a));
+    }
+    for (std::size_t r = 0; r < residual.to_base.size(); ++r) {
+      cur_alloc[residual.to_base[r]] = next_alloc[r];
+    }
+    result.epochs.push_back({epoch_start, usable.size(),
+                             residual.to_base.size(), policy.name(),
+                             epoch_start + epoch_schedule.makespan()});
+  }
+
+  double finish = 0.0;
+  for (const double c : result.completion_times) {
+    finish = std::max(finish, c);
+  }
+  m.degraded_makespan = finish;
+  m.completed = true;
+  return result;
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,139 @@
+#pragma once
+// SimulationEngine: replay a schedule against a fault trace, reactively
+// rescheduling the residual PTG after every disruptive event.
+//
+// Execution semantics (DESIGN.md section 10). Moldable tasks are
+// gang-scheduled and non-migratable, so the simulated runtime reacts to
+// faults at *epoch* granularity:
+//
+//   * Epoch 0 is the input schedule, verbatim: with an empty trace the
+//     simulated makespan IS the schedule's makespan, bit for bit.
+//   * A crash at time t kills every task attempt occupying the crashed
+//     processor (the lost work, (t - start) x |procs|, is accounted);
+//     a slowdown onset stretches the remaining execution time of work
+//     caught on the processor by its factor (the gang waits for the
+//     slowest member) and removes the processor from the schedulable
+//     pool until its recovery event.
+//   * Surviving in-flight tasks drain to completion; the next epoch
+//     starts at the drain barrier (plus a configurable deterministic
+//     reschedule latency). Events that land inside a drain window update
+//     the processor pool but never touch draining tasks — the runtime is
+//     assumed to checkpoint task outputs at the barrier.
+//   * The residual problem (completed tasks pruned via
+//     ProblemInstance::residual) goes to a ReschedulePolicy for a fresh
+//     allocation, which is mapped by the shared list scheduler onto the
+//     usable processors. If no processor is usable the simulation idles
+//     until a recovery; if none remains, the run ends incomplete
+//     (degraded makespan = +infinity).
+//
+// Everything is a pure function of (instance, schedule, trace, config
+// seed); wall-clock only appears in the policy_wall_seconds telemetry,
+// never in simulated time.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/problem_instance.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule.hpp"
+#include "sim/fault_model.hpp"
+#include "sim/reschedule_policy.hpp"
+#include "support/cancellation.hpp"
+
+namespace ptgsched {
+
+struct SimulationConfig {
+  /// Deterministic seconds of simulated time charged at every reschedule
+  /// barrier (fault detection + work redistribution); 0 = instant.
+  double reschedule_latency_seconds = 0.0;
+  /// Wall-clock compute budget per reschedule, for optimizing policies.
+  /// Non-zero budgets trade determinism for bounded recovery time.
+  double policy_time_budget_seconds = 0.0;
+  std::uint64_t seed = 1;  ///< Per-reschedule policy seeds derive from this.
+  const CancellationToken* cancel = nullptr;
+  ListSchedulerOptions mapping;  ///< Mapping policy for residual schedules.
+};
+
+/// Robustness metrics of one simulated execution.
+struct RobustnessMetrics {
+  double ideal_makespan = 0.0;     ///< The input schedule's makespan.
+  double degraded_makespan = 0.0;  ///< Achieved completion; +inf if failed.
+  double work_lost = 0.0;          ///< Processor-seconds of killed attempts.
+  double stretch_seconds = 0.0;    ///< Drain extension from slowdowns.
+  std::size_t tasks_killed = 0;    ///< Task attempts killed by crashes.
+  std::size_t reschedules = 0;     ///< Reschedule policy invocations.
+  std::size_t crashes = 0;         ///< Trace events applied, by kind.
+  std::size_t slowdowns = 0;
+  std::size_t recoveries = 0;
+  bool completed = true;           ///< Every task ran to completion.
+  /// Wall seconds inside the reschedule policy (telemetry only; simulated
+  /// time charges reschedule_latency_seconds instead).
+  double policy_wall_seconds = 0.0;
+
+  /// degraded / ideal makespan (+inf when the run failed); 1.0 under a
+  /// fault-free trace. The headline robustness number.
+  [[nodiscard]] double degradation_ratio() const noexcept;
+  /// degraded - ideal makespan in seconds (+inf when the run failed).
+  [[nodiscard]] double recovery_overhead() const noexcept;
+
+  [[nodiscard]] Json to_json() const;
+};
+
+/// One epoch of a simulated execution (the initial schedule is epoch 0).
+struct EpochRecord {
+  double start = 0.0;  ///< Absolute simulated start of the epoch's schedule.
+  std::size_t usable_processors = 0;
+  std::size_t tasks = 0;         ///< Residual tasks the epoch schedules.
+  std::string policy;            ///< "" for epoch 0 (the input schedule).
+  double planned_makespan = 0.0; ///< Absolute finish if no further faults.
+};
+
+struct SimulationResult {
+  RobustnessMetrics metrics;
+  std::vector<EpochRecord> epochs;
+  /// Absolute completion time per task of the base instance (meaningful
+  /// only when metrics.completed).
+  std::vector<double> completion_times;
+
+  [[nodiscard]] Json to_json() const;
+};
+
+/// Replay engine bound to one shared problem core. Reusable across traces
+/// and schedules; not thread-safe (use one engine per thread).
+class SimulationEngine {
+ public:
+  explicit SimulationEngine(std::shared_ptr<const ProblemInstance> instance,
+                            SimulationConfig config = {});
+
+  /// Replay `schedule` — produced from `alloc` on the instance's cluster —
+  /// against `trace`, consulting `policy` after every disruptive event.
+  /// Throws std::invalid_argument when the schedule does not cover the
+  /// instance's tasks, the allocation is invalid, or the trace names a
+  /// processor outside the cluster.
+  [[nodiscard]] SimulationResult run(const Schedule& schedule,
+                                     const Allocation& alloc,
+                                     const FaultTrace& trace,
+                                     ReschedulePolicy& policy);
+
+  /// Convenience: build the initial schedule with the instance's list
+  /// scheduler (exactly the fault-free pipeline), then run.
+  [[nodiscard]] SimulationResult simulate_allocation(const Allocation& alloc,
+                                                     const FaultTrace& trace,
+                                                     ReschedulePolicy& policy);
+
+  [[nodiscard]] const std::shared_ptr<const ProblemInstance>& instance()
+      const noexcept {
+    return instance_;
+  }
+  [[nodiscard]] const SimulationConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  std::shared_ptr<const ProblemInstance> instance_;
+  SimulationConfig config_;
+};
+
+}  // namespace ptgsched

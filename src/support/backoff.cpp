@@ -1,0 +1,57 @@
+#include "support/backoff.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "support/rng.hpp"
+
+namespace ptgsched {
+
+double backoff_delay_seconds(int attempt, double base_seconds,
+                             double cap_seconds, std::uint64_t seed) {
+  if (attempt < 1) {
+    throw std::invalid_argument("backoff_delay_seconds: attempt must be >= 1");
+  }
+  if (!std::isfinite(base_seconds) || !std::isfinite(cap_seconds)) {
+    throw std::invalid_argument(
+        "backoff_delay_seconds: non-finite base or cap");
+  }
+  if (base_seconds <= 0.0) return 0.0;
+
+  // 2^(attempt-1), saturated well below overflow; the cap clamps anyway.
+  const int doublings = std::min(attempt - 1, 62);
+  const double scale = std::ldexp(1.0, doublings);
+
+  // Deterministic jitter in [0.5, 1.5): 53 random bits from a splitmix64
+  // stream keyed by (seed, attempt).
+  const std::uint64_t bits =
+      splitmix64(derive_seed(seed, 0xB0FFull,
+                             static_cast<std::uint64_t>(attempt)));
+  const double unit =
+      static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+  const double jitter = 0.5 + unit;
+
+  double delay = base_seconds * scale * jitter;
+  if (cap_seconds > 0.0) delay = std::min(delay, cap_seconds);
+  return delay;
+}
+
+bool backoff_sleep(double seconds, const CancellationToken* cancel) {
+  if (!(seconds > 0.0)) return true;
+  using clock = std::chrono::steady_clock;
+  const auto deadline =
+      clock::now() + std::chrono::duration_cast<clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  constexpr auto kSlice = std::chrono::milliseconds(10);
+  while (true) {
+    if (cancel != nullptr && cancel->cancelled()) return false;
+    const auto now = clock::now();
+    if (now >= deadline) return true;
+    const auto remaining = deadline - now;
+    std::this_thread::sleep_for(remaining < kSlice ? remaining : kSlice);
+  }
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,33 @@
+#pragma once
+// Exponential backoff with deterministic, seed-derived jitter for the
+// campaign retry loops. Delays are a pure function of (seed, attempt) —
+// re-running a campaign with the same seed sleeps the same schedule, and
+// tests can predict it exactly.
+
+#include <cstdint>
+
+#include "support/cancellation.hpp"
+
+namespace ptgsched {
+
+/// Delay in seconds before retry `attempt` (1 = first retry).
+///
+///   delay = base * 2^(attempt-1) * jitter,   jitter in [0.5, 1.5)
+///
+/// with the jitter drawn deterministically from (seed, attempt) via
+/// splitmix64. The result is clamped to `cap` when cap > 0 (e.g. the
+/// remaining unit deadline), so backoff never pushes a unit past its
+/// deadline on its own. base <= 0 returns 0 (backoff disabled, the
+/// historical immediate-retry behavior). Throws std::invalid_argument on
+/// non-finite base/cap or attempt < 1.
+[[nodiscard]] double backoff_delay_seconds(int attempt, double base_seconds,
+                                           double cap_seconds,
+                                           std::uint64_t seed);
+
+/// Sleep for `seconds`, polling `cancel` (when non-null) in small slices so
+/// a cancellation request interrupts the wait promptly. Returns false if
+/// the sleep was cut short by cancellation, true otherwise. Non-positive
+/// seconds return true immediately.
+bool backoff_sleep(double seconds, const CancellationToken* cancel);
+
+}  // namespace ptgsched

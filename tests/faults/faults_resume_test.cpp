@@ -1,0 +1,158 @@
+// Kill-and-resume tests for the --faults campaign mode (ctest labels
+// "faults" and "robustness"): a robustness campaign killed by SIGTERM in
+// the middle of the fault-injection phase resumes to a report whose
+// robustness aggregates are bit-identical to an uninterrupted baseline.
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <set>
+#include <string>
+
+#include "exp/campaign.hpp"
+#include "support/error_context.hpp"
+
+namespace ptgsched {
+namespace {
+
+CampaignConfig tiny_faults_campaign(const std::string& dir) {
+  CampaignConfig cfg;
+  cfg.instances = 2;
+  cfg.num_tasks = 20;
+  cfg.seed = 29;
+  cfg.include_emts10 = false;
+  cfg.threads = 0;  // keep telemetry counters deterministic
+  cfg.output_dir = dir;
+  cfg.faults = true;
+  cfg.fault_model.crash_rate = 1.0;
+  cfg.fault_model.slowdown_rate = 2.0;
+  // restart + one heuristic policy: covers the journal/replay machinery
+  // without paying for an EMTS run per reschedule in a resume test that
+  // executes the campaign three times.
+  cfg.reschedule_policies = {"restart", "mcpa"};
+  return cfg;
+}
+
+/// Zero wall-clock-dependent values (unit timings and the reschedule
+/// policies' wall telemetry) so reports compare bit-for-bit on the rest —
+/// in particular on every simulated-time robustness number.
+Json normalized(const Json& j) {
+  static const std::set<std::string> kTimeKeys = {
+      "mean_seconds", "sd_seconds", "mean_eval_seconds",
+      "policy_wall_seconds"};
+  if (j.is_object()) {
+    Json o = Json::object();
+    for (const auto& [key, value] : j.as_object()) {
+      if (kTimeKeys.count(key) != 0 && value.is_number()) {
+        o.set(key, 0.0);
+      } else {
+        o.set(key, normalized(value));
+      }
+    }
+    return o;
+  }
+  if (j.is_array()) {
+    Json a = Json::array();
+    for (const Json& v : j.as_array()) a.push_back(normalized(v));
+    return a;
+  }
+  return j;
+}
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(FaultsResume, SigtermDuringRobustnessPhaseResumesBitIdentical) {
+  const auto base_dir = fresh_dir("ptgsched_faults_resume_base");
+  const auto kill_dir = fresh_dir("ptgsched_faults_resume_kill");
+
+  // Uninterrupted baseline, with the robustness phase enabled.
+  const Json baseline = run_campaign(tiny_faults_campaign(base_dir.string()));
+  EXPECT_FALSE(baseline.at("cancelled").as_bool());
+  EXPECT_EQ(baseline.at("failures").size(), 0u);
+  ASSERT_TRUE(baseline.contains("robustness"));
+  EXPECT_GT(baseline.at("robustness").at("units").as_int(), 0);
+  EXPECT_TRUE(
+      std::filesystem::exists(base_dir / "robustness_instances.csv"));
+
+  // Kill with a genuine SIGTERM after the second *robustness* unit — the
+  // interruption lands inside the fault-injection phase, after some robust
+  // units are already journaled.
+  {
+    CancellationToken cancel;
+    install_signal_cancellation(&cancel);
+    CampaignConfig cfg = tiny_faults_campaign(kill_dir.string());
+    cfg.cancel = &cancel;
+    std::size_t robust_units = 0;
+    const Json partial = run_campaign(
+        cfg, [&](const std::string& phase, std::size_t, std::size_t) {
+          if (phase == "robust" && ++robust_units == 2) std::raise(SIGTERM);
+        });
+    install_signal_cancellation(nullptr);
+    EXPECT_TRUE(cancel.cancelled());
+    EXPECT_TRUE(partial.at("cancelled").as_bool());
+    EXPECT_TRUE(std::filesystem::exists(kill_dir / kCampaignCheckpointFile));
+  }
+
+  // Resume: journaled robust units replay verbatim, the rest run fresh.
+  CampaignConfig resume_cfg = tiny_faults_campaign(kill_dir.string());
+  resume_cfg.resume = true;
+  const Json resumed = run_campaign(resume_cfg);
+  EXPECT_FALSE(resumed.at("cancelled").as_bool());
+  EXPECT_EQ(resumed.at("failures").size(), 0u);
+
+  // The robustness aggregates — and the whole report — are bit-identical
+  // modulo recorded wall times.
+  EXPECT_EQ(normalized(resumed.at("robustness")).dump(2),
+            normalized(baseline.at("robustness")).dump(2));
+  EXPECT_EQ(normalized(resumed).dump(2), normalized(baseline).dump(2));
+
+  // The per-instance CSV regenerated on resume matches the baseline's.
+  const Json on_disk =
+      Json::parse_file((kill_dir / "campaign_report.json").string());
+  EXPECT_EQ(normalized(on_disk).dump(2), normalized(baseline).dump(2));
+  std::ifstream a(base_dir / "robustness_instances.csv");
+  std::ifstream b(kill_dir / "robustness_instances.csv");
+  const std::string csv_a((std::istreambuf_iterator<char>(a)),
+                          std::istreambuf_iterator<char>());
+  const std::string csv_b((std::istreambuf_iterator<char>(b)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(csv_a, csv_b);
+
+  std::filesystem::remove_all(base_dir);
+  std::filesystem::remove_all(kill_dir);
+}
+
+TEST(FaultsResume, PlainJournalDoesNotResumeIntoFaultsCampaign) {
+  const auto dir = fresh_dir("ptgsched_faults_resume_mixed");
+  CampaignConfig plain = tiny_faults_campaign(dir.string());
+  plain.faults = false;
+  (void)run_campaign(plain);
+
+  // The --faults fingerprint differs, so the plain journal is rejected
+  // instead of being silently replayed into a robustness campaign.
+  CampaignConfig cfg = tiny_faults_campaign(dir.string());
+  cfg.resume = true;
+  EXPECT_THROW((void)run_campaign(cfg), LoadError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultsResume, FaultModelChangeInvalidatesJournal) {
+  const auto dir = fresh_dir("ptgsched_faults_resume_model");
+  (void)run_campaign(tiny_faults_campaign(dir.string()));
+
+  CampaignConfig cfg = tiny_faults_campaign(dir.string());
+  cfg.fault_model.crash_rate = 2.0;  // different failure regime
+  cfg.resume = true;
+  EXPECT_THROW((void)run_campaign(cfg), LoadError);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ptgsched

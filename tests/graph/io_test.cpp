@@ -57,17 +57,17 @@ TEST(PtgJson, RejectsBadEdges) {
   doc.at("edges");  // exists
   Json bad = doc;
   bad.as_object()["edges"] = Json::parse("[[0]]");
-  EXPECT_THROW((void)ptg_from_json(bad), GraphError);
+  EXPECT_THROW((void)ptg_from_json(bad), LoadError);
   bad.as_object()["edges"] = Json::parse("[[0, -1]]");
-  EXPECT_THROW((void)ptg_from_json(bad), GraphError);
+  EXPECT_THROW((void)ptg_from_json(bad), LoadError);
   bad.as_object()["edges"] = Json::parse("[[0, 99]]");
-  EXPECT_THROW((void)ptg_from_json(bad), GraphError);
+  EXPECT_THROW((void)ptg_from_json(bad), LoadError);
 }
 
 TEST(PtgJson, RejectsCyclicDocument) {
   Json doc = ptg_to_json(testutil::chain3());
   doc.as_object()["edges"] = Json::parse("[[0,1],[1,2],[2,0]]");
-  EXPECT_THROW((void)ptg_from_json(doc), GraphError);
+  EXPECT_THROW((void)ptg_from_json(doc), LoadError);
 }
 
 TEST(PtgJson, MissingTasksKeyThrows) {

@@ -1,0 +1,119 @@
+// Hostile-input corpus for the JSON loaders: every entry is a malformed
+// document paired with the error (and offending key) the loader must
+// raise. Guards the hardening of ptg_from_json, Cluster::from_json and
+// Schedule::from_json against NaN/negative costs, duplicate edges,
+// self-loops, out-of-cluster placements and cycles.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "platform/cluster.hpp"
+#include "ptg/io.hpp"
+#include "sched/schedule.hpp"
+#include "support/error_context.hpp"
+
+namespace ptgsched {
+namespace {
+
+struct MalformedPtg {
+  const char* name;
+  const char* json;
+  const char* expect;  ///< Substring the LoadError's what() must contain.
+};
+
+TEST(MalformedInput, PtgCorpusRaisesLoadErrorNamingTheKey) {
+  const std::vector<MalformedPtg> corpus = {
+      {"negative flops",
+       R"({"tasks": [{"flops": -1.0}]})", "tasks[0].flops"},
+      {"zero flops",
+       R"({"tasks": [{"flops": 0.0}]})", "tasks[0].flops"},
+      {"negative data",
+       R"({"tasks": [{"flops": 1.0, "data": -4.0}]})", "tasks[0].data"},
+      {"alpha above one",
+       R"({"tasks": [{"flops": 1.0, "alpha": 1.5}]})", "tasks[0].alpha"},
+      {"alpha negative",
+       R"({"tasks": [{"flops": 1.0}, {"flops": 2.0, "alpha": -0.1}]})",
+       "tasks[1].alpha"},
+      {"edge arity",
+       R"({"tasks": [{"flops": 1.0}], "edges": [[0]]})", "edges[0]"},
+      {"negative edge id",
+       R"({"tasks": [{"flops": 1.0}], "edges": [[0, -1]]})", "edges[0]"},
+      {"self loop",
+       R"({"tasks": [{"flops": 1.0}], "edges": [[0, 0]]})", "edges[0]"},
+      {"unknown endpoint",
+       R"({"tasks": [{"flops": 1.0}], "edges": [[0, 7]]})", "edges[0]"},
+      {"duplicate edge",
+       R"({"tasks": [{"flops": 1.0}, {"flops": 1.0}],
+           "edges": [[0, 1], [0, 1]]})",
+       "edges[1]"},
+      {"cycle",
+       R"({"tasks": [{"flops": 1.0}, {"flops": 1.0}, {"flops": 1.0}],
+           "edges": [[0, 1], [1, 2], [2, 0]]})",
+       "cycle"},
+      {"empty graph", R"({"tasks": []})", "empty"},
+  };
+  for (const MalformedPtg& entry : corpus) {
+    SCOPED_TRACE(entry.name);
+    try {
+      (void)ptg_from_json(Json::parse(entry.json), "corpus.json");
+      FAIL() << "expected LoadError";
+    } catch (const LoadError& e) {
+      EXPECT_EQ(e.path(), "corpus.json");
+      EXPECT_NE(std::string(e.what()).find(entry.expect), std::string::npos)
+          << "what(): " << e.what();
+    }
+  }
+}
+
+TEST(MalformedInput, ClusterCorpusRaisesPlatformError) {
+  const std::vector<const char*> corpus = {
+      R"({"processors": 0, "gflops": 1.0})",
+      R"({"processors": -3, "gflops": 1.0})",
+      R"({"processors": 2000000, "gflops": 1.0})",
+      R"({"processors": 4, "gflops": 0.0})",
+      R"({"processors": 4, "gflops": -2.5})",
+  };
+  for (const char* json : corpus) {
+    SCOPED_TRACE(json);
+    EXPECT_THROW((void)Cluster::from_json(Json::parse(json)), PlatformError);
+  }
+}
+
+TEST(MalformedInput, ScheduleCorpusRaisesInvalidArgument) {
+  const std::vector<std::pair<const char*, const char*>> corpus = {
+      {"processor index beyond cluster",
+       R"({"graph": "g", "processors": 2, "tasks":
+           [{"task": 0, "start": 0.0, "finish": 1.0, "processors": [2]}]})"},
+      {"negative processor index",
+       R"({"graph": "g", "processors": 2, "tasks":
+           [{"task": 0, "start": 0.0, "finish": 1.0, "processors": [-1]}]})"},
+      {"duplicate processor in gang",
+       R"({"graph": "g", "processors": 4, "tasks":
+           [{"task": 0, "start": 0.0, "finish": 1.0, "processors": [1, 1]}]})"},
+      {"finish before start",
+       R"({"graph": "g", "processors": 2, "tasks":
+           [{"task": 0, "start": 2.0, "finish": 1.0, "processors": [0]}]})"},
+      {"negative start",
+       R"({"graph": "g", "processors": 2, "tasks":
+           [{"task": 0, "start": -1.0, "finish": 1.0, "processors": [0]}]})"},
+      {"task placed twice",
+       R"({"graph": "g", "processors": 2, "tasks":
+           [{"task": 0, "start": 0.0, "finish": 1.0, "processors": [0]},
+            {"task": 0, "start": 1.0, "finish": 2.0, "processors": [1]}]})"},
+      {"empty processor set",
+       R"({"graph": "g", "processors": 2, "tasks":
+           [{"task": 0, "start": 0.0, "finish": 1.0, "processors": []}]})"},
+      {"bad processor count",
+       R"({"graph": "g", "processors": 0, "tasks": []})"},
+  };
+  for (const auto& [name, json] : corpus) {
+    SCOPED_TRACE(name);
+    EXPECT_THROW((void)Schedule::from_json(Json::parse(json)),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace ptgsched

@@ -1,0 +1,164 @@
+// Tests for the fault model: deterministic seed-derived trace generation,
+// validation, the crash cap, and the JSON round trip.
+
+#include "sim/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace ptgsched {
+namespace {
+
+FaultModelConfig busy_config() {
+  FaultModelConfig c;
+  c.crash_rate = 1.0;
+  c.slowdown_rate = 3.0;
+  return c;
+}
+
+TEST(FaultTrace, SortsAndValidates) {
+  std::vector<FaultEvent> events = {
+      {5.0, 1, FaultKind::kCrash, 1.0, 0.0},
+      {2.0, 0, FaultKind::kSlowdown, 2.0, 1.0},
+      {3.0, 0, FaultKind::kRecovery, 1.0, 0.0},
+  };
+  const FaultTrace trace(std::move(events));
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      trace.events().begin(), trace.events().end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.time < b.time; }));
+  EXPECT_EQ(trace.count(FaultKind::kCrash), 1u);
+  EXPECT_EQ(trace.count(FaultKind::kSlowdown), 1u);
+  EXPECT_EQ(trace.count(FaultKind::kRecovery), 1u);
+}
+
+TEST(FaultTrace, RejectsMalformedEvents) {
+  EXPECT_THROW(FaultTrace({{-1.0, 0, FaultKind::kCrash, 1.0, 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultTrace({{1.0, -2, FaultKind::kCrash, 1.0, 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultTrace({{1.0, 0, FaultKind::kSlowdown, 0.5, 1.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultTrace({{1.0, 0, FaultKind::kSlowdown, 2.0, -1.0}}),
+               std::invalid_argument);
+}
+
+TEST(FaultModel, SameSeedSameTrace) {
+  const Cluster c("c", 8, 1.0);
+  const FaultTrace a = generate_fault_trace(busy_config(), c, 100.0, 7);
+  const FaultTrace b = generate_fault_trace(busy_config(), c, 100.0, 7);
+  EXPECT_EQ(a.to_json().dump(0), b.to_json().dump(0));
+  EXPECT_GT(a.size(), 0u);
+}
+
+TEST(FaultModel, DifferentSeedDifferentTrace) {
+  const Cluster c("c", 8, 1.0);
+  const FaultTrace a = generate_fault_trace(busy_config(), c, 100.0, 7);
+  const FaultTrace b = generate_fault_trace(busy_config(), c, 100.0, 8);
+  EXPECT_NE(a.to_json().dump(0), b.to_json().dump(0));
+}
+
+TEST(FaultModel, PerProcessorStreamsAreStableAcrossClusterSize) {
+  // Growing the cluster must not perturb the events of the processors that
+  // already existed (per-processor sub-streams).
+  FaultModelConfig cfg = busy_config();
+  cfg.max_crashes = 1'000;  // clamped to P - 1 internally; avoid the cap
+  const FaultTrace small =
+      generate_fault_trace(cfg, Cluster("c", 4, 1.0), 100.0, 11);
+  const FaultTrace big =
+      generate_fault_trace(cfg, Cluster("c", 8, 1.0), 100.0, 11);
+  std::vector<FaultEvent> small_p0;
+  for (const FaultEvent& e : small.events()) {
+    if (e.processor < 4) small_p0.push_back(e);
+  }
+  std::vector<FaultEvent> big_p0;
+  for (const FaultEvent& e : big.events()) {
+    if (e.processor < 4) big_p0.push_back(e);
+  }
+  ASSERT_EQ(small_p0.size(), big_p0.size());
+  for (std::size_t i = 0; i < small_p0.size(); ++i) {
+    EXPECT_EQ(small_p0[i].time, big_p0[i].time);
+    EXPECT_EQ(small_p0[i].processor, big_p0[i].processor);
+    EXPECT_EQ(small_p0[i].kind, big_p0[i].kind);
+  }
+}
+
+TEST(FaultModel, CrashCapLeavesSurvivors) {
+  FaultModelConfig cfg;
+  cfg.crash_rate = 50.0;  // every processor would crash almost surely
+  const Cluster c("c", 6, 1.0);
+  const FaultTrace trace = generate_fault_trace(cfg, c, 100.0, 3);
+  EXPECT_LE(trace.count(FaultKind::kCrash), 5u);  // default cap: P - 1
+}
+
+TEST(FaultModel, ExplicitCrashCapHonored) {
+  FaultModelConfig cfg;
+  cfg.crash_rate = 50.0;
+  cfg.max_crashes = 2;
+  const FaultTrace trace =
+      generate_fault_trace(cfg, Cluster("c", 6, 1.0), 100.0, 3);
+  EXPECT_LE(trace.count(FaultKind::kCrash), 2u);
+}
+
+TEST(FaultModel, NoSlowdownAfterCrashOnSameProcessor) {
+  const FaultTrace trace =
+      generate_fault_trace(busy_config(), Cluster("c", 8, 1.0), 100.0, 21);
+  std::vector<double> crash_time(8, 1e300);
+  for (const FaultEvent& e : trace.events()) {
+    if (e.kind == FaultKind::kCrash) {
+      crash_time[static_cast<std::size_t>(e.processor)] = e.time;
+    }
+  }
+  for (const FaultEvent& e : trace.events()) {
+    if (e.kind != FaultKind::kCrash) {
+      EXPECT_LT(e.time, crash_time[static_cast<std::size_t>(e.processor)]);
+    }
+  }
+}
+
+TEST(FaultModel, JsonRoundTripIsExact) {
+  const FaultTrace trace =
+      generate_fault_trace(busy_config(), Cluster("c", 5, 1.0), 50.0, 99);
+  const FaultTrace back = FaultTrace::from_json(trace.to_json());
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(back.events()[i].time, trace.events()[i].time);
+    EXPECT_EQ(back.events()[i].processor, trace.events()[i].processor);
+    EXPECT_EQ(back.events()[i].kind, trace.events()[i].kind);
+    EXPECT_EQ(back.events()[i].factor, trace.events()[i].factor);
+    EXPECT_EQ(back.events()[i].duration, trace.events()[i].duration);
+  }
+}
+
+TEST(FaultModel, ConfigJsonRoundTrip) {
+  FaultModelConfig cfg = busy_config();
+  cfg.max_crashes = 3;
+  cfg.slowdown_factor_min = 1.25;
+  const FaultModelConfig back = FaultModelConfig::from_json(cfg.to_json());
+  EXPECT_EQ(back.crash_rate, cfg.crash_rate);
+  EXPECT_EQ(back.slowdown_rate, cfg.slowdown_rate);
+  EXPECT_EQ(back.slowdown_factor_min, cfg.slowdown_factor_min);
+  EXPECT_EQ(back.max_crashes, cfg.max_crashes);
+}
+
+TEST(FaultModel, RejectsBadArguments) {
+  const Cluster c("c", 2, 1.0);
+  EXPECT_THROW((void)generate_fault_trace({}, c, 0.0, 1),
+               std::invalid_argument);
+  FaultModelConfig bad;
+  bad.crash_rate = -1.0;
+  EXPECT_THROW((void)generate_fault_trace(bad, c, 10.0, 1),
+               std::invalid_argument);
+  bad = FaultModelConfig{};
+  bad.slowdown_factor_min = 0.5;
+  EXPECT_THROW((void)generate_fault_trace(bad, c, 10.0, 1),
+               std::invalid_argument);
+  bad = FaultModelConfig{};
+  bad.recovery_max = 0.01;  // below recovery_min
+  EXPECT_THROW((void)generate_fault_trace(bad, c, 10.0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ptgsched

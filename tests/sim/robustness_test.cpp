@@ -1,0 +1,172 @@
+// Tests for the robustness experiment unit: determinism of the fault
+// trace and reschedule decisions under a fixed seed, JSON round trips
+// used by the checkpoint journal, aggregation, and CSV output.
+
+#include "exp/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "daggen/corpus.hpp"
+#include "model/execution_time.hpp"
+#include "sim/reschedule_policy.hpp"
+
+namespace ptgsched {
+namespace {
+
+std::shared_ptr<const ProblemInstance> small_instance(std::uint64_t seed) {
+  return ProblemInstance::create(
+      std::make_shared<Ptg>(irregular_corpus(30, 1, seed).front()),
+      std::make_shared<SyntheticModel>(),
+      std::make_shared<Cluster>("c", 8, 1.0));
+}
+
+/// Resume-comparable form: policy_wall_seconds is wall-clock telemetry and
+/// legitimately varies between runs, so comparisons zero it first.
+std::string comparable(RobustnessUnitResult u) {
+  for (PolicyOutcome& p : u.outcomes) p.policy_wall_seconds = 0.0;
+  return robustness_unit_to_json(u).dump(0);
+}
+
+RobustnessOptions busy_options() {
+  RobustnessOptions o;
+  o.faults.crash_rate = 1.0;
+  o.faults.slowdown_rate = 2.0;
+  o.policies = {"restart", "mcpa"};
+  o.threads = 1;
+  return o;
+}
+
+TEST(RobustnessUnit, DeterministicUnderFixedSeed) {
+  const auto instance = small_instance(3);
+  const RobustnessOptions options = busy_options();
+  const RobustnessUnitResult a =
+      run_robustness_unit(instance, options, "irregular", "c", 0, 42);
+  const RobustnessUnitResult b =
+      run_robustness_unit(instance, options, "irregular", "c", 0, 42);
+  // policy_wall_seconds is wall-clock telemetry; everything else must be
+  // bit-identical — compare through the resume-comparable JSON form.
+  EXPECT_EQ(comparable(a), comparable(b));
+}
+
+TEST(RobustnessUnit, DifferentSeedsChangeTheTrace) {
+  const auto instance = small_instance(3);
+  const RobustnessOptions options = busy_options();
+  const RobustnessUnitResult a =
+      run_robustness_unit(instance, options, "irregular", "c", 0, 42);
+  const RobustnessUnitResult b =
+      run_robustness_unit(instance, options, "irregular", "c", 0, 43);
+  EXPECT_NE(comparable(a), comparable(b));
+}
+
+TEST(RobustnessUnit, OnePolicyOutcomePerRequestedPolicy) {
+  const auto instance = small_instance(5);
+  const RobustnessOptions options = busy_options();
+  const RobustnessUnitResult r =
+      run_robustness_unit(instance, options, "irregular", "c", 2, 7);
+  ASSERT_EQ(r.outcomes.size(), options.policies.size());
+  for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+    EXPECT_EQ(r.outcomes[i].policy, options.policies[i]);
+    if (r.outcomes[i].completed) {
+      EXPECT_GE(r.outcomes[i].degraded_makespan, r.ideal_makespan);
+      EXPECT_GE(r.outcomes[i].degradation_ratio, 1.0);
+    }
+  }
+  EXPECT_GT(r.ideal_makespan, 0.0);
+  EXPECT_EQ(r.cls, "irregular");
+  EXPECT_EQ(r.platform, "c");
+  EXPECT_EQ(r.index, 2u);
+}
+
+TEST(RobustnessUnit, FaultFreeModelYieldsUnitRatio) {
+  const auto instance = small_instance(5);
+  RobustnessOptions options;  // zero crash/slowdown rates: empty trace
+  options.policies = {"restart"};
+  const RobustnessUnitResult r =
+      run_robustness_unit(instance, options, "irregular", "c", 0, 1);
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_EQ(r.trace_events, 0u);
+  EXPECT_EQ(r.outcomes[0].degraded_makespan, r.ideal_makespan);
+  EXPECT_DOUBLE_EQ(r.outcomes[0].degradation_ratio, 1.0);
+  EXPECT_EQ(r.outcomes[0].reschedules, 0u);
+}
+
+TEST(RobustnessUnit, JsonRoundTripIsExact) {
+  const auto instance = small_instance(9);
+  const RobustnessUnitResult r =
+      run_robustness_unit(instance, busy_options(), "irregular", "c", 1, 11);
+  const RobustnessUnitResult back =
+      robustness_unit_from_json(robustness_unit_to_json(r));
+  EXPECT_EQ(robustness_unit_to_json(back).dump(0),
+            robustness_unit_to_json(r).dump(0));
+  ASSERT_EQ(back.outcomes.size(), r.outcomes.size());
+  for (std::size_t i = 0; i < r.outcomes.size(); ++i) {
+    EXPECT_EQ(back.outcomes[i].degraded_makespan,
+              r.outcomes[i].degraded_makespan);
+    EXPECT_EQ(back.outcomes[i].degradation_ratio,
+              r.outcomes[i].degradation_ratio);
+  }
+}
+
+TEST(RobustnessUnit, FailedRunRatioSurvivesTheRoundTrip) {
+  RobustnessUnitResult r;
+  r.cls = "x";
+  r.platform = "c";
+  r.ideal_makespan = 1.0;
+  PolicyOutcome failed;
+  failed.policy = "restart";
+  failed.completed = false;
+  failed.degradation_ratio = std::numeric_limits<double>::infinity();
+  r.outcomes.push_back(failed);
+  const RobustnessUnitResult back =
+      robustness_unit_from_json(robustness_unit_to_json(r));
+  ASSERT_EQ(back.outcomes.size(), 1u);
+  EXPECT_FALSE(back.outcomes[0].completed);
+  EXPECT_TRUE(std::isinf(back.outcomes[0].degradation_ratio));
+}
+
+TEST(RobustnessAggregate, GroupsByClassAndPolicy) {
+  const auto instance = small_instance(13);
+  const RobustnessOptions options = busy_options();
+  std::vector<RobustnessUnitResult> units;
+  for (std::size_t i = 0; i < 2; ++i) {
+    units.push_back(
+        run_robustness_unit(instance, options, "irregular", "c", i, 100 + i));
+  }
+  const Json agg = robustness_aggregate_json(units);
+  // One aggregate entry per (class, policy) pair.
+  ASSERT_TRUE(agg.is_array());
+  EXPECT_EQ(agg.as_array().size(), options.policies.size());
+  for (const Json& row : agg.as_array()) {
+    EXPECT_EQ(row.at("class").as_string(), "irregular");
+    EXPECT_EQ(row.at("runs").as_int(), 2);
+  }
+}
+
+TEST(RobustnessCsv, OneRowPerUnitPolicy) {
+  const auto instance = small_instance(17);
+  const RobustnessOptions options = busy_options();
+  std::vector<RobustnessUnitResult> units = {
+      run_robustness_unit(instance, options, "irregular", "c", 0, 5)};
+  const std::string path = "robustness_test_out.csv";
+  write_robustness_csv(units, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t rows = 0;
+  ASSERT_TRUE(std::getline(in, line));  // header
+  EXPECT_NE(line.find("degradation_ratio"), std::string::npos);
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, options.policies.size());
+  in.close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ptgsched

@@ -15,7 +15,13 @@ namespace {
 namespace fs = std::filesystem;
 
 fs::path fresh_dir(const std::string& name) {
-  const fs::path dir = fs::temp_directory_path() / name;
+  // One directory per test case: ctest runs each discovered case as its
+  // own process, so a shared path would let one case's remove_all() race
+  // another case's writes under `ctest -j`.
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir =
+      fs::temp_directory_path() /
+      (name + "_" + info->test_suite_name() + "_" + info->name());
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir;

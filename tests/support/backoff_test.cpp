@@ -1,0 +1,82 @@
+// Tests for the deterministic exponential-backoff helper used by the
+// campaign retry loops.
+
+#include "support/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+
+#include "support/cancellation.hpp"
+
+namespace ptgsched {
+namespace {
+
+TEST(Backoff, DeterministicForSeedAndAttempt) {
+  const double a = backoff_delay_seconds(3, 0.1, 0.0, 42);
+  const double b = backoff_delay_seconds(3, 0.1, 0.0, 42);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(backoff_delay_seconds(3, 0.1, 0.0, 43), a);
+  EXPECT_NE(backoff_delay_seconds(4, 0.1, 0.0, 42), a);
+}
+
+TEST(Backoff, GrowsExponentiallyWithinJitterBounds) {
+  // delay = base * 2^(attempt-1) * jitter, jitter in [0.5, 1.5).
+  const double base = 0.25;
+  double scale = 1.0;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const double d = backoff_delay_seconds(attempt, base, 0.0, 7);
+    EXPECT_GE(d, base * scale * 0.5);
+    EXPECT_LT(d, base * scale * 1.5);
+    scale *= 2.0;
+  }
+}
+
+TEST(Backoff, CapClampsTheDelay) {
+  const double d = backoff_delay_seconds(20, 1.0, 2.5, 7);
+  EXPECT_LE(d, 2.5);
+  // Cap of zero means uncapped.
+  EXPECT_GT(backoff_delay_seconds(20, 1.0, 0.0, 7), 2.5);
+}
+
+TEST(Backoff, NonPositiveBaseDisablesBackoff) {
+  EXPECT_EQ(backoff_delay_seconds(5, 0.0, 10.0, 7), 0.0);
+  EXPECT_EQ(backoff_delay_seconds(5, -1.0, 10.0, 7), 0.0);
+}
+
+TEST(Backoff, HugeAttemptDoesNotOverflow) {
+  const double d = backoff_delay_seconds(1'000'000, 0.001, 30.0, 7);
+  EXPECT_LE(d, 30.0);
+  EXPECT_GE(d, 0.0);
+}
+
+TEST(Backoff, RejectsBadArguments) {
+  EXPECT_THROW((void)backoff_delay_seconds(0, 1.0, 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)backoff_delay_seconds(-1, 1.0, 0.0, 1),
+               std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)backoff_delay_seconds(1, nan, 0.0, 1),
+               std::invalid_argument);
+  EXPECT_THROW((void)backoff_delay_seconds(1, 1.0, nan, 1),
+               std::invalid_argument);
+}
+
+TEST(Backoff, SleepReturnsImmediatelyOnCancelledToken) {
+  CancellationToken token;
+  token.request_cancel();
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(backoff_sleep(5.0, &token));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration<double>(elapsed).count(), 1.0);
+}
+
+TEST(Backoff, SleepWithoutTokenCompletes) {
+  EXPECT_TRUE(backoff_sleep(0.01, nullptr));
+  EXPECT_TRUE(backoff_sleep(0.0, nullptr));
+  EXPECT_TRUE(backoff_sleep(-1.0, nullptr));
+}
+
+}  // namespace
+}  // namespace ptgsched
