@@ -3,29 +3,52 @@
 // The paper's Section VI: "The execution time of the EA is mainly
 // determined by the mapping function as it evaluates the fitness of
 // individuals." This bench measures fitness evaluations per second for
-// lambda-sized batches under three evaluation strategies:
+// lambda-sized batches under two workload lanes:
 //
-//   legacy  — what EvolutionStrategy::evaluate used to do before the
-//             EvaluationEngine existed: construct a fresh ThreadPool for
-//             every generation and split the batch into one static chunk
-//             per slot (no rebalancing);
+// Heuristic-seed lane (batch has no lineage, every child is a full pass):
+//   legacy  — the pre-engine evaluation loop end to end: per-slot
+//             ReferenceMapper passes (the preserved MappingCore
+//             algorithm), a fresh ThreadPool for every generation, and
+//             one static chunk per slot (no rebalancing);
 //   engine  — the persistent EvaluationEngine (pool created once, dynamic
-//             blocked work distribution), memo cache off;
+//             blocked work distribution, SoA MappingKernel), memo off;
 //   +memo   — the same engine with the allocation-memoization cache on
 //             (batches contain duplicate mutants, as real EMTS runs do).
 //
+// Mutation-replay lane (generation-shaped batches: mu parents plus lambda
+// single-gene children — the late-generation / local-search neighbor
+// workload where mutation_count has annealed to its floor and each child
+// differs from its parent at exactly one allele):
+//   reference    — ReferenceMapper full passes, legacy-style chunking
+//                  (the "current engine path" before this PR);
+//   full         — the engine forced to KernelMode::Full;
+//   incremental  — KernelMode::Incremental (per-parent traces plus
+//                  certified-prefix delta passes). Fitness sums are
+//                  compared bit-for-bit across all three as a sanity
+//                  check.
+//
 // Batches are generated once with the real EMTS mutation operator from an
 // MCPA seed, so all strategies evaluate the identical individuals.
+//
+// `--json PATH` writes the whole table as a machine-readable report
+// (consumed by scripts/bench_report); `--min-speedup X` exits nonzero
+// unless the single-thread incremental/full replay speedup reaches X (the
+// perf-smoke guard that the delta kernel never regresses below the full
+// pass).
 
+#include <algorithm>
 #include <cstdio>
 #include <limits>
 
 #include "daggen/corpus.hpp"
 #include "emts/emts.hpp"
+#include "emts/mutation.hpp"
 #include "eval/evaluation_engine.hpp"
 #include "heuristics/allocation_heuristic.hpp"
 #include "sched/list_scheduler.hpp"
+#include "sched/reference_mapper.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -34,23 +57,23 @@ using namespace ptgsched;
 
 namespace {
 
-// The seed's evaluation loop: fresh pool per batch, one static chunk per
-// slot (kept verbatim as the baseline the engine is measured against).
-double legacy_seconds(const Ptg& g, const ExecutionTimeModel& model,
-                      const Cluster& cluster,
+// The seed's evaluation loop end to end: per-slot ReferenceMapper (the
+// preserved legacy mapping pass), fresh pool per batch, one static chunk
+// per slot — the baseline every engine lane is measured against.
+double legacy_seconds(const std::shared_ptr<const ProblemInstance>& instance,
                       const std::vector<std::vector<Individual>>& batches,
                       std::size_t threads) {
   const std::size_t slots = std::max<std::size_t>(1, threads);
-  std::vector<std::unique_ptr<ListScheduler>> schedulers;
+  std::vector<std::unique_ptr<ReferenceMapper>> mappers;
   for (std::size_t i = 0; i < slots; ++i) {
-    schedulers.push_back(std::make_unique<ListScheduler>(g, cluster, model));
+    mappers.push_back(std::make_unique<ReferenceMapper>(instance));
   }
   WallTimer timer;
   for (const auto& batch : batches) {
     auto pool = batch;
     const std::size_t n = pool.size();
     if (slots == 1) {
-      for (auto& ind : pool) ind.fitness = schedulers[0]->makespan(ind.genes);
+      for (auto& ind : pool) ind.fitness = mappers[0]->makespan(ind.genes);
     } else {
       ThreadPool pool_threads(slots - 1);  // rebuilt every generation
       const std::size_t chunk = (n + slots - 1) / slots;
@@ -58,7 +81,7 @@ double legacy_seconds(const Ptg& g, const ExecutionTimeModel& model,
         const std::size_t lo = slot * chunk;
         const std::size_t hi = std::min(n, lo + chunk);
         for (std::size_t i = lo; i < hi; ++i) {
-          pool[i].fitness = schedulers[slot]->makespan(pool[i].genes);
+          pool[i].fitness = mappers[slot]->makespan(pool[i].genes);
         }
       });
     }
@@ -72,6 +95,7 @@ double engine_seconds(const std::shared_ptr<const ProblemInstance>& instance,
   EvalEngineConfig cfg;
   cfg.threads = threads;
   cfg.memoize = memoize;
+  cfg.kernel = KernelMode::Full;  // no lineage in these batches anyway
   EvaluationEngine engine(instance, {}, cfg);
   WallTimer timer;
   for (const auto& batch : batches) {
@@ -81,28 +105,106 @@ double engine_seconds(const std::shared_ptr<const ProblemInstance>& instance,
   return timer.seconds();
 }
 
+struct ReplayRun {
+  double seconds = 0.0;
+  double fitness_sum = 0.0;  ///< Exact sum over all child fitnesses.
+};
+
+// The replay batches through the pre-PR path: ReferenceMapper full passes
+// over the children with legacy-style static chunking. This is the
+// "current engine path" the incremental kernel's speedup is quoted
+// against.
+ReplayRun replay_reference_seconds(
+    const std::shared_ptr<const ProblemInstance>& instance,
+    const std::vector<std::vector<Individual>>& child_batches,
+    std::size_t threads) {
+  const std::size_t slots = std::max<std::size_t>(1, threads);
+  std::vector<std::unique_ptr<ReferenceMapper>> mappers;
+  for (std::size_t i = 0; i < slots; ++i) {
+    mappers.push_back(std::make_unique<ReferenceMapper>(instance));
+  }
+  ReplayRun run;
+  WallTimer timer;
+  for (const auto& batch : child_batches) {
+    auto pool = batch;
+    const std::size_t n = pool.size();
+    if (slots == 1) {
+      for (auto& ind : pool) ind.fitness = mappers[0]->makespan(ind.genes);
+    } else {
+      ThreadPool pool_threads(slots - 1);
+      const std::size_t chunk = (n + slots - 1) / slots;
+      pool_threads.parallel_for(slots, [&](std::size_t slot) {
+        const std::size_t lo = slot * chunk;
+        const std::size_t hi = std::min(n, lo + chunk);
+        for (std::size_t i = lo; i < hi; ++i) {
+          pool[i].fitness = mappers[slot]->makespan(pool[i].genes);
+        }
+      });
+    }
+    for (const auto& ind : pool) run.fitness_sum += ind.fitness;
+  }
+  run.seconds = timer.seconds();
+  return run;
+}
+
+// Replay generation-shaped batches (mu parents + lambda children with
+// parent/touched lineage) through the engine under one kernel mode.
+ReplayRun replay_seconds(
+    const std::shared_ptr<const ProblemInstance>& instance,
+    const std::vector<Individual>& parents,
+    const std::vector<std::vector<Individual>>& child_batches,
+    std::size_t threads, KernelMode kernel) {
+  EvalEngineConfig cfg;
+  cfg.threads = threads;
+  cfg.memoize = false;  // measure the kernel, not the cache
+  cfg.kernel = kernel;
+  EvaluationEngine engine(instance, {}, cfg);
+  ReplayRun run;
+  WallTimer timer;
+  for (const auto& batch : child_batches) {
+    auto pool = parents;
+    pool.insert(pool.end(), batch.begin(), batch.end());
+    engine.evaluate_batch(pool, parents.size());
+    for (std::size_t i = parents.size(); i < pool.size(); ++i) {
+      run.fitness_sum += pool[i].fitness;
+    }
+  }
+  run.seconds = timer.seconds();
+  return run;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli("eval_throughput",
                 "EXP-M2: fitness evaluations/second — legacy per-generation "
-                "pool vs the persistent EvaluationEngine.");
+                "pool vs the persistent EvaluationEngine, and the full vs "
+                "incremental mapping kernel on mutation-replay batches.");
   cli.add_option("tasks", "Tasks per PTG", "100");
+  cli.add_option("mu", "Parents per replay batch (EMTS-10: 10)", "10");
   cli.add_option("lambda", "Individuals per batch (EMTS-10: 100)", "100");
   cli.add_option("batches", "Batches (generations) per run", "10");
   cli.add_option("reps", "Repetitions; best run is reported", "3");
   cli.add_option("max-threads", "Sweep thread counts 1,2,4,... up to this",
                  "8");
   cli.add_option("seed", "Base seed", "42");
+  cli.add_option("json", "Write a machine-readable report to this path", "");
+  cli.add_option("min-speedup",
+                 "Fail unless the 1-thread incremental/full replay speedup "
+                 "reaches this (0 = off)",
+                 "0");
   try {
     if (!cli.parse(argc, argv)) return 0;
     const int tasks = static_cast<int>(cli.get_int("tasks"));
+    const auto mu = static_cast<std::size_t>(cli.get_int("mu"));
     const auto lambda = static_cast<std::size_t>(cli.get_int("lambda"));
     const auto batches_n = static_cast<std::size_t>(cli.get_int("batches"));
     const auto reps = static_cast<std::size_t>(cli.get_int("reps"));
     const auto max_threads =
         static_cast<std::size_t>(cli.get_int("max-threads"));
     const std::uint64_t seed = cli.get_u64("seed");
+    const std::string json_path = cli.get("json");
+    const double min_speedup = cli.get_double("min-speedup");
 
     const Ptg g = irregular_corpus(tasks, 1, seed).front();
     const Cluster cluster = grelon();
@@ -126,33 +228,136 @@ int main(int argc, char** argv) {
     const double total =
         static_cast<double>(lambda) * static_cast<double>(batches_n);
 
+    // Mutation-replay lane: mu distinct parents, then per batch lambda
+    // single-gene children of random parents with full lineage (parent
+    // index + touched genes) — the pools a plus-selection ES hands
+    // evaluate_batch once mutation_count has annealed to its floor of
+    // one allele, and the exact shape of a local-search neighborhood
+    // sweep around the survivors.
+    const MutationParams mp;
+    std::vector<Individual> parents(mu);
+    for (auto& p : parents) p.genes = mutate(base, 0, rng);
+    std::vector<std::vector<Individual>> replay(batches_n);
+    for (std::size_t b = 0; b < batches_n; ++b) {
+      replay[b].resize(lambda);
+      for (auto& child : replay[b]) {
+        const std::size_t pidx = rng.index(mu);
+        child.parent = pidx;
+        child.genes = parents[pidx].genes;
+        const auto pos = static_cast<TaskId>(rng.index(child.genes.size()));
+        const int delta = sample_allocation_delta(mp, rng);
+        child.genes[pos] = std::clamp(child.genes[pos] + delta, 1, P);
+        child.touched.assign(1, pos);
+      }
+    }
+
     std::printf("# EXP-M2: %zu batches x lambda=%zu, %d-task irregular PTG "
                 "on %s (%d procs), best of %zu reps\n",
                 batches_n, lambda, tasks, cluster.name().c_str(), P, reps);
     std::vector<std::vector<std::string>> table;
     table.push_back({"threads", "legacy ev/s", "engine ev/s", "speedup",
-                     "engine+memo ev/s"});
+                     "engine+memo ev/s", "replay ref ev/s",
+                     "replay full ev/s", "replay incr ev/s", "vs full",
+                     "vs ref"});
+    JsonArray rows;
+    double speedup_vs_full_1t = 0.0;
+    double speedup_vs_ref_1t = 0.0;
     for (std::size_t t = 1; t <= max_threads; t *= 2) {
       double legacy_best = std::numeric_limits<double>::infinity();
       double engine_best = std::numeric_limits<double>::infinity();
       double memo_best = std::numeric_limits<double>::infinity();
+      double ref_best = std::numeric_limits<double>::infinity();
+      double full_best = std::numeric_limits<double>::infinity();
+      double incr_best = std::numeric_limits<double>::infinity();
       for (std::size_t r = 0; r < reps; ++r) {
         legacy_best =
-            std::min(legacy_best, legacy_seconds(g, model, cluster, batches, t));
+            std::min(legacy_best, legacy_seconds(instance, batches, t));
         engine_best = std::min(engine_best,
                                engine_seconds(instance, batches, t, false));
         memo_best =
             std::min(memo_best, engine_seconds(instance, batches, t, true));
+        const ReplayRun ref = replay_reference_seconds(instance, replay, t);
+        const ReplayRun full =
+            replay_seconds(instance, parents, replay, t, KernelMode::Full);
+        const ReplayRun incr = replay_seconds(instance, parents, replay, t,
+                                              KernelMode::Incremental);
+        // All three replay lanes are bit-identical by contract (the
+        // kernel against its preserved oracle, and the delta path
+        // against the full pass); any drift here is a correctness bug,
+        // not a measurement artifact.
+        if (full.fitness_sum != incr.fitness_sum ||
+            full.fitness_sum != ref.fitness_sum) {
+          std::fprintf(stderr,
+                       "eval_throughput: kernel mismatch at %zu threads "
+                       "(reference sum %.17g, full sum %.17g, incremental "
+                       "sum %.17g)\n",
+                       t, ref.fitness_sum, full.fitness_sum,
+                       incr.fitness_sum);
+          return 1;
+        }
+        ref_best = std::min(ref_best, ref.seconds);
+        full_best = std::min(full_best, full.seconds);
+        incr_best = std::min(incr_best, incr.seconds);
+      }
+      const double speedup_vs_full = full_best / incr_best;
+      const double speedup_vs_ref = ref_best / incr_best;
+      if (t == 1) {
+        speedup_vs_full_1t = speedup_vs_full;
+        speedup_vs_ref_1t = speedup_vs_ref;
       }
       table.push_back({std::to_string(t),
                        strfmt("%.0f", total / legacy_best),
                        strfmt("%.0f", total / engine_best),
                        strfmt("%.2fx", legacy_best / engine_best),
-                       strfmt("%.0f", total / memo_best)});
+                       strfmt("%.0f", total / memo_best),
+                       strfmt("%.0f", total / ref_best),
+                       strfmt("%.0f", total / full_best),
+                       strfmt("%.0f", total / incr_best),
+                       strfmt("%.2fx", speedup_vs_full),
+                       strfmt("%.2fx", speedup_vs_ref)});
+      JsonObject row;
+      row.emplace("threads", Json(static_cast<double>(t)));
+      row.emplace("legacy_evps", Json(total / legacy_best));
+      row.emplace("engine_evps", Json(total / engine_best));
+      row.emplace("engine_memo_evps", Json(total / memo_best));
+      row.emplace("replay_reference_evps", Json(total / ref_best));
+      row.emplace("replay_full_evps", Json(total / full_best));
+      row.emplace("replay_incremental_evps", Json(total / incr_best));
+      row.emplace("incremental_speedup_vs_full", Json(speedup_vs_full));
+      row.emplace("incremental_speedup_vs_reference", Json(speedup_vs_ref));
+      rows.push_back(Json(std::move(row)));
     }
     std::fputs(render_table(table).c_str(), stdout);
-    std::puts("# speedup = legacy seconds / engine seconds at equal thread "
-              "count (values > 1 favor the engine).");
+    std::puts("# speedup = legacy seconds / engine seconds; vs full / vs "
+              "ref = replay incremental throughput over the engine's full "
+              "pass and over the legacy ReferenceMapper path (same "
+              "batches, same thread count).");
+
+    if (!json_path.empty()) {
+      JsonObject doc;
+      doc.emplace("bench", Json("eval_throughput"));
+      JsonObject config;
+      config.emplace("tasks", Json(static_cast<double>(tasks)));
+      config.emplace("mu", Json(static_cast<double>(mu)));
+      config.emplace("lambda", Json(static_cast<double>(lambda)));
+      config.emplace("batches", Json(static_cast<double>(batches_n)));
+      config.emplace("reps", Json(static_cast<double>(reps)));
+      config.emplace("seed", Json(static_cast<double>(seed)));
+      config.emplace("cluster", Json(cluster.name()));
+      doc.emplace("config", Json(std::move(config)));
+      doc.emplace("rows", Json(std::move(rows)));
+      Json(std::move(doc)).write_file(json_path);
+      std::printf("# wrote %s\n", json_path.c_str());
+    }
+
+    if (min_speedup > 0.0 && speedup_vs_full_1t < min_speedup) {
+      std::fprintf(stderr,
+                   "eval_throughput: 1-thread incremental speedup %.2fx "
+                   "over the full pass is below the required %.2fx "
+                   "(vs reference: %.2fx)\n",
+                   speedup_vs_full_1t, min_speedup, speedup_vs_ref_1t);
+      return 1;
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "eval_throughput: %s\n", e.what());

@@ -11,6 +11,9 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/problem_instance.hpp"
 #include "daggen/corpus.hpp"
@@ -19,7 +22,7 @@
 #include "heuristics/cpa.hpp"
 #include "ptg/algorithms.hpp"
 #include "sched/list_scheduler.hpp"
-#include "sched/mapping_core.hpp"
+#include "sched/mapping_kernel.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -71,8 +74,8 @@ BENCHMARK(BM_FitnessEvaluation)
     ->Args({100, 120})
     ->Args({500, 120});
 
-// Virtual-dispatch vs time-table fitness evaluation: identical MappingCore
-// passes, differing only in where the per-task times come from — a virtual
+// Virtual-dispatch vs time-table fitness evaluation: identical
+// MappingKernel passes, differing only in where the per-task times come from — a virtual
 // ExecutionTimeModel::time call per task (the pre-ProblemInstance hot
 // path) or the instance's dense V x P table. The gap is the
 // devirtualization win the shared problem core buys every evaluation.
@@ -85,8 +88,8 @@ void BM_FitnessTimesSource(benchmark::State& state) {
   const double* table = instance->time_table().data();
   const auto stride = static_cast<std::size_t>(cluster.num_processors());
 
-  MappingCore core(g, instance->topo_order(),
-                   {MappingLane{cluster.num_processors(), 0}});
+  MappingKernel core(*instance,
+                     {MappingLane{cluster.num_processors(), 0}});
   Rng rng(5);
   Allocation alloc(g.num_tasks());
   for (auto& s : alloc) {
@@ -94,7 +97,7 @@ void BM_FitnessTimesSource(benchmark::State& state) {
   }
   std::vector<double> times(g.num_tasks());
   const auto place = [&](TaskId v, double data_ready) {
-    MappingCore::Placement p;
+    MappingKernel::Placement p;
     p.lane = 0;
     p.size = static_cast<std::size_t>(alloc[v]);
     p.start = core.earliest_start(0, p.size, data_ready);
@@ -119,6 +122,56 @@ void BM_FitnessTimesSource(benchmark::State& state) {
 BENCHMARK(BM_FitnessTimesSource)
     ->Args({100, 120, 0})   // virtual dispatch
     ->Args({100, 120, 1})   // time table
+    ->Args({500, 120, 0})
+    ->Args({500, 120, 1});
+
+// Full pass vs incremental delta pass on EMTS-shaped mutants. The parent
+// is traced once; every child is a late-generation mutation (small m) of
+// it, exactly the steady-state the evaluation engine sees. range(2)
+// selects the path, so the full/incremental ratio at equal Args is the
+// per-evaluation speedup of the delta kernel.
+void BM_FitnessDelta(benchmark::State& state) {
+  const bool incremental = state.range(2) != 0;
+  const Ptg g = bench_graph(static_cast<int>(state.range(0)));
+  const Cluster cluster("c", static_cast<int>(state.range(1)), 3.1);
+  const SyntheticModel model;
+  const auto instance = ProblemInstance::borrow(g, model, cluster);
+  ListScheduler sched(instance);
+  const int P = cluster.num_processors();
+  Rng rng(5);
+  Allocation parent(g.num_tasks());
+  for (auto& s : parent) s = static_cast<int>(rng.uniform_int(1, P));
+  EvalTrace trace;
+  benchmark::DoNotOptimize(sched.makespan_traced(parent, trace));
+
+  // Single-gene children — the annealed-floor / neighbor-sweep workload
+  // the delta path is built for (multi-gene mutants take the kernel's
+  // profitability gate and run as full passes anyway).
+  const MutationParams mp;
+  struct Child {
+    Allocation genes;
+    std::vector<TaskId> touched;
+  };
+  std::vector<Child> children(64);
+  for (auto& ch : children) {
+    ch.genes = parent;
+    const auto pos = static_cast<TaskId>(rng.index(ch.genes.size()));
+    ch.genes[pos] = std::clamp(ch.genes[pos] + sample_allocation_delta(mp, rng),
+                               1, P);
+    ch.touched.assign(1, pos);
+  }
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Child& ch = children[i++ % children.size()];
+    benchmark::DoNotOptimize(
+        incremental ? sched.makespan_delta(ch.genes, ch.touched, trace)
+                    : sched.makespan(ch.genes));
+  }
+}
+BENCHMARK(BM_FitnessDelta)
+    ->Args({100, 120, 0})   // full pass
+    ->Args({100, 120, 1})   // incremental
     ->Args({500, 120, 0})
     ->Args({500, 120, 1});
 
@@ -246,3 +299,32 @@ void BM_CorpusGeneration(benchmark::State& state) {
 BENCHMARK(BM_CorpusGeneration)->Arg(10)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Custom entry point instead of benchmark_main: `--json PATH` is the
+// repo-wide bench convention (scripts/bench_report consumes it) and maps
+// onto google-benchmark's out/out_format flag pair.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  std::string json_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.emplace_back(a);
+  }
+  if (!json_path.empty()) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(args.size());
+  for (auto& s : args) cargv.push_back(s.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,6 +30,38 @@ ProblemInstance::ProblemInstance(
   for (TaskId v = 0; v < graph_->num_tasks(); ++v) {
     by_level_[static_cast<std::size_t>(levels_[v])].push_back(v);
   }
+
+  // Dense derived data for the mapping kernel: topo positions, CSR
+  // adjacency in both directions, and the source-task list. Built eagerly
+  // so residual instances (reactive rescheduling) inherit them for free.
+  const std::size_t n = topo_.size();
+  topo_pos_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    topo_pos_[topo_[i]] = static_cast<std::uint32_t>(i);
+  }
+  succ_off_.assign(n + 1, 0);
+  pred_off_.assign(n + 1, 0);
+  for (TaskId v = 0; v < n; ++v) {
+    for (const TaskId w : graph_->successors(v)) {
+      ++succ_off_[v + 1];
+      ++pred_off_[w + 1];
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    succ_off_[v + 1] += succ_off_[v];
+    pred_off_[v + 1] += pred_off_[v];
+  }
+  succ_adj_.resize(succ_off_[n]);
+  pred_adj_.resize(pred_off_[n]);
+  std::vector<std::uint32_t> succ_fill(succ_off_.begin(), succ_off_.end() - 1);
+  std::vector<std::uint32_t> pred_fill(pred_off_.begin(), pred_off_.end() - 1);
+  for (TaskId v = 0; v < n; ++v) {
+    for (const TaskId w : graph_->successors(v)) {
+      succ_adj_[succ_fill[v]++] = w;
+      pred_adj_[pred_fill[w]++] = v;
+    }
+    if (graph_->in_degree(v) == 0) sources_.push_back(v);
+  }
 }
 
 std::shared_ptr<const ProblemInstance> ProblemInstance::create(

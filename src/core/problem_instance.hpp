@@ -25,6 +25,7 @@
 // them alive); borrow() wraps caller-owned references for the adapter
 // paths — the referents must outlive the instance (DESIGN.md section 9).
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -99,6 +100,34 @@ class ProblemInstance
   [[nodiscard]] std::span<const TaskId> topo_order() const noexcept {
     return topo_;
   }
+  /// Position of each task in topo_order(): topo_order()[topo_position(v)]
+  /// == v. The mapping kernel's bottom-level patching orders its worklist
+  /// by this.
+  [[nodiscard]] std::span<const std::uint32_t> topo_positions()
+      const noexcept {
+    return topo_pos_;
+  }
+
+  // Dense CSR adjacency (built eagerly; O(V + E)). The mapping kernel
+  // iterates successors once per fitness evaluation, so the edges live in
+  // two flat arrays instead of Ptg's vector-of-vectors: the successors of
+  // v are succ_adjacency()[succ_offsets()[v] .. succ_offsets()[v + 1]).
+  [[nodiscard]] std::span<const std::uint32_t> succ_offsets() const noexcept {
+    return succ_off_;
+  }
+  [[nodiscard]] std::span<const TaskId> succ_adjacency() const noexcept {
+    return succ_adj_;
+  }
+  [[nodiscard]] std::span<const std::uint32_t> pred_offsets() const noexcept {
+    return pred_off_;
+  }
+  [[nodiscard]] std::span<const TaskId> pred_adjacency() const noexcept {
+    return pred_adj_;
+  }
+  /// Tasks with no predecessors, in id order (the initial ready set).
+  [[nodiscard]] std::span<const TaskId> source_tasks() const noexcept {
+    return sources_;
+  }
   [[nodiscard]] std::span<const int> precedence_levels() const noexcept {
     return levels_;
   }
@@ -141,9 +170,16 @@ class ProblemInstance
   int p_ = 0;
 
   std::vector<TaskId> topo_;
+  std::vector<std::uint32_t> topo_pos_;
   std::vector<int> levels_;
   int num_levels_ = 0;
   std::vector<std::vector<TaskId>> by_level_;
+
+  std::vector<std::uint32_t> succ_off_;  ///< CSR offsets, size V + 1.
+  std::vector<TaskId> succ_adj_;         ///< CSR targets, size E.
+  std::vector<std::uint32_t> pred_off_;
+  std::vector<TaskId> pred_adj_;
+  std::vector<TaskId> sources_;
 
   mutable std::once_flag table_once_;
   mutable std::vector<double> table_;  ///< Row-major V x P.

@@ -48,15 +48,20 @@ MutateFn Emts::make_mutator(MutationParams params, double fm,
   return [params, fm, generations, P](const Allocation& parent,
                                       std::size_t u, Rng& rng) {
     Allocation child = parent;
-    const std::size_t m =
-        mutation_count(std::min(u, generations - 1), generations, fm,
-                       child.size());
-    for (const std::size_t pos : rng.sample_indices(child.size(), m)) {
-      const int delta = sample_allocation_delta(params, rng);
-      child[pos] = static_cast<int>(
-          std::clamp<long long>(static_cast<long long>(child[pos]) + delta,
-                                1, P));
-    }
+    mutate_allocation(params, fm, std::min(u, generations - 1), generations,
+                      P, rng, child, nullptr);
+    return child;
+  };
+}
+
+TrackedMutateFn Emts::make_tracked_mutator(MutationParams params, double fm,
+                                           std::size_t generations, int P) {
+  return [params, fm, generations, P](const Allocation& parent,
+                                      std::size_t u, Rng& rng,
+                                      std::vector<TaskId>& touched) {
+    Allocation child = parent;
+    mutate_allocation(params, fm, std::min(u, generations - 1), generations,
+                      P, rng, child, &touched);
     return child;
   };
 }
@@ -83,6 +88,7 @@ EmtsResult Emts::schedule(
   engine_cfg.threads = config_.threads;
   engine_cfg.use_rejection = config_.use_rejection;
   engine_cfg.memoize = config_.memoize;
+  engine_cfg.kernel = config_.kernel;
   engine_cfg.cancel = config_.cancel;
   EvaluationEngine engine(instance, config_.mapping, engine_cfg);
 
@@ -134,6 +140,11 @@ EmtsResult Emts::schedule(
   EvolutionStrategy es(es_cfg, engine,
                        make_mutator(config_.mutation, config_.fm,
                                     config_.generations, num_processors));
+  // The tracked operator gives offspring their parent/touched lineage, so
+  // the engine's incremental kernel can evaluate them as deltas. Identical
+  // RNG consumption, identical trajectory.
+  es.set_tracked_mutator(make_tracked_mutator(
+      config_.mutation, config_.fm, config_.generations, num_processors));
   result.es = es.run(seeds);
 
   result.eval_stats = engine.stats();

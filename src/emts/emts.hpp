@@ -17,6 +17,7 @@
 // makespan under the same mapping.
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,11 @@ struct EmtsConfig {
   /// evolution trajectory (and the final schedule) is bit-identical to a
   /// run without rejection — only cheaper. Requires plus selection.
   bool use_rejection = false;
+  /// Which mapping kernel the evaluation engine runs offspring through
+  /// (full passes vs incremental delta passes; bit-identical either way).
+  /// Unset: resolved from the PTGSCHED_KERNEL environment variable — see
+  /// EvalEngineConfig::kernel.
+  std::optional<KernelMode> kernel;
   /// Memoize exact makespans per allocation in the evaluation engine.
   /// Mutants frequently collide with their parents and each other under
   /// small mutation counts; a hit returns the exact cached value, so the
@@ -117,6 +123,14 @@ class Emts {
   /// tests and ablations. `U` and `P` are fixed per run.
   [[nodiscard]] static MutateFn make_mutator(MutationParams params, double fm,
                                              std::size_t generations, int P);
+
+  /// Tracked twin of make_mutator: same operator, same RNG draw sequence
+  /// (both delegate to mutate_allocation), additionally reporting the
+  /// assigned gene positions so the evaluation engine can run offspring
+  /// through the incremental kernel. Swapping one for the other never
+  /// changes the evolution trajectory.
+  [[nodiscard]] static TrackedMutateFn make_tracked_mutator(
+      MutationParams params, double fm, std::size_t generations, int P);
 
  private:
   EmtsConfig config_;

@@ -1,5 +1,6 @@
 #include "emts/mutation.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -71,6 +72,21 @@ std::size_t mutation_count(std::size_t u, std::size_t U, double fm,
   const double frac = 1.0 - static_cast<double>(u) / static_cast<double>(U);
   const auto m = static_cast<std::size_t>(frac * fm * static_cast<double>(V));
   return std::max<std::size_t>(1, std::min(m, V));
+}
+
+std::size_t mutate_allocation(const MutationParams& params, double fm,
+                              std::size_t u, std::size_t U, int P, Rng& rng,
+                              Allocation& genes,
+                              std::vector<TaskId>* touched) {
+  const std::size_t m = mutation_count(u, U, fm, genes.size());
+  for (const std::size_t pos : rng.sample_indices(genes.size(), m)) {
+    const int delta = sample_allocation_delta(params, rng);
+    genes[pos] = static_cast<int>(
+        std::clamp<long long>(static_cast<long long>(genes[pos]) + delta, 1,
+                              P));
+    if (touched != nullptr) touched->push_back(static_cast<TaskId>(pos));
+  }
+  return m;
 }
 
 }  // namespace ptgsched

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 
 #include "support/rng.hpp"
 #include "support/timer.hpp"
@@ -23,12 +26,27 @@ std::uint64_t allocation_hash(const Allocation& alloc) noexcept {
   return h;
 }
 
+/// Resolve the batch kernel: explicit config wins, then the
+/// PTGSCHED_KERNEL environment variable, then Incremental.
+KernelMode resolve_kernel_mode(const std::optional<KernelMode>& cfg) {
+  if (cfg.has_value()) return *cfg;
+  const char* env = std::getenv("PTGSCHED_KERNEL");
+  if (env == nullptr || *env == '\0') return KernelMode::Incremental;
+  const std::string_view value(env);
+  if (value == "full") return KernelMode::Full;
+  if (value == "incremental") return KernelMode::Incremental;
+  throw std::invalid_argument(
+      "PTGSCHED_KERNEL must be 'full' or 'incremental' (got '" +
+      std::string(value) + "')");
+}
+
 }  // namespace
 
 EvaluationEngine::EvaluationEngine(
     std::shared_ptr<const ProblemInstance> instance,
     ListSchedulerOptions mapping, EvalEngineConfig config)
     : config_(config),
+      kernel_mode_(resolve_kernel_mode(config.kernel)),
       instance_(std::move(instance)),
       pool_(config.threads == 0 ? 0 : config.threads - 1),
       incumbent_(std::numeric_limits<double>::infinity()),
@@ -82,7 +100,9 @@ void EvaluationEngine::cache_insert(std::uint64_t key, const Allocation& alloc,
 
 double EvaluationEngine::fitness_for(const Allocation& alloc,
                                      std::size_t slot, double bound,
-                                     bool honor_cancel) {
+                                     bool honor_cancel,
+                                     const EvalTrace* trace,
+                                     std::span<const TaskId> touched) {
   SlotCounters& counters = slot_counters_[slot];
   counters.evaluations.fetch_add(1, std::memory_order_relaxed);
 
@@ -105,13 +125,60 @@ double EvaluationEngine::fitness_for(const Allocation& alloc,
   }
 
   counters.scheduled.fetch_add(1, std::memory_order_relaxed);
-  const double makespan = slots_[slot]->makespan_bounded(alloc, bound);
+  double makespan;
+  if (trace != nullptr) {
+    counters.delta_scheduled.fetch_add(1, std::memory_order_relaxed);
+    makespan = slots_[slot]->makespan_delta(alloc, touched, *trace, bound);
+  } else {
+    makespan = slots_[slot]->makespan_bounded(alloc, bound);
+  }
   // Only exact makespans may be cached: a rejected (+inf) result is an
   // artifact of the current bound, not a property of the allocation.
   if (config_.memoize && std::isfinite(makespan)) {
     cache_insert(key, alloc, makespan);
   }
   return makespan;
+}
+
+void EvaluationEngine::build_parent_traces(
+    const std::vector<Individual>& pool, std::size_t begin) {
+  trace_parents_.clear();
+  if (traces_.size() < begin) {
+    traces_.resize(begin);
+    trace_epoch_.resize(begin, 0);
+  }
+  ++batch_epoch_;
+  for (std::size_t i = begin; i < pool.size(); ++i) {
+    const std::size_t p = pool[i].parent;
+    if (p >= begin) continue;  // kNoParent or not actually in this pool.
+    if (trace_epoch_[p] != batch_epoch_) {
+      trace_epoch_[p] = batch_epoch_;
+      trace_parents_.push_back(p);
+    }
+  }
+  if (trace_parents_.empty()) return;
+
+  const auto build = [&](std::size_t j, std::size_t slot) {
+    const std::size_t p = trace_parents_[j];
+    EvalTrace& trace = traces_[p];
+    trace.valid = false;
+    // On cancellation the batch is discarded anyway; leaving the trace
+    // invalid makes every child fall back to the (also short-circuited)
+    // full path.
+    if (config_.cancel != nullptr && config_.cancel->cancelled()) return;
+    SlotCounters& counters = slot_counters_[slot];
+    counters.trace_builds.fetch_add(1, std::memory_order_relaxed);
+    (void)slots_[slot]->makespan_traced(pool[p].genes, trace);
+  };
+  if (pool_.num_threads() == 0 || trace_parents_.size() == 1) {
+    for (std::size_t j = 0; j < trace_parents_.size(); ++j) build(j, 0);
+  } else {
+    pool_.parallel_for_blocked(
+        trace_parents_.size(), 1,
+        [&](std::size_t lo, std::size_t hi, std::size_t slot) {
+          for (std::size_t j = lo; j < hi; ++j) build(j, slot);
+        });
+  }
 }
 
 void EvaluationEngine::evaluate_batch(std::vector<Individual>& pool,
@@ -122,10 +189,28 @@ void EvaluationEngine::evaluate_batch(std::vector<Individual>& pool,
   const double bound = config_.use_rejection
                            ? incumbent_.load(std::memory_order_relaxed)
                            : std::numeric_limits<double>::infinity();
+
+  // Incremental kernel, phase 1: one trace per unique in-pool parent.
+  if (kernel_mode_ == KernelMode::Incremental) {
+    build_parent_traces(pool, begin);
+  }
+
+  // Phase 2: evaluate the children — against their parent's trace when one
+  // was built, as a full pass otherwise. Bit-identical either way.
+  const auto trace_of = [&](const Individual& child) -> const EvalTrace* {
+    if (kernel_mode_ != KernelMode::Incremental) return nullptr;
+    const std::size_t p = child.parent;
+    if (p >= begin || trace_epoch_[p] != batch_epoch_) return nullptr;
+    const EvalTrace& trace = traces_[p];
+    return trace.valid ? &trace : nullptr;
+  };
+  const auto evaluate_child = [&](std::size_t i, std::size_t slot) {
+    Individual& child = pool[begin + i];
+    child.fitness = fitness_for(child.genes, slot, bound, true,
+                                trace_of(child), child.touched);
+  };
   if (pool_.num_threads() == 0) {
-    for (std::size_t i = begin; i < pool.size(); ++i) {
-      pool[i].fitness = fitness_for(pool[i].genes, 0, bound, true);
-    }
+    for (std::size_t i = 0; i < n; ++i) evaluate_child(i, 0);
   } else {
     // Small blocks keep all workers busy even when rejection bails some
     // evaluations out early; the slot pins each participant to its own
@@ -134,10 +219,7 @@ void EvaluationEngine::evaluate_batch(std::vector<Individual>& pool,
         std::max<std::size_t>(1, n / (4 * pool_.num_slots()));
     pool_.parallel_for_blocked(
         n, grain, [&](std::size_t lo, std::size_t hi, std::size_t slot) {
-          for (std::size_t i = lo; i < hi; ++i) {
-            pool[begin + i].fitness =
-                fitness_for(pool[begin + i].genes, slot, bound, true);
-          }
+          for (std::size_t i = lo; i < hi; ++i) evaluate_child(i, slot);
         });
   }
   batches_.fetch_add(1, std::memory_order_relaxed);
@@ -177,6 +259,8 @@ EvalStats EvaluationEngine::stats() const {
     s.scheduled += c.scheduled.load(std::memory_order_relaxed);
     s.cache_hits += c.cache_hits.load(std::memory_order_relaxed);
     s.cache_misses += c.cache_misses.load(std::memory_order_relaxed);
+    s.trace_builds += c.trace_builds.load(std::memory_order_relaxed);
+    s.delta_scheduled += c.delta_scheduled.load(std::memory_order_relaxed);
   }
   for (const auto& sched : slots_) s.rejections += sched->rejected_count();
   s.batches = batches_.load(std::memory_order_relaxed);
@@ -191,6 +275,8 @@ void EvaluationEngine::reset_stats() {
     c.scheduled.store(0, std::memory_order_relaxed);
     c.cache_hits.store(0, std::memory_order_relaxed);
     c.cache_misses.store(0, std::memory_order_relaxed);
+    c.trace_builds.store(0, std::memory_order_relaxed);
+    c.delta_scheduled.store(0, std::memory_order_relaxed);
   }
   batches_.store(0, std::memory_order_relaxed);
   eval_seconds_.store(0.0, std::memory_order_relaxed);

@@ -33,6 +33,8 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -42,6 +44,20 @@
 #include "support/thread_pool.hpp"
 
 namespace ptgsched {
+
+/// Which mapping pass the engine's batch path runs.
+enum class KernelMode {
+  /// Every evaluation is a complete list-scheduling pass (the legacy
+  /// behavior; also the oracle the incremental mode is tested against).
+  Full,
+  /// Offspring carrying parent/touched lineage (see Individual) are
+  /// evaluated incrementally: the engine builds one EvalTrace per unique
+  /// in-pool parent, then resumes each child's pass from the last safe
+  /// snapshot before its first divergent decision
+  /// (ListScheduler::makespan_delta). Fitness values, rejection counts and
+  /// therefore the whole evolution trajectory are bit-identical to Full.
+  Incremental,
+};
 
 struct EvalEngineConfig {
   /// Evaluation lanes; 0 = evaluate inline on the calling thread. A value
@@ -57,6 +73,13 @@ struct EvalEngineConfig {
   /// Maximum number of cached allocations (inserts stop when full; an
   /// EMTS-10 run performs ~1e3 evaluations, far below the default).
   std::size_t memo_capacity = 1 << 16;
+  /// Batch evaluation kernel. Unset (the default): resolved once at
+  /// construction from the PTGSCHED_KERNEL environment variable — "full"
+  /// or "incremental", any other value throws — defaulting to Incremental
+  /// when the variable is absent or empty. The env switch exists so whole
+  /// experiment campaigns and benches can be flipped to the legacy oracle
+  /// path without touching configuration code.
+  std::optional<KernelMode> kernel;
   /// Cooperative cancellation (not owned; must outlive the engine). Once
   /// the token trips, batch evaluations short-circuit to +infinity (never
   /// cached) so an in-flight generation drains the thread pool in
@@ -73,6 +96,9 @@ struct EvalStats {
   std::size_t cache_hits = 0;    ///< Served from the memo cache.
   std::size_t cache_misses = 0;  ///< Looked up but absent (memoize only).
   std::size_t rejections = 0;    ///< Bounded passes that bailed out early.
+  std::size_t trace_builds = 0;  ///< Parent traces built (full passes not
+                                 ///< counted in `scheduled`).
+  std::size_t delta_scheduled = 0;  ///< Of `scheduled`: incremental passes.
   std::size_t batches = 0;       ///< evaluate_batch() calls.
   double eval_seconds = 0.0;     ///< Wall seconds inside evaluate_batch().
 
@@ -143,6 +169,11 @@ class EvaluationEngine final : public BatchEvaluator {
   [[nodiscard]] const EvalEngineConfig& config() const noexcept {
     return config_;
   }
+  /// The kernel mode resolved at construction (config override or the
+  /// PTGSCHED_KERNEL environment variable).
+  [[nodiscard]] KernelMode kernel_mode() const noexcept {
+    return kernel_mode_;
+  }
   /// The shared problem core all slots evaluate against.
   [[nodiscard]] const std::shared_ptr<const ProblemInstance>& instance()
       const noexcept {
@@ -165,6 +196,8 @@ class EvaluationEngine final : public BatchEvaluator {
     std::atomic<std::size_t> scheduled{0};
     std::atomic<std::size_t> cache_hits{0};
     std::atomic<std::size_t> cache_misses{0};
+    std::atomic<std::size_t> trace_builds{0};
+    std::atomic<std::size_t> delta_scheduled{0};
   };
 
   struct CacheShard {
@@ -174,19 +207,43 @@ class EvaluationEngine final : public BatchEvaluator {
 
   /// Fitness of one allocation on `slot` under `bound` (the memo- and
   /// rejection-aware hot path). With honor_cancel, a tripped cancellation
-  /// token short-circuits to +infinity before the scheduling pass.
+  /// token short-circuits to +infinity before the scheduling pass. When
+  /// `trace` is non-null (Incremental mode, lineage available) and the
+  /// memo does not hit, the pass runs incrementally against the parent's
+  /// trace; `touched` then lists the gene positions the mutation assigned.
   double fitness_for(const Allocation& alloc, std::size_t slot, double bound,
-                     bool honor_cancel);
+                     bool honor_cancel, const EvalTrace* trace = nullptr,
+                     std::span<const TaskId> touched = {});
+
+  /// Phase 1 of an Incremental-mode batch: build one EvalTrace per unique
+  /// parent referenced by pool[begin..) lineage (parents live below
+  /// `begin`), in parallel across slots. Invalid/failed builds simply
+  /// leave trace slots invalid; the affected children fall back to full
+  /// passes.
+  void build_parent_traces(const std::vector<Individual>& pool,
+                           std::size_t begin);
 
   [[nodiscard]] bool cache_lookup(std::uint64_t key, const Allocation& alloc,
                                   double* out);
   void cache_insert(std::uint64_t key, const Allocation& alloc, double value);
 
   EvalEngineConfig config_;
+  KernelMode kernel_mode_ = KernelMode::Incremental;
   std::shared_ptr<const ProblemInstance> instance_;
   std::vector<std::unique_ptr<ListScheduler>> slots_;
   ThreadPool pool_;
   std::atomic<double> incumbent_;
+
+  /// Parent traces, indexed like the pool's parent indices. traces_[p] is
+  /// meaningful only when trace_epoch_[p] == batch_epoch_ (built for the
+  /// current batch); buffers are reused across generations so steady-state
+  /// trace building does not allocate. Traces are portable across slots:
+  /// built on whichever slot the pool hands the build, read by every slot
+  /// evaluating a child of that parent.
+  std::vector<EvalTrace> traces_;
+  std::vector<std::uint64_t> trace_epoch_;
+  std::uint64_t batch_epoch_ = 0;
+  std::vector<std::size_t> trace_parents_;  ///< Unique parents this batch.
 
   static constexpr std::size_t kCacheShards = 16;
   std::vector<CacheShard> cache_shards_;

@@ -18,8 +18,7 @@ ListScheduler::ListScheduler(std::shared_ptr<const ProblemInstance> instance,
                              ListSchedulerOptions options)
     : instance_(require_instance(std::move(instance))),
       options_(options),
-      core_(instance_->graph(), instance_->topo_order(),
-            {MappingLane{instance_->num_processors(), 0}}),
+      core_(*instance_, {MappingLane{instance_->num_processors(), 0}}),
       table_(instance_->time_table().data()),
       times_(instance_->num_tasks()) {}
 
@@ -43,19 +42,20 @@ Schedule ListScheduler::build_schedule(const Allocation& alloc) {
   return out;
 }
 
-double ListScheduler::run(const Allocation& alloc, Schedule* out,
-                          double upper_bound) {
-  const Ptg& g = instance_->graph();
-  validate_allocation(alloc, g, instance_->cluster());
-
-  const std::size_t n = g.num_tasks();
+void ListScheduler::load_times(const Allocation& alloc) {
+  validate_allocation(alloc, instance_->graph(), instance_->cluster());
+  const std::size_t n = instance_->num_tasks();
   const auto stride = static_cast<std::size_t>(instance_->num_processors());
   for (TaskId v = 0; v < n; ++v) {
     times_[v] = table_[v * stride + static_cast<std::size_t>(alloc[v] - 1)];
   }
+}
 
+double ListScheduler::run(const Allocation& alloc, Schedule* out,
+                          double upper_bound) {
+  load_times(alloc);
   const auto place = [&](TaskId v, double data_ready) {
-    MappingCore::Placement p;
+    MappingKernel::Placement p;
     p.lane = 0;
     p.size = static_cast<std::size_t>(alloc[v]);
     p.start = core_.earliest_start(0, p.size, data_ready);
@@ -63,6 +63,51 @@ double ListScheduler::run(const Allocation& alloc, Schedule* out,
     return p;
   };
   return core_.run(times_, options_.selection, upper_bound, out, place);
+}
+
+double ListScheduler::makespan_traced(const Allocation& alloc,
+                                      EvalTrace& trace) {
+  load_times(alloc);
+  trace.alloc.assign(alloc.begin(), alloc.end());
+  const auto place = [&](TaskId v, double data_ready) {
+    MappingKernel::Placement p;
+    p.lane = 0;
+    p.size = static_cast<std::size_t>(alloc[v]);
+    p.start = core_.earliest_start(0, p.size, data_ready);
+    p.finish = p.start + times_[v];
+    return p;
+  };
+  return core_.run_traced(times_, options_.selection, place, trace);
+}
+
+double ListScheduler::makespan_delta(const Allocation& alloc,
+                                     std::span<const TaskId> touched,
+                                     const EvalTrace& parent,
+                                     double upper_bound) {
+  if (!parent.valid || parent.alloc.size() != alloc.size() ||
+      parent.alloc.size() != instance_->num_tasks()) {
+    return run(alloc, nullptr, upper_bound);
+  }
+  load_times(alloc);
+  // A task's pass behavior depends on its allocation alone (the requested
+  // size and, through the time table, its execution time), so the change
+  // set is exactly the touched genes that actually differ from the parent.
+  changed_.clear();
+  for (const TaskId v : touched) {
+    if (v < alloc.size() && alloc[v] != parent.alloc[v]) {
+      changed_.push_back(v);
+    }
+  }
+  const auto place = [&](TaskId v, double data_ready) {
+    MappingKernel::Placement p;
+    p.lane = 0;
+    p.size = static_cast<std::size_t>(alloc[v]);
+    p.start = core_.earliest_start(0, p.size, data_ready);
+    p.finish = p.start + times_[v];
+    return p;
+  };
+  return core_.run_delta(times_, changed_, parent, options_.selection,
+                         upper_bound, place);
 }
 
 Schedule map_allocation(const Ptg& g, const Allocation& alloc,

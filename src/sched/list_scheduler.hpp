@@ -10,17 +10,20 @@
 // ProblemInstance's dense V x P table instead of calling the model's
 // virtual time(): computing the makespan of one allocation is O(E + V P +
 // V log V) with zero heap allocations after warm-up. The ready-queue and
-// availability logic itself lives in MappingCore (shared with the
+// availability logic itself lives in MappingKernel (shared with the
 // multi-cluster scheduler); the processor-selection policies
-// (EarliestAvailable / BestFit, ablation EXP-A3) are documented there.
+// (EarliestAvailable / BestFit, ablation EXP-A3) and the incremental
+// (trace/delta) machinery behind makespan_traced()/makespan_delta() are
+// documented there.
 
 #include <limits>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/problem_instance.hpp"
 #include "sched/allocation.hpp"
-#include "sched/mapping_core.hpp"
+#include "sched/mapping_kernel.hpp"
 #include "sched/schedule.hpp"
 
 namespace ptgsched {
@@ -57,6 +60,29 @@ class ListScheduler {
   [[nodiscard]] double makespan_bounded(const Allocation& alloc,
                                         double upper_bound);
 
+  /// Exact makespan of `alloc` that additionally records `trace` — a
+  /// reusable snapshot of the whole pass — so later makespan_delta() calls
+  /// can evaluate mutants of `alloc` incrementally. Unbounded by design (a
+  /// trace must describe a complete pass). `trace` is overwritten; its
+  /// buffers are reused across calls, so steady-state trace building does
+  /// not allocate.
+  [[nodiscard]] double makespan_traced(const Allocation& alloc,
+                                       EvalTrace& trace);
+
+  /// Incremental fitness: the makespan of `alloc`, a mutant of the traced
+  /// parent allocation, computed by resuming the parent's pass just before
+  /// its first divergent decision. `touched` lists the gene positions the
+  /// mutation assigned — a superset of the actually-changed positions is
+  /// fine (unchanged listed genes are filtered here); positions NOT listed
+  /// must be identical to the parent's. Bit-identical to
+  /// makespan_bounded(alloc, upper_bound) in value AND rejection count.
+  /// Falls back to the full pass when the trace is missing or shaped for a
+  /// different problem.
+  [[nodiscard]] double makespan_delta(
+      const Allocation& alloc, std::span<const TaskId> touched,
+      const EvalTrace& parent,
+      double upper_bound = std::numeric_limits<double>::infinity());
+
   /// Number of makespan_bounded() calls rejected early since construction
   /// or the last reset_stats().
   [[nodiscard]] std::size_t rejected_count() const noexcept {
@@ -86,11 +112,15 @@ class ListScheduler {
   double run(const Allocation& alloc, Schedule* out,
              double upper_bound = std::numeric_limits<double>::infinity());
 
+  /// Fill times_ from the time table for `alloc` (validates first).
+  void load_times(const Allocation& alloc);
+
   std::shared_ptr<const ProblemInstance> instance_;
   ListSchedulerOptions options_;
-  MappingCore core_;
+  MappingKernel core_;
   const double* table_ = nullptr;  ///< instance_->time_table().data().
   std::vector<double> times_;      ///< Per-task times under the allocation.
+  std::vector<TaskId> changed_;    ///< makespan_delta scratch.
 };
 
 /// One-shot convenience wrapper.

@@ -1,0 +1,170 @@
+#include "sched/mapping_kernel.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ptgsched {
+
+template <typename Idx>
+void MappingKernel::State<Idx>::init(const ProblemInstance& pi) {
+  const std::size_t n = pi.num_tasks();
+  const auto narrow = [](TaskId v) { return static_cast<Idx>(v); };
+
+  topo.resize(n);
+  topo_pos.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    topo[i] = narrow(pi.topo_order()[i]);
+    topo_pos[i] = static_cast<Idx>(pi.topo_positions()[i]);
+  }
+  succ_adj.resize(pi.succ_adjacency().size());
+  for (std::size_t e = 0; e < succ_adj.size(); ++e) {
+    succ_adj[e] = narrow(pi.succ_adjacency()[e]);
+  }
+  pred_adj.resize(pi.pred_adjacency().size());
+  for (std::size_t e = 0; e < pred_adj.size(); ++e) {
+    pred_adj[e] = narrow(pi.pred_adjacency()[e]);
+  }
+  in_degree.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    in_degree[v] =
+        static_cast<Idx>(pi.pred_offsets()[v + 1] - pi.pred_offsets()[v]);
+  }
+  sources.resize(pi.source_tasks().size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    sources[i] = narrow(pi.source_tasks()[i]);
+  }
+
+  // Scratch, sized once here so passes never allocate.
+  epoch = 0;
+  waiting.resize(n);
+  mark.assign(n, 0);
+  ready.reserve(n);
+  worklist.reserve(n);
+  restore.reserve(n);
+  bl_changed.reserve(n);
+}
+
+template struct MappingKernel::State<std::uint16_t>;
+template struct MappingKernel::State<std::uint32_t>;
+
+MappingKernel::MappingKernel(const ProblemInstance& instance,
+                             std::vector<MappingLane> lanes)
+    : instance_(&instance), lanes_(std::move(lanes)) {
+  if (lanes_.empty()) {
+    throw std::invalid_argument("MappingKernel: no lanes");
+  }
+  n_ = instance.num_tasks();
+  succ_off_ = instance.succ_offsets().data();
+  pred_off_ = instance.pred_offsets().data();
+
+  lane_off_.assign(lanes_.size() + 1, 0);
+  std::size_t max_procs = 0;
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    if (lanes_[k].num_processors < 1) {
+      throw std::invalid_argument("MappingKernel: empty lane");
+    }
+    const auto procs = static_cast<std::size_t>(lanes_[k].num_processors);
+    lane_off_[k + 1] = lane_off_[k] + procs;
+    max_procs = std::max(max_procs, procs);
+  }
+  sorted_avail_.assign(lane_off_.back(), 0.0);
+  proc_avail_.assign(lane_off_.back(), 0.0);
+  proc_order_.reserve(max_procs);
+  bl_.assign(n_, 0.0);
+  data_ready_.assign(n_, 0.0);
+
+  // Snapshot spacing: sqrt-ish growth keeps the per-trace snapshot volume
+  // (n / K snapshots of O(n + P) doubles each) linear-ish in n while a
+  // resume still skips all but the last K pops of the shared prefix.
+  checkpoint_interval_ = std::max<std::size_t>(8, n_ / 12);
+
+  if (n_ <= UINT16_MAX) {
+    state_.emplace<State<std::uint16_t>>().init(instance);
+  } else {
+    state_.emplace<State<std::uint32_t>>().init(instance);
+  }
+}
+
+void MappingKernel::occupy(TaskId v, const Placement& p,
+                           ProcessorSelection selection, Schedule* out) {
+  double* av = sorted_avail_.data() + lane_off_[p.lane];
+  const std::size_t procs = lane_off_[p.lane + 1] - lane_off_[p.lane];
+  const std::size_t s = p.size;
+
+  if (out == nullptr) {
+    // Value path: only the multiset of free times matters, and `av` keeps
+    // it sorted ascending, so occupying is: drop the s chosen times, slide
+    // the survivors down, and write s copies of p.finish at its sorted
+    // position. Multiset-identical to the reference nth_element update.
+    std::size_t hole;  // First index of the s entries being replaced.
+    if (selection == ProcessorSelection::EarliestAvailable) {
+      // The s earliest-free processors run v: drop av[0 .. s).
+      hole = 0;
+    } else {
+      // BestFit: among the processors already free at p.start (at least s
+      // of them, by construction of the start time), occupy the ones that
+      // became free last — the s largest eligible times. Eligible entries
+      // are exactly av[0 .. e) with e = upper_bound(p.start).
+      const std::size_t e = static_cast<std::size_t>(
+          std::upper_bound(av, av + procs, p.start) - av);
+      hole = e - s;
+    }
+    // New resting place of the s finish times among the survivors.
+    const std::size_t pos = static_cast<std::size_t>(
+        std::upper_bound(av + hole + s, av + procs, p.finish) - av);
+    if (pos > hole + s) {
+      std::memmove(av + hole, av + hole + s,
+                   (pos - hole - s) * sizeof(double));
+    }
+    for (std::size_t i = pos - s; i < pos; ++i) av[i] = p.finish;
+    return;
+  }
+
+  // Placement path: deterministic processor identities. Sort processor
+  // indices by (available time, index): proc_order_[k] is the k-th
+  // processor of the lane to become free.
+  double* pv = proc_avail_.data() + lane_off_[p.lane];
+  proc_order_.resize(procs);
+  for (std::size_t i = 0; i < procs; ++i) {
+    proc_order_[i] = static_cast<int>(i);
+  }
+  std::sort(proc_order_.begin(), proc_order_.end(), [pv](int a, int b) {
+    const auto ua = static_cast<std::size_t>(a);
+    const auto ub = static_cast<std::size_t>(b);
+    if (pv[ua] != pv[ub]) return pv[ua] < pv[ub];
+    return a < b;
+  });
+
+  std::size_t first = 0;
+  if (selection == ProcessorSelection::BestFit) {
+    // Last s processors whose availability is still <= start: keeps the
+    // earliest-free processors open for later ready tasks.
+    std::size_t eligible = s;
+    while (eligible < procs &&
+           pv[static_cast<std::size_t>(proc_order_[eligible])] <= p.start) {
+      ++eligible;
+    }
+    first = eligible - s;
+  }
+
+  PlacedTask placed;
+  placed.task = v;
+  placed.start = p.start;
+  placed.finish = p.finish;
+  placed.processors.reserve(s);
+  const int base = lanes_[p.lane].first_processor;
+  for (std::size_t k = first; k < first + s; ++k) {
+    pv[static_cast<std::size_t>(proc_order_[k])] = p.finish;
+    placed.processors.push_back(base + proc_order_[k]);
+  }
+  std::sort(placed.processors.begin(), placed.processors.end());
+  out->add(std::move(placed));
+
+  // Refresh the sorted query mirror for this lane so earliest_start stays
+  // an O(1) read on the placement path too (cold path; the sort matches
+  // the per-pop cost the placement path already pays).
+  std::copy(pv, pv + procs, av);
+  std::sort(av, av + procs);
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,589 @@
+#pragma once
+// MappingKernel — the data-oriented list-mapping engine behind both the
+// single-cluster ListScheduler and the multi-cluster scheduler (Section
+// III-A), successor of the MappingCore it replaces.
+//
+// "In the list scheduling algorithm used by EMTS, the ready nodes are
+// sorted by decreasing bottom level and each ready node v is mapped to the
+// first processor set that contains s(v) available processors."
+//
+// This pass is the EA's fitness function and therefore the hot loop of the
+// whole system, so the kernel is laid out struct-of-arrays:
+//
+//   * flat per-task arrays for bottom level, data-ready time and
+//     waiting-predecessor counts — no per-evaluation allocation, all
+//     scratch sized once at construction;
+//   * CSR successor/predecessor iteration from the ProblemInstance's dense
+//     derived data, with adjacency ids narrowed to the smallest capable
+//     index type (State<uint16_t> for graphs up to 65535 tasks,
+//     State<uint32_t> beyond — selected once at construction);
+//   * a 4-ary max-heap for the ready queue (keys inline, half the tree
+//     depth of the std::push_heap binary heap it replaces);
+//   * per-lane processor availability kept as a *sorted* array of free
+//     times, making earliest_start an O(1) read and occupy a single
+//     upper_bound + memmove. On the value path only the multiset of free
+//     times matters, so this is bit-identical to the old O(P)
+//     nth_element selection (see ReferenceMapper, the preserved oracle).
+//
+// Two execution paths with bit-identical makespans, as before:
+//   * value path (no Schedule requested): availability is the sorted
+//     multiset above — the fitness fast path;
+//   * placement path (Schedule requested): processors are chosen by the
+//     deterministic (available time, index) order, exactly as published.
+//
+// Incremental (delta) evaluation. run_traced() additionally records an
+// EvalTrace: per-task times, bottom levels, the full pop order (and its
+// inverse), per-task start times, the pop count at which each task entered
+// the ready queue (`ready_pos`), and periodic snapshots of the dynamic
+// state. run_delta() then evaluates a mutant against its parent's trace:
+// it patches the parent's bottom levels (worklist over the changed tasks
+// in decreasing topological position), certifies the longest prefix of the
+// parent's pop order that the child pass must reproduce bit for bit,
+// restores the latest snapshot inside that prefix, and resumes from there.
+//
+// Why the certified prefix is exact. The pop order is a pure function of
+// the bottom levels and the graph: a task becomes ready when its last
+// predecessor is POPPED (a counting event, not a clock event), and each
+// pop takes the (bl desc, id asc)-max of the ready set — start/finish
+// times never steer it. Execution times, in turn, differ from the parent
+// only at the alloc-changed tasks themselves (bottom levels of their
+// ancestors move, durations do not). So with
+//
+//   R_cap = min over alloc-changed tasks of the parent pop position, and
+//   C     = tasks whose patched bottom level differs from the parent's,
+//
+// the child's pops before R_cap pop the recorded tasks with recorded
+// durations and placements — identical lane availability, data-ready and
+// makespan — PROVIDED the new keys of C do not reorder the recorded
+// sequence. That is certified pairwise: for each v in C, every recorded
+// pop made while v sat in the ready queue must still beat v under the new
+// keys, and if v's own key decreased, v must still beat everything that
+// was ready at its own pop. The first position where a check fails (or
+// R_cap) becomes the resume point R; any snapshot at pop <= R is then a
+// correct child state. Bounded (rejection) passes stay exact because the
+// skipped prefix's max of start + patched bl is recomputed from the
+// recorded pop order and start times: if it exceeds the bound, the full
+// pass would have rejected inside the prefix; the resumed suffix re-checks
+// live.
+//
+// Processor-selection policies (ablation EXP-A3):
+//   * EarliestAvailable — take the s(v) processors that free up first;
+//   * BestFit — among processors already free at the task's start time,
+//     take the ones that became free *last*.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <variant>
+#include <vector>
+
+#include "core/problem_instance.hpp"
+#include "ptg/graph.hpp"
+#include "sched/schedule.hpp"
+#include "support/dary_heap.hpp"
+#include "support/small_index.hpp"
+
+namespace ptgsched {
+
+enum class ProcessorSelection { EarliestAvailable, BestFit };
+
+/// One homogeneous processor pool the kernel schedules onto.
+struct MappingLane {
+  int num_processors = 0;
+  /// Global index of the lane's first processor (0 for a single cluster;
+  /// MultiClusterPlatform::first_processor(k) for lane k).
+  int first_processor = 0;
+};
+
+/// Reusable record of one full (unbounded) value-path pass, consumed by
+/// MappingKernel::run_delta to evaluate mutants incrementally. Traces are
+/// portable between kernels of identical shape (same instance, same
+/// lanes) — the evaluation engine builds them on one slot and reads them
+/// from all. `alloc` is not interpreted by the kernel; callers that key
+/// their change detection off genes (ListScheduler) stash them here.
+struct EvalTrace {
+  /// Snapshot of the dynamic state before pop `pops` of the parent pass.
+  struct Checkpoint {
+    std::uint32_t pops = 0;
+    double makespan = 0.0;  ///< Max finish over the pops before this one.
+    std::vector<double> avail;       ///< Concatenated sorted availability.
+    std::vector<double> data_ready;
+    std::vector<std::uint32_t> waiting;
+    std::vector<std::uint32_t> ready;  ///< Ready-queue task ids (unordered).
+  };
+
+  bool valid = false;
+  std::vector<int> alloc;    ///< Caller-owned context (see above).
+  std::vector<double> times; ///< Per-task priority times of the pass.
+  std::vector<double> bl;    ///< Bottom levels under `times`.
+  /// Pop count at which each task entered the ready queue (sources: 0).
+  std::vector<std::uint32_t> ready_pos;
+  std::vector<std::uint32_t> pop_order;  ///< Task popped at position i.
+  std::vector<std::uint32_t> pop_pos;    ///< Inverse of pop_order.
+  std::vector<double> start;             ///< Per-task start times.
+  double makespan = 0.0;
+  double total_pressure = 0.0;  ///< Max start + bl over the whole pass.
+  /// checkpoints[0 .. num_checkpoints) are live; the vector keeps its
+  /// capacity across rebuilds so steady-state trace building allocates
+  /// nothing.
+  std::vector<Checkpoint> checkpoints;
+  std::size_t num_checkpoints = 0;
+};
+
+class MappingKernel {
+ public:
+  /// Where a ready task runs, as decided by the placement policy.
+  struct Placement {
+    std::size_t lane = 0;
+    std::size_t size = 0;  ///< Processors occupied, in [1, lane P].
+    double start = 0.0;
+    double finish = 0.0;
+  };
+
+  /// `instance` must outlive the kernel (the ListScheduler keeps it alive
+  /// through its shared_ptr); its graph is already validated, so every
+  /// pass may assume acyclicity.
+  MappingKernel(const ProblemInstance& instance,
+                std::vector<MappingLane> lanes);
+
+  /// Earliest moment `size` processors of `lane` are simultaneously free,
+  /// given the task's data-ready time. Pure O(1) query on the sorted
+  /// availability (the size-th earliest free time), so a policy may probe
+  /// every lane before the kernel commits one.
+  [[nodiscard]] double earliest_start(std::size_t lane, std::size_t size,
+                                      double data_ready) const noexcept {
+    const double* av = sorted_avail_.data() + lane_off_[lane];
+    return std::max(data_ready, av[size - 1]);
+  }
+
+  /// Run one list-mapping pass. `priority_times` are the per-task times
+  /// that define the bottom-level priority order. `place(v, data_ready)`
+  /// returns the Placement for ready task v (typically via
+  /// earliest_start). With `out` non-null the full schedule is emitted
+  /// (placement path); otherwise only the makespan is computed (value
+  /// path). As soon as some task's start plus its bottom level exceeds
+  /// `upper_bound` the final makespan provably will too: the pass aborts,
+  /// counts one rejection, and returns +infinity (the rejection strategy
+  /// of the paper's Section VI).
+  template <typename PlaceFn>
+  double run(std::span<const double> priority_times,
+             ProcessorSelection selection, double upper_bound, Schedule* out,
+             const PlaceFn& place) {
+    return std::visit(
+        [&](auto& st) {
+          compute_bottom_levels(st, priority_times);
+          reset_dynamic_state(st, out != nullptr);
+          return drive<false>(st, selection, upper_bound, out, place,
+                              nullptr, 0, 0.0, 0.0);
+        },
+        state_);
+  }
+
+  /// Full unbounded value-path pass that also records `trace` for later
+  /// run_delta calls. Returns the exact makespan (never rejects: a trace
+  /// must describe the complete pass).
+  template <typename PlaceFn>
+  double run_traced(std::span<const double> priority_times,
+                    ProcessorSelection selection, const PlaceFn& place,
+                    EvalTrace& trace) {
+    return std::visit(
+        [&](auto& st) {
+          trace.valid = false;
+          trace.num_checkpoints = 0;
+          trace.times.assign(priority_times.begin(), priority_times.end());
+          trace.ready_pos.assign(n_, 0);
+          trace.pop_order.assign(n_, 0);
+          trace.pop_pos.assign(n_, 0);
+          trace.start.assign(n_, 0.0);
+          compute_bottom_levels(st, priority_times);
+          trace.bl.assign(bl_.begin(), bl_.end());
+          reset_dynamic_state(st, false);
+          return drive<true>(st, selection,
+                             std::numeric_limits<double>::infinity(), nullptr,
+                             place, &trace, 0, 0.0, 0.0);
+        },
+        state_);
+  }
+
+  /// Incremental value-path pass: the makespan of a mutant whose placement
+  /// inputs differ from the traced parent pass only at the tasks listed in
+  /// `changed` (duplicates allowed; a superset is fine as long as every
+  /// task NOT listed has identical priority time and identical placement
+  /// behavior). Bit-identical to run(priority_times, ..., upper_bound,
+  /// nullptr, place), including the rejection semantics: exactly one
+  /// rejection is counted iff the full bounded pass would reject.
+  template <typename PlaceFn>
+  double run_delta(std::span<const double> priority_times,
+                   std::span<const TaskId> changed, const EvalTrace& parent,
+                   ProcessorSelection selection, double upper_bound,
+                   const PlaceFn& place) {
+    if (!parent.valid || parent.bl.size() != n_ ||
+        parent.ready_pos.size() != n_ || parent.pop_order.size() != n_ ||
+        (n_ > 0 && parent.num_checkpoints == 0)) {
+      throw std::invalid_argument(
+          "MappingKernel::run_delta: trace does not match this kernel");
+    }
+    return std::visit(
+        [&](auto& st) {
+          return delta_impl(st, priority_times, changed, parent, selection,
+                            upper_bound, place);
+        },
+        state_);
+  }
+
+  [[nodiscard]] std::size_t num_lanes() const noexcept {
+    return lanes_.size();
+  }
+  [[nodiscard]] const MappingLane& lane(std::size_t k) const {
+    return lanes_[k];
+  }
+  [[nodiscard]] std::size_t num_tasks() const noexcept { return n_; }
+
+  /// Number of passes rejected early by the upper bound since construction
+  /// or the last reset_stats(). Atomic (relaxed): the evaluation engine
+  /// reads and resets telemetry concurrently with in-flight slot
+  /// evaluations, so the counter must tolerate torn access without a data
+  /// race (each kernel is still driven by one thread at a time; only the
+  /// telemetry crosses threads).
+  [[nodiscard]] std::size_t rejected_count() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  void reset_stats() noexcept {
+    rejected_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  /// All Idx-typed data, instantiated for the smallest capable index type
+  /// (one of the two variant alternatives below; uint8 is not worth a
+  /// third instantiation). Static arrays are built once at construction;
+  /// the scratch below them is reset per pass.
+  template <typename Idx>
+  struct State {
+    std::vector<Idx> topo;      ///< Topological order.
+    std::vector<Idx> topo_pos;  ///< Task -> position in `topo`.
+    std::vector<Idx> succ_adj;  ///< CSR targets (offsets on the instance).
+    std::vector<Idx> pred_adj;
+    std::vector<Idx> in_degree;
+    std::vector<Idx> sources;
+
+    struct ReadyEntry {
+      double bl;
+      Idx id;
+    };
+    struct ReadyBetter {
+      bool operator()(const ReadyEntry& a,
+                      const ReadyEntry& b) const noexcept {
+        // Strict total order (bottom level desc, id asc): the pop sequence
+        // is then independent of heap shape, which keeps full, traced and
+        // resumed passes bit-identical.
+        if (a.bl != b.bl) return a.bl > b.bl;
+        return a.id < b.id;
+      }
+    };
+    struct WorkEntry {
+      Idx pos;
+      Idx id;
+    };
+    struct WorkBetter {
+      bool operator()(const WorkEntry& a, const WorkEntry& b) const noexcept {
+        return a.pos > b.pos;  // Decreasing topo position; pos is unique.
+      }
+    };
+
+    std::vector<Idx> waiting;  ///< Unfinished-predecessor counts.
+    DaryHeap<ReadyEntry, ReadyBetter> ready;
+    DaryHeap<WorkEntry, WorkBetter> worklist;  ///< Bottom-level patching.
+    std::vector<std::uint32_t> mark;  ///< Worklist dedup epochs.
+    // No default member initializer: State is instantiated as a variant
+    // member while MappingKernel is still incomplete, and an NSDMI here
+    // (parsed in the enclosing complete-class context) would delete the
+    // variant's default constructor. init() assigns it.
+    std::uint32_t epoch;
+    std::vector<ReadyEntry> restore;  ///< Snapshot-restore scratch.
+    std::vector<Idx> bl_changed;      ///< Patch-pass scratch.
+
+    void init(const ProblemInstance& pi);
+  };
+
+  template <typename Idx>
+  void compute_bottom_levels(State<Idx>& st,
+                             std::span<const double> priority_times) {
+    const std::uint32_t* off = succ_off_;
+    const Idx* adj = st.succ_adj.data();
+    for (std::size_t i = n_; i-- > 0;) {
+      const auto v = static_cast<std::size_t>(st.topo[i]);
+      double best = 0.0;
+      for (std::uint32_t e = off[v]; e < off[v + 1]; ++e) {
+        best = std::max(best, bl_[static_cast<std::size_t>(adj[e])]);
+      }
+      bl_[v] = priority_times[v] + best;
+    }
+  }
+
+  template <typename Idx>
+  void reset_dynamic_state(State<Idx>& st, bool placement) {
+    std::fill(sorted_avail_.begin(), sorted_avail_.end(), 0.0);
+    if (placement) {
+      std::fill(proc_avail_.begin(), proc_avail_.end(), 0.0);
+    }
+    std::fill(data_ready_.begin(), data_ready_.end(), 0.0);
+    std::copy(st.in_degree.begin(), st.in_degree.end(), st.waiting.begin());
+    st.ready.clear();
+    for (const Idx s : st.sources) {
+      st.ready.push({bl_[static_cast<std::size_t>(s)], s});
+    }
+  }
+
+  /// The shared main loop: pops the ready queue to completion starting
+  /// from an arbitrary consistent state at pop index `pops`. With kTrace,
+  /// records ready_pos and periodic checkpoints into `trace` and finalizes
+  /// it (bound must then be +inf).
+  template <bool kTrace, typename Idx, typename PlaceFn>
+  double drive(State<Idx>& st, ProcessorSelection selection,
+               double upper_bound, Schedule* out, const PlaceFn& place,
+               EvalTrace* trace, std::size_t pops, double makespan,
+               double pressure) {
+    const std::uint32_t* soff = succ_off_;
+    const Idx* sadj = st.succ_adj.data();
+    while (!st.ready.empty()) {
+      if constexpr (kTrace) {
+        if (pops % checkpoint_interval_ == 0) {
+          record_checkpoint(st, *trace, pops, makespan);
+        }
+      }
+      const auto top = st.ready.pop();
+      const auto v = static_cast<TaskId>(top.id);
+      const Placement p = place(v, data_ready_[v]);
+      if constexpr (kTrace) {
+        trace->pop_order[pops] = static_cast<std::uint32_t>(v);
+        trace->pop_pos[v] = static_cast<std::uint32_t>(pops);
+        trace->start[v] = p.start;
+      }
+      if (p.finish > makespan) makespan = p.finish;
+
+      // Once v starts at p.start, the final makespan is at least
+      // start + bl(v) — the chain below v still has to run.
+      const double press = p.start + top.bl;
+      if constexpr (kTrace) {
+        if (press > pressure) pressure = press;
+      }
+      if (press > upper_bound) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return std::numeric_limits<double>::infinity();
+      }
+
+      occupy(v, p, selection, out);
+
+      ++pops;
+      for (std::uint32_t e = soff[v]; e < soff[v + 1]; ++e) {
+        const auto w = static_cast<std::size_t>(sadj[e]);
+        if (p.finish > data_ready_[w]) data_ready_[w] = p.finish;
+        if (--st.waiting[w] == 0) {
+          st.ready.push({bl_[w], static_cast<Idx>(w)});
+          if constexpr (kTrace) {
+            trace->ready_pos[w] = static_cast<std::uint32_t>(pops);
+          }
+        }
+      }
+    }
+    if (pops != n_) {
+      throw GraphError("mapping kernel: graph has a cycle");
+    }
+    if constexpr (kTrace) {
+      trace->makespan = makespan;
+      trace->total_pressure = pressure;
+      trace->valid = true;
+    }
+    return makespan;
+  }
+
+  template <typename Idx, typename PlaceFn>
+  double delta_impl(State<Idx>& st, std::span<const double> priority_times,
+                    std::span<const TaskId> changed, const EvalTrace& parent,
+                    ProcessorSelection selection, double upper_bound,
+                    const PlaceFn& place) {
+    // 1. Find R_cap, the first pop of an alloc-changed task — before it,
+    //    every popped task has the parent's duration and requested size.
+    if (++st.epoch == 0) {
+      std::fill(st.mark.begin(), st.mark.end(), 0u);
+      st.epoch = 1;
+    }
+    st.worklist.clear();
+    std::size_t resume = n_;
+    for (const TaskId v : changed) {
+      if (st.mark[v] == st.epoch) continue;
+      st.mark[v] = st.epoch;
+      st.worklist.push({st.topo_pos[v], static_cast<Idx>(v)});
+      resume = std::min<std::size_t>(resume, parent.pop_pos[v]);
+    }
+    if (st.worklist.empty()) {
+      // Nothing changed: the parent's pass IS the child's pass, including
+      // whether a bounded run would have rejected somewhere inside it.
+      if (parent.total_pressure > upper_bound) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return std::numeric_limits<double>::infinity();
+      }
+      return parent.makespan;
+    }
+    if (resume < std::max(checkpoint_interval_, n_ / 4)) {
+      // Profitability gate: a short certified prefix (heavy
+      // early-generation mutations land here) saves fewer pops than the
+      // bottom-level patch, certification and snapshot restore cost.
+      // Below a quarter of the pass the delta path measures at best
+      // break-even, so run the child as a plain full pass —
+      // bit-identical by definition.
+      compute_bottom_levels(st, priority_times);
+      reset_dynamic_state(st, false);
+      return drive<false>(st, selection, upper_bound, nullptr, place,
+                          nullptr, 0, 0.0, 0.0);
+    }
+
+    // 2. Patch the parent's bottom levels (worklist over decreasing topo
+    //    position).
+    std::copy(parent.bl.begin(), parent.bl.end(), bl_.begin());
+    const std::uint32_t* soff = succ_off_;
+    const std::uint32_t* poff = pred_off_;
+    st.bl_changed.clear();
+    while (!st.worklist.empty()) {
+      const auto v = static_cast<std::size_t>(st.worklist.pop().id);
+      // Decreasing topo position: every successor's bottom level is final
+      // by the time v is recomputed, so each task is processed once.
+      double best = 0.0;
+      for (std::uint32_t e = soff[v]; e < soff[v + 1]; ++e) {
+        best = std::max(best,
+                        bl_[static_cast<std::size_t>(st.succ_adj[e])]);
+      }
+      const double nb = priority_times[v] + best;
+      if (nb != bl_[v]) {
+        bl_[v] = nb;
+        st.bl_changed.push_back(static_cast<Idx>(v));
+        for (std::uint32_t e = poff[v]; e < poff[v + 1]; ++e) {
+          const Idx u = st.pred_adj[e];
+          const auto ui = static_cast<std::size_t>(u);
+          if (st.mark[ui] != st.epoch) {
+            st.mark[ui] = st.epoch;
+            st.worklist.push({st.topo_pos[ui], u});
+          }
+        }
+      }
+    }
+
+    // 3. Certify that the moved bottom levels do not reorder the recorded
+    //    pop prefix (see the file comment). `beats(a, b)` is the ready
+    //    queue's strict order under the PATCHED keys.
+    const auto beats = [this](std::size_t a, std::size_t b) noexcept {
+      return bl_[a] > bl_[b] || (bl_[a] == bl_[b] && a < b);
+    };
+    const std::uint32_t* porder = parent.pop_order.data();
+    for (const Idx vi : st.bl_changed) {
+      const auto v = static_cast<std::size_t>(vi);
+      const std::size_t pv = parent.pop_pos[v];
+      // While v sat in the ready queue, every recorded pop must still win
+      // against v's new key.
+      const std::size_t hi = std::min(pv, resume);
+      for (std::size_t i = parent.ready_pos[v]; i < hi; ++i) {
+        if (!beats(porder[i], v)) {
+          resume = i;
+          break;
+        }
+      }
+      // If v's key dropped, v must still win its own pop against
+      // everything that was ready alongside it.
+      if (pv < resume && bl_[v] < parent.bl[v]) {
+        for (std::size_t u = 0; u < n_; ++u) {
+          if (parent.ready_pos[u] > pv || parent.pop_pos[u] <= pv) continue;
+          if (!beats(v, u)) {
+            resume = pv;
+            break;
+          }
+        }
+      }
+    }
+
+    // 4. Restore the latest snapshot taken at or before pop R. The prefix
+    //    it skips is bit-identical to the parent's; for bounded passes its
+    //    rejection pressure is recomputed exactly under the patched keys
+    //    (recorded starts, new bottom levels).
+    const std::size_t ci = std::min(resume / checkpoint_interval_,
+                                    parent.num_checkpoints - 1);
+    const EvalTrace::Checkpoint& c = parent.checkpoints[ci];
+    if (std::isfinite(upper_bound)) {
+      double press = 0.0;
+      const double* pstart = parent.start.data();
+      for (std::size_t i = 0; i < c.pops; ++i) {
+        const auto t = static_cast<std::size_t>(porder[i]);
+        press = std::max(press, pstart[t] + bl_[t]);
+      }
+      if (press > upper_bound) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return std::numeric_limits<double>::infinity();
+      }
+    }
+    std::copy(c.avail.begin(), c.avail.end(), sorted_avail_.begin());
+    std::copy(c.data_ready.begin(), c.data_ready.end(), data_ready_.begin());
+    for (std::size_t v = 0; v < n_; ++v) {
+      st.waiting[v] = static_cast<Idx>(c.waiting[v]);
+    }
+    st.restore.clear();
+    for (const std::uint32_t id : c.ready) {
+      st.restore.push_back({bl_[id], static_cast<Idx>(id)});
+    }
+    st.ready.assign(st.restore.begin(), st.restore.end());
+
+    // 5. Resume the pass; pops from here on re-check the bound live.
+    return drive<false>(st, selection, upper_bound, nullptr, place, nullptr,
+                        c.pops, c.makespan, 0.0);
+  }
+
+  template <typename Idx>
+  void record_checkpoint(State<Idx>& st, EvalTrace& trace, std::size_t pops,
+                         double makespan) {
+    if (trace.checkpoints.size() <= trace.num_checkpoints) {
+      trace.checkpoints.emplace_back();
+    }
+    EvalTrace::Checkpoint& c = trace.checkpoints[trace.num_checkpoints++];
+    c.pops = static_cast<std::uint32_t>(pops);
+    c.makespan = makespan;
+    c.avail.assign(sorted_avail_.begin(), sorted_avail_.end());
+    c.data_ready.assign(data_ready_.begin(), data_ready_.end());
+    c.waiting.resize(n_);
+    for (std::size_t v = 0; v < n_; ++v) {
+      c.waiting[v] = static_cast<std::uint32_t>(st.waiting[v]);
+    }
+    c.ready.clear();
+    for (const auto& e : st.ready.raw()) {
+      c.ready.push_back(static_cast<std::uint32_t>(e.id));
+    }
+  }
+
+  void occupy(TaskId v, const Placement& p, ProcessorSelection selection,
+              Schedule* out);
+
+  const ProblemInstance* instance_;
+  std::vector<MappingLane> lanes_;
+  std::size_t n_ = 0;
+  const std::uint32_t* succ_off_ = nullptr;  ///< Instance CSR offsets.
+  const std::uint32_t* pred_off_ = nullptr;
+  /// Snapshot spacing for traced passes: coarse enough that trace building
+  /// stays O(n) in snapshot copies, fine enough that a resumed pass skips
+  /// most of the prefix.
+  std::size_t checkpoint_interval_ = 0;
+
+  std::vector<std::size_t> lane_off_;  ///< Lane k: [lane_off_[k], [k+1]).
+  /// Per lane: the free times of its processors in ascending order (value
+  /// path; also the placement path's query mirror).
+  std::vector<double> sorted_avail_;
+  std::vector<double> proc_avail_;  ///< Per processor (placement path).
+  std::vector<int> proc_order_;     ///< Placement-path scratch.
+  std::vector<double> bl_;
+  std::vector<double> data_ready_;
+  std::atomic<std::size_t> rejected_{0};
+
+  std::variant<State<std::uint16_t>, State<std::uint32_t>> state_;
+};
+
+}  // namespace ptgsched

@@ -5,7 +5,7 @@
 #include <limits>
 #include <string>
 
-#include "sched/mapping_core.hpp"
+#include "sched/mapping_kernel.hpp"
 #include "sched/validate.hpp"
 
 namespace ptgsched {
@@ -80,13 +80,13 @@ Schedule map_mc_allocation(
   validate_mc_sizes(alloc, g, procs);
   const int total_processors = first;
 
-  MappingCore core(g, pi0.topo_order(), std::move(lanes));
+  MappingKernel core(pi0, std::move(lanes));
   Schedule out(g.name(), total_processors);
 
   // Lane policy: the cluster that finishes v earliest wins; a strict `<`
   // keeps the lower cluster index on ties.
   const auto place = [&](TaskId v, double data_ready) {
-    MappingCore::Placement best;
+    MappingKernel::Placement best;
     best.finish = std::numeric_limits<double>::infinity();
     for (std::size_t k = 0; k < clusters.size(); ++k) {
       const auto s = static_cast<std::size_t>(alloc.sizes[v][k]);

@@ -5,7 +5,7 @@
 // per-cluster processor count (sizes[v][k]), and the mapping step decides
 // which cluster actually runs it. The list scheduler is the same
 // bottom-level-ordered greedy as the single-cluster mapping (Section
-// III-A) — both run on the shared MappingCore, with one lane per cluster —
+// III-A) — both run on the shared MappingKernel, with one lane per cluster —
 // extended with the cluster choice: each ready task is placed on the
 // cluster that finishes it earliest (ties: lower cluster index).
 

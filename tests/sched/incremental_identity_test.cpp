@@ -1,0 +1,300 @@
+// Bit-identity suite for the incremental mapping kernel.
+//
+// The delta evaluation path (ListScheduler::makespan_delta against a
+// parent EvalTrace) must be indistinguishable from a full list-scheduling
+// pass: same fitness bits, same rejection counts, same evolution
+// trajectory. These tests drive long random mutation chains over every
+// corpus graph class and both processor-selection policies, compare the
+// bounded/rejection paths exactly, pin the kernel against the preserved
+// ReferenceMapper oracle, and check that an ES run is bit-identical under
+// KernelMode::Full and KernelMode::Incremental.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "../common/test_graphs.hpp"
+#include "core/problem_instance.hpp"
+#include "daggen/corpus.hpp"
+#include "emts/emts.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/reference_mapper.hpp"
+#include "support/rng.hpp"
+
+namespace ptgsched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+const std::vector<std::string>& corpus_classes() {
+  static const std::vector<std::string> classes = {"fft", "strassen",
+                                                   "layered", "irregular"};
+  return classes;
+}
+
+Allocation random_allocation(std::size_t n, int P, Rng& rng) {
+  Allocation alloc(n);
+  for (auto& s : alloc) s = static_cast<int>(rng.uniform_int(1, P));
+  return alloc;
+}
+
+/// Mutate 1..4 random genes. Newly drawn sizes may coincide with the old
+/// value, so `touched` is deliberately a superset of the real changes —
+/// exactly the contract the engine relies on.
+void mutate(Allocation& alloc, int P, Rng& rng,
+            std::vector<TaskId>& touched) {
+  touched.clear();
+  const std::size_t count = 1 + rng.index(4);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t pos = rng.index(alloc.size());
+    alloc[pos] = static_cast<int>(rng.uniform_int(1, P));
+    touched.push_back(static_cast<TaskId>(pos));
+  }
+}
+
+TEST(IncrementalIdentity, LongMutationChainsAreBitIdentical) {
+  const Cluster c = chti();
+  const SyntheticModel model;
+  for (const std::string& cls : corpus_classes()) {
+    const auto graphs = corpus_by_name(cls, 40, 2, 901);
+    for (const ProcessorSelection policy :
+         {ProcessorSelection::EarliestAvailable,
+          ProcessorSelection::BestFit}) {
+      ListSchedulerOptions opts;
+      opts.selection = policy;
+      for (const auto& g : graphs) {
+        const auto pi = ProblemInstance::borrow(g, model, c);
+        ListScheduler sched(pi, opts);
+        Rng rng(derive_seed(42, g.num_tasks(),
+                            static_cast<std::uint64_t>(policy)));
+        Allocation parent =
+            random_allocation(g.num_tasks(), c.num_processors(), rng);
+        EvalTrace trace;
+        double parent_makespan = sched.makespan_traced(parent, trace);
+        ASSERT_EQ(parent_makespan, sched.makespan(parent));
+        std::vector<TaskId> touched;
+        for (int step = 0; step < 40; ++step) {
+          Allocation child = parent;
+          mutate(child, c.num_processors(), rng, touched);
+          const double full = sched.makespan(child);
+          const double delta =
+              sched.makespan_delta(child, touched, trace);
+          // Bitwise equality, not approximate: the incremental pass
+          // replays the exact same floating-point operations.
+          ASSERT_EQ(full, delta)
+              << cls << " step " << step << " policy "
+              << static_cast<int>(policy);
+          // Advance the chain: the child becomes the next parent.
+          parent = std::move(child);
+          parent_makespan = sched.makespan_traced(parent, trace);
+          ASSERT_EQ(parent_makespan, full);
+        }
+      }
+    }
+  }
+}
+
+TEST(IncrementalIdentity, BoundedPathsAgreeIncludingRejectionCounts) {
+  const Cluster c = chti();
+  const SyntheticModel model;
+  for (const std::string& cls : corpus_classes()) {
+    const auto graphs = corpus_by_name(cls, 40, 2, 902);
+    for (const ProcessorSelection policy :
+         {ProcessorSelection::EarliestAvailable,
+          ProcessorSelection::BestFit}) {
+      ListSchedulerOptions opts;
+      opts.selection = policy;
+      for (const auto& g : graphs) {
+        const auto pi = ProblemInstance::borrow(g, model, c);
+        // Separate schedulers so the rejection counters can be compared
+        // one-to-one: `full` only ever runs complete bounded passes,
+        // `delta` only incremental ones.
+        ListScheduler full(pi, opts);
+        ListScheduler delta(pi, opts);
+        ListScheduler tracer(pi, opts);
+        Rng rng(derive_seed(43, g.num_tasks(),
+                            static_cast<std::uint64_t>(policy)));
+        Allocation parent =
+            random_allocation(g.num_tasks(), c.num_processors(), rng);
+        EvalTrace trace;
+        const double base = tracer.makespan_traced(parent, trace);
+        std::vector<TaskId> touched;
+        for (int step = 0; step < 25; ++step) {
+          Allocation child = parent;
+          mutate(child, c.num_processors(), rng, touched);
+          // Sweep bounds below, at, and above the parent makespan so the
+          // chain exercises accept, reject, and the exact boundary.
+          for (const double factor : {0.7, 0.95, 1.0, 1.05}) {
+            const double bound = base * factor;
+            const double a = full.makespan_bounded(child, bound);
+            const double b =
+                delta.makespan_delta(child, touched, trace, bound);
+            ASSERT_EQ(a, b) << cls << " bound factor " << factor;
+          }
+        }
+        // Every bounded pass must have made the same accept/reject
+        // decision on both paths.
+        EXPECT_EQ(full.rejected_count(), delta.rejected_count());
+      }
+    }
+  }
+}
+
+TEST(IncrementalIdentity, KernelMatchesReferenceMapperOracle) {
+  const Cluster c = chti();
+  const SyntheticModel model;
+  for (const std::string& cls : corpus_classes()) {
+    const auto graphs = corpus_by_name(cls, 40, 2, 903);
+    for (const ProcessorSelection policy :
+         {ProcessorSelection::EarliestAvailable,
+          ProcessorSelection::BestFit}) {
+      ListSchedulerOptions opts;
+      opts.selection = policy;
+      for (const auto& g : graphs) {
+        const auto pi = ProblemInstance::borrow(g, model, c);
+        ListScheduler sched(pi, opts);
+        ReferenceMapper oracle(pi, opts);
+        Rng rng(derive_seed(44, g.num_tasks(),
+                            static_cast<std::uint64_t>(policy)));
+        for (int trial = 0; trial < 8; ++trial) {
+          const Allocation alloc =
+              random_allocation(g.num_tasks(), c.num_processors(), rng);
+          const double want = oracle.makespan(alloc);
+          ASSERT_EQ(want, sched.makespan(alloc));
+          // Bounded runs agree too, including the rejection decision.
+          for (const double factor : {0.8, 1.0, 1.2}) {
+            ASSERT_EQ(oracle.makespan_bounded(alloc, want * factor),
+                      sched.makespan_bounded(alloc, want * factor));
+          }
+        }
+        EXPECT_EQ(oracle.rejected_count(), sched.rejected_count());
+      }
+    }
+  }
+}
+
+TEST(IncrementalIdentity, InvalidOrMismatchedTraceFallsBackToFullPass) {
+  const Cluster c = chti();
+  const SyntheticModel model;
+  const auto graphs = irregular_corpus(30, 1, 904);
+  const auto pi = ProblemInstance::borrow(graphs.front(), model, c);
+  ListScheduler sched(pi);
+  Rng rng(905);
+  const Allocation alloc =
+      random_allocation(pi->num_tasks(), c.num_processors(), rng);
+  const double want = sched.makespan(alloc);
+
+  // Never-built trace: valid == false.
+  const EvalTrace empty;
+  EXPECT_EQ(want, sched.makespan_delta(alloc, {}, empty));
+
+  // Trace built for a different (shorter) genome: size mismatch.
+  EvalTrace stale;
+  stale.valid = true;
+  stale.alloc.assign(alloc.size() - 1, 1);
+  EXPECT_EQ(want, sched.makespan_delta(alloc, {}, stale));
+}
+
+TEST(IncrementalIdentity, NoEffectiveChangeReproducesParentExactly) {
+  const Cluster c = chti();
+  const SyntheticModel model;
+  const auto graphs = layered_corpus(40, 1, 906);
+  const auto pi = ProblemInstance::borrow(graphs.front(), model, c);
+  ListScheduler sched(pi);
+  Rng rng(907);
+  const Allocation parent =
+      random_allocation(pi->num_tasks(), c.num_processors(), rng);
+  EvalTrace trace;
+  const double base = sched.makespan_traced(parent, trace);
+
+  // `touched` re-assigns genes to their current values: no real change.
+  std::vector<TaskId> touched = {0, static_cast<TaskId>(parent.size() / 2)};
+  EXPECT_EQ(base, sched.makespan_delta(parent, touched, trace));
+  EXPECT_EQ(base, sched.makespan_delta(parent, {}, trace));
+
+  // The no-change shortcut must still honor the bound the way a full
+  // bounded pass would.
+  ListScheduler full(pi);
+  const double tight = base * 0.9;
+  EXPECT_EQ(full.makespan_bounded(parent, tight),
+            sched.makespan_delta(parent, touched, trace, tight));
+}
+
+TEST(IncrementalIdentity, TrackedMutatorDrawsIdenticalChildren) {
+  MutationParams params;
+  const double fm = 0.33;
+  const std::size_t generations = 10;
+  const int P = 16;
+  const MutateFn plain = Emts::make_mutator(params, fm, generations, P);
+  const TrackedMutateFn tracked =
+      Emts::make_tracked_mutator(params, fm, generations, P);
+  Rng rng_a(5150);
+  Rng rng_b(5150);
+  Allocation parent(60, 4);
+  for (std::size_t u = 0; u < generations; ++u) {
+    const Allocation a = plain(parent, u, rng_a);
+    std::vector<TaskId> touched;
+    const Allocation b = tracked(parent, u, rng_b, touched);
+    // Same RNG stream, same child — swapping the operators can never
+    // change the evolution trajectory.
+    ASSERT_EQ(a, b);
+    EXPECT_FALSE(touched.empty());
+    // `touched` covers every gene that differs from the parent.
+    for (std::size_t v = 0; v < parent.size(); ++v) {
+      if (b[v] != parent[v]) {
+        EXPECT_NE(std::find(touched.begin(), touched.end(),
+                            static_cast<TaskId>(v)),
+                  touched.end());
+      }
+    }
+    parent = b;
+  }
+}
+
+EmtsResult run_emts(const std::shared_ptr<const ProblemInstance>& pi,
+                    KernelMode kernel, bool rejection,
+                    std::size_t threads) {
+  EmtsConfig cfg = emts5_config();
+  cfg.seed = 1234;
+  cfg.threads = threads;
+  cfg.memoize = false;  // force every child through the mapping kernel
+  cfg.use_rejection = rejection;
+  cfg.kernel = kernel;
+  const Emts emts(cfg);
+  return emts.schedule(pi);
+}
+
+TEST(IncrementalIdentity, EsTrajectoryIsKernelInvariant) {
+  const Cluster c = chti();
+  const SyntheticModel model;
+  const auto graphs = irregular_corpus(50, 2, 908);
+  for (const auto& g : graphs) {
+    const auto pi = ProblemInstance::borrow(g, model, c);
+    for (const bool rejection : {false, true}) {
+      const EmtsResult full = run_emts(pi, KernelMode::Full, rejection, 0);
+      const EmtsResult incr =
+          run_emts(pi, KernelMode::Incremental, rejection, 2);
+      EXPECT_EQ(full.makespan, incr.makespan);
+      EXPECT_EQ(full.best_allocation, incr.best_allocation);
+      ASSERT_EQ(full.es.history.size(), incr.es.history.size());
+      for (std::size_t u = 0; u < full.es.history.size(); ++u) {
+        EXPECT_EQ(full.es.history[u].best, incr.es.history[u].best);
+        EXPECT_EQ(full.es.history[u].mean, incr.es.history[u].mean);
+        EXPECT_EQ(full.es.history[u].worst, incr.es.history[u].worst);
+      }
+      // The full run must not have taken the delta path, and the
+      // incremental run must actually have used it.
+      EXPECT_EQ(full.eval_stats.delta_scheduled, 0u);
+      EXPECT_EQ(full.eval_stats.trace_builds, 0u);
+      EXPECT_GT(incr.eval_stats.trace_builds, 0u);
+      EXPECT_GT(incr.eval_stats.delta_scheduled, 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptgsched

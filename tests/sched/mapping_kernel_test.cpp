@@ -1,10 +1,10 @@
-// Tests for the shared MappingCore: single- and multi-cluster schedulers
+// Tests for the shared MappingKernel: single- and multi-cluster schedulers
 // must agree on a one-cluster platform (they run the same engine), the
 // value and placement paths must report bit-identical makespans for both
 // processor-selection policies, and the rejection counter must support
 // exact reset semantics.
 
-#include "sched/mapping_core.hpp"
+#include "sched/mapping_kernel.hpp"
 
 #include <gtest/gtest.h>
 
@@ -33,19 +33,19 @@ Allocation random_allocation(const Ptg& g, int max_size, Rng& rng) {
   return alloc;
 }
 
-TEST(MappingCore, EarliestStartIsAPureQuery) {
+TEST(MappingKernel, EarliestStartIsAPureQuery) {
   const Ptg g = testutil::chain3();
   const Cluster c = unit_cluster(4);
   const FixedTimeModel model;
   const auto pi = ProblemInstance::borrow(g, model, c);
-  MappingCore core(g, pi->topo_order(), {MappingLane{4, 0}});
+  MappingKernel core(*pi, {MappingLane{4, 0}});
   // Probing must not mutate lane state: repeated queries agree.
   EXPECT_DOUBLE_EQ(core.earliest_start(0, 2, 1.5), 1.5);
   EXPECT_DOUBLE_EQ(core.earliest_start(0, 2, 1.5), 1.5);
   EXPECT_DOUBLE_EQ(core.earliest_start(0, 4, 0.0), 0.0);
 }
 
-TEST(MappingCore, SingleAndMultiClusterAgreeOnOneClusterPlatform) {
+TEST(MappingKernel, SingleAndMultiClusterAgreeOnOneClusterPlatform) {
   const auto graphs = irregular_corpus(40, 3, 77);
   const Cluster c = chti();
   const SyntheticModel model;
@@ -79,7 +79,7 @@ TEST(MappingCore, SingleAndMultiClusterAgreeOnOneClusterPlatform) {
   }
 }
 
-TEST(MappingCore, ValueAndPlacementPathsAgreeForBothPolicies) {
+TEST(MappingKernel, ValueAndPlacementPathsAgreeForBothPolicies) {
   const auto graphs = irregular_corpus(50, 3, 78);
   const Cluster c = chti();
   const SyntheticModel model;
@@ -103,7 +103,7 @@ TEST(MappingCore, ValueAndPlacementPathsAgreeForBothPolicies) {
   }
 }
 
-TEST(MappingCore, RejectionCounterResetsExactly) {
+TEST(MappingKernel, RejectionCounterResetsExactly) {
   const Ptg g = testutil::chain3();  // sequential: makespan 6 on all-ones
   const Cluster c = unit_cluster(2);
   const FixedTimeModel model;
@@ -125,7 +125,7 @@ TEST(MappingCore, RejectionCounterResetsExactly) {
   EXPECT_EQ(sched.rejected_count(), 1u);  // accepted runs don't count
 }
 
-TEST(MappingCore, SchedulersShareInstanceAcrossConstructions) {
+TEST(MappingKernel, SchedulersShareInstanceAcrossConstructions) {
   const Ptg g = testutil::diamond();
   const Cluster c = unit_cluster(4);
   const FixedTimeModel model;
