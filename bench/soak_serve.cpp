@@ -1,0 +1,203 @@
+// soak_serve: the ptgsched-serve soak bench (BENCH_7).
+//
+// Spins up an in-process daemon and hammers it with concurrent clients
+// over the real socket path — by default 16 clients x 64 requests (1024
+// total). Reports what the overload machinery actually did: completion
+// latency percentiles (p50/p95/p99), shed/retry counts, degradation-tier
+// completions, engine-pool hit rate, and — the invariant the soak
+// exists to prove — that zero accepted requests were lost (every one
+// reached a terminal state with a result).
+//
+//   soak_serve --clients 16 --requests 64 --json BENCH_7_soak.json
+//
+// --fail-on-shed turns any shed submission into a nonzero exit: under
+// nominal load (queue capacity comfortably above the number of clients,
+// each with one outstanding request) admission control must never fire,
+// and scripts/soak_smoke pins that as a regression guard.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+
+using namespace ptgsched;
+using namespace ptgsched::serve;
+
+namespace {
+
+struct ClientReport {
+  std::vector<double> latencies;
+  int done = 0;
+  int cancelled = 0;
+  int failed = 0;
+  int rejected = 0;  // overloaded even after client-side retries
+  int lost = 0;      // accepted but never reached a terminal state
+};
+
+JobSpec spec_for(int index, std::uint64_t seed) {
+  static const char* kClasses[] = {"layered", "irregular", "fft",
+                                   "strassen"};
+  JobSpec spec;
+  spec.cls = kClasses[index % 4];
+  spec.tasks = 20 + 10 * (index % 3);
+  spec.platform = "chti";
+  spec.model = "model1";
+  spec.seed = seed + static_cast<std::uint64_t>(index % 8);
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("soak_serve",
+                "Soak the serve daemon with concurrent clients and "
+                "report latency/shed/tier metrics.");
+  cli.add_option("clients", "Concurrent client connections", "16");
+  cli.add_option("requests", "Requests per client", "64");
+  cli.add_option("capacity", "Admission queue bound", "64");
+  cli.add_option("workers", "Daemon worker threads", "4");
+  cli.add_option("seed", "Workload + daemon seed", "42");
+  cli.add_option("emts-budget", "EMTS budget per request [s]", "0.25");
+  cli.add_option("json", "Write the report as JSON to this path", "");
+  cli.add_flag("fail-on-shed",
+               "Exit nonzero if any submission was shed");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const int clients = static_cast<int>(cli.get_int("clients"));
+    const int requests = static_cast<int>(cli.get_int("requests"));
+    const std::uint64_t seed = cli.get_u64("seed");
+
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::path("/tmp") / ("ptgsoak_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+
+    ServeConfig cfg;
+    cfg.socket_path = (dir / "sock").string();
+    cfg.journal_path = (dir / "journal.jsonl").string();
+    cfg.queue_capacity =
+        static_cast<std::size_t>(cli.get_int("capacity"));
+    cfg.workers = static_cast<std::size_t>(cli.get_int("workers"));
+    cfg.base_seed = seed;
+    cfg.emts_budget_seconds = cli.get_double("emts-budget");
+    ServeServer server(cfg);
+    server.start();
+
+    std::vector<ClientReport> reports(
+        static_cast<std::size_t>(clients));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    const WallTimer wall;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        ClientReport& report = reports[static_cast<std::size_t>(c)];
+        ServeClient client(cfg.socket_path);
+        const std::string tenant = "soak-" + std::to_string(c);
+        for (int r = 0; r < requests; ++r) {
+          const WallTimer timer;
+          const SubmitOutcome o = client.submit_with_retry(
+              spec_for(r, seed), tenant, /*deadline_seconds=*/0.0,
+              /*max_attempts=*/16,
+              /*backoff_seed=*/seed + static_cast<std::uint64_t>(c));
+          if (!o.accepted) {
+            ++report.rejected;
+            continue;
+          }
+          const auto final_status =
+              client.wait_terminal(o.id, /*timeout_seconds=*/300.0);
+          if (!final_status.has_value()) {
+            ++report.lost;
+            continue;
+          }
+          report.latencies.push_back(timer.seconds());
+          const std::string& s = final_status->at("status").as_string();
+          if (s == "done") {
+            ++report.done;
+          } else if (s == "cancelled") {
+            ++report.cancelled;
+          } else {
+            ++report.failed;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double elapsed = wall.seconds();
+
+    const Json stats = [&] {
+      ServeClient client(cfg.socket_path);
+      return client.stats();
+    }();
+    server.stop();
+    fs::remove_all(dir);
+
+    std::vector<double> latencies;
+    int done = 0, cancelled = 0, failed = 0, rejected = 0, lost = 0;
+    for (const ClientReport& r : reports) {
+      latencies.insert(latencies.end(), r.latencies.begin(),
+                       r.latencies.end());
+      done += r.done;
+      cancelled += r.cancelled;
+      failed += r.failed;
+      rejected += r.rejected;
+      lost += r.lost;
+    }
+    const auto shed = stats.at("shed").as_int();
+
+    JsonObject report;
+    report["clients"] = clients;
+    report["requests_per_client"] = requests;
+    report["total_requests"] = clients * requests;
+    report["elapsed_seconds"] = elapsed;
+    report["done"] = done;
+    report["cancelled"] = cancelled;
+    report["failed"] = failed;
+    report["rejected_after_retries"] = rejected;
+    report["lost"] = lost;
+    report["shed_submissions"] = shed;
+    report["shed_rate"] =
+        static_cast<double>(shed) /
+        static_cast<double>(clients * requests);
+    if (!latencies.empty()) {
+      report["latency_p50_seconds"] = percentile(latencies, 50.0);
+      report["latency_p95_seconds"] = percentile(latencies, 95.0);
+      report["latency_p99_seconds"] = percentile(latencies, 99.0);
+      report["throughput_rps"] =
+          static_cast<double>(latencies.size()) / elapsed;
+    }
+    report["tier_completions"] = stats.at("tier_completions");
+    report["engine_pool"] = stats.at("engine_pool");
+    const Json doc(std::move(report));
+
+    std::printf("%s\n", doc.dump(2).c_str());
+    const std::string json_path = cli.get("json");
+    if (!json_path.empty()) doc.write_file(json_path);
+
+    if (lost != 0 || failed != 0) {
+      std::fprintf(stderr,
+                   "soak_serve: FAIL — %d lost, %d failed requests\n",
+                   lost, failed);
+      return 1;
+    }
+    if (cli.get_flag("fail-on-shed") && shed != 0) {
+      std::fprintf(stderr,
+                   "soak_serve: FAIL — %lld submissions shed under "
+                   "nominal load\n",
+                   static_cast<long long>(shed));
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "soak_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,82 @@
+// ptgsched_serve: the scheduling daemon, as a binary.
+//
+// Runs ServeServer on a local socket until SIGINT/SIGTERM, which is
+// routed through install_signal_cancellation into a graceful shutdown:
+// in-flight requests are interrupted *without* terminal journal entries,
+// so restarting the daemon on the same --journal re-runs them at their
+// pinned tier and deterministic seed (see src/serve/server.hpp).
+//
+// Example session (one shell runs the daemon, another the client):
+//
+//   $ ptgsched_serve --socket /tmp/ptg.sock --journal /tmp/ptg.jsonl
+//   $ serve_loadgen --socket /tmp/ptg.sock --clients 4 --requests 32
+
+#include <cstdio>
+
+#include "serve/server.hpp"
+#include "support/cancellation.hpp"
+#include "support/cli.hpp"
+
+using namespace ptgsched;
+
+int main(int argc, char** argv) {
+  CliParser cli("ptgsched_serve",
+                "Run the PTG scheduling daemon on a local socket.");
+  cli.add_option("socket", "AF_UNIX socket path", "/tmp/ptgsched.sock");
+  cli.add_option("journal", "Crash-safe request journal path",
+                 "/tmp/ptgsched.journal.jsonl");
+  cli.add_option("capacity", "Admission queue bound", "64");
+  cli.add_option("workers", "Scheduling worker threads", "2");
+  cli.add_option("seed", "Base seed for per-request determinism", "1");
+  cli.add_option("emts-budget",
+                 "EMTS wall-clock budget per request [s]; 0 = none", "1");
+  cli.add_option("deadline",
+                 "Default per-request deadline [s]; 0 = none", "0");
+  cli.add_option("max-attempts", "Execution attempts per request", "3");
+  cli.add_option("p95-budget",
+                 "Latency budget driving degradation [s]", "2");
+  cli.add_option("pool-capacity", "Idle evaluation engines retained", "8");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+
+    serve::ServeConfig cfg;
+    cfg.socket_path = cli.get("socket");
+    cfg.journal_path = cli.get("journal");
+    cfg.queue_capacity = static_cast<std::size_t>(cli.get_int("capacity"));
+    cfg.workers = static_cast<std::size_t>(cli.get_int("workers"));
+    cfg.base_seed = cli.get_u64("seed");
+    cfg.emts_budget_seconds = cli.get_double("emts-budget");
+    cfg.default_deadline_seconds = cli.get_double("deadline");
+    cfg.max_attempts = static_cast<int>(cli.get_int("max-attempts"));
+    cfg.tiers.p95_budget_seconds = cli.get_double("p95-budget");
+    cfg.engine_pool.capacity =
+        static_cast<std::size_t>(cli.get_int("pool-capacity"));
+
+    CancellationToken shutdown;
+    install_signal_cancellation(&shutdown);
+    cfg.shutdown = &shutdown;
+
+    serve::ServeServer server(cfg);
+    server.start();
+    std::printf("ptgsched_serve: listening on %s (journal %s, "
+                "%zu workers, queue %zu)\n",
+                cfg.socket_path.c_str(), cfg.journal_path.c_str(),
+                cfg.workers, cfg.queue_capacity);
+    std::fflush(stdout);
+    server.wait();
+    install_signal_cancellation(nullptr);
+
+    const serve::ServeCounters c = server.counters();
+    std::printf("ptgsched_serve: stopped — submitted %llu, completed "
+                "%llu, cancelled %llu, failed %llu, recovered %llu\n",
+                static_cast<unsigned long long>(c.submitted),
+                static_cast<unsigned long long>(c.completed),
+                static_cast<unsigned long long>(c.cancelled),
+                static_cast<unsigned long long>(c.failed),
+                static_cast<unsigned long long>(c.recovered));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ptgsched_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,153 @@
+// serve_loadgen: a load generator for ptgsched_serve — the moldable-job
+// submission scenario (Section II-A) at traffic scale. Where the
+// moldable_job_submission example asks "what should ONE user request?",
+// this one plays a whole submission front-end: N concurrent clients each
+// firing M scheduling requests at a running daemon, riding out
+// backpressure with the server's retry_after hints, and reporting what
+// the paper's schedulers look like as a *service*: latency percentiles,
+// shed/retry counts, and the degradation tiers the daemon served.
+//
+//   $ ptgsched_serve --socket /tmp/ptg.sock &
+//   $ serve_loadgen --socket /tmp/ptg.sock --clients 4 --requests 32
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/timer.hpp"
+
+using namespace ptgsched;
+using namespace ptgsched::serve;
+
+namespace {
+
+struct ClientReport {
+  std::vector<double> latencies;  // accepted → terminal, seconds
+  int done = 0;
+  int cancelled = 0;
+  int failed = 0;
+  int rejected = 0;  // still overloaded after retries
+};
+
+/// The spec mix: four job shapes cycled per request index, so the daemon
+/// sees repeats (warm engine-pool hits) and variety (distinct problems).
+JobSpec spec_for(int index, std::uint64_t seed) {
+  static const char* kClasses[] = {"layered", "irregular", "fft",
+                                   "strassen"};
+  JobSpec spec;
+  spec.cls = kClasses[index % 4];
+  spec.tasks = 20 + 10 * (index % 3);
+  spec.platform = "chti";
+  spec.model = "model1";
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("serve_loadgen",
+                "Fire concurrent scheduling requests at a running "
+                "ptgsched_serve daemon and report service metrics.");
+  cli.add_option("socket", "Daemon socket path", "/tmp/ptgsched.sock");
+  cli.add_option("clients", "Concurrent client connections", "4");
+  cli.add_option("requests", "Requests per client", "16");
+  cli.add_option("seed", "Workload seed", "42");
+  cli.add_option("deadline", "Per-request deadline [s]; 0 = none", "0");
+  cli.add_option("tenant", "Tenant name prefix", "loadgen");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    const std::string socket_path = cli.get("socket");
+    const int clients = static_cast<int>(cli.get_int("clients"));
+    const int requests = static_cast<int>(cli.get_int("requests"));
+    const std::uint64_t seed = cli.get_u64("seed");
+    const double deadline = cli.get_double("deadline");
+    const std::string tenant_prefix = cli.get("tenant");
+
+    std::vector<ClientReport> reports(
+        static_cast<std::size_t>(clients));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    const WallTimer wall;
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        ClientReport& report = reports[static_cast<std::size_t>(c)];
+        ServeClient client(socket_path);
+        const std::string tenant =
+            tenant_prefix + "-" + std::to_string(c);
+        for (int r = 0; r < requests; ++r) {
+          const WallTimer timer;
+          const SubmitOutcome o = client.submit_with_retry(
+              spec_for(r, seed), tenant, deadline, /*max_attempts=*/8,
+              /*backoff_seed=*/seed + static_cast<std::uint64_t>(c));
+          if (!o.accepted) {
+            ++report.rejected;
+            continue;
+          }
+          const auto final_status = client.wait_terminal(o.id);
+          if (!final_status.has_value()) continue;
+          report.latencies.push_back(timer.seconds());
+          const std::string& s = final_status->at("status").as_string();
+          if (s == "done") {
+            ++report.done;
+          } else if (s == "cancelled") {
+            ++report.cancelled;
+          } else {
+            ++report.failed;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double elapsed = wall.seconds();
+
+    std::vector<double> latencies;
+    int done = 0, cancelled = 0, failed = 0, rejected = 0;
+    for (const ClientReport& r : reports) {
+      latencies.insert(latencies.end(), r.latencies.begin(),
+                       r.latencies.end());
+      done += r.done;
+      cancelled += r.cancelled;
+      failed += r.failed;
+      rejected += r.rejected;
+    }
+
+    std::printf("%d clients x %d requests against %s in %.2f s\n\n",
+                clients, requests, socket_path.c_str(), elapsed);
+    std::vector<std::vector<std::string>> table;
+    table.push_back({"metric", "value"});
+    table.push_back({"done", std::to_string(done)});
+    table.push_back({"cancelled", std::to_string(cancelled)});
+    table.push_back({"failed", std::to_string(failed)});
+    table.push_back({"rejected after retries", std::to_string(rejected)});
+    if (!latencies.empty()) {
+      table.push_back(
+          {"latency p50 [s]",
+           strfmt("%.4f", percentile(latencies, 50.0))});
+      table.push_back(
+          {"latency p95 [s]",
+           strfmt("%.4f", percentile(latencies, 95.0))});
+      table.push_back(
+          {"latency p99 [s]",
+           strfmt("%.4f", percentile(latencies, 99.0))});
+      table.push_back(
+          {"throughput [req/s]",
+           strfmt("%.1f", static_cast<double>(latencies.size()) /
+                              elapsed)});
+    }
+    std::fputs(render_table(table).c_str(), stdout);
+
+    // The daemon's own view (tiers served, sheds, pool hits).
+    ServeClient client(socket_path);
+    std::printf("\ndaemon stats: %s\n", client.stats().dump().c_str());
+    return failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_loadgen: %s\n", e.what());
+    return 1;
+  }
+}

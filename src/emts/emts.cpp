@@ -76,11 +76,6 @@ EmtsResult Emts::schedule(
   if (instance == nullptr) {
     throw std::invalid_argument("Emts: null problem instance");
   }
-  const Ptg& g = instance->graph();
-  const int num_processors = instance->num_processors();
-  WallTimer total_timer;
-  EmtsResult result;
-
   // The engine owns the whole evaluation hot path for this run: per-slot
   // list schedulers, the persistent worker pool, the memo cache, and the
   // rejection incumbent (published by the ES between selections).
@@ -91,6 +86,42 @@ EmtsResult Emts::schedule(
   engine_cfg.kernel = config_.kernel;
   engine_cfg.cancel = config_.cancel;
   EvaluationEngine engine(instance, config_.mapping, engine_cfg);
+  return schedule(engine);
+}
+
+namespace {
+
+/// Per-run stats of an engine that may carry history from earlier runs
+/// (pooled engines): the difference of two snapshots.
+EvalStats stats_delta(const EvalStats& now, const EvalStats& before) {
+  EvalStats d;
+  d.evaluations = now.evaluations - before.evaluations;
+  d.scheduled = now.scheduled - before.scheduled;
+  d.cache_hits = now.cache_hits - before.cache_hits;
+  d.cache_misses = now.cache_misses - before.cache_misses;
+  d.rejections = now.rejections - before.rejections;
+  d.trace_builds = now.trace_builds - before.trace_builds;
+  d.delta_scheduled = now.delta_scheduled - before.delta_scheduled;
+  d.batches = now.batches - before.batches;
+  d.eval_seconds = now.eval_seconds - before.eval_seconds;
+  return d;
+}
+
+}  // namespace
+
+EmtsResult Emts::schedule(EvaluationEngine& engine) const {
+  const std::shared_ptr<const ProblemInstance>& instance = engine.instance();
+  if (instance == nullptr) {
+    throw std::invalid_argument("Emts: engine has no problem instance");
+  }
+  // This run's cancellation policy wins over whatever the engine was
+  // constructed (or last used) with.
+  engine.set_cancel(config_.cancel);
+  const EvalStats stats_before = engine.stats();
+  const Ptg& g = instance->graph();
+  const int num_processors = instance->num_processors();
+  WallTimer total_timer;
+  EmtsResult result;
 
   // --- Step 0: starting solutions (Section III-B). ---------------------
   WallTimer seed_timer;
@@ -147,7 +178,7 @@ EmtsResult Emts::schedule(
       config_.mutation, config_.fm, config_.generations, num_processors));
   result.es = es.run(seeds);
 
-  result.eval_stats = engine.stats();
+  result.eval_stats = stats_delta(engine.stats(), stats_before);
   result.rejected_evaluations = result.eval_stats.rejections;
   result.cancelled = result.es.stopped_by_cancellation;
 

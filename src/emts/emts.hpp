@@ -114,6 +114,15 @@ class Emts {
   [[nodiscard]] EmtsResult schedule(
       const std::shared_ptr<const ProblemInstance>& instance) const;
 
+  /// Run against a caller-owned (typically pooled — see
+  /// eval/engine_pool.hpp) evaluation engine instead of building one.
+  /// The run binds the engine's cancellation token to config().cancel and
+  /// uses the engine's mapping policy and memo cache as-is; memo hits
+  /// return exact values, so a warm engine yields results bit-identical
+  /// to a cold one. EmtsResult::eval_stats covers this run only. The
+  /// engine must be quiescent (one run per engine at a time).
+  [[nodiscard]] EmtsResult schedule(EvaluationEngine& engine) const;
+
   /// Legacy adapter: borrows the references for the duration of the call.
   [[nodiscard]] EmtsResult schedule(const Ptg& g,
                                     const ExecutionTimeModel& model,

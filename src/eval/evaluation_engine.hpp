@@ -161,6 +161,15 @@ class EvaluationEngine final : public BatchEvaluator {
     return incumbent_.load(std::memory_order_relaxed);
   }
 
+  // Cancellation -------------------------------------------------------
+  /// Rebind the cooperative cancellation token consulted by the batch
+  /// paths. The engine must be quiescent (no evaluate_batch in flight);
+  /// the serve daemon's engine pool rebinds the per-request token here
+  /// each time a pooled engine is checked out for a new request.
+  void set_cancel(const CancellationToken* cancel) noexcept {
+    config_.cancel = cancel;
+  }
+
   // Telemetry ----------------------------------------------------------
   [[nodiscard]] EvalStats stats() const;
   void reset_stats();

@@ -391,8 +391,10 @@ Json run_campaign(const CampaignConfig& config,
               ProblemInstance::borrow(graphs[i], *model, cluster);
           const EmtsResult r = Emts(ecfg).schedule(instance);
           if (r.cancelled) {
-            throw CancelledError("gap unit cancelled mid-run (#" +
-                                 std::to_string(i) + ")");
+            throw CancelledError(
+                "gap unit cancelled mid-run (#" + std::to_string(i) + ")",
+                config.cancel != nullptr ? config.cancel->reason()
+                                         : CancelReason::kNone);
           }
           const MakespanLowerBounds lb =
               makespan_lower_bounds(graphs[i], *model, cluster);

@@ -79,8 +79,11 @@ InstanceResult run_unit(const ComparisonConfig& config,
     // A mid-unit cancel yields a valid best-so-far schedule, but the unit
     // did not run to completion — it must not enter the aggregates or the
     // checkpoint journal, or a resumed run would diverge.
-    throw CancelledError("unit cancelled mid-run (" + cls + "/" +
-                         platform_name + "/#" + std::to_string(index) + ")");
+    throw CancelledError(
+        "unit cancelled mid-run (" + cls + "/" + platform_name + "/#" +
+            std::to_string(index) + ")",
+        hooks.cancel != nullptr ? hooks.cancel->reason()
+                                : CancelReason::kNone);
   }
   ir.emts_makespan = er.makespan;
   ir.emts_seconds = er.total_seconds;
@@ -106,8 +109,11 @@ const char* unit_error_kind_name(UnitErrorKind kind) noexcept {
 }
 
 UnitErrorKind classify_unit_error(const std::exception& e) {
-  if (dynamic_cast<const CancelledError*>(&e) != nullptr) {
-    return UnitErrorKind::kCancelled;
+  if (const auto* c = dynamic_cast<const CancelledError*>(&e)) {
+    // A cancel whose recorded reason is a deadline expiry is a timeout in
+    // operator terms — "the work was too slow", not "someone stopped it".
+    return c->reason() == CancelReason::kDeadline ? UnitErrorKind::kTimeout
+                                                  : UnitErrorKind::kCancelled;
   }
   if (dynamic_cast<const DeadlineError*>(&e) != nullptr) {
     return UnitErrorKind::kTimeout;

@@ -80,10 +80,11 @@ enum class UnitErrorKind {
 /// Stable wire name: "input_error" | "eval_error" | "timeout" | "cancelled".
 [[nodiscard]] const char* unit_error_kind_name(UnitErrorKind kind) noexcept;
 
-/// Map an exception to the taxonomy: CancelledError -> cancelled,
-/// DeadlineError -> timeout, input-shaped errors (GraphError,
-/// PlatformError, JsonError, LoadError, invalid_argument) -> input_error,
-/// anything else -> eval_error.
+/// Map an exception to the taxonomy: CancelledError -> cancelled (unless
+/// its CancelReason is kDeadline, which is a timeout), DeadlineError ->
+/// timeout, input-shaped errors (GraphError, PlatformError, JsonError,
+/// LoadError, invalid_argument) -> input_error, anything else ->
+/// eval_error.
 [[nodiscard]] UnitErrorKind classify_unit_error(const std::exception& e);
 
 /// One failed (class, platform, instance) unit.

@@ -1,0 +1,60 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+namespace ptgsched::serve {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool AdmissionQueue::try_push(std::uint64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || queue_.size() >= capacity_) {
+      ++shed_;
+      return false;
+    }
+    queue_.push_back(id);
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::optional<std::uint64_t> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  const std::uint64_t id = queue_.front();
+  queue_.pop_front();
+  return id;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::uint64_t AdmissionQueue::shed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+double suggest_retry_after(std::size_t queue_depth, std::size_t workers,
+                           double p95_latency_seconds) {
+  const double per_request =
+      p95_latency_seconds > 0.0 ? p95_latency_seconds : 0.1;
+  const double lanes = workers == 0 ? 1.0 : static_cast<double>(workers);
+  const double drain =
+      per_request * (static_cast<double>(queue_depth) + 1.0) / lanes;
+  return std::clamp(drain, 0.05, 30.0);
+}
+
+}  // namespace ptgsched::serve

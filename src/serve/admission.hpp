@@ -1,0 +1,60 @@
+#pragma once
+// Admission control for ptgsched-serve: a bounded FIFO of request ids with
+// explicit backpressure.
+//
+// The queue is the daemon's only elastic buffer, and it is deliberately
+// small: every queued request holds journal state and a client waiting on
+// it, so "accept everything and let latency explode" is the failure mode
+// this module exists to prevent. When the queue is full, try_push refuses
+// and the server answers the client with `overloaded` plus a concrete
+// retry_after_seconds hint — the client-visible half of the backpressure
+// loop (the jittered client-side schedule lives in support/backoff).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace ptgsched::serve {
+
+/// Bounded MPMC FIFO of request ids. All methods are thread-safe.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity);
+
+  /// Enqueue if there is room; false (without blocking) when full or
+  /// closed. Never blocks — backpressure must be immediate.
+  [[nodiscard]] bool try_push(std::uint64_t id);
+
+  /// Dequeue the oldest id, blocking until one is available or the queue
+  /// is closed. nullopt only after close() with the queue drained.
+  [[nodiscard]] std::optional<std::uint64_t> pop();
+
+  /// Wake all poppers; pop() drains what remains, then returns nullopt.
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Submissions refused because the queue was full (lifetime counter).
+  [[nodiscard]] std::uint64_t shed_count() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::uint64_t> queue_;
+  std::uint64_t shed_ = 0;
+  bool closed_ = false;
+};
+
+/// The retry hint for a shed submission: long enough for the backlog ahead
+/// of the client to drain at the observed per-request latency, bounded to
+/// [0.05, 30] seconds so a misbehaving estimate can neither hammer the
+/// daemon nor strand the client. `p95_latency_seconds` <= 0 (no samples
+/// yet) falls back to 100 ms per queued request.
+[[nodiscard]] double suggest_retry_after(std::size_t queue_depth,
+                                         std::size_t workers,
+                                         double p95_latency_seconds);
+
+}  // namespace ptgsched::serve

@@ -1,0 +1,156 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "serve/protocol.hpp"
+#include "support/backoff.hpp"
+#include "support/timer.hpp"
+
+namespace ptgsched::serve {
+
+ServeClient::ServeClient(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("socket: " + std::string(std::strerror(errno)));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("connect " + socket_path + ": " +
+                             std::strerror(saved));
+  }
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Json ServeClient::request(const Json& message) {
+  write_message(fd_, message);
+  Json response;
+  if (!read_message(fd_, response)) {
+    throw ProtocolError("daemon closed the connection mid-exchange");
+  }
+  return response;
+}
+
+SubmitOutcome ServeClient::submit(const JobSpec& spec,
+                                  const std::string& tenant,
+                                  double deadline_seconds) {
+  JsonObject o;
+  o["op"] = "submit";
+  o["spec"] = spec.to_json();
+  if (!tenant.empty()) o["tenant"] = tenant;
+  if (deadline_seconds > 0.0) o["deadline_seconds"] = deadline_seconds;
+  const Json response = request(Json(std::move(o)));
+
+  SubmitOutcome outcome;
+  outcome.accepted = response.at("ok").as_bool();
+  if (outcome.accepted) {
+    outcome.id = static_cast<std::uint64_t>(response.at("id").as_int());
+  } else {
+    outcome.error = response.at("error").as_string();
+    outcome.retry_after_seconds =
+        response.get_or("retry_after_seconds", 0.0);
+  }
+  return outcome;
+}
+
+SubmitOutcome ServeClient::submit_with_retry(
+    const JobSpec& spec, const std::string& tenant, double deadline_seconds,
+    int max_attempts, std::uint64_t backoff_seed,
+    const CancellationToken* cancel) {
+  SubmitOutcome outcome;
+  for (int attempt = 1;; ++attempt) {
+    outcome = submit(spec, tenant, deadline_seconds);
+    if (outcome.accepted || outcome.error != kErrOverloaded ||
+        attempt >= max_attempts) {
+      return outcome;
+    }
+    // The server's hint is the floor; jittered backoff stacks on top so a
+    // thundering herd of rejected clients does not return in lockstep.
+    const double jitter =
+        backoff_delay_seconds(attempt, 0.01, 0.0, backoff_seed);
+    if (!backoff_sleep(outcome.retry_after_seconds + jitter, cancel)) {
+      return outcome;  // cancelled mid-wait
+    }
+  }
+}
+
+Json ServeClient::status(std::uint64_t id) {
+  JsonObject o;
+  o["op"] = "status";
+  o["id"] = id;
+  return request(Json(std::move(o)));
+}
+
+std::optional<Json> ServeClient::wait_terminal(
+    std::uint64_t id, double timeout_seconds,
+    double poll_interval_seconds) {
+  const WallTimer timer;
+  for (;;) {
+    Json response = status(id);
+    if (response.at("ok").as_bool()) {
+      const RequestStatus s =
+          request_status_from_name(response.at("status").as_string());
+      if (is_terminal(s)) return response;
+    } else {
+      return response;  // unknown id etc.: surface it to the caller
+    }
+    if (timeout_seconds > 0.0 && timer.seconds() >= timeout_seconds) {
+      return std::nullopt;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(poll_interval_seconds));
+  }
+}
+
+Json ServeClient::result(std::uint64_t id) {
+  JsonObject o;
+  o["op"] = "result";
+  o["id"] = id;
+  Json response = request(Json(std::move(o)));
+  if (!response.at("ok").as_bool()) {
+    throw std::runtime_error("result " + std::to_string(id) + ": " +
+                             response.at("message").as_string());
+  }
+  return response.at("result");
+}
+
+Json ServeClient::cancel(std::uint64_t id) {
+  JsonObject o;
+  o["op"] = "cancel";
+  o["id"] = id;
+  return request(Json(std::move(o)));
+}
+
+Json ServeClient::stats() {
+  JsonObject o;
+  o["op"] = "stats";
+  return request(Json(std::move(o)));
+}
+
+Json ServeClient::shutdown() {
+  JsonObject o;
+  o["op"] = "shutdown";
+  return request(Json(std::move(o)));
+}
+
+}  // namespace ptgsched::serve

@@ -1,0 +1,79 @@
+#pragma once
+// ServeClient — the client half of the ptgsched-serve protocol.
+//
+// One client owns one connection and is used from one thread. The
+// interesting method is submit_with_retry: it cooperates with the
+// daemon's backpressure, honoring `retry_after_seconds` from overloaded
+// rejections with the deterministic jittered backoff of support/backoff —
+// the well-behaved client the admission controller is designed for.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/request.hpp"
+#include "support/cancellation.hpp"
+#include "support/json.hpp"
+
+namespace ptgsched::serve {
+
+/// Outcome of one submit exchange.
+struct SubmitOutcome {
+  bool accepted = false;
+  std::uint64_t id = 0;            ///< Valid when accepted.
+  std::string error;               ///< Error code when refused.
+  double retry_after_seconds = 0;  ///< Overloaded rejections only.
+};
+
+class ServeClient {
+ public:
+  /// Connects to the daemon at `socket_path`; throws std::runtime_error.
+  explicit ServeClient(const std::string& socket_path);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// One raw request/response exchange. Throws ProtocolError/JsonError on
+  /// transport or framing failures (including the daemon closing the
+  /// connection mid-exchange).
+  [[nodiscard]] Json request(const Json& message);
+
+  /// Submit `spec`. deadline_seconds <= 0 means "server default".
+  [[nodiscard]] SubmitOutcome submit(const JobSpec& spec,
+                                     const std::string& tenant = "",
+                                     double deadline_seconds = 0.0);
+
+  /// Submit, sleeping out overloaded rejections (the server's
+  /// retry_after_seconds, plus jittered backoff on top for repeated
+  /// rejections) up to `max_attempts`. Returns the final outcome; a
+  /// tripped `cancel` or exhausted attempts return the last rejection.
+  [[nodiscard]] SubmitOutcome submit_with_retry(
+      const JobSpec& spec, const std::string& tenant = "",
+      double deadline_seconds = 0.0, int max_attempts = 5,
+      std::uint64_t backoff_seed = 1,
+      const CancellationToken* cancel = nullptr);
+
+  /// {"op":"status","id":id} — the full response object.
+  [[nodiscard]] Json status(std::uint64_t id);
+
+  /// Poll status until the request reaches a terminal state or
+  /// `timeout_seconds` elapses (0 = wait forever). Returns the final
+  /// status response, or nullopt on timeout.
+  [[nodiscard]] std::optional<Json> wait_terminal(
+      std::uint64_t id, double timeout_seconds = 0.0,
+      double poll_interval_seconds = 0.005);
+
+  /// {"op":"result","id":id} — throws std::runtime_error unless done.
+  [[nodiscard]] Json result(std::uint64_t id);
+
+  [[nodiscard]] Json cancel(std::uint64_t id);
+  [[nodiscard]] Json stats();
+  /// Ask the daemon to shut down (returns its ack).
+  [[nodiscard]] Json shutdown();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ptgsched::serve

@@ -1,0 +1,107 @@
+#include "serve/degradation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace ptgsched::serve {
+
+const char* service_tier_name(ServiceTier t) noexcept {
+  switch (t) {
+    case ServiceTier::kEmts:
+      return "emts";
+    case ServiceTier::kHeuristic:
+      return "heuristic";
+    case ServiceTier::kCpaOneShot:
+      return "cpa_one_shot";
+  }
+  return "unknown";
+}
+
+ServiceTier service_tier_from_name(std::string_view name) {
+  if (name == "emts") return ServiceTier::kEmts;
+  if (name == "heuristic") return ServiceTier::kHeuristic;
+  if (name == "cpa_one_shot") return ServiceTier::kCpaOneShot;
+  throw std::invalid_argument("unknown service tier: " + std::string(name));
+}
+
+TierController::TierController(TierConfig config) : config_(config) {
+  if (config_.latency_window == 0) {
+    throw std::invalid_argument("TierController: latency_window == 0");
+  }
+  if (!(config_.p95_budget_seconds > 0.0)) {
+    throw std::invalid_argument("TierController: p95_budget_seconds <= 0");
+  }
+  if (config_.degrade_low >= config_.degrade_high ||
+      config_.shed_low >= config_.shed_high) {
+    throw std::invalid_argument(
+        "TierController: de-escalation watermarks must sit strictly below "
+        "their escalation twins (the gap is the hysteresis band)");
+  }
+}
+
+void TierController::record_latency(double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latencies_.push_back(seconds);
+  while (latencies_.size() > config_.latency_window) {
+    latencies_.pop_front();
+  }
+}
+
+double TierController::p95_latency() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (latencies_.empty()) return 0.0;
+  return percentile(std::vector<double>(latencies_.begin(), latencies_.end()),
+                    95.0);
+}
+
+double TierController::load_score(std::size_t queue_depth,
+                                  std::size_t queue_capacity) const {
+  const double cap =
+      queue_capacity == 0 ? 1.0 : static_cast<double>(queue_capacity);
+  const double occupancy = static_cast<double>(queue_depth) / cap;
+  const double latency = p95_latency() / config_.p95_budget_seconds;
+  return std::max(occupancy, latency);
+}
+
+ServiceTier TierController::decide(std::size_t queue_depth,
+                                   std::size_t queue_capacity) {
+  const double score = load_score(queue_depth, queue_capacity);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Escalate on the high watermarks, de-escalate on the low ones; inside
+  // a hysteresis band the previous tier is sticky.
+  switch (tier_) {
+    case ServiceTier::kEmts:
+      if (score >= config_.shed_high) {
+        tier_ = ServiceTier::kCpaOneShot;
+      } else if (score >= config_.degrade_high) {
+        tier_ = ServiceTier::kHeuristic;
+      }
+      break;
+    case ServiceTier::kHeuristic:
+      if (score >= config_.shed_high) {
+        tier_ = ServiceTier::kCpaOneShot;
+      } else if (score <= config_.degrade_low) {
+        tier_ = ServiceTier::kEmts;
+      }
+      break;
+    case ServiceTier::kCpaOneShot:
+      if (score <= config_.degrade_low) {
+        tier_ = ServiceTier::kEmts;
+      } else if (score <= config_.shed_low) {
+        tier_ = ServiceTier::kHeuristic;
+      }
+      break;
+  }
+  return tier_;
+}
+
+ServiceTier TierController::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tier_;
+}
+
+}  // namespace ptgsched::serve

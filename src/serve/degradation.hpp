@@ -1,0 +1,97 @@
+#pragma once
+// Graceful degradation for ptgsched-serve: a tiered quality/latency dial.
+//
+// Under nominal load every request gets the paper's full treatment — a
+// budgeted EMTS run. As the daemon saturates, shedding *quality* is far
+// kinder than shedding *requests*: the cheaper tiers still return valid
+// schedules (the seed-heuristic floor from Section III-B guarantees the
+// EMTS tier is never worse than tier 1's best heuristic), they just skip
+// the evolutionary polish. Three tiers:
+//
+//   kEmts       — budgeted EMTS5 (evolution + heuristic seeds; best).
+//   kHeuristic  — best of the MCPA/HCPA allocations, one mapping pass
+//                 each; no evolution.
+//   kCpaOneShot — a single CPA allocation + one mapping pass; cheapest.
+//
+// The controller picks a tier from a load score combining the two
+// saturation signals the ISSUE names: admission-queue depth (how far
+// behind we are) and observed p95 completion latency (how slow we are).
+// Escalation and de-escalation use distinct watermarks (hysteresis), so a
+// load level sitting exactly on a threshold cannot make the tier flap
+// request-to-request.
+//
+// Determinism note: the tier affects *which* pipeline runs, never the
+// result of that pipeline — each tier is itself deterministic in the
+// request seed. The journal records the tier a request started under so
+// recovery re-runs it at the same tier, keeping recovered results
+// bit-identical even if the restarted daemon is unloaded.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace ptgsched::serve {
+
+/// Quality tiers, best first. Values are stable (journaled).
+enum class ServiceTier : int {
+  kEmts = 0,
+  kHeuristic = 1,
+  kCpaOneShot = 2,
+};
+
+/// Stable wire name ("emts", "heuristic", "cpa_one_shot").
+[[nodiscard]] const char* service_tier_name(ServiceTier t) noexcept;
+
+/// Inverse of service_tier_name; throws std::invalid_argument.
+[[nodiscard]] ServiceTier service_tier_from_name(std::string_view name);
+
+struct TierConfig {
+  /// Latency the service aims to stay under; p95 at this value counts as
+  /// fully saturated (score 1.0 from the latency signal alone).
+  double p95_budget_seconds = 2.0;
+  /// Completion-latency samples kept for the p95 estimate.
+  std::size_t latency_window = 64;
+  /// Escalation watermarks on the load score
+  /// max(depth/capacity, p95/p95_budget): score >= degrade_high leaves
+  /// kEmts, score >= shed_high leaves kHeuristic too.
+  double degrade_high = 0.50;
+  double shed_high = 0.90;
+  /// De-escalation watermarks (must sit below their escalation twins; the
+  /// gap is the hysteresis band).
+  double degrade_low = 0.30;
+  double shed_low = 0.60;
+};
+
+/// Thread-safe tier controller. Workers record completion latencies;
+/// admission decisions ask for the current tier given queue occupancy.
+class TierController {
+ public:
+  explicit TierController(TierConfig config = TierConfig());
+
+  /// Record one request's completion latency (seconds).
+  void record_latency(double seconds);
+
+  /// Current p95 of the sliding latency window; 0 with no samples.
+  [[nodiscard]] double p95_latency() const;
+
+  /// Load score in [0, inf): max of queue occupancy and p95 pressure.
+  [[nodiscard]] double load_score(std::size_t queue_depth,
+                                  std::size_t queue_capacity) const;
+
+  /// Pick (and remember, for hysteresis) the tier for the next request.
+  [[nodiscard]] ServiceTier decide(std::size_t queue_depth,
+                                   std::size_t queue_capacity);
+
+  /// Last tier decide() returned (kEmts before any decision).
+  [[nodiscard]] ServiceTier current() const;
+
+  [[nodiscard]] const TierConfig& config() const noexcept { return config_; }
+
+ private:
+  TierConfig config_;
+  mutable std::mutex mu_;
+  std::deque<double> latencies_;
+  ServiceTier tier_ = ServiceTier::kEmts;
+};
+
+}  // namespace ptgsched::serve

@@ -1,0 +1,140 @@
+#include "serve/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ptgsched::serve {
+
+RequestJournal::RequestJournal(std::string path)
+    : journal_(std::move(path)) {}
+
+void RequestJournal::append(const Json& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_.append_line(event.dump());
+}
+
+void RequestJournal::record_submit(const JournaledRequest& request) {
+  JsonObject o;
+  o["event"] = "submit";
+  o["id"] = request.id;
+  o["tenant"] = request.tenant;
+  o["spec"] = request.spec.to_json();
+  o["deadline_seconds"] = request.deadline_seconds;
+  append(Json(std::move(o)));
+}
+
+void RequestJournal::record_start(std::uint64_t id, ServiceTier tier,
+                                  int attempt) {
+  JsonObject o;
+  o["event"] = "start";
+  o["id"] = id;
+  o["tier"] = service_tier_name(tier);
+  o["attempt"] = attempt;
+  append(Json(std::move(o)));
+}
+
+void RequestJournal::record_complete(std::uint64_t id, const Json& result) {
+  JsonObject o;
+  o["event"] = "complete";
+  o["id"] = id;
+  o["result"] = result;
+  append(Json(std::move(o)));
+}
+
+void RequestJournal::record_cancel(std::uint64_t id,
+                                   std::string_view reason) {
+  JsonObject o;
+  o["event"] = "cancel";
+  o["id"] = id;
+  o["reason"] = std::string(reason);
+  append(Json(std::move(o)));
+}
+
+void RequestJournal::record_fail(std::uint64_t id,
+                                 std::string_view message) {
+  JsonObject o;
+  o["event"] = "fail";
+  o["id"] = id;
+  o["message"] = std::string(message);
+  append(Json(std::move(o)));
+}
+
+namespace {
+
+/// Apply one parsed journal event to the request table.
+void apply_event(RecoveredState& state, const Json& event) {
+  const std::string& kind = event.at("event").as_string();
+  const auto id = static_cast<std::uint64_t>(event.at("id").as_int());
+  if (id >= state.next_id) state.next_id = id + 1;
+
+  if (kind == "submit") {
+    JournaledRequest r;
+    r.id = id;
+    r.tenant = event.at("tenant").as_string();
+    r.spec = JobSpec::from_json(event.at("spec"));
+    r.deadline_seconds = event.at("deadline_seconds").as_double();
+    r.status = RequestStatus::kQueued;
+    state.requests[id] = std::move(r);
+    return;
+  }
+  const auto it = state.requests.find(id);
+  if (it == state.requests.end()) {
+    throw std::runtime_error("journal: event '" + kind +
+                             "' for request " + std::to_string(id) +
+                             " with no submit record");
+  }
+  JournaledRequest& r = it->second;
+  if (kind == "start") {
+    r.status = RequestStatus::kRunning;
+    r.tier = service_tier_from_name(event.at("tier").as_string());
+    r.tier_pinned = true;
+    r.attempt = static_cast<int>(event.at("attempt").as_int());
+  } else if (kind == "complete") {
+    r.status = RequestStatus::kDone;
+    r.result = event.at("result");
+  } else if (kind == "cancel") {
+    r.status = RequestStatus::kCancelled;
+    r.error = event.at("reason").as_string();
+  } else if (kind == "fail") {
+    r.status = RequestStatus::kFailed;
+    r.error = event.at("message").as_string();
+  } else {
+    throw std::runtime_error("journal: unknown event kind '" + kind + "'");
+  }
+}
+
+}  // namespace
+
+RecoveredState RequestJournal::recover(const std::string& path) {
+  RecoveredState state;
+  std::ifstream in(path);
+  if (!in.is_open()) return state;  // no journal yet: fresh daemon
+
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  // A line the crash tore is by construction the last one (AppendJournal
+  // fsyncs each line before the next append starts). Parse failures on
+  // the final line are therefore expected crash debris; anywhere earlier
+  // they are real corruption and must not be papered over.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    try {
+      apply_event(state, Json::parse(lines[i]));
+    } catch (const std::exception& e) {
+      if (i + 1 == lines.size()) {
+        state.tolerated_torn_tail = true;
+        break;
+      }
+      throw std::runtime_error("journal: corrupt line " +
+                               std::to_string(i + 1) + ": " + e.what());
+    }
+  }
+  for (const auto& [id, r] : state.requests) {
+    if (!is_terminal(r.status)) state.pending.push_back(id);
+  }
+  return state;
+}
+
+}  // namespace ptgsched::serve

@@ -1,0 +1,96 @@
+#pragma once
+// Crash-safe request journal for ptgsched-serve.
+//
+// Every request state transition is one JSON line durably appended (via
+// atomic_io::AppendJournal, fsync-per-line) *before* the transition is
+// acknowledged anywhere else — to the client, to the admission queue, or
+// to a worker. A daemon killed at any instant can therefore rebuild its
+// request table exactly from the journal on restart:
+//
+//   {"event":"submit","id":N,"tenant":T,"spec":{...},
+//    "deadline_seconds":D,"tier_cap":"emts"}
+//   {"event":"start","id":N,"tier":"emts","attempt":A}
+//   {"event":"complete","id":N,"result":{...}}
+//   {"event":"cancel","id":N,"reason":"user_cancel"}
+//   {"event":"fail","id":N,"message":"..."}
+//
+// Recovery semantics: requests whose last event is terminal keep their
+// recorded outcome verbatim — in particular a "complete" result is
+// returned bit-identically (Json doubles serialize with %.17g, which
+// round-trips exactly). Non-terminal requests (submitted or started but
+// never finished) are re-queued; a "start" event pins the tier, so the
+// re-run draws the same deterministic seed *and* the same pipeline,
+// reproducing the result the lost run would have produced. A torn final
+// line (the append the crash interrupted) is tolerated and ignored; a
+// malformed line anywhere earlier is corruption and throws.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/degradation.hpp"
+#include "serve/request.hpp"
+#include "support/atomic_io.hpp"
+
+namespace ptgsched::serve {
+
+/// One request's state as reconstructed from (or about to enter) the
+/// journal.
+struct JournaledRequest {
+  std::uint64_t id = 0;
+  std::string tenant;
+  JobSpec spec;
+  double deadline_seconds = 0.0;  ///< 0 = no deadline.
+  RequestStatus status = RequestStatus::kQueued;
+  /// Tier recorded by the last "start" event; recovery re-runs at exactly
+  /// this tier. Unset (no start event) means the recovered daemon decides.
+  bool tier_pinned = false;
+  ServiceTier tier = ServiceTier::kEmts;
+  int attempt = 0;           ///< Last started attempt (0 = never started).
+  Json result;               ///< "complete" payload (null otherwise).
+  std::string error;         ///< "fail" message / "cancel" reason.
+};
+
+/// Journal reconstruction: every request ever journaled, plus the next
+/// fresh request id (max seen + 1).
+struct RecoveredState {
+  std::map<std::uint64_t, JournaledRequest> requests;
+  std::uint64_t next_id = 1;
+  /// Ids needing re-execution (non-terminal), in submission order.
+  std::vector<std::uint64_t> pending;
+  bool tolerated_torn_tail = false;  ///< Final line was torn and skipped.
+};
+
+/// Append-side of the journal. Thread-safe (appends are serialized; the
+/// underlying AppendJournal fsyncs each line before returning).
+class RequestJournal {
+ public:
+  /// Opens (creating if absent) the journal at `path`.
+  explicit RequestJournal(std::string path);
+
+  void record_submit(const JournaledRequest& request);
+  void record_start(std::uint64_t id, ServiceTier tier, int attempt);
+  void record_complete(std::uint64_t id, const Json& result);
+  void record_cancel(std::uint64_t id, std::string_view reason);
+  void record_fail(std::uint64_t id, std::string_view message);
+
+  [[nodiscard]] const std::string& path() const noexcept {
+    return journal_.path();
+  }
+
+  /// Parse the journal at `path` (absent file = empty state). Throws
+  /// JsonError/std::runtime_error on mid-file corruption; a torn final
+  /// line is skipped and flagged.
+  [[nodiscard]] static RecoveredState recover(const std::string& path);
+
+ private:
+  void append(const Json& event);
+
+  std::mutex mu_;
+  AppendJournal journal_;
+};
+
+}  // namespace ptgsched::serve

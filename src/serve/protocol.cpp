@@ -1,0 +1,119 @@
+#include "serve/protocol.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ptgsched::serve {
+
+JsonLimits wire_json_limits() noexcept {
+  JsonLimits limits;
+  limits.max_depth = 64;
+  limits.max_bytes = kMaxFrameBytes;
+  return limits;
+}
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw ProtocolError(std::string(what) + ": " +
+                      std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
+}
+
+void write_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Returns bytes read; < len only on EOF.
+std::size_t read_upto(int fd, char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::read(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("read");
+    }
+    if (n == 0) break;  // EOF
+    off += static_cast<std::size_t>(n);
+  }
+  return off;
+}
+
+}  // namespace
+
+void write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw ProtocolError("frame payload exceeds kMaxFrameBytes (" +
+                        std::to_string(payload.size()) + " bytes)");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const char prefix[4] = {
+      static_cast<char>((len >> 24) & 0xff),
+      static_cast<char>((len >> 16) & 0xff),
+      static_cast<char>((len >> 8) & 0xff),
+      static_cast<char>(len & 0xff),
+  };
+  write_all(fd, prefix, sizeof prefix);
+  write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::string& out) {
+  char prefix[4];
+  const std::size_t got = read_upto(fd, prefix, sizeof prefix);
+  if (got == 0) return false;  // clean EOF between frames
+  if (got < sizeof prefix) {
+    throw ProtocolError("torn frame: EOF inside the length prefix");
+  }
+  const std::uint32_t len =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[0]))
+       << 24) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[1]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[2]))
+       << 8) |
+      static_cast<std::uint32_t>(static_cast<unsigned char>(prefix[3]));
+  if (len > kMaxFrameBytes) {
+    throw ProtocolError("announced frame length " + std::to_string(len) +
+                        " exceeds kMaxFrameBytes");
+  }
+  out.resize(len);
+  if (read_upto(fd, out.data(), len) < len) {
+    throw ProtocolError("torn frame: EOF inside the payload");
+  }
+  return true;
+}
+
+void write_message(int fd, const Json& message) {
+  write_frame(fd, message.dump());
+}
+
+bool read_message(int fd, Json& out) {
+  std::string payload;
+  if (!read_frame(fd, payload)) return false;
+  out = Json::parse(payload, wire_json_limits());
+  return true;
+}
+
+Json ok_response(JsonObject fields) {
+  fields["ok"] = true;
+  return Json(std::move(fields));
+}
+
+Json error_response(std::string_view code, std::string_view message,
+                    JsonObject fields) {
+  fields["ok"] = false;
+  fields["error"] = std::string(code);
+  fields["message"] = std::string(message);
+  return Json(std::move(fields));
+}
+
+}  // namespace ptgsched::serve

@@ -1,0 +1,88 @@
+#pragma once
+// ptgsched-serve wire protocol: length-prefixed JSON frames over a local
+// stream socket.
+//
+// Every message — request or response — is one JSON document preceded by
+// its byte length as a 4-byte big-endian unsigned integer. Length-prefix
+// framing (rather than newline-delimited) lets payloads embed anything a
+// JSON string can carry and makes torn input detectable: a reader that
+// gets EOF mid-frame knows the peer died, it never misparses a half
+// message as a whole one.
+//
+// Requests are objects with an "op" member:
+//
+//   {"op":"submit","spec":{...},"tenant":"t","deadline_seconds":5.0}
+//   {"op":"status","id":7}
+//   {"op":"result","id":7}
+//   {"op":"cancel","id":7}
+//   {"op":"stats"}
+//   {"op":"shutdown"}
+//
+// Responses always carry "ok" (bool). Failures add "error" (a stable
+// machine-readable code, see kErr* below) and "message" (human-readable).
+// An overloaded server rejects submits with error "overloaded" plus
+// "retry_after_seconds" — explicit backpressure, never a silent hang.
+//
+// Parsing of network-origin JSON runs under JsonLimits (depth and size
+// bounded) so a hostile client cannot stack-overflow or OOM the daemon;
+// parse errors are reported back with the byte offset.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "support/json.hpp"
+
+namespace ptgsched::serve {
+
+/// Hard cap on one frame's payload; larger announcements are a protocol
+/// error (the connection is dropped, the daemon keeps serving others).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Parser limits applied to every network-origin JSON document.
+[[nodiscard]] JsonLimits wire_json_limits() noexcept;
+
+/// Stable machine-readable error codes carried in responses.
+inline constexpr const char* kErrOverloaded = "overloaded";
+inline constexpr const char* kErrBadRequest = "bad_request";
+inline constexpr const char* kErrUnknownId = "unknown_id";
+inline constexpr const char* kErrNotFinished = "not_finished";
+inline constexpr const char* kErrShuttingDown = "shutting_down";
+inline constexpr const char* kErrInternal = "internal";
+
+/// Peer violated the framing or message rules (oversized frame, torn
+/// payload, malformed JSON envelope). The connection handling the peer is
+/// closed; the daemon itself is unaffected.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Write one frame (length prefix + payload) to `fd`, looping over partial
+/// writes and EINTR. Throws ProtocolError on oversized payloads and
+/// IoError-style failures (reported as ProtocolError with errno text).
+void write_frame(int fd, std::string_view payload);
+
+/// Read one frame from `fd` into `out`. Returns false on clean EOF before
+/// any prefix byte (peer closed between messages); throws ProtocolError on
+/// EOF mid-frame (torn message) or an announced length above
+/// kMaxFrameBytes.
+[[nodiscard]] bool read_frame(int fd, std::string& out);
+
+/// write_frame(dump(message)).
+void write_message(int fd, const Json& message);
+
+/// Read one frame and parse it under wire_json_limits(). Returns false on
+/// clean EOF. Throws ProtocolError (framing) or JsonError (payload).
+[[nodiscard]] bool read_message(int fd, Json& out);
+
+/// {"ok": true, ...fields}
+[[nodiscard]] Json ok_response(JsonObject fields = {});
+/// {"ok": false, "error": code, "message": message, ...fields}
+[[nodiscard]] Json error_response(std::string_view code,
+                                  std::string_view message,
+                                  JsonObject fields = {});
+
+}  // namespace ptgsched::serve

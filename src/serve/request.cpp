@@ -1,0 +1,78 @@
+#include "serve/request.hpp"
+
+#include <stdexcept>
+
+#include "support/rng.hpp"
+
+namespace ptgsched::serve {
+
+Json JobSpec::to_json() const {
+  JsonObject o;
+  o["class"] = cls;
+  o["tasks"] = tasks;
+  o["platform"] = platform;
+  o["model"] = model;
+  o["seed"] = seed;
+  o["corpus_index"] = static_cast<std::uint64_t>(corpus_index);
+  return Json(std::move(o));
+}
+
+JobSpec JobSpec::from_json(const Json& j) {
+  JobSpec spec;
+  spec.cls = j.at("class").as_string();
+  spec.tasks = static_cast<int>(j.at("tasks").as_int());
+  spec.platform = j.at("platform").as_string();
+  spec.model = j.at("model").as_string();
+  spec.seed = static_cast<std::uint64_t>(j.at("seed").as_int());
+  spec.corpus_index =
+      static_cast<std::size_t>(j.at("corpus_index").as_int());
+  if (spec.tasks <= 0) throw JsonError("JobSpec: tasks must be positive");
+  return spec;
+}
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t JobSpec::fingerprint() const {
+  return fnv1a64(to_json().dump());
+}
+
+std::uint64_t request_seed(std::uint64_t base_seed, const std::string& tenant,
+                           const JobSpec& spec, int attempt) {
+  return derive_seed(base_seed, fnv1a64(tenant), spec.fingerprint(),
+                     static_cast<std::uint64_t>(attempt));
+}
+
+const char* request_status_name(RequestStatus s) noexcept {
+  switch (s) {
+    case RequestStatus::kQueued:
+      return "queued";
+    case RequestStatus::kRunning:
+      return "running";
+    case RequestStatus::kDone:
+      return "done";
+    case RequestStatus::kCancelled:
+      return "cancelled";
+    case RequestStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+RequestStatus request_status_from_name(std::string_view name) {
+  if (name == "queued") return RequestStatus::kQueued;
+  if (name == "running") return RequestStatus::kRunning;
+  if (name == "done") return RequestStatus::kDone;
+  if (name == "cancelled") return RequestStatus::kCancelled;
+  if (name == "failed") return RequestStatus::kFailed;
+  throw std::invalid_argument("unknown request status: " +
+                              std::string(name));
+}
+
+}  // namespace ptgsched::serve

@@ -1,0 +1,68 @@
+#pragma once
+// Request-domain types shared by the serve journal, server, and client: a
+// canonical job specification (what to schedule), the request lifecycle
+// states, and the deterministic seeds derived per (tenant, job, attempt).
+
+#include <cstdint>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace ptgsched::serve {
+
+/// One scheduling job: which PTG, on which platform, under which model.
+/// The spec is the unit of determinism — two submits with equal specs (and
+/// tenants) must produce bit-identical results, whichever worker, engine,
+/// or daemon incarnation runs them.
+struct JobSpec {
+  std::string cls = "layered";  ///< fft | strassen | layered | irregular.
+  int tasks = 50;               ///< DAGGEN task count (fft/strassen: fixed).
+  std::string platform = "chti";  ///< chti | grelon.
+  std::string model = "model1";   ///< Execution-time model name.
+  std::uint64_t seed = 1;         ///< Corpus instance seed.
+  std::size_t corpus_index = 0;   ///< Which instance of the corpus.
+
+  [[nodiscard]] Json to_json() const;
+  /// Throws JsonError on missing/mistyped members.
+  [[nodiscard]] static JobSpec from_json(const Json& j);
+
+  /// Stable 64-bit fingerprint of the canonical spec (FNV-1a over the
+  /// serialized form; Json's std::map keys make serialization order
+  /// deterministic). Keys the engine pool and the per-tenant seeds.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// FNV-1a 64-bit hash; exposed for tenant hashing.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view s) noexcept;
+
+/// The seed a worker runs attempt `attempt` of `spec` for `tenant` with.
+/// Pure function of its inputs — concurrent identical submissions, reruns
+/// after a retry, and journal-recovered re-executions all draw the same
+/// stream, so results are reproducible bit-for-bit.
+[[nodiscard]] std::uint64_t request_seed(std::uint64_t base_seed,
+                                         const std::string& tenant,
+                                         const JobSpec& spec, int attempt);
+
+/// Lifecycle of an admitted request. Rejected submissions never get an id,
+/// so rejection is not a state.
+enum class RequestStatus : int {
+  kQueued = 0,     ///< Journaled and waiting in the admission queue.
+  kRunning = 1,    ///< A worker is executing it.
+  kDone = 2,       ///< Completed; result available.
+  kCancelled = 3,  ///< Cancelled (user, deadline, or shutdown).
+  kFailed = 4,     ///< Exhausted its retry budget.
+};
+
+/// Stable wire name ("queued", "running", "done", "cancelled", "failed").
+[[nodiscard]] const char* request_status_name(RequestStatus s) noexcept;
+
+/// Inverse of request_status_name; throws std::invalid_argument.
+[[nodiscard]] RequestStatus request_status_from_name(std::string_view name);
+
+/// Terminal states never transition again (and are journaled exactly once).
+[[nodiscard]] constexpr bool is_terminal(RequestStatus s) noexcept {
+  return s == RequestStatus::kDone || s == RequestStatus::kCancelled ||
+         s == RequestStatus::kFailed;
+}
+
+}  // namespace ptgsched::serve

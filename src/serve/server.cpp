@@ -1,0 +1,624 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/problem_instance.hpp"
+#include "daggen/corpus.hpp"
+#include "emts/emts.hpp"
+#include "heuristics/allocation_heuristic.hpp"
+#include "model/execution_time.hpp"
+#include "platform/cluster.hpp"
+#include "support/backoff.hpp"
+
+namespace ptgsched::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " +
+                           std::strerror(errno));  // NOLINT
+}
+
+/// Build the problem a spec describes. Deterministic in the spec alone.
+std::shared_ptr<const ProblemInstance> build_instance(const JobSpec& spec) {
+  auto graphs = corpus_by_name(spec.cls, spec.tasks, spec.corpus_index + 1,
+                               spec.seed);
+  if (spec.corpus_index >= graphs.size()) {
+    throw std::invalid_argument("JobSpec: corpus_index out of range");
+  }
+  auto graph = std::make_shared<const Ptg>(
+      std::move(graphs[spec.corpus_index]));
+  auto cluster =
+      std::make_shared<const Cluster>(platform_by_name(spec.platform));
+  return ProblemInstance::create(std::move(graph), make_model(spec.model),
+                                 std::move(cluster));
+}
+
+}  // namespace
+
+ServeServer::ServeServer(ServeConfig config)
+    : config_(std::move(config)),
+      queue_(config_.queue_capacity),
+      tiers_(config_.tiers),
+      engines_(config_.engine_pool) {
+  if (config_.socket_path.empty()) {
+    throw std::invalid_argument("ServeConfig: socket_path required");
+  }
+  if (config_.journal_path.empty()) {
+    throw std::invalid_argument("ServeConfig: journal_path required");
+  }
+  if (config_.workers == 0) {
+    throw std::invalid_argument("ServeConfig: workers == 0");
+  }
+  if (config_.max_attempts < 1) {
+    throw std::invalid_argument("ServeConfig: max_attempts < 1");
+  }
+}
+
+ServeServer::~ServeServer() { stop(); }
+
+void ServeServer::start() {
+  if (started_.exchange(true)) {
+    throw std::logic_error("ServeServer: start() called twice");
+  }
+
+  // --- Journal recovery before anything is accepted. -------------------
+  RecoveredState recovered = RequestJournal::recover(config_.journal_path);
+  journal_ = std::make_unique<RequestJournal>(config_.journal_path);
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    next_id_ = recovered.next_id;
+    for (auto& [id, jr] : recovered.requests) {
+      auto request = std::make_shared<Request>();
+      request->id = jr.id;
+      request->tenant = jr.tenant;
+      request->spec = jr.spec;
+      request->deadline_seconds = jr.deadline_seconds;
+      request->submitted_at = std::chrono::steady_clock::now();
+      request->status = jr.status;
+      request->tier_pinned = jr.tier_pinned;
+      request->tier = jr.tier;
+      request->attempt = jr.attempt;
+      request->result = jr.result;
+      request->error = jr.error;
+      if (!is_terminal(jr.status)) {
+        // Interrupted mid-flight: back to the queue; the pinned tier and
+        // recorded attempt reproduce the lost run exactly.
+        request->status = RequestStatus::kQueued;
+      }
+      registry_[id] = std::move(request);
+    }
+  }
+  for (const std::uint64_t id : recovered.pending) {
+    if (!queue_.try_push(id)) {
+      // More recovered work than queue capacity: journal-fail the
+      // overflow rather than dropping it silently.
+      if (auto request = find(id)) {
+        std::lock_guard<std::mutex> lock(request->mu);
+        request->status = RequestStatus::kFailed;
+        request->error = "recovery overflow: admission queue full";
+        journal_->record_fail(id, request->error);
+      }
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.recovered;
+  }
+
+  // --- Socket. ---------------------------------------------------------
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("ServeConfig: socket_path too long");
+  }
+  std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(config_.socket_path.c_str());  // stale socket from a crash
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int fd = listen_fd_;
+    listen_fd_ = -1;
+    ::close(fd);
+    throw_errno("bind " + config_.socket_path);
+  }
+  if (::listen(listen_fd_, 64) != 0) throw_errno("listen");
+
+  // --- Threads. --------------------------------------------------------
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+  acceptor_ = std::thread([this] { acceptor_loop(); });
+}
+
+void ServeServer::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!started_.load() || stopped_.load(std::memory_order_acquire)) {
+    return;
+  }
+  stop_requested_.store(true, std::memory_order_release);
+  queue_.close();
+  // In-flight requests are interrupted, NOT finished: no terminal journal
+  // event is written for them, so the next incarnation re-runs them.
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (auto& [id, request] : registry_) {
+      std::lock_guard<std::mutex> rlock(request->mu);
+      if (!is_terminal(request->status)) {
+        request->token.request_cancel(CancelReason::kShutdown);
+      }
+    }
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (watchdog_.joinable()) watchdog_.join();
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (auto& c : connections_) {
+      if (c.joinable()) c.join();
+    }
+    connections_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(config_.socket_path.c_str());
+  stopped_.store(true, std::memory_order_release);
+}
+
+void ServeServer::wait() {
+  while (!stopped_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Connection plumbing.
+
+void ServeServer::acceptor_loop() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    if (config_.shutdown != nullptr && config_.shutdown->cancelled()) {
+      // External shutdown (typically SIGTERM via
+      // install_signal_cancellation): stop the daemon from a detached
+      // helper — stop() joins this very thread.
+      std::thread([this] { stop(); }).detach();
+      return;
+    }
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready <= 0) continue;  // timeout, EINTR, or transient error
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void ServeServer::connection_loop(int fd) {
+  // One request/response exchange at a time per connection; malformed
+  // input closes this connection only.
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 50);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    Json request;
+    try {
+      if (!read_message(fd, request)) break;  // clean EOF
+    } catch (const std::exception&) {
+      break;  // torn frame or oversized announcement: drop the peer
+    }
+    Json response;
+    try {
+      response = handle_message(request);
+    } catch (const JsonError& e) {
+      JsonObject extra;
+      if (e.byte_offset() != JsonError::knpos) {
+        extra["byte_offset"] = static_cast<std::uint64_t>(e.byte_offset());
+      }
+      response =
+          error_response(kErrBadRequest, e.what(), std::move(extra));
+    } catch (const std::exception& e) {
+      response = error_response(kErrInternal, e.what());
+    }
+    try {
+      write_message(fd, response);
+    } catch (const std::exception&) {
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+Json ServeServer::handle_message(const Json& request) {
+  const std::string& op = request.at("op").as_string();
+  if (op == "submit") return handle_submit(request);
+  if (op == "status") return handle_status(request);
+  if (op == "result") return handle_result(request);
+  if (op == "cancel") return handle_cancel(request);
+  if (op == "stats") return stats_json();
+  if (op == "shutdown") {
+    std::thread([this] { stop(); }).detach();
+    return ok_response();
+  }
+  return error_response(kErrBadRequest, "unknown op '" + op + "'");
+}
+
+// ---------------------------------------------------------------------
+// Ops.
+
+Json ServeServer::handle_submit(const Json& message) {
+  if (stop_requested_.load(std::memory_order_acquire)) {
+    return error_response(kErrShuttingDown, "daemon is shutting down");
+  }
+  auto request = std::make_shared<Request>();
+  request->spec = JobSpec::from_json(message.at("spec"));
+  request->tenant =
+      message.contains("tenant") ? message.at("tenant").as_string() : "";
+  request->deadline_seconds =
+      message.contains("deadline_seconds")
+          ? message.at("deadline_seconds").as_double()
+          : config_.default_deadline_seconds;
+  if (request->deadline_seconds < 0.0) {
+    return error_response(kErrBadRequest, "negative deadline_seconds");
+  }
+  request->submitted_at = std::chrono::steady_clock::now();
+
+  // Admission before journaling: a shed request leaves no trace to
+  // recover. The registry insert happens before the queue push so a
+  // worker can never pop an id it cannot find.
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    request->id = next_id_++;
+    registry_[request->id] = request;
+  }
+  JournaledRequest jr;
+  jr.id = request->id;
+  jr.tenant = request->tenant;
+  jr.spec = request->spec;
+  jr.deadline_seconds = request->deadline_seconds;
+
+  // Durable before acknowledged: the submit record hits the journal
+  // before the queue (a crash right here recovers the request), and a
+  // refused push is journal-failed so the shed outcome is durable too.
+  journal_->record_submit(jr);
+  const bool admitted = queue_.try_push(request->id);
+  if (!admitted) {
+    const double retry_after = suggest_retry_after(
+        queue_.depth(), config_.workers, tiers_.p95_latency());
+    {
+      std::lock_guard<std::mutex> lock(request->mu);
+      request->status = RequestStatus::kFailed;
+      request->error = "shed by admission control";
+      journal_->record_fail(request->id, request->error);
+    }
+    JsonObject extra;
+    extra["retry_after_seconds"] = retry_after;
+    extra["queue_depth"] = static_cast<std::uint64_t>(queue_.depth());
+    return error_response(kErrOverloaded, "admission queue full",
+                          std::move(extra));
+  }
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.submitted;
+  }
+  JsonObject fields;
+  fields["id"] = request->id;
+  return ok_response(std::move(fields));
+}
+
+std::shared_ptr<ServeServer::Request> ServeServer::find(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto it = registry_.find(id);
+  return it == registry_.end() ? nullptr : it->second;
+}
+
+Json ServeServer::status_payload(Request& request) {
+  std::lock_guard<std::mutex> lock(request.mu);
+  JsonObject fields;
+  fields["id"] = request.id;
+  fields["status"] = request_status_name(request.status);
+  fields["tier"] = service_tier_name(request.tier);
+  fields["attempt"] = request.attempt;
+  if (!request.error.empty()) fields["detail"] = request.error;
+  return ok_response(std::move(fields));
+}
+
+Json ServeServer::handle_status(const Json& message) {
+  const auto id = static_cast<std::uint64_t>(message.at("id").as_int());
+  const auto request = find(id);
+  if (request == nullptr) {
+    return error_response(kErrUnknownId,
+                          "no request " + std::to_string(id));
+  }
+  return status_payload(*request);
+}
+
+Json ServeServer::handle_result(const Json& message) {
+  const auto id = static_cast<std::uint64_t>(message.at("id").as_int());
+  const auto request = find(id);
+  if (request == nullptr) {
+    return error_response(kErrUnknownId,
+                          "no request " + std::to_string(id));
+  }
+  std::lock_guard<std::mutex> lock(request->mu);
+  if (request->status != RequestStatus::kDone) {
+    JsonObject extra;
+    extra["status"] = request_status_name(request->status);
+    if (!request->error.empty()) extra["detail"] = request->error;
+    return error_response(kErrNotFinished,
+                          "request is " +
+                              std::string(request_status_name(
+                                  request->status)),
+                          std::move(extra));
+  }
+  JsonObject fields;
+  fields["id"] = request->id;
+  fields["result"] = request->result;
+  return ok_response(std::move(fields));
+}
+
+Json ServeServer::handle_cancel(const Json& message) {
+  const auto id = static_cast<std::uint64_t>(message.at("id").as_int());
+  const auto request = find(id);
+  if (request == nullptr) {
+    return error_response(kErrUnknownId,
+                          "no request " + std::to_string(id));
+  }
+  request->token.request_cancel(CancelReason::kUser);
+  // A queued request never reaches a worker holding the token, so its
+  // terminal state is decided here; running ones finalize in execute().
+  {
+    std::lock_guard<std::mutex> lock(request->mu);
+    if (request->status == RequestStatus::kQueued) {
+      request->status = RequestStatus::kCancelled;
+      request->error = cancel_reason_name(CancelReason::kUser);
+      journal_->record_cancel(id, request->error);
+      std::lock_guard<std::mutex> clock(counters_mu_);
+      ++counters_.cancelled;
+    }
+  }
+  return status_payload(*request);
+}
+
+// ---------------------------------------------------------------------
+// Execution.
+
+void ServeServer::worker_loop() {
+  while (true) {
+    const auto id = queue_.pop();
+    if (!id.has_value()) return;  // queue closed and drained
+    const auto request = find(*id);
+    if (request == nullptr) continue;
+    {
+      std::lock_guard<std::mutex> lock(request->mu);
+      if (request->status != RequestStatus::kQueued) continue;
+      request->status = RequestStatus::kRunning;
+    }
+    execute(request);
+  }
+}
+
+void ServeServer::watchdog_loop() {
+  // Fires deadline cancellations with ~20 ms resolution; cheap enough to
+  // scan the whole registry (ids are bounded by journal size).
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    const auto now = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      for (auto& [id, request] : registry_) {
+        if (request->deadline_seconds <= 0.0) continue;
+        std::lock_guard<std::mutex> rlock(request->mu);
+        if (is_terminal(request->status)) continue;
+        const double age =
+            std::chrono::duration<double>(now - request->submitted_at)
+                .count();
+        if (age >= request->deadline_seconds) {
+          request->token.request_cancel(CancelReason::kDeadline);
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Json ServeServer::run_tier(Request& request, ServiceTier tier,
+                           std::uint64_t seed) {
+  // One pooled engine per problem fingerprint: repeat submissions reuse
+  // the warm memo cache (exact hits, bit-identical results).
+  const JobSpec& spec = request.spec;
+  EnginePool::Lease lease =
+      engines_.acquire(spec.fingerprint(), [&spec] {
+        return build_instance(spec);
+      });
+  EvaluationEngine& engine = lease.engine();
+  const auto& instance = engine.instance();
+
+  Allocation best_allocation;
+  double best_makespan = 0.0;
+  switch (tier) {
+    case ServiceTier::kEmts: {
+      EmtsConfig cfg = emts5_config();
+      cfg.seed = seed;
+      cfg.cancel = &request.token;
+      cfg.time_budget_seconds = config_.emts_budget_seconds;
+      const EmtsResult r = Emts(cfg).schedule(engine);
+      if (r.cancelled) request.token.throw_if_cancelled();
+      best_allocation = r.best_allocation;
+      best_makespan = r.makespan;
+      break;
+    }
+    case ServiceTier::kHeuristic: {
+      // Best of the paper's two allocation procedures, no evolution.
+      for (const char* name : {"mcpa", "hcpa"}) {
+        request.token.throw_if_cancelled();
+        Allocation alloc = make_heuristic(name)->allocate(*instance);
+        const double makespan = engine.evaluate_one(alloc);
+        if (best_allocation.empty() || makespan < best_makespan) {
+          best_allocation = std::move(alloc);
+          best_makespan = makespan;
+        }
+      }
+      break;
+    }
+    case ServiceTier::kCpaOneShot: {
+      request.token.throw_if_cancelled();
+      best_allocation = make_heuristic("cpa")->allocate(*instance);
+      best_makespan = engine.evaluate_one(best_allocation);
+      break;
+    }
+  }
+  request.token.throw_if_cancelled();
+
+  JsonObject result;
+  result["makespan"] = best_makespan;
+  JsonArray alloc_json;
+  alloc_json.reserve(best_allocation.size());
+  for (const int p : best_allocation) alloc_json.emplace_back(p);
+  result["allocation"] = Json(std::move(alloc_json));
+  result["tier"] = service_tier_name(tier);
+  result["seed"] = seed;
+  return Json(std::move(result));
+}
+
+void ServeServer::execute(const std::shared_ptr<Request>& request) {
+  // Tier selection: pinned by a recovered "start" event (so recovery
+  // reproduces the interrupted run), otherwise decided by current load.
+  ServiceTier tier;
+  int attempt;
+  {
+    std::lock_guard<std::mutex> lock(request->mu);
+    if (!request->tier_pinned) {
+      request->tier = tiers_.decide(queue_.depth(), queue_.capacity());
+      request->tier_pinned = true;
+    }
+    tier = request->tier;
+    attempt = std::max(1, request->attempt);
+  }
+
+  for (;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(request->mu);
+      request->attempt = attempt;
+    }
+    const std::uint64_t seed =
+        request_seed(config_.base_seed, request->tenant, request->spec,
+                     attempt);
+    try {
+      journal_->record_start(request->id, tier, attempt);
+      Json result = run_tier(*request, tier, seed);
+      journal_->record_complete(request->id, result);
+      {
+        std::lock_guard<std::mutex> lock(request->mu);
+        request->status = RequestStatus::kDone;
+        request->result = std::move(result);
+      }
+      // Latency is submit-to-done: it includes queue wait, so the p95
+      // watermark sees backlog-induced slowness, not just execution time.
+      tiers_.record_latency(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                request->submitted_at)
+                                .count());
+      std::lock_guard<std::mutex> clock(counters_mu_);
+      ++counters_.completed;
+      ++counters_.tier_counts[static_cast<int>(tier)];
+      return;
+    } catch (const CancelledError& e) {
+      if (e.reason() == CancelReason::kShutdown) {
+        // Interrupted by daemon shutdown: leave the journal non-terminal
+        // so the next incarnation re-runs this request.
+        std::lock_guard<std::mutex> lock(request->mu);
+        request->status = RequestStatus::kQueued;
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(request->mu);
+        request->status = RequestStatus::kCancelled;
+        request->error = cancel_reason_name(e.reason());
+        journal_->record_cancel(request->id, request->error);
+      }
+      std::lock_guard<std::mutex> clock(counters_mu_);
+      ++counters_.cancelled;
+      return;
+    } catch (const std::exception& e) {
+      if (attempt >= config_.max_attempts) {
+        {
+          std::lock_guard<std::mutex> lock(request->mu);
+          request->status = RequestStatus::kFailed;
+          request->error = e.what();
+          journal_->record_fail(request->id, request->error);
+        }
+        std::lock_guard<std::mutex> clock(counters_mu_);
+        ++counters_.failed;
+        return;
+      }
+      // Bounded, jittered, deadline-capped backoff before the retry. The
+      // remaining budget going negative yields cap < 0 → zero delay (see
+      // support/backoff).
+      double cap = 0.0;
+      if (request->deadline_seconds > 0.0) {
+        const double age = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() -
+                               request->submitted_at)
+                               .count();
+        cap = request->deadline_seconds - age;
+        if (cap == 0.0) cap = -1.0;
+      }
+      const double delay = backoff_delay_seconds(
+          attempt, config_.backoff_base_seconds, cap, seed);
+      (void)backoff_sleep(delay, &request->token);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Stats.
+
+ServeCounters ServeServer::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+Json ServeServer::stats_json() const {
+  const ServeCounters c = counters();
+  const EnginePool::Stats pool = engines_.stats();
+  JsonObject fields;
+  fields["queue_depth"] = static_cast<std::uint64_t>(queue_.depth());
+  fields["queue_capacity"] =
+      static_cast<std::uint64_t>(queue_.capacity());
+  fields["shed"] = queue_.shed_count();
+  fields["submitted"] = c.submitted;
+  fields["completed"] = c.completed;
+  fields["cancelled"] = c.cancelled;
+  fields["failed"] = c.failed;
+  fields["recovered"] = c.recovered;
+  JsonObject tiers;
+  tiers["emts"] = c.tier_counts[0];
+  tiers["heuristic"] = c.tier_counts[1];
+  tiers["cpa_one_shot"] = c.tier_counts[2];
+  fields["tier_completions"] = Json(std::move(tiers));
+  fields["current_tier"] = service_tier_name(tiers_.current());
+  fields["p95_latency_seconds"] = tiers_.p95_latency();
+  JsonObject pool_stats;
+  pool_stats["hits"] = pool.hits;
+  pool_stats["misses"] = pool.misses;
+  pool_stats["evictions"] = pool.evictions;
+  pool_stats["idle"] = static_cast<std::uint64_t>(pool.idle);
+  fields["engine_pool"] = Json(std::move(pool_stats));
+  return ok_response(std::move(fields));
+}
+
+}  // namespace ptgsched::serve

@@ -1,0 +1,180 @@
+#pragma once
+// ptgsched-serve: a long-running scheduling daemon over a local socket.
+//
+// The paper's schedulers run once per invocation; a cluster's submission
+// front-end instead sees a *stream* of scheduling requests, and the
+// interesting engineering is what happens when that stream misbehaves.
+// ServeServer accepts submit/status/cancel/result requests (see
+// serve/protocol.hpp) and is built for hostile conditions:
+//
+//   * Admission control — a bounded queue; a full queue rejects with
+//     `overloaded` + retry_after_seconds (serve/admission.hpp). Explicit
+//     backpressure, never unbounded buffering.
+//   * Graceful degradation — budgeted EMTS degrades to heuristic-only and
+//     then to a CPA one-shot as queue depth and observed p95 latency
+//     cross watermarks (serve/degradation.hpp).
+//   * Deadlines — each request's deadline is enforced by a watchdog that
+//     trips the request's CancellationToken with CancelReason::kDeadline;
+//     expiry mid-run returns a cancelled status, not a stuck client.
+//   * Bounded retries — transient execution failures retry up to
+//     max_attempts with the deterministic jittered backoff of
+//     support/backoff, capped by the request's remaining deadline.
+//   * Crash safety — every state transition is journaled durably before
+//     it is acknowledged (serve/journal.hpp); a killed daemon restarts
+//     from the journal, re-runs interrupted requests at their pinned tier
+//     and seed, and serves finished results bit-identically.
+//   * Shared evaluation engines — requests for the same problem check
+//     engines out of an EnginePool (eval/engine_pool.hpp), so repeat
+//     submissions reuse warm memo caches (memo hits are exact: warm and
+//     cold engines return identical results).
+//
+// Determinism: a request's result is a pure function of (base_seed,
+// tenant, spec, attempt, tier). Concurrent identical submissions from any
+// number of clients receive bit-identical allocations and makespans.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/engine_pool.hpp"
+#include "serve/admission.hpp"
+#include "serve/degradation.hpp"
+#include "serve/journal.hpp"
+#include "serve/protocol.hpp"
+#include "serve/request.hpp"
+#include "support/cancellation.hpp"
+
+namespace ptgsched::serve {
+
+struct ServeConfig {
+  std::string socket_path;   ///< AF_UNIX socket path (required).
+  std::string journal_path;  ///< Request journal path (required).
+  std::size_t queue_capacity = 64;  ///< Admission queue bound.
+  std::size_t workers = 2;          ///< Scheduling worker threads.
+  std::uint64_t base_seed = 1;      ///< Root of every per-request seed.
+  /// EMTS wall-clock budget per request at the kEmts tier; 0 = none.
+  double emts_budget_seconds = 1.0;
+  /// Deadline applied when a submit carries none; 0 = no deadline.
+  double default_deadline_seconds = 0.0;
+  int max_attempts = 3;              ///< Execution attempts per request.
+  double backoff_base_seconds = 0.02;  ///< Retry backoff base.
+  TierConfig tiers;                  ///< Degradation watermarks.
+  EnginePool::Config engine_pool;    ///< Shared-engine pool sizing.
+  /// Optional external shutdown token (not owned). When it trips — e.g.
+  /// via install_signal_cancellation routing SIGTERM — the daemon stops
+  /// accepting, cancels in-flight work with CancelReason::kShutdown, and
+  /// leaves those requests *unterminated* in the journal so a restarted
+  /// daemon re-runs them.
+  const CancellationToken* shutdown = nullptr;
+};
+
+/// Counters the stats op reports (see ServeServer::stats_json()).
+struct ServeCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t recovered = 0;  ///< Re-queued from the journal at start().
+  std::uint64_t tier_counts[3] = {0, 0, 0};  ///< Completions per tier.
+};
+
+class ServeServer {
+ public:
+  explicit ServeServer(ServeConfig config);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Recover the journal, bind the socket, and spawn the acceptor,
+  /// workers, and deadline watchdog. Throws on bind/journal errors.
+  void start();
+
+  /// Graceful-but-prompt shutdown: stop accepting, close the admission
+  /// queue, cancel running requests with CancelReason::kShutdown (their
+  /// journal state stays non-terminal, so they recover on restart), join
+  /// every thread, and remove the socket. Idempotent.
+  void stop();
+
+  /// True once stop() ran (or the external shutdown token tripped and the
+  /// daemon finished stopping itself).
+  [[nodiscard]] bool stopped() const noexcept {
+    return stopped_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the daemon stopped (external shutdown or stop()).
+  void wait();
+
+  [[nodiscard]] const ServeConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] ServeCounters counters() const;
+  /// The stats-op payload: queue/tier/latency/pool/counter snapshot.
+  [[nodiscard]] Json stats_json() const;
+
+ private:
+  struct Request {
+    std::uint64_t id = 0;
+    std::string tenant;
+    JobSpec spec;
+    double deadline_seconds = 0.0;
+    std::chrono::steady_clock::time_point submitted_at;
+    CancellationToken token;
+    std::mutex mu;  ///< Guards the mutable fields below.
+    RequestStatus status = RequestStatus::kQueued;
+    bool tier_pinned = false;
+    ServiceTier tier = ServiceTier::kEmts;
+    int attempt = 0;
+    Json result;
+    std::string error;
+  };
+
+  void acceptor_loop();
+  void connection_loop(int fd);
+  void worker_loop();
+  void watchdog_loop();
+
+  [[nodiscard]] Json handle_message(const Json& request);
+  [[nodiscard]] Json handle_submit(const Json& request);
+  [[nodiscard]] Json handle_status(const Json& request);
+  [[nodiscard]] Json handle_result(const Json& request);
+  [[nodiscard]] Json handle_cancel(const Json& request);
+
+  void execute(const std::shared_ptr<Request>& request);
+  [[nodiscard]] Json run_tier(Request& request, ServiceTier tier,
+                              std::uint64_t seed);
+  [[nodiscard]] std::shared_ptr<Request> find(std::uint64_t id);
+  [[nodiscard]] Json status_payload(Request& request);
+
+  ServeConfig config_;
+  std::unique_ptr<RequestJournal> journal_;
+  AdmissionQueue queue_;
+  TierController tiers_;
+  EnginePool engines_;
+
+  mutable std::mutex registry_mu_;
+  std::map<std::uint64_t, std::shared_ptr<Request>> registry_;
+  std::uint64_t next_id_ = 1;
+
+  mutable std::mutex counters_mu_;
+  ServeCounters counters_;
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> started_{false};
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::thread watchdog_;
+  std::vector<std::thread> workers_;
+  std::mutex connections_mu_;
+  std::vector<std::thread> connections_;
+  std::mutex stop_mu_;  ///< Serializes stop() callers.
+};
+
+}  // namespace ptgsched::serve

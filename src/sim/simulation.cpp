@@ -188,7 +188,8 @@ SimulationResult SimulationEngine::run(const Schedule& schedule,
 
   while (!cur.empty()) {
     if (config_.cancel != nullptr && config_.cancel->cancelled()) {
-      throw CancelledError("simulation cancelled mid-replay");
+      throw CancelledError("simulation cancelled mid-replay",
+                           config_.cancel->reason());
     }
 
     double epoch_end = 0.0;

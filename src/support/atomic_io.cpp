@@ -1,8 +1,10 @@
 #include "support/atomic_io.hpp"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <filesystem>
@@ -11,6 +13,9 @@
 namespace ptgsched {
 
 namespace {
+
+std::atomic<std::uint64_t> g_file_fsyncs{0};
+std::atomic<std::uint64_t> g_dir_fsyncs{0};
 
 std::string errno_detail(const char* op) {
   return std::string("atomic_io: ") + op + " failed (" +
@@ -33,19 +38,42 @@ bool write_all(int fd, std::string_view content) {
   return true;
 }
 
-/// Best-effort fsync of the directory containing `path`, so the rename
-/// itself is durable. Failure is ignored (some filesystems refuse it).
+/// fsync a data-file fd, counting the attempt. Returns false with errno
+/// set on failure.
+bool fsync_file(int fd) {
+  g_file_fsyncs.fetch_add(1, std::memory_order_relaxed);
+  return ::fsync(fd) == 0;
+}
+
+/// fsync the directory containing `path`, so a rename or file creation in
+/// it is durable. Throws IoError on real failures; filesystems that refuse
+/// directory fsync outright (EINVAL/ENOTSUP) are tolerated — there is
+/// nothing more this process can do there.
 void fsync_parent_dir(const std::string& path) {
   const std::filesystem::path dir =
       std::filesystem::path(path).parent_path();
   const std::string d = dir.empty() ? std::string(".") : dir.string();
   const int dfd = ::open(d.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd < 0) return;
-  ::fsync(dfd);
+  if (dfd < 0) throw IoError(d, errno_detail("open directory"));
+  g_dir_fsyncs.fetch_add(1, std::memory_order_relaxed);
+  if (::fsync(dfd) != 0) {
+    const int saved = errno;
+    ::close(dfd);
+    if (saved == EINVAL || saved == ENOTSUP) return;
+    errno = saved;
+    throw IoError(d, errno_detail("fsync directory"));
+  }
   ::close(dfd);
 }
 
 }  // namespace
+
+AtomicIoStats atomic_io_stats() noexcept {
+  AtomicIoStats s;
+  s.file_fsyncs = g_file_fsyncs.load(std::memory_order_relaxed);
+  s.dir_fsyncs = g_dir_fsyncs.load(std::memory_order_relaxed);
+  return s;
+}
 
 void write_file_atomic(const std::string& path, std::string_view content) {
   const std::string tmp = path + ".tmp";
@@ -59,7 +87,7 @@ void write_file_atomic(const std::string& path, std::string_view content) {
     return err;
   };
   if (!write_all(fd, content)) throw fail("write");
-  if (::fsync(fd) != 0) throw fail("fsync");
+  if (!fsync_file(fd)) throw fail("fsync");
   if (::close(fd) != 0) {
     const IoError err(tmp, errno_detail("close"));
     ::unlink(tmp.c_str());
@@ -70,15 +98,33 @@ void write_file_atomic(const std::string& path, std::string_view content) {
     ::unlink(tmp.c_str());
     throw err;
   }
+  // The rename only becomes crash-durable once the directory containing
+  // the entry hits stable storage; a failure here is a durability failure
+  // of the write, not a cosmetic one.
   fsync_parent_dir(path);
 }
 
 AppendJournal::AppendJournal(std::string path, bool truncate)
     : path_(std::move(path)) {
+  const bool existed = [&] {
+    struct ::stat st {};
+    return ::stat(path_.c_str(), &st) == 0;
+  }();
   int flags = O_WRONLY | O_CREAT | O_APPEND;
   if (truncate) flags |= O_TRUNC;
   fd_ = ::open(path_.c_str(), flags, 0644);
   if (fd_ < 0) throw IoError(path_, errno_detail("open"));
+  if (!existed) {
+    // A journal created just before a crash must still be found on
+    // restart: persist the new directory entry like a rename.
+    try {
+      fsync_parent_dir(path_);
+    } catch (...) {
+      ::close(fd_);
+      fd_ = -1;
+      throw;
+    }
+  }
 }
 
 AppendJournal::~AppendJournal() {
@@ -89,7 +135,7 @@ void AppendJournal::append_line(std::string_view line) {
   std::string buf(line);
   buf += '\n';
   if (!write_all(fd_, buf)) throw IoError(path_, errno_detail("write"));
-  if (::fsync(fd_) != 0) throw IoError(path_, errno_detail("fsync"));
+  if (!fsync_file(fd_)) throw IoError(path_, errno_detail("fsync"));
 }
 
 }  // namespace ptgsched

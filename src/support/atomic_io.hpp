@@ -15,6 +15,7 @@
 // before the append returns, so every unit recorded as complete survives
 // the process dying immediately afterwards.
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -33,10 +34,24 @@ class IoError : public std::runtime_error {
 };
 
 /// Atomically replace `path` with `content`: write `<path>.tmp`, fsync it,
-/// rename it over `path`, then fsync the directory (best effort). On any
-/// failure the temporary file is removed, the original `path` is left
-/// untouched, and IoError is thrown.
+/// rename it over `path`, then fsync the parent directory so the rename
+/// itself survives power loss (a renamed entry lives in the directory's
+/// data; without the directory fsync a crash can resurrect the old file or
+/// lose the new name entirely). On any failure — including a directory
+/// fsync that the filesystem genuinely attempts and fails — the temporary
+/// file is removed where possible, the original `path` is left untouched
+/// on pre-rename failures, and IoError is thrown. Filesystems that do not
+/// support fsync on directories (EINVAL/ENOTSUP) are tolerated.
 void write_file_atomic(const std::string& path, std::string_view content);
+
+/// Process-lifetime durability counters, for tests asserting that the
+/// fsync paths are actually exercised (a silent skip of the directory
+/// fsync is precisely the durability gap these guard against).
+struct AtomicIoStats {
+  std::uint64_t file_fsyncs = 0;  ///< fsync() calls on data file fds.
+  std::uint64_t dir_fsyncs = 0;   ///< fsync() calls on directory fds.
+};
+[[nodiscard]] AtomicIoStats atomic_io_stats() noexcept;
 
 /// Append-only line journal with per-line durability: append_line() does
 /// not return until the line (plus trailing newline) is written and fsynced.
@@ -44,8 +59,10 @@ void write_file_atomic(const std::string& path, std::string_view content);
 /// final line sees exactly the set of fully durable appends.
 class AppendJournal {
  public:
-  /// Opens (creating if absent) `path` for appending; throws IoError.
-  /// `truncate` discards any existing content first (fresh journal).
+  /// Opens (creating if absent) `path` for appending; throws IoError. When
+  /// the file did not exist before, the parent directory is fsynced so the
+  /// journal's creation is as durable as its appends. `truncate` discards
+  /// any existing content first (fresh journal).
   explicit AppendJournal(std::string path, bool truncate = false);
   ~AppendJournal();
 

@@ -19,6 +19,8 @@ double backoff_delay_seconds(int attempt, double base_seconds,
         "backoff_delay_seconds: non-finite base or cap");
   }
   if (base_seconds <= 0.0) return 0.0;
+  // A negative cap is an exhausted deadline budget: no time left to wait.
+  if (cap_seconds < 0.0) return 0.0;
 
   // 2^(attempt-1), saturated well below overflow; the cap clamps anyway.
   const int doublings = std::min(attempt - 1, 62);

@@ -17,9 +17,12 @@ namespace ptgsched {
 /// with the jitter drawn deterministically from (seed, attempt) via
 /// splitmix64. The result is clamped to `cap` when cap > 0 (e.g. the
 /// remaining unit deadline), so backoff never pushes a unit past its
-/// deadline on its own. base <= 0 returns 0 (backoff disabled, the
-/// historical immediate-retry behavior). Throws std::invalid_argument on
-/// non-finite base/cap or attempt < 1.
+/// deadline on its own. cap == 0 means uncapped (the historical meaning);
+/// cap < 0 means the budget is already exhausted — the delay is 0 so a
+/// caller passing a remaining deadline that went negative never sleeps
+/// past it. base <= 0 returns 0 (backoff disabled, the historical
+/// immediate-retry behavior). Throws std::invalid_argument on non-finite
+/// base/cap or attempt < 1.
 [[nodiscard]] double backoff_delay_seconds(int attempt, double base_seconds,
                                            double cap_seconds,
                                            std::uint64_t seed);

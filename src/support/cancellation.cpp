@@ -4,15 +4,25 @@
 
 namespace ptgsched {
 
+const char* cancel_reason_name(CancelReason reason) noexcept {
+  switch (reason) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kUser: return "user_cancel";
+    case CancelReason::kDeadline: return "deadline";
+    case CancelReason::kShutdown: return "shutdown";
+  }
+  return "none";
+}
+
 namespace {
 
 std::atomic<CancellationToken*> g_signal_token{nullptr};
 
 extern "C" void on_cancel_signal(int /*signum*/) {
-  // Only async-signal-safe operations: one relaxed load, one relaxed store.
+  // Only async-signal-safe operations: lock-free atomic loads and stores.
   if (CancellationToken* token =
           g_signal_token.load(std::memory_order_relaxed)) {
-    token->request_cancel();
+    token->request_cancel(CancelReason::kShutdown);
   }
 }
 

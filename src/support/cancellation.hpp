@@ -19,13 +19,34 @@
 
 namespace ptgsched {
 
+/// Why a cancellation was requested. The failure taxonomy (campaign units,
+/// serve requests) reports these separately: an operator reacts differently
+/// to "a user hit cancel" than to "the deadline expired" or "the daemon is
+/// shutting down". kNone is the not-cancelled sentinel; the first reason to
+/// reach request_cancel() wins and later requests do not overwrite it.
+enum class CancelReason : int {
+  kNone = 0,      ///< No cancellation requested (or legacy reason-less).
+  kUser = 1,      ///< Explicit cancel request (client op, test).
+  kDeadline = 2,  ///< A per-request/per-unit deadline expired.
+  kShutdown = 3,  ///< Process-level stop (SIGINT/SIGTERM, server drain).
+};
+
+/// Stable wire name: "none" | "user_cancel" | "deadline" | "shutdown".
+[[nodiscard]] const char* cancel_reason_name(CancelReason reason) noexcept;
+
 /// Thrown by throw_if_cancelled() and by drivers that abort a sweep on a
 /// cancellation request. Maps to the `cancelled` entry of the unit-error
-/// taxonomy (see src/exp/experiment.hpp).
+/// taxonomy (see src/exp/experiment.hpp) — except a kDeadline reason, which
+/// classify_unit_error reports as `timeout`.
 class CancelledError : public std::runtime_error {
  public:
-  explicit CancelledError(const std::string& what = "operation cancelled")
-      : std::runtime_error(what) {}
+  explicit CancelledError(const std::string& what = "operation cancelled",
+                          CancelReason reason = CancelReason::kNone)
+      : std::runtime_error(what), reason_(reason) {}
+  [[nodiscard]] CancelReason reason() const noexcept { return reason_; }
+
+ private:
+  CancelReason reason_ = CancelReason::kNone;
 };
 
 /// A per-unit wall-clock deadline overrun. Distinct from CancelledError so
@@ -41,22 +62,45 @@ class DeadlineError : public std::runtime_error {
 /// call concurrently; request_cancel() is additionally async-signal-safe.
 class CancellationToken {
  public:
-  void request_cancel() noexcept {
-    cancelled_.store(true, std::memory_order_relaxed);
+  /// Request cancellation. The first caller's reason sticks (later calls
+  /// only keep the flag set); the reason store happens before the flag is
+  /// published, so an observer that saw cancelled() reads a final reason.
+  void request_cancel(CancelReason reason = CancelReason::kUser) noexcept {
+    int expected = static_cast<int>(CancelReason::kNone);
+    reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                    std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_release);
   }
   [[nodiscard]] bool cancelled() const noexcept {
-    return cancelled_.load(std::memory_order_relaxed);
+    return cancelled_.load(std::memory_order_acquire);
   }
-  /// Throws CancelledError if cancellation has been requested.
+  /// Why the token was tripped; kNone while not cancelled.
+  [[nodiscard]] CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_relaxed));
+  }
+  /// Throws CancelledError (carrying the reason) if cancellation has been
+  /// requested.
   void throw_if_cancelled() const {
-    if (cancelled()) throw CancelledError();
+    if (cancelled()) {
+      const CancelReason r = reason();
+      throw CancelledError(
+          std::string("operation cancelled (") + cancel_reason_name(r) + ")",
+          r);
+    }
   }
   /// Re-arm the token (tests and multi-campaign drivers only; observers
   /// that already saw the flag may have stopped).
-  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+  void reset() noexcept {
+    reason_.store(static_cast<int>(CancelReason::kNone),
+                  std::memory_order_relaxed);
+    cancelled_.store(false, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<bool> cancelled_{false};
+  /// CancelReason, stored as int so the signal handler performs only
+  /// lock-free atomic ops (async-signal-safe on every supported platform).
+  std::atomic<int> reason_{static_cast<int>(CancelReason::kNone)};
 };
 
 /// Route SIGINT and SIGTERM to `token->request_cancel()`. The token must

@@ -246,9 +246,18 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  explicit Parser(std::string_view text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
 
   Json parse_document() {
+    if (limits_.max_bytes > 0 && text_.size() > limits_.max_bytes) {
+      // Refuse before touching the payload: the whole point of the size
+      // limit is never to spend memory proportional to hostile input.
+      pos_ = limits_.max_bytes;
+      fail("document exceeds max size of " +
+           std::to_string(limits_.max_bytes) + " bytes (got " +
+           std::to_string(text_.size()) + ")");
+    }
     skip_ws();
     Json v = parse_value(0);
     skip_ws();
@@ -269,7 +278,9 @@ class Parser {
       }
     }
     throw JsonError("json parse error at line " + std::to_string(line) +
-                    ", column " + std::to_string(col) + ": " + msg);
+                        ", column " + std::to_string(col) + " (byte " +
+                        std::to_string(pos_) + "): " + msg,
+                    pos_);
   }
 
   [[nodiscard]] bool eof() const noexcept { return pos_ >= text_.size(); }
@@ -301,8 +312,11 @@ class Parser {
     pos_ += lit.size();
   }
 
-  Json parse_value(int depth) {
-    if (depth > kMaxDepth) fail("nesting too deep");
+  Json parse_value(std::size_t depth) {
+    if (depth > limits_.max_depth) {
+      fail("nesting exceeds max depth of " +
+           std::to_string(limits_.max_depth));
+    }
     switch (peek()) {
       case 'n': expect_literal("null"); return Json(nullptr);
       case 't': expect_literal("true"); return Json(true);
@@ -424,7 +438,7 @@ class Parser {
     return Json(d);
   }
 
-  Json parse_array(int depth) {
+  Json parse_array(std::size_t depth) {
     take();  // '['
     JsonArray arr;
     skip_ws();
@@ -446,7 +460,7 @@ class Parser {
     return Json(std::move(arr));
   }
 
-  Json parse_object(int depth) {
+  Json parse_object(std::size_t depth) {
     take();  // '{'
     JsonObject obj;
     skip_ws();
@@ -476,15 +490,19 @@ class Parser {
     return Json(std::move(obj));
   }
 
-  static constexpr int kMaxDepth = 256;
   std::string_view text_;
+  JsonLimits limits_;
   std::size_t pos_ = 0;
 };
 
 }  // namespace
 
 Json Json::parse(std::string_view text) {
-  return Parser(text).parse_document();
+  return Parser(text, JsonLimits{}).parse_document();
+}
+
+Json Json::parse(std::string_view text, const JsonLimits& limits) {
+  return Parser(text, limits).parse_document();
 }
 
 Json Json::parse_file(const std::string& path) {

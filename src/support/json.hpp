@@ -29,10 +29,35 @@ using JsonArray = std::vector<Json>;
 // golden-file tests stable.
 using JsonObject = std::map<std::string, Json>;
 
-/// Error thrown on malformed JSON input or type mismatches.
+/// Error thrown on malformed JSON input or type mismatches. Parse-time
+/// errors additionally carry the byte offset of the offending input (the
+/// serve protocol reports it to remote clients, where line/column of a
+/// one-line network payload is useless); type-mismatch errors leave it at
+/// knpos.
 class JsonError : public std::runtime_error {
  public:
-  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+  static constexpr std::size_t knpos = static_cast<std::size_t>(-1);
+  explicit JsonError(const std::string& what,
+                     std::size_t byte_offset = knpos)
+      : std::runtime_error(what), byte_offset_(byte_offset) {}
+  /// Byte offset into the parsed text, or knpos when not a parse error.
+  [[nodiscard]] std::size_t byte_offset() const noexcept {
+    return byte_offset_;
+  }
+
+ private:
+  std::size_t byte_offset_ = knpos;
+};
+
+/// Resource limits enforced while parsing untrusted (network-origin)
+/// input. Violations raise JsonError with the byte offset where the limit
+/// tripped — never a stack overflow (nesting) or an unbounded allocation
+/// (document size).
+struct JsonLimits {
+  /// Maximum container nesting depth (the historical parser default).
+  std::size_t max_depth = 256;
+  /// Maximum document size in bytes; 0 = unlimited.
+  std::size_t max_bytes = 0;
 };
 
 /// A JSON value with value semantics.
@@ -110,6 +135,9 @@ class Json {
 
   /// Parse a complete JSON document (trailing whitespace allowed).
   [[nodiscard]] static Json parse(std::string_view text);
+  /// Parse with explicit resource limits (hostile/network-origin input).
+  [[nodiscard]] static Json parse(std::string_view text,
+                                  const JsonLimits& limits);
 
   /// Read/parse a JSON file; throws JsonError (parse) / runtime_error (I/O).
   [[nodiscard]] static Json parse_file(const std::string& path);

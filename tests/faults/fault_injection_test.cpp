@@ -222,6 +222,19 @@ TEST(UnitIsolation, DeadlineErrorClassifiesAsTimeout) {
   EXPECT_STREQ(unit_error_kind_name(r.failures[0].kind), "timeout");
 }
 
+TEST(UnitIsolation, CancelReasonRefinesTheTaxonomy) {
+  // A CancelledError that records a deadline reason is a timeout in the
+  // failure taxonomy; user and shutdown reasons stay "cancelled".
+  const CancelledError deadline("d", CancelReason::kDeadline);
+  const CancelledError user("u", CancelReason::kUser);
+  const CancelledError shutdown("s", CancelReason::kShutdown);
+  const CancelledError legacy("l");
+  EXPECT_EQ(classify_unit_error(deadline), UnitErrorKind::kTimeout);
+  EXPECT_EQ(classify_unit_error(user), UnitErrorKind::kCancelled);
+  EXPECT_EQ(classify_unit_error(shutdown), UnitErrorKind::kCancelled);
+  EXPECT_EQ(classify_unit_error(legacy), UnitErrorKind::kCancelled);
+}
+
 TEST(UnitIsolation, CancellationStopsTheSweep) {
   ComparisonHooks hooks;
   hooks.before_attempt = [](const std::string&, const std::string&,

@@ -1,0 +1,83 @@
+// Admission-control tests: the bounded queue must refuse (not block) when
+// full, count what it sheds, preserve FIFO order, and unblock poppers on
+// close. suggest_retry_after must scale with backlog and stay bounded.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "serve/admission.hpp"
+
+namespace ptgsched::serve {
+namespace {
+
+TEST(AdmissionQueue, RefusesWhenFullWithoutBlocking) {
+  AdmissionQueue q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // returns immediately
+  EXPECT_EQ(2u, q.depth());
+  EXPECT_EQ(1u, q.shed_count());
+
+  // Draining one slot re-opens admission.
+  EXPECT_EQ(1u, q.pop().value());
+  EXPECT_TRUE(q.try_push(3));
+}
+
+TEST(AdmissionQueue, PopsInSubmissionOrder) {
+  AdmissionQueue q(8);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(q.try_push(id));
+  }
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    EXPECT_EQ(id, q.pop().value());
+  }
+}
+
+TEST(AdmissionQueue, CloseUnblocksPoppersAndDrainsRemainder) {
+  AdmissionQueue q(4);
+  ASSERT_TRUE(q.try_push(42));
+
+  std::thread blocked([&] {
+    // First pop drains the queued id; the second blocks until close().
+    EXPECT_EQ(42u, q.pop().value());
+    EXPECT_FALSE(q.pop().has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  blocked.join();
+
+  // A closed queue sheds everything.
+  EXPECT_FALSE(q.try_push(7));
+}
+
+TEST(AdmissionQueue, ZeroCapacityIsClampedToOne) {
+  AdmissionQueue q(0);
+  EXPECT_EQ(1u, q.capacity());
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_FALSE(q.try_push(2));
+}
+
+TEST(SuggestRetryAfter, ScalesWithBacklogAndLatency) {
+  // Deeper backlog or slower service → longer hint.
+  EXPECT_LT(suggest_retry_after(1, 2, 0.1), suggest_retry_after(50, 2, 0.1));
+  EXPECT_LT(suggest_retry_after(10, 2, 0.1),
+            suggest_retry_after(10, 2, 1.0));
+  // More workers drain faster → shorter hint.
+  EXPECT_GT(suggest_retry_after(10, 1, 0.5),
+            suggest_retry_after(10, 8, 0.5));
+}
+
+TEST(SuggestRetryAfter, IsBoundedAndHasAFallback) {
+  // No latency samples yet: a usable nonzero hint, not 0 or infinity.
+  const double hint = suggest_retry_after(0, 2, 0.0);
+  EXPECT_GE(hint, 0.05);
+  EXPECT_LE(hint, 30.0);
+  // Absurd inputs clamp to the [0.05, 30] band.
+  EXPECT_DOUBLE_EQ(30.0, suggest_retry_after(100000, 1, 10.0));
+  EXPECT_DOUBLE_EQ(0.05, suggest_retry_after(0, 64, 1e-9));
+}
+
+}  // namespace
+}  // namespace ptgsched::serve

@@ -1,0 +1,95 @@
+// Degradation-tier tests: the controller must escalate on queue depth or
+// p95 latency crossing the high watermarks, de-escalate only below the
+// low watermarks (hysteresis — no flapping inside the band), and estimate
+// p95 over a sliding window.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "serve/degradation.hpp"
+
+namespace ptgsched::serve {
+namespace {
+
+TierConfig test_config() {
+  TierConfig cfg;
+  cfg.p95_budget_seconds = 1.0;
+  cfg.latency_window = 8;
+  cfg.degrade_high = 0.50;
+  cfg.degrade_low = 0.30;
+  cfg.shed_high = 0.90;
+  cfg.shed_low = 0.60;
+  return cfg;
+}
+
+TEST(ServiceTierNames, RoundTrip) {
+  for (const ServiceTier t :
+       {ServiceTier::kEmts, ServiceTier::kHeuristic,
+        ServiceTier::kCpaOneShot}) {
+    EXPECT_EQ(t, service_tier_from_name(service_tier_name(t)));
+  }
+  EXPECT_THROW((void)service_tier_from_name("bogus"),
+               std::invalid_argument);
+}
+
+TEST(TierController, NominalLoadStaysAtFullQuality) {
+  TierController tc(test_config());
+  EXPECT_EQ(ServiceTier::kEmts, tc.decide(0, 10));
+  EXPECT_EQ(ServiceTier::kEmts, tc.decide(4, 10));  // below degrade_high
+}
+
+TEST(TierController, QueueDepthEscalatesThroughBothWatermarks) {
+  TierController tc(test_config());
+  EXPECT_EQ(ServiceTier::kHeuristic, tc.decide(5, 10));   // 0.5 >= high
+  EXPECT_EQ(ServiceTier::kCpaOneShot, tc.decide(9, 10));  // 0.9 >= shed
+  // And straight to the bottom tier from kEmts if the spike is sharp.
+  TierController tc2(test_config());
+  EXPECT_EQ(ServiceTier::kCpaOneShot, tc2.decide(10, 10));
+}
+
+TEST(TierController, P95LatencyAloneEscalates) {
+  TierController tc(test_config());
+  for (int i = 0; i < 8; ++i) tc.record_latency(2.0);  // 2x the budget
+  EXPECT_GT(tc.load_score(0, 10), 1.0);
+  EXPECT_EQ(ServiceTier::kCpaOneShot, tc.decide(0, 10));
+}
+
+TEST(TierController, HysteresisBandIsSticky) {
+  TierController tc(test_config());
+  ASSERT_EQ(ServiceTier::kHeuristic, tc.decide(5, 10));
+  // Score 0.4 sits between degrade_low (0.3) and degrade_high (0.5):
+  // the tier must not flap back.
+  EXPECT_EQ(ServiceTier::kHeuristic, tc.decide(4, 10));
+  // Only at/below the low watermark does it recover.
+  EXPECT_EQ(ServiceTier::kEmts, tc.decide(3, 10));
+}
+
+TEST(TierController, RecoveryStepsDownOneBandAtATime) {
+  TierController tc(test_config());
+  ASSERT_EQ(ServiceTier::kCpaOneShot, tc.decide(10, 10));
+  // 0.7 is inside the shed hysteresis band: stay at the bottom.
+  EXPECT_EQ(ServiceTier::kCpaOneShot, tc.decide(7, 10));
+  // 0.6 <= shed_low: back up one tier, but not two.
+  EXPECT_EQ(ServiceTier::kHeuristic, tc.decide(6, 10));
+  // 0.3 <= degrade_low: full quality again.
+  EXPECT_EQ(ServiceTier::kEmts, tc.decide(3, 10));
+}
+
+TEST(TierController, LatencyWindowSlides) {
+  TierController tc(test_config());
+  for (int i = 0; i < 8; ++i) tc.record_latency(10.0);
+  EXPECT_DOUBLE_EQ(10.0, tc.p95_latency());
+  // Eight fast completions push the slow ones out of the window.
+  for (int i = 0; i < 8; ++i) tc.record_latency(0.01);
+  EXPECT_DOUBLE_EQ(0.01, tc.p95_latency());
+}
+
+TEST(TierController, RejectsInvertedWatermarks) {
+  TierConfig bad = test_config();
+  bad.degrade_low = bad.degrade_high;
+  EXPECT_THROW(TierController{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ptgsched::serve

@@ -1,0 +1,170 @@
+// Request-journal tests: recovery must rebuild the request table exactly
+// from the event log, keep terminal results bit-identical, re-queue
+// non-terminal requests with their pinned tier, tolerate exactly a torn
+// final line, and refuse corruption anywhere earlier.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "serve/journal.hpp"
+
+namespace ptgsched::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ptgsched_journal_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+    path_ = (dir_ / "journal.jsonl").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+JournaledRequest sample_request(std::uint64_t id) {
+  JournaledRequest r;
+  r.id = id;
+  r.tenant = "tenant-a";
+  r.spec.cls = "layered";
+  r.spec.tasks = 30;
+  r.spec.platform = "chti";
+  r.spec.model = "model1";
+  r.spec.seed = 7;
+  r.deadline_seconds = 5.0;
+  return r;
+}
+
+TEST_F(JournalTest, EmptyOrAbsentJournalRecoversToFreshState) {
+  const RecoveredState state = RequestJournal::recover(path_);
+  EXPECT_TRUE(state.requests.empty());
+  EXPECT_EQ(1u, state.next_id);
+  EXPECT_TRUE(state.pending.empty());
+}
+
+TEST_F(JournalTest, LifecycleRoundTripsThroughRecovery) {
+  {
+    RequestJournal j(path_);
+    j.record_submit(sample_request(1));
+    j.record_start(1, ServiceTier::kEmts, 1);
+    JsonObject result;
+    result["makespan"] = 123.456789012345678;  // %.17g must round-trip
+    result["tier"] = "emts";
+    j.record_complete(1, Json(result));
+
+    j.record_submit(sample_request(2));
+    j.record_start(2, ServiceTier::kHeuristic, 2);
+    // Request 2 never finishes: the daemon dies here.
+  }
+  const RecoveredState state = RequestJournal::recover(path_);
+  ASSERT_EQ(2u, state.requests.size());
+  EXPECT_EQ(3u, state.next_id);
+
+  const JournaledRequest& done = state.requests.at(1);
+  EXPECT_EQ(RequestStatus::kDone, done.status);
+  EXPECT_EQ("tenant-a", done.tenant);
+  EXPECT_EQ(30, done.spec.tasks);
+  EXPECT_DOUBLE_EQ(5.0, done.deadline_seconds);
+  // Bit-identical result payload: the double survives exactly.
+  EXPECT_EQ(123.456789012345678,
+            done.result.at("makespan").as_double());
+
+  const JournaledRequest& interrupted = state.requests.at(2);
+  EXPECT_EQ(RequestStatus::kRunning, interrupted.status);
+  EXPECT_TRUE(interrupted.tier_pinned);
+  EXPECT_EQ(ServiceTier::kHeuristic, interrupted.tier);
+  EXPECT_EQ(2, interrupted.attempt);
+  ASSERT_EQ(1u, state.pending.size());
+  EXPECT_EQ(2u, state.pending[0]);
+}
+
+TEST_F(JournalTest, CancelAndFailAreTerminal) {
+  {
+    RequestJournal j(path_);
+    j.record_submit(sample_request(1));
+    j.record_cancel(1, "deadline");
+    j.record_submit(sample_request(2));
+    j.record_start(2, ServiceTier::kEmts, 3);
+    j.record_fail(2, "boom");
+  }
+  const RecoveredState state = RequestJournal::recover(path_);
+  EXPECT_EQ(RequestStatus::kCancelled, state.requests.at(1).status);
+  EXPECT_EQ("deadline", state.requests.at(1).error);
+  EXPECT_EQ(RequestStatus::kFailed, state.requests.at(2).status);
+  EXPECT_EQ("boom", state.requests.at(2).error);
+  EXPECT_TRUE(state.pending.empty());
+}
+
+TEST_F(JournalTest, TornFinalLineIsToleratedAndFlagged) {
+  {
+    RequestJournal j(path_);
+    j.record_submit(sample_request(1));
+  }
+  {
+    // Simulate the crash AppendJournal's fsync-per-line guarantees can
+    // leave behind: a half-written final line.
+    std::ofstream out(path_, std::ios::app);
+    out << R"({"event":"start","id":1,"tier":"em)";
+  }
+  const RecoveredState state = RequestJournal::recover(path_);
+  EXPECT_TRUE(state.tolerated_torn_tail);
+  ASSERT_EQ(1u, state.requests.size());
+  EXPECT_EQ(RequestStatus::kQueued, state.requests.at(1).status);
+  ASSERT_EQ(1u, state.pending.size());
+}
+
+TEST_F(JournalTest, MidFileCorruptionThrows) {
+  {
+    RequestJournal j(path_);
+    j.record_submit(sample_request(1));
+  }
+  {
+    std::ofstream out(path_, std::ios::app);
+    out << "NOT JSON AT ALL\n";
+  }
+  {
+    RequestJournal j(path_);
+    j.record_start(1, ServiceTier::kEmts, 1);
+  }
+  EXPECT_THROW((void)RequestJournal::recover(path_), std::runtime_error);
+}
+
+TEST_F(JournalTest, EventForUnknownIdThrows) {
+  {
+    RequestJournal j(path_);
+    j.record_complete(99, Json(JsonObject{}));
+    // Make the bad line non-final so it is not torn-tail-tolerated.
+    j.record_submit(sample_request(1));
+  }
+  EXPECT_THROW((void)RequestJournal::recover(path_), std::runtime_error);
+}
+
+TEST_F(JournalTest, ReopeningAppendsRatherThanTruncates) {
+  {
+    RequestJournal j(path_);
+    j.record_submit(sample_request(1));
+  }
+  {
+    RequestJournal j(path_);
+    j.record_start(1, ServiceTier::kCpaOneShot, 1);
+  }
+  const RecoveredState state = RequestJournal::recover(path_);
+  EXPECT_EQ(RequestStatus::kRunning, state.requests.at(1).status);
+  EXPECT_EQ(ServiceTier::kCpaOneShot, state.requests.at(1).tier);
+}
+
+}  // namespace
+}  // namespace ptgsched::serve

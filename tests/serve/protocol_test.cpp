@@ -1,0 +1,127 @@
+// Wire-protocol tests: length-prefixed framing over a socketpair must
+// round-trip arbitrary payloads, refuse oversized announcements, and
+// report torn frames as errors rather than misparsing them.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "serve/protocol.hpp"
+
+namespace ptgsched::serve {
+namespace {
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(Protocol, FramesRoundTrip) {
+  SocketPair s;
+  write_frame(s.a, "hello");
+  write_frame(s.a, "");  // empty frames are legal
+  std::string payload(100000, 'x');
+  std::thread writer([&] { write_frame(s.a, payload); });
+
+  std::string out;
+  ASSERT_TRUE(read_frame(s.b, out));
+  EXPECT_EQ("hello", out);
+  ASSERT_TRUE(read_frame(s.b, out));
+  EXPECT_EQ("", out);
+  ASSERT_TRUE(read_frame(s.b, out));
+  EXPECT_EQ(payload, out);
+  writer.join();
+}
+
+TEST(Protocol, CleanEofBetweenFramesReturnsFalse) {
+  SocketPair s;
+  write_frame(s.a, "last");
+  ::close(s.a);
+  s.a = -1;
+  std::string out;
+  ASSERT_TRUE(read_frame(s.b, out));
+  EXPECT_FALSE(read_frame(s.b, out));
+}
+
+TEST(Protocol, TornFrameThrows) {
+  {
+    SocketPair s;
+    const char half_prefix[2] = {0, 0};
+    ASSERT_EQ(2, ::write(s.a, half_prefix, 2));
+    ::close(s.a);
+    s.a = -1;
+    std::string out;
+    EXPECT_THROW((void)read_frame(s.b, out), ProtocolError);
+  }
+  {
+    SocketPair s;
+    // Announce 100 bytes, deliver 3, die.
+    const char prefix[4] = {0, 0, 0, 100};
+    ASSERT_EQ(4, ::write(s.a, prefix, 4));
+    ASSERT_EQ(3, ::write(s.a, "abc", 3));
+    ::close(s.a);
+    s.a = -1;
+    std::string out;
+    EXPECT_THROW((void)read_frame(s.b, out), ProtocolError);
+  }
+}
+
+TEST(Protocol, OversizedAnnouncementRefusedWithoutAllocating) {
+  SocketPair s;
+  const char prefix[4] = {static_cast<char>(0xff), static_cast<char>(0xff),
+                          static_cast<char>(0xff),
+                          static_cast<char>(0xff)};
+  ASSERT_EQ(4, ::write(s.a, prefix, 4));
+  std::string out;
+  EXPECT_THROW((void)read_frame(s.b, out), ProtocolError);
+}
+
+TEST(Protocol, OversizedPayloadRefusedOnTheWriteSide) {
+  SocketPair s;
+  const std::string huge(kMaxFrameBytes + 1, 'x');
+  EXPECT_THROW(write_frame(s.a, huge), ProtocolError);
+}
+
+TEST(Protocol, MessagesParseUnderWireLimits) {
+  SocketPair s;
+  write_frame(s.a, R"({"op":"stats"})");
+  Json message;
+  ASSERT_TRUE(read_message(s.b, message));
+  EXPECT_EQ("stats", message.at("op").as_string());
+
+  // A nesting bomb within the frame limit must raise JsonError (bounded
+  // depth), not crash the reader.
+  std::string bomb(1000, '[');
+  write_frame(s.a, bomb);
+  EXPECT_THROW((void)read_message(s.b, message), JsonError);
+}
+
+TEST(Protocol, ResponseHelpersCarryTheEnvelope) {
+  const Json ok = ok_response({{"id", Json(7)}});
+  EXPECT_TRUE(ok.at("ok").as_bool());
+  EXPECT_EQ(7, ok.at("id").as_int());
+
+  const Json err = error_response(kErrOverloaded, "queue full",
+                                  {{"retry_after_seconds", Json(0.5)}});
+  EXPECT_FALSE(err.at("ok").as_bool());
+  EXPECT_EQ("overloaded", err.at("error").as_string());
+  EXPECT_EQ("queue full", err.at("message").as_string());
+  EXPECT_DOUBLE_EQ(0.5, err.at("retry_after_seconds").as_double());
+}
+
+}  // namespace
+}  // namespace ptgsched::serve

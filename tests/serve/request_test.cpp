@@ -1,0 +1,88 @@
+// JobSpec / request-domain tests: canonical serialization, stable
+// fingerprints, and the deterministic per-(tenant, job, attempt) seeds
+// that make concurrent identical submissions reproducible.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "serve/request.hpp"
+
+namespace ptgsched::serve {
+namespace {
+
+JobSpec sample_spec() {
+  JobSpec spec;
+  spec.cls = "irregular";
+  spec.tasks = 40;
+  spec.platform = "grelon";
+  spec.model = "model2";
+  spec.seed = 99;
+  spec.corpus_index = 2;
+  return spec;
+}
+
+TEST(JobSpec, JsonRoundTrip) {
+  const JobSpec spec = sample_spec();
+  const JobSpec back = JobSpec::from_json(spec.to_json());
+  EXPECT_EQ(spec.cls, back.cls);
+  EXPECT_EQ(spec.tasks, back.tasks);
+  EXPECT_EQ(spec.platform, back.platform);
+  EXPECT_EQ(spec.model, back.model);
+  EXPECT_EQ(spec.seed, back.seed);
+  EXPECT_EQ(spec.corpus_index, back.corpus_index);
+  EXPECT_EQ(spec.fingerprint(), back.fingerprint());
+}
+
+TEST(JobSpec, FromJsonValidates) {
+  Json j = sample_spec().to_json();
+  j.as_object().erase("model");
+  EXPECT_THROW((void)JobSpec::from_json(j), JsonError);
+
+  Json bad_tasks = sample_spec().to_json();
+  bad_tasks.as_object()["tasks"] = 0;
+  EXPECT_THROW((void)JobSpec::from_json(bad_tasks), JsonError);
+}
+
+TEST(JobSpec, FingerprintSeparatesSpecs) {
+  const JobSpec a = sample_spec();
+  JobSpec b = a;
+  b.tasks = 41;
+  JobSpec c = a;
+  c.seed = 100;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+  EXPECT_EQ(a.fingerprint(), sample_spec().fingerprint());
+}
+
+TEST(RequestSeed, IsAPureFunctionOfItsInputs) {
+  const JobSpec spec = sample_spec();
+  const std::uint64_t s = request_seed(1, "tenant-a", spec, 1);
+  EXPECT_EQ(s, request_seed(1, "tenant-a", spec, 1));
+  // Every input separates the stream.
+  EXPECT_NE(s, request_seed(2, "tenant-a", spec, 1));
+  EXPECT_NE(s, request_seed(1, "tenant-b", spec, 1));
+  EXPECT_NE(s, request_seed(1, "tenant-a", spec, 2));
+  JobSpec other = spec;
+  other.corpus_index = 3;
+  EXPECT_NE(s, request_seed(1, "tenant-a", other, 1));
+}
+
+TEST(RequestStatusNames, RoundTripAndTerminality) {
+  for (const RequestStatus s :
+       {RequestStatus::kQueued, RequestStatus::kRunning,
+        RequestStatus::kDone, RequestStatus::kCancelled,
+        RequestStatus::kFailed}) {
+    EXPECT_EQ(s, request_status_from_name(request_status_name(s)));
+  }
+  EXPECT_THROW((void)request_status_from_name("nope"),
+               std::invalid_argument);
+  EXPECT_FALSE(is_terminal(RequestStatus::kQueued));
+  EXPECT_FALSE(is_terminal(RequestStatus::kRunning));
+  EXPECT_TRUE(is_terminal(RequestStatus::kDone));
+  EXPECT_TRUE(is_terminal(RequestStatus::kCancelled));
+  EXPECT_TRUE(is_terminal(RequestStatus::kFailed));
+}
+
+}  // namespace
+}  // namespace ptgsched::serve

@@ -34,6 +34,42 @@ std::string slurp(const fs::path& path) {
   return out.str();
 }
 
+TEST(AtomicIo, RenameIsFollowedByDirectoryFsync) {
+  // The rename only survives power loss once the parent directory's data
+  // hits stable storage; assert the directory-fd fsync path is actually
+  // exercised (a regression to "best effort, silently skipped" would pass
+  // every content test while reintroducing the durability gap).
+  const fs::path dir = fresh_dir("ptgsched_atomic_io");
+  const fs::path target = dir / "durable.json";
+  const AtomicIoStats before = atomic_io_stats();
+  write_file_atomic(target.string(), "{}\n");
+  const AtomicIoStats after = atomic_io_stats();
+  EXPECT_GE(after.dir_fsyncs, before.dir_fsyncs + 1);
+  EXPECT_GE(after.file_fsyncs, before.file_fsyncs + 1);
+  fs::remove_all(dir);
+}
+
+TEST(AtomicIo, JournalCreationFsyncsTheDirectory) {
+  const fs::path dir = fresh_dir("ptgsched_atomic_io");
+  const fs::path path = dir / "journal.jsonl";
+  const AtomicIoStats before = atomic_io_stats();
+  {
+    AppendJournal journal(path.string());  // creates the file
+    const AtomicIoStats created = atomic_io_stats();
+    EXPECT_GE(created.dir_fsyncs, before.dir_fsyncs + 1);
+    journal.append_line("x");
+  }
+  {
+    // Re-opening an existing journal must NOT pay the directory fsync
+    // again — only creation changes the directory's contents.
+    const AtomicIoStats reopened_before = atomic_io_stats();
+    AppendJournal journal(path.string());
+    const AtomicIoStats reopened_after = atomic_io_stats();
+    EXPECT_EQ(reopened_after.dir_fsyncs, reopened_before.dir_fsyncs);
+  }
+  fs::remove_all(dir);
+}
+
 TEST(AtomicIo, WritesContentAndLeavesNoTempFile) {
   const fs::path dir = fresh_dir("ptgsched_atomic_io");
   const fs::path target = dir / "report.json";

@@ -7,6 +7,7 @@
 
 #include <chrono>
 #include <limits>
+#include <thread>
 
 #include "support/cancellation.hpp"
 
@@ -61,6 +62,65 @@ TEST(Backoff, RejectsBadArguments) {
                std::invalid_argument);
   EXPECT_THROW((void)backoff_delay_seconds(1, 1.0, nan, 1),
                std::invalid_argument);
+}
+
+TEST(Backoff, DelaySeriesTruncatesExactlyAtTheDeadline) {
+  // A retry loop passes the *remaining* deadline as the cap. Walk a delay
+  // series against a fixed budget: every delay must fit the remaining
+  // budget exactly, and once the uncapped delay overtakes the budget the
+  // returned delay must equal the remainder bit for bit (clamping is
+  // std::min, not an approximation).
+  const double base = 0.5;
+  double remaining = 2.0;
+  bool clamped = false;
+  for (int attempt = 1; attempt <= 12 && remaining > 0.0; ++attempt) {
+    const double d = backoff_delay_seconds(attempt, base, remaining, 99);
+    ASSERT_LE(d, remaining);
+    const double uncapped = backoff_delay_seconds(attempt, base, 0.0, 99);
+    if (uncapped > remaining) {
+      EXPECT_EQ(d, remaining);  // truncated exactly at the deadline
+      clamped = true;
+    } else {
+      EXPECT_EQ(d, uncapped);
+    }
+    remaining -= d;
+  }
+  EXPECT_TRUE(clamped);  // the series did hit the deadline cap
+  EXPECT_EQ(remaining, 0.0);
+}
+
+TEST(Backoff, ZeroBudgetDeadlineNeverSleeps) {
+  // cap == 0 is "uncapped" for historical reasons; an exhausted budget is
+  // expressed as a negative cap and must yield a zero delay, so a caller
+  // computing `deadline - elapsed` can pass the raw difference.
+  EXPECT_GT(backoff_delay_seconds(3, 1.0, 0.0, 7), 0.0);   // uncapped
+  EXPECT_EQ(backoff_delay_seconds(3, 1.0, -0.0001, 7), 0.0);
+  EXPECT_EQ(backoff_delay_seconds(3, 1.0, -5.0, 7), 0.0);
+  EXPECT_EQ(backoff_delay_seconds(1, 0.001, -1e-12, 7), 0.0);
+}
+
+TEST(Backoff, TinyRemainingBudgetClampsToTheBudget) {
+  // One nanosecond of budget left: the delay is that nanosecond, not the
+  // exponential schedule.
+  const double d = backoff_delay_seconds(10, 1.0, 1e-9, 7);
+  EXPECT_EQ(d, 1e-9);
+}
+
+TEST(Backoff, CancellationFiringMidSleepCutsTheWaitShort) {
+  CancellationToken token;
+  std::thread trip([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.request_cancel(CancelReason::kShutdown);
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool completed = backoff_sleep(30.0, &token);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  trip.join();
+  EXPECT_FALSE(completed);  // cut short, not slept to completion
+  EXPECT_LT(elapsed, 5.0);  // promptly (30 s sleep ended within slices)
+  EXPECT_EQ(token.reason(), CancelReason::kShutdown);
 }
 
 TEST(Backoff, SleepReturnsImmediatelyOnCancelledToken) {

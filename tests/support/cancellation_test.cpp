@@ -13,6 +13,7 @@ namespace {
 TEST(CancellationToken, StartsClearAndLatchesOnRequest) {
   CancellationToken token;
   EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
   EXPECT_NO_THROW(token.throw_if_cancelled());
   token.request_cancel();
   EXPECT_TRUE(token.cancelled());
@@ -26,11 +27,46 @@ TEST(CancellationToken, ThrowIfCancelledThrowsCancelledError) {
   EXPECT_THROW(token.throw_if_cancelled(), CancelledError);
 }
 
-TEST(CancellationToken, ResetClearsTheFlag) {
+TEST(CancellationToken, DefaultReasonIsUserCancel) {
   CancellationToken token;
   token.request_cancel();
+  EXPECT_EQ(token.reason(), CancelReason::kUser);
+}
+
+TEST(CancellationToken, FirstReasonWins) {
+  CancellationToken token;
+  token.request_cancel(CancelReason::kDeadline);
+  token.request_cancel(CancelReason::kUser);
+  token.request_cancel(CancelReason::kShutdown);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+}
+
+TEST(CancellationToken, ThrowCarriesReasonAndNamesIt) {
+  CancellationToken token;
+  token.request_cancel(CancelReason::kDeadline);
+  try {
+    token.throw_if_cancelled();
+    FAIL() << "expected CancelledError";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kDeadline);
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+}
+
+TEST(CancellationToken, ResetClearsFlagAndReason) {
+  CancellationToken token;
+  token.request_cancel(CancelReason::kShutdown);
   token.reset();
   EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+}
+
+TEST(CancelReasonNames, StableWireNames) {
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kNone), "none");
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kUser), "user_cancel");
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kDeadline), "deadline");
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kShutdown), "shutdown");
 }
 
 TEST(CancellationToken, VisibleAcrossThreads) {
@@ -59,6 +95,8 @@ TEST(SignalCancellation, SigintTripsTheInstalledToken) {
   EXPECT_FALSE(token.cancelled());
   std::raise(SIGINT);
   EXPECT_TRUE(token.cancelled());
+  // Signals are process-level stops, not user per-request cancels.
+  EXPECT_EQ(token.reason(), CancelReason::kShutdown);
   install_signal_cancellation(nullptr);
 }
 

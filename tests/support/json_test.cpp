@@ -87,6 +87,84 @@ TEST(JsonParse, DeepNestingGuard) {
   EXPECT_THROW((void)Json::parse(deep), JsonError);
 }
 
+TEST(JsonParse, ErrorsCarryByteOffset) {
+  try {
+    (void)Json::parse("[1, ?]");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.byte_offset(), 4u);  // the '?'
+    EXPECT_NE(std::string(e.what()).find("byte 4"), std::string::npos);
+  }
+  // Type-mismatch errors are not parse errors and carry no offset.
+  try {
+    (void)Json::parse("[1]").as_object();
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.byte_offset(), JsonError::knpos);
+  }
+}
+
+TEST(JsonLimitsTest, MaxDepthIsConfigurable) {
+  JsonLimits limits;
+  limits.max_depth = 4;
+  EXPECT_NO_THROW((void)Json::parse("[[[[1]]]]", limits));
+  try {
+    (void)Json::parse("[[[[[1]]]]]", limits);
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("max depth of 4"),
+              std::string::npos);
+    EXPECT_NE(e.byte_offset(), JsonError::knpos);
+  }
+  // Mixed containers count object and array nesting alike.
+  EXPECT_THROW((void)Json::parse(R"({"a":[{"b":[{"c":1}]}]})", limits),
+               JsonError);
+}
+
+TEST(JsonLimitsTest, MaxBytesRefusesOversizedDocuments) {
+  JsonLimits limits;
+  limits.max_bytes = 16;
+  EXPECT_NO_THROW((void)Json::parse("[1,2,3]", limits));
+  const std::string big = "[" + std::string(1000, '1') + "]";
+  try {
+    (void)Json::parse(big, limits);
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("max size of 16"),
+              std::string::npos);
+    EXPECT_EQ(e.byte_offset(), 16u);
+  }
+}
+
+TEST(JsonLimitsTest, HostileInputCorpusNeverCrashes) {
+  // Network-origin nastiness: every input must raise JsonError (or parse
+  // cleanly), never overflow the stack or allocate without bound.
+  JsonLimits limits;
+  limits.max_depth = 64;
+  limits.max_bytes = 4096;
+  const std::string deep_arrays(5000, '[');
+  std::string deep_objects;
+  for (int i = 0; i < 2000; ++i) deep_objects += "{\"k\":";
+  std::string alternating;
+  for (int i = 0; i < 1500; ++i) alternating += "[{\"x\":";
+  const std::string huge = "\"" + std::string(100000, 'a') + "\"";
+  const std::string corpus[] = {
+      deep_arrays, deep_objects, alternating, huge,
+      std::string(100, '['),                // deep but small: depth trips
+      std::string(4096, ' '),               // all whitespace, no value
+      "[" + std::string(4000, '9') + "]",   // giant number token
+      "{\"a\":1",                            // truncated frame
+      std::string("\x00\x01\x02", 3),       // binary garbage
+  };
+  for (const std::string& text : corpus) {
+    EXPECT_THROW((void)Json::parse(text, limits), JsonError)
+        << "input of " << text.size() << " bytes";
+  }
+  // The defaults still parse ordinarily-nested real documents.
+  EXPECT_NO_THROW(
+      (void)Json::parse(R"({"op":"submit","job":{"tasks":30}})", limits));
+}
+
 TEST(JsonDump, RoundTripsStructures) {
   const std::string text =
       R"({"arr":[1,2.5,"x",null,true],"num":-3,"obj":{"k":"v"}})";
