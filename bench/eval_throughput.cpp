@@ -23,8 +23,11 @@
 //                  (the "current engine path" before this PR);
 //   full         — the engine forced to KernelMode::Full;
 //   incremental  — KernelMode::Incremental (per-parent traces plus
-//                  certified-prefix delta passes). Fitness sums are
-//                  compared bit-for-bit across all three as a sanity
+//                  certified-prefix delta passes);
+//   batched      — KernelMode::Batched (sibling-lockstep sessions: one
+//                  shared bottom-level load per parent group, whole-order
+//                  certification, heap-free replay). Fitness sums are
+//                  compared bit-for-bit across all four as a sanity
 //                  check.
 //
 // Batches are generated once with the real EMTS mutation operator from an
@@ -34,7 +37,11 @@
 // (consumed by scripts/bench_report); `--min-speedup X` exits nonzero
 // unless the single-thread incremental/full replay speedup reaches X (the
 // perf-smoke guard that the delta kernel never regresses below the full
-// pass).
+// pass), and `--min-batched-speedup X` does the same for the
+// single-thread batched/incremental speedup. `--batch LIST` additionally
+// sweeps the engine's sibling_batch chunk size (0 = unbounded groups)
+// over the comma-separated LIST at one thread, so the amortization curve
+// is part of the committed report.
 
 #include <algorithm>
 #include <cstdio>
@@ -153,11 +160,12 @@ ReplayRun replay_seconds(
     const std::shared_ptr<const ProblemInstance>& instance,
     const std::vector<Individual>& parents,
     const std::vector<std::vector<Individual>>& child_batches,
-    std::size_t threads, KernelMode kernel) {
+    std::size_t threads, KernelMode kernel, std::size_t sibling_batch = 0) {
   EvalEngineConfig cfg;
   cfg.threads = threads;
   cfg.memoize = false;  // measure the kernel, not the cache
   cfg.kernel = kernel;
+  cfg.sibling_batch = sibling_batch;
   EvaluationEngine engine(instance, {}, cfg);
   ReplayRun run;
   WallTimer timer;
@@ -193,6 +201,14 @@ int main(int argc, char** argv) {
                  "Fail unless the 1-thread incremental/full replay speedup "
                  "reaches this (0 = off)",
                  "0");
+  cli.add_option("min-batched-speedup",
+                 "Fail unless the 1-thread batched/incremental replay "
+                 "speedup reaches this (0 = off)",
+                 "0");
+  cli.add_option("batch",
+                 "Comma-separated sibling_batch chunk sizes to sweep at 1 "
+                 "thread on the batched lane (0 = unbounded groups)",
+                 "0");
   try {
     if (!cli.parse(argc, argv)) return 0;
     const int tasks = static_cast<int>(cli.get_int("tasks"));
@@ -205,6 +221,11 @@ int main(int argc, char** argv) {
     const std::uint64_t seed = cli.get_u64("seed");
     const std::string json_path = cli.get("json");
     const double min_speedup = cli.get_double("min-speedup");
+    const double min_batched_speedup = cli.get_double("min-batched-speedup");
+    std::vector<std::size_t> batch_sizes;
+    for (const std::string& tok : split(cli.get("batch"), ',')) {
+      batch_sizes.push_back(static_cast<std::size_t>(std::stoul(tok)));
+    }
 
     const Ptg g = irregular_corpus(tasks, 1, seed).front();
     const Cluster cluster = grelon();
@@ -257,11 +278,14 @@ int main(int argc, char** argv) {
     std::vector<std::vector<std::string>> table;
     table.push_back({"threads", "legacy ev/s", "engine ev/s", "speedup",
                      "engine+memo ev/s", "replay ref ev/s",
-                     "replay full ev/s", "replay incr ev/s", "vs full",
-                     "vs ref"});
+                     "replay full ev/s", "replay incr ev/s",
+                     "replay batch ev/s", "vs full", "vs ref", "b vs i"});
     JsonArray rows;
     double speedup_vs_full_1t = 0.0;
     double speedup_vs_ref_1t = 0.0;
+    double batched_vs_incr_1t = 0.0;
+    double incr_1t_seconds = 0.0;
+    double expected_sum = 0.0;  // the 1-thread reference fitness sum
     for (std::size_t t = 1; t <= max_threads; t *= 2) {
       double legacy_best = std::numeric_limits<double>::infinity();
       double engine_best = std::numeric_limits<double>::infinity();
@@ -269,6 +293,7 @@ int main(int argc, char** argv) {
       double ref_best = std::numeric_limits<double>::infinity();
       double full_best = std::numeric_limits<double>::infinity();
       double incr_best = std::numeric_limits<double>::infinity();
+      double batch_best = std::numeric_limits<double>::infinity();
       for (std::size_t r = 0; r < reps; ++r) {
         legacy_best =
             std::min(legacy_best, legacy_seconds(instance, batches, t));
@@ -281,29 +306,37 @@ int main(int argc, char** argv) {
             replay_seconds(instance, parents, replay, t, KernelMode::Full);
         const ReplayRun incr = replay_seconds(instance, parents, replay, t,
                                               KernelMode::Incremental);
-        // All three replay lanes are bit-identical by contract (the
-        // kernel against its preserved oracle, and the delta path
-        // against the full pass); any drift here is a correctness bug,
-        // not a measurement artifact.
+        const ReplayRun batched = replay_seconds(instance, parents, replay,
+                                                 t, KernelMode::Batched);
+        // All four replay lanes are bit-identical by contract (the
+        // kernel against its preserved oracle, and the delta/sibling
+        // paths against the full pass); any drift here is a correctness
+        // bug, not a measurement artifact.
         if (full.fitness_sum != incr.fitness_sum ||
-            full.fitness_sum != ref.fitness_sum) {
+            full.fitness_sum != ref.fitness_sum ||
+            full.fitness_sum != batched.fitness_sum) {
           std::fprintf(stderr,
                        "eval_throughput: kernel mismatch at %zu threads "
                        "(reference sum %.17g, full sum %.17g, incremental "
-                       "sum %.17g)\n",
+                       "sum %.17g, batched sum %.17g)\n",
                        t, ref.fitness_sum, full.fitness_sum,
-                       incr.fitness_sum);
+                       incr.fitness_sum, batched.fitness_sum);
           return 1;
         }
+        if (t == 1) expected_sum = ref.fitness_sum;
         ref_best = std::min(ref_best, ref.seconds);
         full_best = std::min(full_best, full.seconds);
         incr_best = std::min(incr_best, incr.seconds);
+        batch_best = std::min(batch_best, batched.seconds);
       }
       const double speedup_vs_full = full_best / incr_best;
       const double speedup_vs_ref = ref_best / incr_best;
+      const double batched_vs_incr = incr_best / batch_best;
       if (t == 1) {
         speedup_vs_full_1t = speedup_vs_full;
         speedup_vs_ref_1t = speedup_vs_ref;
+        batched_vs_incr_1t = batched_vs_incr;
+        incr_1t_seconds = incr_best;
       }
       table.push_back({std::to_string(t),
                        strfmt("%.0f", total / legacy_best),
@@ -313,8 +346,10 @@ int main(int argc, char** argv) {
                        strfmt("%.0f", total / ref_best),
                        strfmt("%.0f", total / full_best),
                        strfmt("%.0f", total / incr_best),
+                       strfmt("%.0f", total / batch_best),
                        strfmt("%.2fx", speedup_vs_full),
-                       strfmt("%.2fx", speedup_vs_ref)});
+                       strfmt("%.2fx", speedup_vs_ref),
+                       strfmt("%.2fx", batched_vs_incr)});
       JsonObject row;
       row.emplace("threads", Json(static_cast<double>(t)));
       row.emplace("legacy_evps", Json(total / legacy_best));
@@ -323,15 +358,60 @@ int main(int argc, char** argv) {
       row.emplace("replay_reference_evps", Json(total / ref_best));
       row.emplace("replay_full_evps", Json(total / full_best));
       row.emplace("replay_incremental_evps", Json(total / incr_best));
+      row.emplace("replay_batched_evps", Json(total / batch_best));
       row.emplace("incremental_speedup_vs_full", Json(speedup_vs_full));
       row.emplace("incremental_speedup_vs_reference", Json(speedup_vs_ref));
+      row.emplace("batched_speedup_vs_incremental", Json(batched_vs_incr));
+      row.emplace("batched_speedup_vs_full",
+                  Json(full_best / batch_best));
+      row.emplace("batched_speedup_vs_reference",
+                  Json(ref_best / batch_best));
       rows.push_back(Json(std::move(row)));
     }
     std::fputs(render_table(table).c_str(), stdout);
     std::puts("# speedup = legacy seconds / engine seconds; vs full / vs "
               "ref = replay incremental throughput over the engine's full "
-              "pass and over the legacy ReferenceMapper path (same "
-              "batches, same thread count).");
+              "pass and over the legacy ReferenceMapper path; b vs i = the "
+              "batched sibling-lockstep lane over the incremental lane "
+              "(same batches, same thread count).");
+
+    // Sibling-batch chunk-size sweep, 1 thread: how much of the batched
+    // lane's win survives when sessions are capped at k siblings.
+    JsonArray sweep_rows;
+    if (batch_sizes.size() > 1 ||
+        (batch_sizes.size() == 1 && batch_sizes[0] != 0)) {
+      std::vector<std::vector<std::string>> sweep_table;
+      sweep_table.push_back({"sibling_batch", "replay batch ev/s",
+                             "vs incr @1t"});
+      for (const std::size_t k : batch_sizes) {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t r = 0; r < reps; ++r) {
+          const ReplayRun b = replay_seconds(instance, parents, replay, 1,
+                                             KernelMode::Batched, k);
+          if (b.fitness_sum != expected_sum) {
+            std::fprintf(stderr,
+                         "eval_throughput: batched sweep mismatch at "
+                         "sibling_batch=%zu (sum %.17g, want %.17g)\n",
+                         k, b.fitness_sum, expected_sum);
+            return 1;
+          }
+          best = std::min(best, b.seconds);
+        }
+        const double evps = total / best;
+        const double vs_incr = incr_1t_seconds / best;
+        sweep_table.push_back({k == 0 ? "unbounded" : std::to_string(k),
+                               strfmt("%.0f", evps),
+                               strfmt("%.2fx", vs_incr)});
+        JsonObject row;
+        row.emplace("sibling_batch", Json(static_cast<double>(k)));
+        row.emplace("replay_batched_evps", Json(evps));
+        row.emplace("batched_speedup_vs_incremental", Json(vs_incr));
+        sweep_rows.push_back(Json(std::move(row)));
+      }
+      std::fputs(render_table(sweep_table).c_str(), stdout);
+      std::puts("# sibling_batch sweep at 1 thread (unbounded = whole "
+                "sibling group per session).");
+    }
 
     if (!json_path.empty()) {
       JsonObject doc;
@@ -346,6 +426,9 @@ int main(int argc, char** argv) {
       config.emplace("cluster", Json(cluster.name()));
       doc.emplace("config", Json(std::move(config)));
       doc.emplace("rows", Json(std::move(rows)));
+      if (!sweep_rows.empty()) {
+        doc.emplace("batch_sweep", Json(std::move(sweep_rows)));
+      }
       Json(std::move(doc)).write_file(json_path);
       std::printf("# wrote %s\n", json_path.c_str());
     }
@@ -356,6 +439,14 @@ int main(int argc, char** argv) {
                    "over the full pass is below the required %.2fx "
                    "(vs reference: %.2fx)\n",
                    speedup_vs_full_1t, min_speedup, speedup_vs_ref_1t);
+      return 1;
+    }
+    if (min_batched_speedup > 0.0 &&
+        batched_vs_incr_1t < min_batched_speedup) {
+      std::fprintf(stderr,
+                   "eval_throughput: 1-thread batched speedup %.2fx over "
+                   "the incremental lane is below the required %.2fx\n",
+                   batched_vs_incr_1t, min_batched_speedup);
       return 1;
     }
     return 0;

@@ -99,9 +99,11 @@ EvalStats stats_delta(const EvalStats& now, const EvalStats& before) {
   d.scheduled = now.scheduled - before.scheduled;
   d.cache_hits = now.cache_hits - before.cache_hits;
   d.cache_misses = now.cache_misses - before.cache_misses;
+  d.cache_skipped = now.cache_skipped - before.cache_skipped;
   d.rejections = now.rejections - before.rejections;
   d.trace_builds = now.trace_builds - before.trace_builds;
   d.delta_scheduled = now.delta_scheduled - before.delta_scheduled;
+  d.sibling_batches = now.sibling_batches - before.sibling_batches;
   d.batches = now.batches - before.batches;
   d.eval_seconds = now.eval_seconds - before.eval_seconds;
   return d;

@@ -55,9 +55,9 @@ struct EmtsConfig {
   /// run without rejection — only cheaper. Requires plus selection.
   bool use_rejection = false;
   /// Which mapping kernel the evaluation engine runs offspring through
-  /// (full passes vs incremental delta passes; bit-identical either way).
-  /// Unset: resolved from the PTGSCHED_KERNEL environment variable — see
-  /// EvalEngineConfig::kernel.
+  /// (full passes, incremental delta passes, or batched sibling lockstep;
+  /// bit-identical in every mode). Unset: resolved from the
+  /// PTGSCHED_KERNEL environment variable — see EvalEngineConfig::kernel.
   std::optional<KernelMode> kernel;
   /// Memoize exact makespans per allocation in the evaluation engine.
   /// Mutants frequently collide with their parents and each other under

@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -57,6 +58,15 @@ enum class KernelMode {
   /// (ListScheduler::makespan_delta). Fitness values, rejection counts and
   /// therefore the whole evolution trajectory are bit-identical to Full.
   Incremental,
+  /// Incremental plus sibling lockstep batching: children are grouped by
+  /// traced parent and each group runs in one kernel batch session
+  /// (ListScheduler::begin_sibling_batch / makespan_sibling) — the
+  /// parent's bottom levels and times are loaded once per group, each
+  /// sibling stages only its changed genes, and fully certified siblings
+  /// replay the parent's pop order heap-free (see mapping_kernel.hpp).
+  /// Fitness values and rejection counts stay bit-identical to both other
+  /// modes; only throughput changes.
+  Batched,
 };
 
 struct EvalEngineConfig {
@@ -74,12 +84,17 @@ struct EvalEngineConfig {
   /// EMTS-10 run performs ~1e3 evaluations, far below the default).
   std::size_t memo_capacity = 1 << 16;
   /// Batch evaluation kernel. Unset (the default): resolved once at
-  /// construction from the PTGSCHED_KERNEL environment variable — "full"
-  /// or "incremental", any other value throws — defaulting to Incremental
-  /// when the variable is absent or empty. The env switch exists so whole
-  /// experiment campaigns and benches can be flipped to the legacy oracle
-  /// path without touching configuration code.
+  /// construction from the PTGSCHED_KERNEL environment variable — "full",
+  /// "incremental" or "batched", any other value throws — defaulting to
+  /// Incremental when the variable is absent or empty. The env switch
+  /// exists so whole experiment campaigns and benches can be flipped
+  /// between kernels without touching configuration code.
   std::optional<KernelMode> kernel;
+  /// Batched mode only: cap on the number of siblings one kernel batch
+  /// session serves before the session is re-opened (0 = one session per
+  /// sibling group, however large). Exists for the bench batch-size sweep;
+  /// fitness values are identical for every value.
+  std::size_t sibling_batch = 0;
   /// Cooperative cancellation (not owned; must outlive the engine). Once
   /// the token trips, batch evaluations short-circuit to +infinity (never
   /// cached) so an in-flight generation drains the thread pool in
@@ -95,10 +110,18 @@ struct EvalStats {
   std::size_t scheduled = 0;     ///< List-scheduler passes actually run.
   std::size_t cache_hits = 0;    ///< Served from the memo cache.
   std::size_t cache_misses = 0;  ///< Looked up but absent (memoize only).
+  /// Memo probes skipped by the cold-cache sampler (memoize only): when a
+  /// slot's windowed hit rate drops below ~6%, only one evaluation in
+  /// kColdProbePeriod pays the hash + shard lock, and the sampled probes
+  /// keep the estimate fresh so a warming cache re-enables full probing.
+  /// evaluations == cache_hits + cache_misses + cache_skipped under
+  /// memoize.
+  std::size_t cache_skipped = 0;
   std::size_t rejections = 0;    ///< Bounded passes that bailed out early.
   std::size_t trace_builds = 0;  ///< Parent traces built (full passes not
                                  ///< counted in `scheduled`).
   std::size_t delta_scheduled = 0;  ///< Of `scheduled`: incremental passes.
+  std::size_t sibling_batches = 0;  ///< Kernel batch sessions opened.
   std::size_t batches = 0;       ///< evaluate_batch() calls.
   double eval_seconds = 0.0;     ///< Wall seconds inside evaluate_batch().
 
@@ -205,8 +228,38 @@ class EvaluationEngine final : public BatchEvaluator {
     std::atomic<std::size_t> scheduled{0};
     std::atomic<std::size_t> cache_hits{0};
     std::atomic<std::size_t> cache_misses{0};
+    std::atomic<std::size_t> cache_skipped{0};
     std::atomic<std::size_t> trace_builds{0};
     std::atomic<std::size_t> delta_scheduled{0};
+    std::atomic<std::size_t> sibling_batches{0};
+  };
+
+  /// Cold-cache probe sampler, one per slot. Plain (non-atomic) state:
+  /// each slot is driven by exactly one worker at a time and the pool's
+  /// batch join orders accesses across batches. Tuned so the ~4% memo
+  /// overhead measured on a cold cache (BENCH_6 engine_memo lane) drops
+  /// to noise: after kProbeWindow probed lookups with a hit rate below
+  /// kColdHitNumerator / kProbeWindow, only every kColdProbePeriod-th
+  /// evaluation probes (and may insert); a re-warming cache lifts the
+  /// sampled hit rate back over the threshold and full probing resumes.
+  struct alignas(64) MemoProbeState {
+    std::uint32_t window_lookups = 0;
+    std::uint32_t window_hits = 0;
+    std::uint32_t skip_phase = 0;
+    bool cold = false;
+  };
+  static constexpr std::uint32_t kProbeWindow = 128;
+  static constexpr std::uint32_t kColdHitNumerator = 8;
+  static constexpr std::uint32_t kColdProbePeriod = 8;
+
+  /// Outcome of one memoization probe. `probed` is false when the cold
+  /// sampler skipped the lookup — the caller must then not insert either
+  /// (it has no key).
+  struct MemoProbe {
+    bool probed = false;
+    bool hit = false;
+    std::uint64_t key = 0;
+    double value = 0.0;
   };
 
   struct CacheShard {
@@ -232,6 +285,38 @@ class EvaluationEngine final : public BatchEvaluator {
   void build_parent_traces(const std::vector<Individual>& pool,
                            std::size_t begin);
 
+  /// The sibling-group phase 2 of a Batched-mode batch: order children by
+  /// traced parent, carve contiguous groups (chunked by
+  /// config.sibling_batch), and run each group in one kernel batch
+  /// session on one slot. Children without a usable trace run through the
+  /// plain fitness_for path.
+  void evaluate_sibling_groups(std::vector<Individual>& pool,
+                               std::size_t begin, double bound);
+
+  /// One child of an open sibling-batch session on `slot` (the session
+  /// must be bound to `trace`): same memo / cancel / stats behavior as
+  /// fitness_for, but the scheduling pass is makespan_sibling.
+  double sibling_fitness(const Allocation& alloc,
+                         std::span<const TaskId> touched,
+                         const EvalTrace& trace, std::size_t slot,
+                         double bound);
+
+  /// The parent trace a child may be evaluated against (null in Full
+  /// mode, for loose children, and when the build failed or was skipped).
+  [[nodiscard]] const EvalTrace* trace_of(const Individual& child,
+                                          std::size_t begin) const {
+    if (kernel_mode_ == KernelMode::Full) return nullptr;
+    const std::size_t p = child.parent;
+    if (p >= begin || trace_epoch_[p] != batch_epoch_) return nullptr;
+    const EvalTrace& trace = traces_[p];
+    return trace.valid ? &trace : nullptr;
+  }
+
+  /// Memoization lookup with the cold-cache sampler (call only under
+  /// config.memoize). Maintains the slot's windowed hit-rate estimate and
+  /// the hit/miss/skipped counters.
+  MemoProbe memo_probe(std::size_t slot, const Allocation& alloc);
+
   [[nodiscard]] bool cache_lookup(std::uint64_t key, const Allocation& alloc,
                                   double* out);
   void cache_insert(std::uint64_t key, const Allocation& alloc, double value);
@@ -254,12 +339,30 @@ class EvaluationEngine final : public BatchEvaluator {
   std::uint64_t batch_epoch_ = 0;
   std::vector<std::size_t> trace_parents_;  ///< Unique parents this batch.
 
+  /// Batched-mode scratch: child indices (relative to `begin`) ordered by
+  /// parent, and the contiguous [lo, hi) sibling groups carved out of
+  /// that order. parent == kLooseGroup marks a no-trace child evaluated
+  /// through the plain path.
+  static constexpr std::size_t kLooseGroup =
+      std::numeric_limits<std::size_t>::max();
+  struct SiblingGroup {
+    std::size_t parent = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+  };
+  std::vector<std::uint32_t> group_order_;
+  std::vector<std::size_t> group_keys_;    ///< Per-child parent key scratch.
+  std::vector<std::uint32_t> group_bins_;  ///< Counting-sort offsets scratch.
+  std::vector<SiblingGroup> sibling_groups_;
+
   static constexpr std::size_t kCacheShards = 16;
   std::vector<CacheShard> cache_shards_;
   std::atomic<std::size_t> cache_size_{0};
 
-  /// Heap array, not a vector: atomics are immovable.
+  /// Heap arrays, not vectors: atomics are immovable, and the probe
+  /// states ride the same indexing.
   std::unique_ptr<SlotCounters[]> slot_counters_;
+  std::unique_ptr<MemoProbeState[]> memo_state_;
   std::atomic<std::size_t> batches_{0};
   std::atomic<double> eval_seconds_{0.0};
 };

@@ -43,6 +43,7 @@ Schedule ListScheduler::build_schedule(const Allocation& alloc) {
 }
 
 void ListScheduler::load_times(const Allocation& alloc) {
+  batch_valid_ = false;  // times_ stops describing a batch parent.
   validate_allocation(alloc, instance_->graph(), instance_->cluster());
   const std::size_t n = instance_->num_tasks();
   const auto stride = static_cast<std::size_t>(instance_->num_processors());
@@ -108,6 +109,63 @@ double ListScheduler::makespan_delta(const Allocation& alloc,
   };
   return core_.run_delta(times_, changed_, parent, options_.selection,
                          upper_bound, place);
+}
+
+bool ListScheduler::begin_sibling_batch(const EvalTrace& parent) {
+  const std::size_t n = instance_->num_tasks();
+  batch_valid_ = parent.valid && parent.alloc.size() == n &&
+                 parent.times.size() == n && parent.bl.size() == n;
+  if (!batch_valid_) return false;
+  // The session baseline: times_ holds the parent's per-task times, the
+  // kernel holds its bottom levels. Each sibling stages and un-stages
+  // only its own changed genes on top.
+  std::copy(parent.times.begin(), parent.times.end(), times_.begin());
+  core_.begin_sibling_batch(parent);
+  return true;
+}
+
+double ListScheduler::makespan_sibling(const Allocation& alloc,
+                                       std::span<const TaskId> touched,
+                                       const EvalTrace& parent,
+                                       double upper_bound) {
+  if (!batch_valid_) {
+    // No usable trace (begin_sibling_batch said so): bit-identical full
+    // pass, mirroring makespan_delta's fallback.
+    return run(alloc, nullptr, upper_bound);
+  }
+  const std::size_t n = instance_->num_tasks();
+  if (alloc.size() != n) {
+    throw std::invalid_argument(
+        "ListScheduler::makespan_sibling: allocation size mismatch");
+  }
+  const int procs = instance_->num_processors();
+  changed_.clear();
+  for (const TaskId v : touched) {
+    if (v < n && alloc[v] != parent.alloc[v]) changed_.push_back(v);
+  }
+  // Stage this sibling's times sparsely over the parent's. Unchanged
+  // genes keep the parent's (already validated) value by the `touched`
+  // contract, so only the changed genes are checked and loaded.
+  const auto stride = static_cast<std::size_t>(procs);
+  for (const TaskId v : changed_) {
+    if (alloc[v] < 1 || alloc[v] > procs) {
+      throw std::invalid_argument(
+          "ListScheduler::makespan_sibling: allocation entry out of range");
+    }
+    times_[v] = table_[v * stride + static_cast<std::size_t>(alloc[v] - 1)];
+  }
+  const auto place = [&](TaskId v, double data_ready) {
+    MappingKernel::Placement p;
+    p.lane = 0;
+    p.size = static_cast<std::size_t>(alloc[v]);
+    p.start = core_.earliest_start(0, p.size, data_ready);
+    p.finish = p.start + times_[v];
+    return p;
+  };
+  const double r = core_.run_sibling(times_, changed_, parent,
+                                     options_.selection, upper_bound, place);
+  for (const TaskId v : changed_) times_[v] = parent.times[v];
+  return r;
 }
 
 Schedule map_allocation(const Ptg& g, const Allocation& alloc,

@@ -83,6 +83,25 @@ class ListScheduler {
       const EvalTrace& parent,
       double upper_bound = std::numeric_limits<double>::infinity());
 
+  /// Open a batched lockstep session over siblings of the traced parent
+  /// allocation (PTGSCHED_KERNEL=batched): loads the parent's per-task
+  /// times and bottom levels once so each makespan_sibling() call stages
+  /// only its own changed genes — O(|changed|) instead of the O(n)
+  /// validate + time reload the per-mutant delta path pays. Returns false
+  /// (and makespan_sibling falls back to full passes) when the trace is
+  /// missing or shaped for a different problem. Any non-sibling
+  /// evaluation on this scheduler closes the session.
+  bool begin_sibling_batch(const EvalTrace& parent);
+
+  /// Makespan of one sibling of the open session's parent. Same contract
+  /// as makespan_delta — bit-identical to makespan_bounded(alloc,
+  /// upper_bound) in value AND rejection count; gene positions not listed
+  /// in `touched` must equal the parent's.
+  [[nodiscard]] double makespan_sibling(
+      const Allocation& alloc, std::span<const TaskId> touched,
+      const EvalTrace& parent,
+      double upper_bound = std::numeric_limits<double>::infinity());
+
   /// Number of makespan_bounded() calls rejected early since construction
   /// or the last reset_stats().
   [[nodiscard]] std::size_t rejected_count() const noexcept {
@@ -108,6 +127,12 @@ class ListScheduler {
     return instance_->model();
   }
 
+  /// The underlying kernel, for telemetry (delta_*_count) and the
+  /// profitability-gate tests; the scheduler remains the only driver.
+  [[nodiscard]] const MappingKernel& kernel() const noexcept {
+    return core_;
+  }
+
  private:
   double run(const Allocation& alloc, Schedule* out,
              double upper_bound = std::numeric_limits<double>::infinity());
@@ -121,6 +146,9 @@ class ListScheduler {
   const double* table_ = nullptr;  ///< instance_->time_table().data().
   std::vector<double> times_;      ///< Per-task times under the allocation.
   std::vector<TaskId> changed_;    ///< makespan_delta scratch.
+  /// True while times_ holds an open sibling-batch parent's times (any
+  /// full-path evaluation clears it via load_times).
+  bool batch_valid_ = false;
 };
 
 /// One-shot convenience wrapper.

@@ -36,12 +36,16 @@ void MappingKernel::State<Idx>::init(const ProblemInstance& pi) {
 
   // Scratch, sized once here so passes never allocate.
   epoch = 0;
+  key_epoch = 0;
   waiting.resize(n);
   mark.assign(n, 0);
   ready.reserve(n);
   worklist.reserve(n);
   restore.reserve(n);
   bl_changed.reserve(n);
+  order_mark.assign(n, 0);
+  order_dirty.reserve(2 * n);
+  key_mark.assign(n, 0);
 }
 
 template struct MappingKernel::State<std::uint16_t>;
@@ -67,7 +71,13 @@ MappingKernel::MappingKernel(const ProblemInstance& instance,
     lane_off_[k + 1] = lane_off_[k] + procs;
     max_procs = std::max(max_procs, procs);
   }
-  sorted_avail_.assign(lane_off_.back(), 0.0);
+  slack_off_.assign(lanes_.size() + 1, 0);
+  for (std::size_t k = 0; k < lanes_.size(); ++k) {
+    slack_off_[k + 1] =
+        slack_off_[k] + kAvailSlackFactor * (lane_off_[k + 1] - lane_off_[k]);
+  }
+  lane_head_.assign(lanes_.size(), 0);
+  sorted_avail_.assign(slack_off_.back(), 0.0);
   proc_avail_.assign(lane_off_.back(), 0.0);
   proc_order_.reserve(max_procs);
   bl_.assign(n_, 0.0);
@@ -85,40 +95,12 @@ MappingKernel::MappingKernel(const ProblemInstance& instance,
   }
 }
 
-void MappingKernel::occupy(TaskId v, const Placement& p,
-                           ProcessorSelection selection, Schedule* out) {
-  double* av = sorted_avail_.data() + lane_off_[p.lane];
+void MappingKernel::occupy_placed(TaskId v, const Placement& p,
+                                  ProcessorSelection selection,
+                                  Schedule* out) {
+  double* av = sorted_avail_.data() + slack_off_[p.lane] + lane_head_[p.lane];
   const std::size_t procs = lane_off_[p.lane + 1] - lane_off_[p.lane];
   const std::size_t s = p.size;
-
-  if (out == nullptr) {
-    // Value path: only the multiset of free times matters, and `av` keeps
-    // it sorted ascending, so occupying is: drop the s chosen times, slide
-    // the survivors down, and write s copies of p.finish at its sorted
-    // position. Multiset-identical to the reference nth_element update.
-    std::size_t hole;  // First index of the s entries being replaced.
-    if (selection == ProcessorSelection::EarliestAvailable) {
-      // The s earliest-free processors run v: drop av[0 .. s).
-      hole = 0;
-    } else {
-      // BestFit: among the processors already free at p.start (at least s
-      // of them, by construction of the start time), occupy the ones that
-      // became free last — the s largest eligible times. Eligible entries
-      // are exactly av[0 .. e) with e = upper_bound(p.start).
-      const std::size_t e = static_cast<std::size_t>(
-          std::upper_bound(av, av + procs, p.start) - av);
-      hole = e - s;
-    }
-    // New resting place of the s finish times among the survivors.
-    const std::size_t pos = static_cast<std::size_t>(
-        std::upper_bound(av + hole + s, av + procs, p.finish) - av);
-    if (pos > hole + s) {
-      std::memmove(av + hole, av + hole + s,
-                   (pos - hole - s) * sizeof(double));
-    }
-    for (std::size_t i = pos - s; i < pos; ++i) av[i] = p.finish;
-    return;
-  }
 
   // Placement path: deterministic processor identities. Sort processor
   // indices by (available time, index): proc_order_[k] is the k-th

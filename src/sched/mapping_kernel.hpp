@@ -66,6 +66,55 @@
 // pass would have rejected inside the prefix; the resumed suffix re-checks
 // live.
 //
+// Batched lockstep evaluation (PTGSCHED_KERNEL=batched). A (mu+lambda) ES
+// hands the engine lambda mutants of mu parents per generation, so most
+// evaluations are *siblings*: mutants of one traced parent. The batch
+// session (begin_sibling_batch / run_sibling) evaluates a whole sibling
+// group against one trace and amortizes everything the per-mutant
+// run_delta path re-does k times over:
+//
+//   * the parent's bottom levels are loaded ONCE per group; each sibling
+//     patches them sparsely and undoes the patch on exit (the per-mutant
+//     O(n) copy disappears);
+//   * certification runs UNCAPPED: because the pop order is a pure
+//     function of the bottom levels and the graph (readiness is a
+//     counting event and each pop takes the key-max of the ready set —
+//     start/finish times never steer it), certifying the *whole* recorded
+//     sequence, not just the prefix before the first alloc-changed pop,
+//     is sound. When it succeeds the sibling's entire pop sequence IS the
+//     parent's, and the pass runs in *replay mode*: a heap-free loop over
+//     the recorded pop order that only carries availability and
+//     data-ready state — no ready queue, no waiting counters, and a
+//     restore that touches avail + data_ready only. Deep-resume mutants
+//     (alloc changes popping early) no longer fall back to a full pass:
+//     replay from the first snapshot still beats the heap drive;
+//   * siblings that fail whole-sequence certification drive with a heap
+//     but track their divergence from the recorded order as a symmetric
+//     difference (resync_drive): once the popped multisets match and
+//     every moved-key task has popped, the remaining sequence provably IS
+//     the parent's suffix and the pass downgrades to the heap-free
+//     replay loop mid-flight — on the replay workload ~99% of resumed
+//     siblings re-sync after a few dozen heap pops;
+//   * the hard `resume < max(interval, n/4)` profitability gate is
+//     replaced by a deterministic cost model (delta_profitable) over
+//     skipped pops, restore volume and ready-heap churn, calibrated on
+//     bench/micro_kernels (constants documented at the definition);
+//   * the inner availability scans of the value path (occupy_value) use
+//     a branch-free counting scan over the lane's processor-contiguous
+//     sorted free times, which auto-vectorizes (and has an explicit
+//     AVX2 path behind PTGSCHED_SIMD); bit-identical to the
+//     std::upper_bound it replaces because the array is sorted. Each
+//     lane's sorted free times live in a sliding window inside a slack
+//     region (kAvailSlackFactor x P), so occupy's remove-front /
+//     insert-mid update moves the cheaper side only, and the insertion
+//     rank comes from a branchless binary search.
+//
+// Bit-identity is by construction: every batched sibling takes either the
+// certified replay, the certified-prefix heap resume, or the full pass —
+// all three provably compute the same floating-point operation sequence
+// on the same operands (see the certification argument above), and the
+// whole matrix is pinned by tests against the ReferenceMapper oracle.
+//
 // Processor-selection policies (ablation EXP-A3):
 //   * EarliestAvailable — take the s(v) processors that free up first;
 //   * BestFit — among processors already free at the task's start time,
@@ -75,11 +124,16 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <span>
 #include <stdexcept>
 #include <variant>
 #include <vector>
+
+#if defined(PTGSCHED_SIMD) && defined(__AVX2__)
+#include <immintrin.h>
+#endif
 
 #include "core/problem_instance.hpp"
 #include "ptg/graph.hpp"
@@ -156,7 +210,8 @@ class MappingKernel {
   /// every lane before the kernel commits one.
   [[nodiscard]] double earliest_start(std::size_t lane, std::size_t size,
                                       double data_ready) const noexcept {
-    const double* av = sorted_avail_.data() + lane_off_[lane];
+    const double* av =
+        sorted_avail_.data() + slack_off_[lane] + lane_head_[lane];
     return std::max(data_ready, av[size - 1]);
   }
 
@@ -173,6 +228,7 @@ class MappingKernel {
   double run(std::span<const double> priority_times,
              ProcessorSelection selection, double upper_bound, Schedule* out,
              const PlaceFn& place) {
+    batch_parent_ = nullptr;
     return std::visit(
         [&](auto& st) {
           compute_bottom_levels(st, priority_times);
@@ -190,6 +246,7 @@ class MappingKernel {
   double run_traced(std::span<const double> priority_times,
                     ProcessorSelection selection, const PlaceFn& place,
                     EvalTrace& trace) {
+    batch_parent_ = nullptr;
     return std::visit(
         [&](auto& st) {
           trace.valid = false;
@@ -227,12 +284,102 @@ class MappingKernel {
       throw std::invalid_argument(
           "MappingKernel::run_delta: trace does not match this kernel");
     }
+    batch_parent_ = nullptr;
     return std::visit(
         [&](auto& st) {
           return delta_impl(st, priority_times, changed, parent, selection,
                             upper_bound, place);
         },
         state_);
+  }
+
+  /// Open a batched lockstep session over siblings of `parent`: the
+  /// parent's bottom levels are loaded ONCE, so each run_sibling() call
+  /// only patches (and afterwards un-patches) the levels its own genes
+  /// move instead of paying the per-mutant O(n) copy. Any other pass on
+  /// this kernel (run / run_traced / run_delta) closes the session;
+  /// re-open before the next run_sibling.
+  void begin_sibling_batch(const EvalTrace& parent) {
+    if (!parent.valid || parent.bl.size() != n_ ||
+        parent.ready_pos.size() != n_ || parent.pop_order.size() != n_ ||
+        (n_ > 0 && parent.num_checkpoints == 0)) {
+      throw std::invalid_argument(
+          "MappingKernel::begin_sibling_batch: trace does not match this "
+          "kernel");
+    }
+    std::copy(parent.bl.begin(), parent.bl.end(), bl_.begin());
+    batch_parent_ = &parent;
+  }
+
+  /// Evaluate one sibling of the session's parent. Same contract as
+  /// run_delta — bit-identical to the full bounded pass, one rejection
+  /// counted iff the full pass would reject — but on top of the shared
+  /// session state it certifies the WHOLE recorded pop order (not just
+  /// the prefix before the first alloc-changed pop) and, when that
+  /// succeeds, runs heap-free replay of the parent's order (see the file
+  /// comment). Requires an open begin_sibling_batch(parent) session;
+  /// `place` must not throw (the bottom-level un-patch runs after it).
+  template <typename PlaceFn>
+  double run_sibling(std::span<const double> priority_times,
+                     std::span<const TaskId> changed, const EvalTrace& parent,
+                     ProcessorSelection selection, double upper_bound,
+                     const PlaceFn& place) {
+    if (batch_parent_ != &parent) {
+      throw std::invalid_argument(
+          "MappingKernel::run_sibling: no open batch session for this trace");
+    }
+    return std::visit(
+        [&](auto& st) {
+          return sibling_impl(st, priority_times, changed, parent, selection,
+                              upper_bound, place);
+        },
+        state_);
+  }
+
+  // --- Cost model for the delta-vs-full decision. Perf only, never
+  // correctness: every branch is bit-identical, the model just picks the
+  // cheap one. Unit: one heap-driven pop (~70ns single-threaded on the
+  // BENCH_6 config). Calibrated on bench/micro_kernels BM_FitnessDelta*
+  // sweeps (100-task corpus, P=120); see DESIGN.md §13.
+  static constexpr double kReplayPopCost = 0.45;   ///< Replay pop / heap pop.
+  static constexpr double kRestorePerItem = 0.02;  ///< Snapshot double copy.
+  static constexpr double kResetPerItem = 0.02;    ///< reset_dynamic_state.
+  static constexpr double kFullBlPops = 0.15;  ///< compute_bottom_levels /n.
+  /// Expected bottom-level patch + certification volume per task, charged
+  /// by run_delta which gates BEFORE doing that work (the batch path gates
+  /// after it, when the cost is sunk, and charges 0).
+  static constexpr double kPatchCertifyPops = 0.30;
+  /// Cap on pairwise certification volume, per task: a pathological
+  /// bl_changed set (many moved keys with long ready-queue residence)
+  /// could scan O(n * |changed|) pairs; past this budget the batch path
+  /// falls back to the full pass instead of finishing the proof.
+  static constexpr std::size_t kCertifyBudgetPerTask = 16;
+
+  /// Deterministic profitability gate shared by the incremental paths:
+  /// true when restoring a snapshot taken at `skipped_pops` and driving
+  /// the remaining pops (heap resume, or heap-free replay when `replay`)
+  /// is estimated cheaper than a full pass. `ready_size` is the snapshot's
+  /// ready-queue size (heap rebuild churn); `pending_overhead_pops`
+  /// charges work the caller has not yet done at decision time. Public so
+  /// the gate boundary is pinned by regression tests.
+  [[nodiscard]] bool delta_profitable(
+      std::size_t skipped_pops, bool replay, std::size_t ready_size,
+      double pending_overhead_pops) const noexcept {
+    const double n = static_cast<double>(n_);
+    const double procs = static_cast<double>(lane_off_.back());
+    const double remaining = n - static_cast<double>(skipped_pops);
+    // Replay restores avail + data_ready only; a heap resume additionally
+    // rebuilds waiting counts and the ready heap (~4 copied/heapified
+    // items per ready entry).
+    const double restore_items =
+        replay ? n + procs
+               : 2.0 * n + procs + 4.0 * static_cast<double>(ready_size);
+    const double est_delta = kRestorePerItem * restore_items +
+                             pending_overhead_pops +
+                             (replay ? kReplayPopCost : 1.0) * remaining;
+    const double est_full =
+        n + kFullBlPops * n + kResetPerItem * (2.0 * n + procs);
+    return est_delta < est_full;
   }
 
   [[nodiscard]] std::size_t num_lanes() const noexcept {
@@ -252,8 +399,32 @@ class MappingKernel {
   [[nodiscard]] std::size_t rejected_count() const noexcept {
     return rejected_.load(std::memory_order_relaxed);
   }
+
+  /// Telemetry for the incremental paths (same relaxed-atomic contract as
+  /// rejected_count): how many run_delta / run_sibling evaluations fell
+  /// back to a full pass, resumed with the ready heap from a certified
+  /// prefix, or replayed the parent's whole pop order heap-free.
+  [[nodiscard]] std::size_t delta_full_count() const noexcept {
+    return delta_full_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t delta_resumed_count() const noexcept {
+    return delta_resumed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t delta_replayed_count() const noexcept {
+    return delta_replayed_.load(std::memory_order_relaxed);
+  }
+  /// How many full/resumed sibling passes re-converged with the parent's
+  /// recorded order mid-drive and finished heap-free (see resync_drive).
+  [[nodiscard]] std::size_t delta_resynced_count() const noexcept {
+    return delta_resynced_.load(std::memory_order_relaxed);
+  }
+
   void reset_stats() noexcept {
     rejected_.store(0, std::memory_order_relaxed);
+    delta_full_.store(0, std::memory_order_relaxed);
+    delta_resumed_.store(0, std::memory_order_relaxed);
+    delta_replayed_.store(0, std::memory_order_relaxed);
+    delta_resynced_.store(0, std::memory_order_relaxed);
   }
 
  private:
@@ -306,6 +477,17 @@ class MappingKernel {
     std::vector<ReadyEntry> restore;  ///< Snapshot-restore scratch.
     std::vector<Idx> bl_changed;      ///< Patch-pass scratch.
 
+    /// Re-sync bookkeeping for resync_drive: order_mark[v] is +1 when this
+    /// pass popped v but the parent's same-length prefix has not, -1 for
+    /// the converse, 0 when both or neither (order_dirty lists the entries
+    /// that may be nonzero). key_mark[v] == key_epoch flags the tasks
+    /// whose bottom level the current patch moved (set by
+    /// mark_moved_keys, read by certify and resync_drive).
+    std::vector<std::int8_t> order_mark;
+    std::vector<Idx> order_dirty;
+    std::vector<std::uint32_t> key_mark;
+    std::uint32_t key_epoch;
+
     void init(const ProblemInstance& pi);
   };
 
@@ -326,7 +508,11 @@ class MappingKernel {
 
   template <typename Idx>
   void reset_dynamic_state(State<Idx>& st, bool placement) {
-    std::fill(sorted_avail_.begin(), sorted_avail_.end(), 0.0);
+    for (std::size_t k = 0; k < lanes_.size(); ++k) {
+      lane_head_[k] = 0;
+      double* av = sorted_avail_.data() + slack_off_[k];
+      std::fill(av, av + (lane_off_[k + 1] - lane_off_[k]), 0.0);
+    }
     if (placement) {
       std::fill(proc_avail_.begin(), proc_avail_.end(), 0.0);
     }
@@ -401,50 +587,35 @@ class MappingKernel {
     return makespan;
   }
 
-  template <typename Idx, typename PlaceFn>
-  double delta_impl(State<Idx>& st, std::span<const double> priority_times,
-                    std::span<const TaskId> changed, const EvalTrace& parent,
-                    ProcessorSelection selection, double upper_bound,
-                    const PlaceFn& place) {
-    // 1. Find R_cap, the first pop of an alloc-changed task — before it,
-    //    every popped task has the parent's duration and requested size.
+  /// Step 1 of the delta paths: dedupe `changed` into the bottom-level
+  /// worklist and return R_cap, the first parent pop position of an
+  /// alloc-changed task — before it, every popped task has the parent's
+  /// duration and requested size. Returns n_ (and an empty worklist) when
+  /// `changed` dedupes to nothing.
+  template <typename Idx>
+  std::size_t seed_worklist(State<Idx>& st, std::span<const TaskId> changed,
+                            const EvalTrace& parent) {
     if (++st.epoch == 0) {
       std::fill(st.mark.begin(), st.mark.end(), 0u);
       st.epoch = 1;
     }
     st.worklist.clear();
-    std::size_t resume = n_;
+    std::size_t r_cap = n_;
     for (const TaskId v : changed) {
       if (st.mark[v] == st.epoch) continue;
       st.mark[v] = st.epoch;
       st.worklist.push({st.topo_pos[v], static_cast<Idx>(v)});
-      resume = std::min<std::size_t>(resume, parent.pop_pos[v]);
+      r_cap = std::min<std::size_t>(r_cap, parent.pop_pos[v]);
     }
-    if (st.worklist.empty()) {
-      // Nothing changed: the parent's pass IS the child's pass, including
-      // whether a bounded run would have rejected somewhere inside it.
-      if (parent.total_pressure > upper_bound) {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
-        return std::numeric_limits<double>::infinity();
-      }
-      return parent.makespan;
-    }
-    if (resume < std::max(checkpoint_interval_, n_ / 4)) {
-      // Profitability gate: a short certified prefix (heavy
-      // early-generation mutations land here) saves fewer pops than the
-      // bottom-level patch, certification and snapshot restore cost.
-      // Below a quarter of the pass the delta path measures at best
-      // break-even, so run the child as a plain full pass —
-      // bit-identical by definition.
-      compute_bottom_levels(st, priority_times);
-      reset_dynamic_state(st, false);
-      return drive<false>(st, selection, upper_bound, nullptr, place,
-                          nullptr, 0, 0.0, 0.0);
-    }
+    return r_cap;
+  }
 
-    // 2. Patch the parent's bottom levels (worklist over decreasing topo
-    //    position).
-    std::copy(parent.bl.begin(), parent.bl.end(), bl_.begin());
+  /// Step 2: patch the bottom levels in bl_ (which must hold the parent's
+  /// levels on entry) by draining the seeded worklist over decreasing topo
+  /// position; every task whose level moved lands in st.bl_changed.
+  template <typename Idx>
+  void patch_bottom_levels(State<Idx>& st,
+                           std::span<const double> priority_times) {
     const std::uint32_t* soff = succ_off_;
     const std::uint32_t* poff = pred_off_;
     st.bl_changed.clear();
@@ -471,10 +642,34 @@ class MappingKernel {
         }
       }
     }
+  }
 
-    // 3. Certify that the moved bottom levels do not reorder the recorded
-    //    pop prefix (see the file comment). `beats(a, b)` is the ready
-    //    queue's strict order under the PATCHED keys.
+  /// Flag the tasks whose keys the current patch moved (bl_changed) in
+  /// st.key_mark, giving certify and resync_drive an O(1) membership
+  /// test. Call once per delta/sibling pass, after patch_bottom_levels.
+  template <typename Idx>
+  void mark_moved_keys(State<Idx>& st) {
+    if (++st.key_epoch == 0) {
+      std::fill(st.key_mark.begin(), st.key_mark.end(), 0u);
+      st.key_epoch = 1;
+    }
+    for (const Idx vi : st.bl_changed) {
+      st.key_mark[static_cast<std::size_t>(vi)] = st.key_epoch;
+    }
+  }
+
+  /// Step 3: certify that the moved bottom levels do not reorder the
+  /// recorded pop sequence before `resume` (see the file comment), and
+  /// lower `resume` to the first position where a check fails. `beats` is
+  /// the ready queue's strict order under the PATCHED keys. `budget`
+  /// bounds the total pairwise scan volume; on exhaustion *budget_ok is
+  /// cleared and the caller falls back to a full pass (the partial result
+  /// is then meaningless). Charged per window up front so the outcome
+  /// never depends on where inside a window a violation sits.
+  template <typename Idx>
+  std::size_t certify(const State<Idx>& st, const EvalTrace& parent,
+                      std::size_t resume, std::size_t budget,
+                      bool* budget_ok) const {
     const auto beats = [this](std::size_t a, std::size_t b) noexcept {
       return bl_[a] > bl_[b] || (bl_[a] == bl_[b] && a < b);
     };
@@ -484,47 +679,100 @@ class MappingKernel {
       const std::size_t pv = parent.pop_pos[v];
       // While v sat in the ready queue, every recorded pop must still win
       // against v's new key.
-      const std::size_t hi = std::min(pv, resume);
-      for (std::size_t i = parent.ready_pos[v]; i < hi; ++i) {
-        if (!beats(porder[i], v)) {
-          resume = i;
-          break;
+      const std::size_t hi = std::min<std::size_t>(pv, resume);
+      const std::size_t lo = parent.ready_pos[v];
+      if (hi > lo) {
+        if (hi - lo > budget) {
+          *budget_ok = false;
+          return resume;
         }
-      }
-      // If v's key dropped, v must still win its own pop against
-      // everything that was ready alongside it.
-      if (pv < resume && bl_[v] < parent.bl[v]) {
-        for (std::size_t u = 0; u < n_; ++u) {
-          if (parent.ready_pos[u] > pv || parent.pop_pos[u] <= pv) continue;
-          if (!beats(v, u)) {
-            resume = pv;
+        budget -= hi - lo;
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (!beats(porder[i], v)) {
+            resume = i;
             break;
           }
         }
       }
+      // If v's key dropped, v must still win its own pop against
+      // everything that was ready alongside it. The queue members at pv
+      // are exactly the tasks popped after pv whose ready_pos is <= pv,
+      // and members whose keys did NOT move pop in decreasing key order
+      // (both sat in the queue until the earlier pop, which the heap only
+      // grants to the larger key) — so the first such member met scanning
+      // the recorded order forward carries the unchanged-key maximum, and
+      // one comparison decides all of them. Moved keys are checked
+      // individually off the (small) bl_changed list.
+      if (pv < resume && bl_[v] < parent.bl[v]) {
+        bool lost = false;
+        for (const Idx wi : st.bl_changed) {
+          const auto w = static_cast<std::size_t>(wi);
+          if (w == v || parent.ready_pos[w] > pv || parent.pop_pos[w] <= pv) {
+            continue;
+          }
+          if (!beats(v, w)) {
+            lost = true;
+            break;
+          }
+        }
+        for (std::size_t j = pv + 1; !lost && j < n_; ++j) {
+          if (budget == 0) {
+            *budget_ok = false;
+            return resume;
+          }
+          --budget;
+          const auto u = static_cast<std::size_t>(porder[j]);
+          if (parent.ready_pos[u] > pv ||
+              st.key_mark[u] == st.key_epoch) {
+            continue;
+          }
+          lost = !beats(v, u);
+          break;
+        }
+        if (lost) resume = pv;
+      }
     }
+    return resume;
+  }
 
-    // 4. Restore the latest snapshot taken at or before pop R. The prefix
-    //    it skips is bit-identical to the parent's; for bounded passes its
-    //    rejection pressure is recomputed exactly under the patched keys
-    //    (recorded starts, new bottom levels).
-    const std::size_t ci = std::min(resume / checkpoint_interval_,
-                                    parent.num_checkpoints - 1);
-    const EvalTrace::Checkpoint& c = parent.checkpoints[ci];
-    if (std::isfinite(upper_bound)) {
-      double press = 0.0;
-      const double* pstart = parent.start.data();
-      for (std::size_t i = 0; i < c.pops; ++i) {
-        const auto t = static_cast<std::size_t>(porder[i]);
-        press = std::max(press, pstart[t] + bl_[t]);
-      }
-      if (press > upper_bound) {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
-        return std::numeric_limits<double>::infinity();
-      }
+  /// Bounded passes only: exact rejection pressure of the skipped prefix
+  /// [0, c.pops) — recorded starts under the PATCHED bottom levels. True
+  /// (with one rejection counted) iff the full bounded pass would have
+  /// rejected inside the prefix.
+  bool prefix_rejects(const EvalTrace& parent, const EvalTrace::Checkpoint& c,
+                      double upper_bound) {
+    if (!std::isfinite(upper_bound)) return false;
+    double press = 0.0;
+    const std::uint32_t* porder = parent.pop_order.data();
+    const double* pstart = parent.start.data();
+    for (std::size_t i = 0; i < c.pops; ++i) {
+      const auto t = static_cast<std::size_t>(porder[i]);
+      press = std::max(press, pstart[t] + bl_[t]);
     }
-    std::copy(c.avail.begin(), c.avail.end(), sorted_avail_.begin());
+    if (press <= upper_bound) return false;
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Load snapshot `c` into the dynamic state. Replay mode only carries
+  /// availability and data-ready times; a heap resume (`full`) also
+  /// rebuilds the waiting counts and the ready heap under the patched
+  /// keys.
+  template <typename Idx>
+  void restore_checkpoint(State<Idx>& st, const EvalTrace::Checkpoint& c,
+                          bool full) {
+    // Snapshots store availability in the canonical (head-0, lane-packed)
+    // layout so traces stay portable between kernels; restoring re-packs
+    // each lane's sliding window at the start of its slack region.
+    for (std::size_t k = 0; k < lanes_.size(); ++k) {
+      lane_head_[k] = 0;
+      std::copy(c.avail.begin() + static_cast<std::ptrdiff_t>(lane_off_[k]),
+                c.avail.begin() + static_cast<std::ptrdiff_t>(lane_off_[k + 1]),
+                sorted_avail_.begin() +
+                    static_cast<std::ptrdiff_t>(slack_off_[k]));
+    }
     std::copy(c.data_ready.begin(), c.data_ready.end(), data_ready_.begin());
+    if (!full) return;
     for (std::size_t v = 0; v < n_; ++v) {
       st.waiting[v] = static_cast<Idx>(c.waiting[v]);
     }
@@ -533,10 +781,256 @@ class MappingKernel {
       st.restore.push_back({bl_[id], static_cast<Idx>(id)});
     }
     st.ready.assign(st.restore.begin(), st.restore.end());
+  }
 
-    // 5. Resume the pass; pops from here on re-check the bound live.
+  template <typename Idx, typename PlaceFn>
+  double delta_impl(State<Idx>& st, std::span<const double> priority_times,
+                    std::span<const TaskId> changed, const EvalTrace& parent,
+                    ProcessorSelection selection, double upper_bound,
+                    const PlaceFn& place) {
+    std::size_t resume = seed_worklist(st, changed, parent);
+    if (st.worklist.empty()) {
+      // Nothing changed: the parent's pass IS the child's pass, including
+      // whether a bounded run would have rejected somewhere inside it.
+      if (parent.total_pressure > upper_bound) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return std::numeric_limits<double>::infinity();
+      }
+      return parent.makespan;
+    }
+    {
+      // Profitability gate, decided on the snapshot the resume would
+      // actually use. run_delta gates BEFORE the bottom-level patch and
+      // certification, so their expected cost is charged as pending
+      // overhead; certification can only lower the resume point, so
+      // gating on R_cap never overstates the saving.
+      const std::size_t gci = std::min(resume / checkpoint_interval_,
+                                       parent.num_checkpoints - 1);
+      const EvalTrace::Checkpoint& gc = parent.checkpoints[gci];
+      if (!delta_profitable(gc.pops, /*replay=*/false, gc.ready.size(),
+                            kPatchCertifyPops * static_cast<double>(n_))) {
+        delta_full_.fetch_add(1, std::memory_order_relaxed);
+        compute_bottom_levels(st, priority_times);
+        reset_dynamic_state(st, false);
+        return drive<false>(st, selection, upper_bound, nullptr, place,
+                            nullptr, 0, 0.0, 0.0);
+      }
+    }
+
+    std::copy(parent.bl.begin(), parent.bl.end(), bl_.begin());
+    patch_bottom_levels(st, priority_times);
+    mark_moved_keys(st);
+    bool budget_ok = true;
+    resume = certify(st, parent, resume,
+                     std::numeric_limits<std::size_t>::max(), &budget_ok);
+
+    // Restore the latest snapshot taken at or before pop R; the resumed
+    // suffix re-checks the bound live.
+    const std::size_t ci = std::min(resume / checkpoint_interval_,
+                                    parent.num_checkpoints - 1);
+    const EvalTrace::Checkpoint& c = parent.checkpoints[ci];
+    if (prefix_rejects(parent, c, upper_bound)) {
+      return std::numeric_limits<double>::infinity();
+    }
+    restore_checkpoint(st, c, /*full=*/true);
+    delta_resumed_.fetch_add(1, std::memory_order_relaxed);
     return drive<false>(st, selection, upper_bound, nullptr, place, nullptr,
                         c.pops, c.makespan, 0.0);
+  }
+
+  /// Heap-free lockstep drive for a fully certified sibling: the child's
+  /// pop sequence IS the parent's, so no ready queue, no waiting counts —
+  /// just the recorded order, live placements, and the availability /
+  /// data-ready updates they imply. Bit-identical to drive<false> from the
+  /// same state because each pop performs the same place / occupy / bound
+  /// arithmetic on the same operands in the same order.
+  template <typename Idx, typename PlaceFn>
+  double replay_drive(State<Idx>& st, const EvalTrace& parent,
+                      std::size_t pops, double makespan,
+                      ProcessorSelection selection, double upper_bound,
+                      const PlaceFn& place) {
+    const std::uint32_t* soff = succ_off_;
+    const Idx* sadj = st.succ_adj.data();
+    const std::uint32_t* porder = parent.pop_order.data();
+    for (std::size_t i = pops; i < n_; ++i) {
+      const auto v = static_cast<TaskId>(porder[i]);
+      const Placement p = place(v, data_ready_[v]);
+      if (p.finish > makespan) makespan = p.finish;
+      const double press = p.start + bl_[v];
+      if (press > upper_bound) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return std::numeric_limits<double>::infinity();
+      }
+      occupy_value(p, selection);
+      for (std::uint32_t e = soff[v]; e < soff[v + 1]; ++e) {
+        const auto w = static_cast<std::size_t>(sadj[e]);
+        if (p.finish > data_ready_[w]) data_ready_[w] = p.finish;
+      }
+    }
+    return makespan;
+  }
+
+  /// Heap drive that tracks divergence from the parent's recorded order
+  /// and downgrades to heap-free replay the moment the two provably
+  /// re-converge. Soundness rests on the same fact as replay mode: the
+  /// pop order is a pure function of the priority keys and the graph —
+  /// readiness is a counting event, start times never steer order. So
+  /// once (a) the multiset of tasks this pass has popped equals the
+  /// parent's recorded prefix of the same length (tracked as a symmetric
+  /// difference via st.order_mark), and (b) every task whose key the
+  /// patch moved has popped (`keys_pending`, via st.key_mark), the
+  /// remaining task set, its keys and its waiting counts are exactly the
+  /// parent's at that position, and the rest of the child's sequence IS
+  /// parent.pop_order[pops..n) — the pass finishes through replay_drive.
+  /// Value path only. Bit-identical to drive<false> from the same state:
+  /// every pop performs the same place / occupy / bound arithmetic on the
+  /// same operands in the same order, only the ready-queue bookkeeping is
+  /// dropped once it is provably redundant.
+  template <typename Idx, typename PlaceFn>
+  double resync_drive(State<Idx>& st, const EvalTrace& parent,
+                      std::size_t pops, double makespan,
+                      std::size_t keys_pending, ProcessorSelection selection,
+                      double upper_bound, const PlaceFn& place) {
+    const std::uint32_t* soff = succ_off_;
+    const Idx* sadj = st.succ_adj.data();
+    const std::uint32_t* porder = parent.pop_order.data();
+    std::size_t diff = 0;  ///< Count of nonzero order_mark entries.
+    const auto unmark = [&st]() {
+      for (const Idx t : st.order_dirty) {
+        st.order_mark[static_cast<std::size_t>(t)] = 0;
+      }
+      st.order_dirty.clear();
+    };
+    while (!st.ready.empty()) {
+      const auto top = st.ready.pop();
+      const auto v = static_cast<TaskId>(top.id);
+      const Placement p = place(v, data_ready_[v]);
+      if (p.finish > makespan) makespan = p.finish;
+      const double press = p.start + top.bl;
+      if (press > upper_bound) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        unmark();
+        return std::numeric_limits<double>::infinity();
+      }
+      occupy_value(p, selection);
+      if (st.key_mark[v] == st.key_epoch) --keys_pending;
+      // One step of the symmetric difference: this pass popped v, the
+      // parent's prefix gained porder[pops]. Each task is popped at most
+      // once by either side, so the transitions below are exhaustive.
+      const auto u = static_cast<TaskId>(porder[pops]);
+      if (v != u) {
+        if (st.order_mark[v] < 0) {
+          st.order_mark[v] = 0;
+          --diff;
+        } else {
+          st.order_mark[v] = 1;
+          ++diff;
+          st.order_dirty.push_back(static_cast<Idx>(v));
+        }
+        if (st.order_mark[u] > 0) {
+          st.order_mark[u] = 0;
+          --diff;
+        } else {
+          st.order_mark[u] = -1;
+          ++diff;
+          st.order_dirty.push_back(static_cast<Idx>(u));
+        }
+      }
+      ++pops;
+      for (std::uint32_t e = soff[v]; e < soff[v + 1]; ++e) {
+        const auto w = static_cast<std::size_t>(sadj[e]);
+        if (p.finish > data_ready_[w]) data_ready_[w] = p.finish;
+        if (--st.waiting[w] == 0) {
+          st.ready.push({bl_[w], static_cast<Idx>(w)});
+        }
+      }
+      if (diff == 0 && keys_pending == 0 && pops < n_) {
+        // diff == 0 means every order_mark is back to zero already.
+        st.order_dirty.clear();
+        delta_resynced_.fetch_add(1, std::memory_order_relaxed);
+        return replay_drive(st, parent, pops, makespan, selection,
+                            upper_bound, place);
+      }
+    }
+    unmark();
+    if (pops != n_) {
+      throw GraphError("mapping kernel: graph has a cycle");
+    }
+    return makespan;
+  }
+
+  template <typename Idx, typename PlaceFn>
+  double sibling_impl(State<Idx>& st, std::span<const double> priority_times,
+                      std::span<const TaskId> changed, const EvalTrace& parent,
+                      ProcessorSelection selection, double upper_bound,
+                      const PlaceFn& place) {
+    const std::size_t r_cap = seed_worklist(st, changed, parent);
+    if (st.worklist.empty()) {
+      // Parent reproduction: bl_ untouched, nothing to undo.
+      if (parent.total_pressure > upper_bound) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        return std::numeric_limits<double>::infinity();
+      }
+      return parent.makespan;
+    }
+
+    // Patch first — the session holds the parent's levels, and the patched
+    // levels are exact for this sibling, so even the full-pass fallback
+    // reuses them and skips compute_bottom_levels entirely.
+    patch_bottom_levels(st, priority_times);
+    mark_moved_keys(st);
+
+    // Uncapped certification: prove the WHOLE recorded order survives the
+    // key changes (resume starts at n_, not R_cap). Success means replay
+    // mode; a violation at R < n_ still allows a heap resume from
+    // min(R, R_cap). The restore point itself can never exceed R_cap —
+    // beyond it the parent's snapshots reflect durations this sibling
+    // changed.
+    bool budget_ok = true;
+    const std::size_t cert =
+        certify(st, parent, n_, kCertifyBudgetPerTask * n_, &budget_ok);
+    const bool replay = budget_ok && cert >= n_;
+    const std::size_t resume = std::min(cert, r_cap);
+    const std::size_t ci = std::min(resume / checkpoint_interval_,
+                                    parent.num_checkpoints - 1);
+    const EvalTrace::Checkpoint& c = parent.checkpoints[ci];
+
+    double result;
+    if (!budget_ok ||
+        !delta_profitable(c.pops, replay, c.ready.size(), 0.0)) {
+      // Even the full fallback knows the parent's order: drive from pop 0
+      // with re-sync tracking, so it too downgrades to replay once the
+      // divergence washes out.
+      delta_full_.fetch_add(1, std::memory_order_relaxed);
+      reset_dynamic_state(st, false);
+      result = resync_drive(st, parent, 0, 0.0, st.bl_changed.size(),
+                            selection, upper_bound, place);
+    } else if (prefix_rejects(parent, c, upper_bound)) {
+      result = std::numeric_limits<double>::infinity();
+    } else if (replay) {
+      delta_replayed_.fetch_add(1, std::memory_order_relaxed);
+      restore_checkpoint(st, c, /*full=*/false);
+      result = replay_drive(st, parent, c.pops, c.makespan, selection,
+                            upper_bound, place);
+    } else {
+      delta_resumed_.fetch_add(1, std::memory_order_relaxed);
+      restore_checkpoint(st, c, /*full=*/true);
+      std::size_t keys_pending = 0;
+      for (const Idx vi : st.bl_changed) {
+        const auto v = static_cast<std::size_t>(vi);
+        keys_pending += static_cast<std::size_t>(parent.pop_pos[v] >= c.pops);
+      }
+      result = resync_drive(st, parent, c.pops, c.makespan, keys_pending,
+                            selection, upper_bound, place);
+    }
+
+    // Un-patch: hand the session's parent levels back for the next
+    // sibling, touching only what this one moved.
+    for (const Idx vi : st.bl_changed) {
+      const auto v = static_cast<std::size_t>(vi);
+      bl_[v] = parent.bl[v];
+    }
+    return result;
   }
 
   template <typename Idx>
@@ -548,7 +1042,13 @@ class MappingKernel {
     EvalTrace::Checkpoint& c = trace.checkpoints[trace.num_checkpoints++];
     c.pops = static_cast<std::uint32_t>(pops);
     c.makespan = makespan;
-    c.avail.assign(sorted_avail_.begin(), sorted_avail_.end());
+    c.avail.resize(lane_off_.back());
+    for (std::size_t k = 0; k < lanes_.size(); ++k) {
+      const double* av =
+          sorted_avail_.data() + slack_off_[k] + lane_head_[k];
+      std::copy(av, av + (lane_off_[k + 1] - lane_off_[k]),
+                c.avail.begin() + static_cast<std::ptrdiff_t>(lane_off_[k]));
+    }
     c.data_ready.assign(data_ready_.begin(), data_ready_.end());
     c.waiting.resize(n_);
     for (std::size_t v = 0; v < n_; ++v) {
@@ -560,8 +1060,123 @@ class MappingKernel {
     }
   }
 
+  /// Lanes wider than this use binary search in occupy_value; at cluster
+  /// scale (P <= a few hundred) the branch-free counting scan wins.
+  static constexpr std::size_t kLinearScanMaxProcs = 512;
+
+  /// Number of entries of the ascending-sorted a[0 .. count) that are
+  /// <= x — exactly `upper_bound(a, a + count, x) - a`, as a branch-free
+  /// counting scan over the lane's processor-contiguous free times. The
+  /// plain loop auto-vectorizes; PTGSCHED_SIMD adds an explicit AVX2
+  /// path (4 compares + popcount per step). Exact by sortedness: every
+  /// element <= x precedes every element > x, so the count IS the
+  /// partition point.
+  static std::size_t count_leq(const double* a, std::size_t count,
+                               double x) noexcept {
+#if defined(PTGSCHED_SIMD) && defined(__AVX2__)
+    const __m256d vx = _mm256_set1_pd(x);
+    std::size_t c = 0;
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+      const __m256d v = _mm256_loadu_pd(a + i);
+      const __m256d le = _mm256_cmp_pd(v, vx, _CMP_LE_OQ);
+      c += static_cast<std::size_t>(__builtin_popcount(
+          static_cast<unsigned>(_mm256_movemask_pd(le))));
+    }
+    for (; i < count; ++i) c += static_cast<std::size_t>(a[i] <= x);
+    return c;
+#else
+    std::size_t c = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      c += static_cast<std::size_t>(a[i] <= x);
+    }
+    return c;
+#endif
+  }
+
+  static std::size_t sorted_rank(const double* a, std::size_t count,
+                                 double x) noexcept {
+    if (count <= kLinearScanMaxProcs) return count_leq(a, count, x);
+    return static_cast<std::size_t>(std::upper_bound(a, a + count, x) - a);
+  }
+
+  /// Value-path occupy: only the multiset of free times matters, and the
+  /// lane keeps it sorted ascending, so occupying is: drop the s chosen
+  /// times and write s copies of p.finish at its sorted position.
+  /// Multiset-identical to the reference nth_element update.
+  /// EarliestAvailable drops av[0 .. s); BestFit drops the last s of the
+  /// entries already free at p.start (at least s of them, by construction
+  /// of the start time).
+  ///
+  /// Each lane is a sliding window inside a slack region of
+  /// kAvailSlackFactor x P doubles: EarliestAvailable removes from the
+  /// FRONT while finish times mostly insert near the BACK, so shifting
+  /// whichever side of the insertion point is shorter (advancing the
+  /// window head when the back side wins) turns the old
+  /// shift-almost-the-whole-lane memmove into a few-element move. The
+  /// insertion rank is found by a branchless binary search: finish times
+  /// land mid-lane often enough (measured mean rank ~P/3 from the back on
+  /// the replay workload) that both the backward linear probe and the
+  /// branch-free forward count walk an order of magnitude more entries
+  /// than the log2(P) halvings do.
+  void occupy_value(const Placement& p, ProcessorSelection selection) {
+    const std::size_t procs = lane_off_[p.lane + 1] - lane_off_[p.lane];
+    const std::size_t cap = slack_off_[p.lane + 1] - slack_off_[p.lane];
+    std::size_t& head = lane_head_[p.lane];
+    double* av = sorted_avail_.data() + slack_off_[p.lane] + head;
+    const std::size_t s = p.size;
+    std::size_t hole = 0;  // First index of the s entries being replaced.
+    if (selection == ProcessorSelection::BestFit) {
+      hole = sorted_rank(av, procs, p.start) - s;
+    }
+    // New resting place of the s finish times among the survivors:
+    // everything in [pos, procs) is > p.finish, av[pos - 1] <= p.finish —
+    // exactly tail + count_leq(av + tail, procs - tail, p.finish), found
+    // by a branchless (cmov-friendly) upper-bound search.
+    const std::size_t tail = hole + s;
+    std::size_t pos = procs;
+    if (std::size_t rem = procs - tail; rem > 0) {
+      const double* lo = av + tail;
+      while (rem > 1) {
+        const std::size_t half = rem >> 1;
+        lo += (lo[half - 1] <= p.finish) ? half : 0;
+        rem -= half;
+      }
+      pos = static_cast<std::size_t>(lo - av) +
+            static_cast<std::size_t>(*lo <= p.finish);
+    }
+    if (hole == 0 && procs - pos < pos - tail) {
+      // Back side is shorter: keep the survivors below the insertion
+      // point in place and slide the tail up, advancing the window over
+      // the s freed slots at the front.
+      if (head + procs + s > cap) {
+        double* base = sorted_avail_.data() + slack_off_[p.lane];
+        std::memmove(base, av, procs * sizeof(double));
+        head = 0;
+        av = base;
+      }
+      std::memmove(av + pos + s, av + pos, (procs - pos) * sizeof(double));
+      for (std::size_t i = pos; i < pos + s; ++i) av[i] = p.finish;
+      head += s;
+    } else {
+      if (pos > tail) {
+        std::memmove(av + hole, av + tail, (pos - tail) * sizeof(double));
+      }
+      for (std::size_t i = pos - s; i < pos; ++i) av[i] = p.finish;
+    }
+  }
+
   void occupy(TaskId v, const Placement& p, ProcessorSelection selection,
-              Schedule* out);
+              Schedule* out) {
+    if (out == nullptr) {
+      occupy_value(p, selection);
+      return;
+    }
+    occupy_placed(v, p, selection, out);
+  }
+
+  void occupy_placed(TaskId v, const Placement& p,
+                     ProcessorSelection selection, Schedule* out);
 
   const ProblemInstance* instance_;
   std::vector<MappingLane> lanes_;
@@ -573,15 +1188,33 @@ class MappingKernel {
   /// most of the prefix.
   std::size_t checkpoint_interval_ = 0;
 
+  /// Slack multiplier for the sliding availability windows: each lane owns
+  /// kAvailSlackFactor x P doubles so occupy_value can advance the window
+  /// head many pops before a rebase memmove.
+  static constexpr std::size_t kAvailSlackFactor = 4;
+
   std::vector<std::size_t> lane_off_;  ///< Lane k: [lane_off_[k], [k+1]).
+  /// Lane k's slack region: sorted_avail_[slack_off_[k], slack_off_[k+1]).
+  std::vector<std::size_t> slack_off_;
+  /// Offset of lane k's live window inside its slack region; the window
+  /// holds the lane's P free times in ascending order.
+  std::vector<std::size_t> lane_head_;
   /// Per lane: the free times of its processors in ascending order (value
-  /// path; also the placement path's query mirror).
+  /// path; also the placement path's query mirror), as sliding windows —
+  /// see occupy_value.
   std::vector<double> sorted_avail_;
   std::vector<double> proc_avail_;  ///< Per processor (placement path).
   std::vector<int> proc_order_;     ///< Placement-path scratch.
   std::vector<double> bl_;
   std::vector<double> data_ready_;
   std::atomic<std::size_t> rejected_{0};
+  std::atomic<std::size_t> delta_full_{0};
+  std::atomic<std::size_t> delta_resumed_{0};
+  std::atomic<std::size_t> delta_replayed_{0};
+  std::atomic<std::size_t> delta_resynced_{0};
+  /// Open sibling-batch session (bl_ holds this trace's bottom levels);
+  /// null outside a session.
+  const EvalTrace* batch_parent_ = nullptr;
 
   std::variant<State<std::uint16_t>, State<std::uint32_t>> state_;
 };

@@ -274,6 +274,54 @@ TEST(EvaluationEngine, RejectionCountIsAnExactDeltaAfterReset) {
   EXPECT_EQ(engine.stats().scheduled, third.size());
 }
 
+TEST(EvaluationEngine, ColdCacheSamplerSkipsProbesAndStaysExact) {
+  // A long stream of distinct allocations never hits the memo cache; the
+  // cold-cache sampler must detect that within its first probe window and
+  // start skipping most lookups (the BENCH_6 memo-lane fix) — without
+  // ever changing a returned value.
+  const Ptg g = irregular_corpus(30, 1, 64).front();
+  const Cluster c = chti();
+  const SyntheticModel model;
+  EvalEngineConfig cfg;
+  cfg.memoize = true;
+  EvaluationEngine engine(g, model, c, {}, cfg);
+  ListScheduler fresh(g, c, model);
+
+  Rng rng(21);
+  auto batch = random_batch(g, c, 300, rng);
+  engine.evaluate_batch(batch, 0);
+  for (const auto& ind : batch) {
+    EXPECT_DOUBLE_EQ(ind.fitness, fresh.makespan(ind.genes));
+  }
+  EvalStats s = engine.stats();
+  // All-distinct genomes: the first full probe window misses, the slot
+  // goes cold, and most of the remaining lookups are skipped.
+  EXPECT_GT(s.cache_skipped, 0u);
+  EXPECT_EQ(s.evaluations, s.cache_hits + s.cache_misses + s.cache_skipped);
+
+  // Re-evaluating the same genomes stays exact: entries the sampler
+  // skipped on insert are simply recomputed, never served stale.
+  auto again = batch;
+  for (auto& ind : again) ind.fitness = -1.0;
+  engine.evaluate_batch(again, 0);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_DOUBLE_EQ(again[i].fitness, batch[i].fitness);
+  }
+  s = engine.stats();
+  EXPECT_EQ(s.evaluations, s.cache_hits + s.cache_misses + s.cache_skipped);
+
+  // A warm access pattern (few distinct genomes, many repeats) must keep
+  // probing normally: no skips before the window can even fill.
+  EvaluationEngine warm(g, model, c, {}, cfg);
+  auto dup = random_batch(g, c, 4, rng);
+  for (int round = 0; round < 8; ++round) {
+    auto w = dup;
+    warm.evaluate_batch(w, 0);
+  }
+  EXPECT_EQ(warm.stats().cache_skipped, 0u);
+  EXPECT_GE(warm.stats().cache_hits, 28u);
+}
+
 TEST(EvaluationEngine, BuildScheduleMatchesFitness) {
   const Ptg g = irregular_corpus(25, 1, 61).front();
   const Cluster c = chti();

@@ -1,0 +1,125 @@
+// PTGSCHED_KERNEL environment resolution: the variable selects the
+// evaluation kernel when the config leaves it unset, an explicit config
+// always wins, invalid values throw, and an env-selected batched run is
+// bit-identical (and deterministic) against an explicit Full run.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "daggen/corpus.hpp"
+#include "emts/emts.hpp"
+#include "eval/evaluation_engine.hpp"
+#include "model/execution_time.hpp"
+#include "platform/cluster.hpp"
+
+namespace ptgsched {
+namespace {
+
+/// Sets (or clears, for nullptr) an environment variable for the test's
+/// scope and restores the previous state on destruction, so env-driven
+/// tests cannot leak configuration into the rest of the binary.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string old_;
+};
+
+EmtsConfig smoke_config() {
+  EmtsConfig cfg = emts5_config();
+  cfg.seed = 77;
+  cfg.threads = 0;
+  cfg.memoize = false;  // force every child through the mapping kernel
+  return cfg;
+}
+
+TEST(KernelEnv, BatchedFromEnvironmentMatchesExplicitFull) {
+  const Ptg g = irregular_corpus(40, 1, 71).front();
+  const Cluster c = chti();
+  const SyntheticModel model;
+  const auto pi = ProblemInstance::borrow(g, model, c);
+
+  EmtsConfig cfg = smoke_config();
+  cfg.kernel = KernelMode::Full;
+  const EmtsResult full = Emts(cfg).schedule(pi);
+
+  ScopedEnv env("PTGSCHED_KERNEL", "batched");
+  cfg.kernel.reset();
+  const EmtsResult a = Emts(cfg).schedule(pi);
+  const EmtsResult b = Emts(cfg).schedule(pi);
+
+  // The env-selected batched kernel reproduces the Full trajectory bit
+  // for bit, and back-to-back runs are deterministic.
+  EXPECT_EQ(full.makespan, a.makespan);
+  EXPECT_EQ(full.best_allocation, a.best_allocation);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.best_allocation, b.best_allocation);
+  // Proof the env value actually took effect: only KernelMode::Batched
+  // forms sibling-lockstep sessions.
+  EXPECT_GT(a.eval_stats.sibling_batches, 0u);
+  EXPECT_GT(a.eval_stats.trace_builds, 0u);
+}
+
+TEST(KernelEnv, ExplicitConfigBeatsEnvironment) {
+  const Ptg g = irregular_corpus(30, 1, 72).front();
+  const Cluster c = chti();
+  const SyntheticModel model;
+  const auto pi = ProblemInstance::borrow(g, model, c);
+
+  ScopedEnv env("PTGSCHED_KERNEL", "batched");
+  EmtsConfig cfg = smoke_config();
+  cfg.kernel = KernelMode::Full;
+  const EmtsResult full = Emts(cfg).schedule(pi);
+  // Full mode builds no traces and opens no sessions, env notwithstanding.
+  EXPECT_EQ(full.eval_stats.trace_builds, 0u);
+  EXPECT_EQ(full.eval_stats.delta_scheduled, 0u);
+  EXPECT_EQ(full.eval_stats.sibling_batches, 0u);
+}
+
+TEST(KernelEnv, InvalidValueThrows) {
+  const Ptg g = irregular_corpus(20, 1, 73).front();
+  const Cluster c = chti();
+  const SyntheticModel model;
+  ScopedEnv env("PTGSCHED_KERNEL", "turbo");
+  EXPECT_THROW(EvaluationEngine(g, model, c), std::invalid_argument);
+  // An explicit config still constructs fine under the bad env value.
+  EvalEngineConfig cfg;
+  cfg.kernel = KernelMode::Incremental;
+  EXPECT_NO_THROW(EvaluationEngine(g, model, c, {}, cfg));
+}
+
+TEST(KernelEnv, EmptyValueFallsBackToDefault) {
+  const Ptg g = irregular_corpus(20, 1, 74).front();
+  const Cluster c = chti();
+  const SyntheticModel model;
+  ScopedEnv env("PTGSCHED_KERNEL", "");
+  EXPECT_NO_THROW(EvaluationEngine(g, model, c));
+}
+
+}  // namespace
+}  // namespace ptgsched

@@ -1,0 +1,336 @@
+// Bit-identity suite for the batched sibling-lockstep mapping kernel.
+//
+// A sibling-batch session (ListScheduler::begin_sibling_batch +
+// makespan_sibling) must be indistinguishable from a full list-scheduling
+// pass AND from the per-mutant delta path: same fitness bits, same
+// rejection counts, same evolution trajectory. These tests drive sibling
+// fans over every corpus graph class and both processor-selection
+// policies with all three mutation shapes (single-gene, multi-gene, and
+// deep-resume mutants whose first divergence sits late in the parent's
+// pop order), compare the bounded/rejection paths exactly, pin the
+// kernel against the preserved ReferenceMapper oracle, pin the
+// profitability-gate boundary, and check the session protocol's
+// fallback behavior.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "../common/test_graphs.hpp"
+#include "core/problem_instance.hpp"
+#include "daggen/corpus.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/reference_mapper.hpp"
+#include "support/rng.hpp"
+
+namespace ptgsched {
+namespace {
+
+const std::vector<std::string>& corpus_classes() {
+  static const std::vector<std::string> classes = {"fft", "strassen",
+                                                   "layered", "irregular"};
+  return classes;
+}
+
+Allocation random_allocation(std::size_t n, int P, Rng& rng) {
+  Allocation alloc(n);
+  for (auto& s : alloc) s = static_cast<int>(rng.uniform_int(1, P));
+  return alloc;
+}
+
+/// The three mutation shapes the batch path must handle. Newly drawn
+/// sizes may coincide with the old value, so `touched` is deliberately a
+/// superset of the real changes — exactly the contract the engine
+/// relies on.
+enum class Shape { kSingleGene, kMultiGene, kDeepResume };
+
+void mutate_shaped(Allocation& alloc, int P, Shape shape,
+                   const EvalTrace& trace, Rng& rng,
+                   std::vector<TaskId>& touched) {
+  touched.clear();
+  const std::size_t n = alloc.size();
+  switch (shape) {
+    case Shape::kSingleGene: {
+      const std::size_t pos = rng.index(n);
+      alloc[pos] = static_cast<int>(rng.uniform_int(1, P));
+      touched.push_back(static_cast<TaskId>(pos));
+      break;
+    }
+    case Shape::kMultiGene: {
+      const std::size_t count = 2 + rng.index(5);
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t pos = rng.index(n);
+        alloc[pos] = static_cast<int>(rng.uniform_int(1, P));
+        touched.push_back(static_cast<TaskId>(pos));
+      }
+      break;
+    }
+    case Shape::kDeepResume: {
+      // Mutate a gene popped near the END of the parent's pass, so the
+      // first divergent decision is deep: the certified prefix covers
+      // almost the whole sequence and the kernel should resume (or
+      // replay) rather than fall back to a full pass.
+      const std::size_t tail = 1 + rng.index(std::min<std::size_t>(4, n));
+      const TaskId pos = static_cast<TaskId>(trace.pop_order[n - tail]);
+      alloc[pos] = static_cast<int>(rng.uniform_int(1, P));
+      touched.push_back(pos);
+      break;
+    }
+  }
+}
+
+TEST(BatchedIdentity, SiblingGroupsAreBitIdentical) {
+  const Cluster c = chti();
+  const SyntheticModel model;
+  std::size_t total_replayed = 0;
+  std::size_t total_resumed = 0;
+  for (const std::string& cls : corpus_classes()) {
+    const auto graphs = corpus_by_name(cls, 40, 2, 911);
+    for (const ProcessorSelection policy :
+         {ProcessorSelection::EarliestAvailable,
+          ProcessorSelection::BestFit}) {
+      ListSchedulerOptions opts;
+      opts.selection = policy;
+      for (const auto& g : graphs) {
+        const auto pi = ProblemInstance::borrow(g, model, c);
+        ListScheduler full(pi, opts);
+        ListScheduler delta(pi, opts);
+        ListScheduler batch(pi, opts);
+        ListScheduler tracer(pi, opts);
+        Rng rng(derive_seed(52, g.num_tasks(),
+                            static_cast<std::uint64_t>(policy)));
+        const Allocation parent =
+            random_allocation(g.num_tasks(), c.num_processors(), rng);
+        EvalTrace trace;
+        const double base = tracer.makespan_traced(parent, trace);
+        ASSERT_EQ(base, full.makespan(parent));
+        ASSERT_TRUE(batch.begin_sibling_batch(trace));
+        // A whole fan of siblings of ONE parent, in lockstep, cycling
+        // the three mutation shapes.
+        std::vector<TaskId> touched;
+        for (int k = 0; k < 30; ++k) {
+          Allocation child = parent;
+          const auto shape = static_cast<Shape>(k % 3);
+          mutate_shaped(child, c.num_processors(), shape, trace, rng,
+                        touched);
+          const double want = full.makespan(child);
+          const double via_delta =
+              delta.makespan_delta(child, touched, trace);
+          const double via_sibling =
+              batch.makespan_sibling(child, touched, trace);
+          // Bitwise equality, not approximate: every path replays the
+          // exact same floating-point operations.
+          ASSERT_EQ(want, via_sibling)
+              << cls << " sibling " << k << " shape "
+              << static_cast<int>(shape) << " policy "
+              << static_cast<int>(policy);
+          ASSERT_EQ(via_delta, via_sibling)
+              << cls << " sibling " << k << " shape "
+              << static_cast<int>(shape);
+        }
+        total_replayed += batch.kernel().delta_replayed_count();
+        total_resumed += batch.kernel().delta_resumed_count();
+      }
+    }
+  }
+  // The deep-resume shape must actually have exercised the heap-free
+  // replay drive (and the heap resume must fire too) — otherwise the
+  // suite would pass while silently running full passes everywhere.
+  EXPECT_GT(total_replayed, 0u);
+  EXPECT_GT(total_resumed, 0u);
+}
+
+TEST(BatchedIdentity, BoundedSiblingsAgreeIncludingRejectionCounts) {
+  const Cluster c = chti();
+  const SyntheticModel model;
+  for (const std::string& cls : corpus_classes()) {
+    const auto graphs = corpus_by_name(cls, 40, 2, 912);
+    for (const ProcessorSelection policy :
+         {ProcessorSelection::EarliestAvailable,
+          ProcessorSelection::BestFit}) {
+      ListSchedulerOptions opts;
+      opts.selection = policy;
+      for (const auto& g : graphs) {
+        const auto pi = ProblemInstance::borrow(g, model, c);
+        // Separate schedulers so the rejection counters can be compared
+        // one-to-one: `full` only ever runs complete bounded passes,
+        // `batch` only sibling ones.
+        ListScheduler full(pi, opts);
+        ListScheduler batch(pi, opts);
+        ListScheduler tracer(pi, opts);
+        Rng rng(derive_seed(53, g.num_tasks(),
+                            static_cast<std::uint64_t>(policy)));
+        const Allocation parent =
+            random_allocation(g.num_tasks(), c.num_processors(), rng);
+        EvalTrace trace;
+        const double base = tracer.makespan_traced(parent, trace);
+        ASSERT_TRUE(batch.begin_sibling_batch(trace));
+        std::vector<TaskId> touched;
+        for (int k = 0; k < 20; ++k) {
+          Allocation child = parent;
+          const auto shape = static_cast<Shape>(k % 3);
+          mutate_shaped(child, c.num_processors(), shape, trace, rng,
+                        touched);
+          // Sweep bounds below, at, and above the parent makespan so the
+          // fan exercises accept, reject, and the exact boundary.
+          for (const double factor : {0.7, 0.95, 1.0, 1.05}) {
+            const double bound = base * factor;
+            const double a = full.makespan_bounded(child, bound);
+            const double b =
+                batch.makespan_sibling(child, touched, trace, bound);
+            ASSERT_EQ(a, b) << cls << " bound factor " << factor;
+          }
+        }
+        // Every bounded pass must have made the same accept/reject
+        // decision on both paths.
+        EXPECT_EQ(full.rejected_count(), batch.rejected_count());
+      }
+    }
+  }
+}
+
+TEST(BatchedIdentity, SiblingsMatchReferenceMapperOracle) {
+  const Cluster c = chti();
+  const SyntheticModel model;
+  for (const std::string& cls : corpus_classes()) {
+    const auto graphs = corpus_by_name(cls, 40, 2, 913);
+    for (const ProcessorSelection policy :
+         {ProcessorSelection::EarliestAvailable,
+          ProcessorSelection::BestFit}) {
+      ListSchedulerOptions opts;
+      opts.selection = policy;
+      for (const auto& g : graphs) {
+        const auto pi = ProblemInstance::borrow(g, model, c);
+        ListScheduler batch(pi, opts);
+        ListScheduler tracer(pi, opts);
+        ReferenceMapper oracle(pi, opts);
+        Rng rng(derive_seed(54, g.num_tasks(),
+                            static_cast<std::uint64_t>(policy)));
+        const Allocation parent =
+            random_allocation(g.num_tasks(), c.num_processors(), rng);
+        EvalTrace trace;
+        (void)tracer.makespan_traced(parent, trace);
+        ASSERT_TRUE(batch.begin_sibling_batch(trace));
+        std::vector<TaskId> touched;
+        for (int k = 0; k < 9; ++k) {
+          Allocation child = parent;
+          const auto shape = static_cast<Shape>(k % 3);
+          mutate_shaped(child, c.num_processors(), shape, trace, rng,
+                        touched);
+          const double want = oracle.makespan(child);
+          ASSERT_EQ(want, batch.makespan_sibling(child, touched, trace));
+          // Bounded runs agree too, including the rejection decision.
+          for (const double factor : {0.8, 1.0, 1.2}) {
+            ASSERT_EQ(
+                oracle.makespan_bounded(child, want * factor),
+                batch.makespan_sibling(child, touched, trace,
+                                       want * factor));
+          }
+        }
+        EXPECT_EQ(oracle.rejected_count(), batch.rejected_count());
+      }
+    }
+  }
+}
+
+TEST(BatchedIdentity, ProfitabilityGateBoundaryIsPinned) {
+  // Exactly 100 tasks on 16 processors: the regression anchor for the
+  // measured cost model that replaced the old hard resume gate. With
+  // kRestorePerItem == kResetPerItem the restore/reset terms cancel and
+  // the gate reduces to: profitable <=> skipped_pops >
+  // pending - kFullBlPops*n + 4*kRestorePerItem*ready_size. For the
+  // delta path's pre-patch decision (pending = kPatchCertifyPops*n = 30,
+  // empty snapshot ready queue) that boundary is skipped_pops == 15/16.
+  Ptg g("layered100");
+  std::vector<TaskId> prev;
+  for (int layer = 0; layer < 10; ++layer) {
+    std::vector<TaskId> cur;
+    for (int i = 0; i < 10; ++i) {
+      cur.push_back(g.add_task(testutil::simple_task(
+          "t" + std::to_string(layer) + "_" + std::to_string(i), 1.0)));
+      for (const TaskId p : prev) g.add_edge(p, cur.back());
+    }
+    prev = std::move(cur);
+  }
+  ASSERT_EQ(g.num_tasks(), 100u);
+  const Cluster c = testutil::unit_cluster(16);
+  const testutil::FixedTimeModel model;
+  const auto pi = ProblemInstance::borrow(g, model, c);
+  ListScheduler sched(pi);
+  const MappingKernel& kernel = sched.kernel();
+
+  const double pending = MappingKernel::kPatchCertifyPops * 100.0;
+  // Skipping 15 pops does not pay for the pending certification work...
+  EXPECT_FALSE(kernel.delta_profitable(15, /*replay=*/false,
+                                       /*ready_size=*/0, pending));
+  // ...but 16 does: the old hard gate (resume < max(interval, n/4))
+  // would have rejected everything below 25 here.
+  EXPECT_TRUE(kernel.delta_profitable(16, /*replay=*/false,
+                                      /*ready_size=*/0, pending));
+  // A fully certified replay is always profitable, even from pop 0: it
+  // skips the bottom-level recomputation and drives heap-free.
+  EXPECT_TRUE(kernel.delta_profitable(0, /*replay=*/true,
+                                      /*ready_size=*/0, 0.0));
+  // A large snapshot ready queue shifts the boundary: each ready entry
+  // charges 4 restore items against the resume.
+  EXPECT_FALSE(kernel.delta_profitable(16, /*replay=*/false,
+                                       /*ready_size=*/100, pending));
+}
+
+TEST(BatchedIdentity, SessionProtocolFallsBackAndReopens) {
+  const Cluster c = chti();
+  const SyntheticModel model;
+  const auto graphs = irregular_corpus(35, 1, 914);
+  const auto pi = ProblemInstance::borrow(graphs.front(), model, c);
+  ListScheduler sched(pi);
+  ListScheduler probe(pi);
+  Rng rng(915);
+  const Allocation parent =
+      random_allocation(pi->num_tasks(), c.num_processors(), rng);
+  EvalTrace trace;
+  (void)probe.makespan_traced(parent, trace);
+
+  Allocation child = parent;
+  std::vector<TaskId> touched;
+  mutate_shaped(child, c.num_processors(), Shape::kMultiGene, trace, rng,
+                touched);
+  const double want = probe.makespan(child);
+
+  // Never-built trace: begin refuses, sibling calls fall back to a
+  // bit-identical full pass.
+  const EvalTrace empty;
+  EXPECT_FALSE(sched.begin_sibling_batch(empty));
+  EXPECT_EQ(want, sched.makespan_sibling(child, touched, empty));
+
+  // A live session answers from the lockstep path...
+  ASSERT_TRUE(sched.begin_sibling_batch(trace));
+  EXPECT_EQ(want, sched.makespan_sibling(child, touched, trace));
+
+  // ...and any full-path evaluation in between closes it (times_ no
+  // longer describes the parent), after which sibling calls fall back
+  // to full passes — still bit-identical — until the session reopens.
+  const Allocation other =
+      random_allocation(pi->num_tasks(), c.num_processors(), rng);
+  (void)sched.makespan(other);
+  EXPECT_EQ(want, sched.makespan_sibling(child, touched, trace));
+
+  ASSERT_TRUE(sched.begin_sibling_batch(trace));
+  EXPECT_EQ(want, sched.makespan_sibling(child, touched, trace));
+
+  // Reproducing the parent exactly (no effective change) is the
+  // resume-from-the-end shortcut; it must honor bounds like a full
+  // bounded pass.
+  EXPECT_EQ(probe.makespan(parent),
+            sched.makespan_sibling(parent, touched, trace));
+  const double base = probe.makespan(parent);
+  ListScheduler bounded_full(pi);
+  EXPECT_EQ(bounded_full.makespan_bounded(parent, base * 0.9),
+            sched.makespan_sibling(parent, {}, trace, base * 0.9));
+}
+
+}  // namespace
+}  // namespace ptgsched

@@ -7,7 +7,7 @@
 // corpus graph class and both processor-selection policies, compare the
 // bounded/rejection paths exactly, pin the kernel against the preserved
 // ReferenceMapper oracle, and check that an ES run is bit-identical under
-// KernelMode::Full and KernelMode::Incremental.
+// KernelMode::Full, KernelMode::Incremental, and KernelMode::Batched.
 
 #include <gtest/gtest.h>
 
@@ -278,20 +278,32 @@ TEST(IncrementalIdentity, EsTrajectoryIsKernelInvariant) {
       const EmtsResult full = run_emts(pi, KernelMode::Full, rejection, 0);
       const EmtsResult incr =
           run_emts(pi, KernelMode::Incremental, rejection, 2);
+      const EmtsResult batched =
+          run_emts(pi, KernelMode::Batched, rejection, 2);
       EXPECT_EQ(full.makespan, incr.makespan);
       EXPECT_EQ(full.best_allocation, incr.best_allocation);
+      EXPECT_EQ(full.makespan, batched.makespan);
+      EXPECT_EQ(full.best_allocation, batched.best_allocation);
       ASSERT_EQ(full.es.history.size(), incr.es.history.size());
+      ASSERT_EQ(full.es.history.size(), batched.es.history.size());
       for (std::size_t u = 0; u < full.es.history.size(); ++u) {
         EXPECT_EQ(full.es.history[u].best, incr.es.history[u].best);
         EXPECT_EQ(full.es.history[u].mean, incr.es.history[u].mean);
         EXPECT_EQ(full.es.history[u].worst, incr.es.history[u].worst);
+        EXPECT_EQ(full.es.history[u].best, batched.es.history[u].best);
+        EXPECT_EQ(full.es.history[u].mean, batched.es.history[u].mean);
+        EXPECT_EQ(full.es.history[u].worst, batched.es.history[u].worst);
       }
-      // The full run must not have taken the delta path, and the
-      // incremental run must actually have used it.
+      // The full run must not have taken the delta path, the incremental
+      // run must actually have used it, and the batched run must have
+      // formed real sibling-lockstep sessions.
       EXPECT_EQ(full.eval_stats.delta_scheduled, 0u);
       EXPECT_EQ(full.eval_stats.trace_builds, 0u);
       EXPECT_GT(incr.eval_stats.trace_builds, 0u);
       EXPECT_GT(incr.eval_stats.delta_scheduled, 0u);
+      EXPECT_GT(batched.eval_stats.trace_builds, 0u);
+      EXPECT_GT(batched.eval_stats.delta_scheduled, 0u);
+      EXPECT_GT(batched.eval_stats.sibling_batches, 0u);
     }
   }
 }
