@@ -33,15 +33,24 @@
 // Batches are generated once with the real EMTS mutation operator from an
 // MCPA seed, so all strategies evaluate the identical individuals.
 //
+// Heterogeneous lane (same replay pools reinterpreted as processor
+// mappings on a structurally heterogeneous uniform-speed twin of the
+// platform — every speed 1.0, every link cost 0.0, so the kernel runs
+// its full heterogeneous machinery on identical arithmetic): reference /
+// full / incremental / batched at one thread, bit-identity checked, plus
+// HEFT/PEFT baseline makespans on a genuinely heterogeneous variant.
+//
 // `--json PATH` writes the whole table as a machine-readable report
 // (consumed by scripts/bench_report); `--min-speedup X` exits nonzero
 // unless the single-thread incremental/full replay speedup reaches X (the
 // perf-smoke guard that the delta kernel never regresses below the full
 // pass), and `--min-batched-speedup X` does the same for the
-// single-thread batched/incremental speedup. `--batch LIST` additionally
-// sweeps the engine's sibling_batch chunk size (0 = unbounded groups)
-// over the comma-separated LIST at one thread, so the amortization curve
-// is part of the committed report.
+// single-thread batched/incremental speedup. `--max-hetero-overhead X`
+// fails the run when the heterogeneous full lane costs more than X times
+// the homogeneous full lane per evaluation (the perf_smoke_hetero
+// guard). `--batch LIST` additionally sweeps the engine's sibling_batch
+// chunk size (0 = unbounded groups) over the comma-separated LIST at one
+// thread, so the amortization curve is part of the committed report.
 
 #include <algorithm>
 #include <cstdio>
@@ -205,6 +214,11 @@ int main(int argc, char** argv) {
                  "Fail unless the 1-thread batched/incremental replay "
                  "speedup reaches this (0 = off)",
                  "0");
+  cli.add_option("max-hetero-overhead",
+                 "Fail if the 1-thread heterogeneous full lane costs more "
+                 "than this many times the homogeneous full lane per "
+                 "evaluation (0 = off)",
+                 "0");
   cli.add_option("batch",
                  "Comma-separated sibling_batch chunk sizes to sweep at 1 "
                  "thread on the batched lane (0 = unbounded groups)",
@@ -222,6 +236,7 @@ int main(int argc, char** argv) {
     const std::string json_path = cli.get("json");
     const double min_speedup = cli.get_double("min-speedup");
     const double min_batched_speedup = cli.get_double("min-batched-speedup");
+    const double max_hetero_overhead = cli.get_double("max-hetero-overhead");
     std::vector<std::size_t> batch_sizes;
     for (const std::string& tok : split(cli.get("batch"), ',')) {
       batch_sizes.push_back(static_cast<std::size_t>(std::stoul(tok)));
@@ -285,6 +300,7 @@ int main(int argc, char** argv) {
     double speedup_vs_ref_1t = 0.0;
     double batched_vs_incr_1t = 0.0;
     double incr_1t_seconds = 0.0;
+    double full_1t_seconds = 0.0;
     double expected_sum = 0.0;  // the 1-thread reference fitness sum
     for (std::size_t t = 1; t <= max_threads; t *= 2) {
       double legacy_best = std::numeric_limits<double>::infinity();
@@ -337,6 +353,7 @@ int main(int argc, char** argv) {
         speedup_vs_ref_1t = speedup_vs_ref;
         batched_vs_incr_1t = batched_vs_incr;
         incr_1t_seconds = incr_best;
+        full_1t_seconds = full_best;
       }
       table.push_back({std::to_string(t),
                        strfmt("%.0f", total / legacy_best),
@@ -413,6 +430,95 @@ int main(int argc, char** argv) {
                 "sibling group per session).");
     }
 
+    // Heterogeneous lane, 1 thread: the SAME replay pools reinterpreted
+    // as processor mappings (genes are in [1, P] either way) on the
+    // uniform-speed structurally-heterogeneous twin of the platform, so
+    // the per-eval cost delta isolates the heterogeneous kernel
+    // machinery (P one-processor lanes, per-processor table, comm
+    // context) from any workload change.
+    const Cluster hetero_cluster = degenerate_hetero_variant(cluster);
+    const auto hetero_instance =
+        ProblemInstance::borrow(g, model, hetero_cluster);
+    double h_ref_best = std::numeric_limits<double>::infinity();
+    double h_full_best = std::numeric_limits<double>::infinity();
+    double h_incr_best = std::numeric_limits<double>::infinity();
+    double h_batch_best = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < reps; ++r) {
+      const ReplayRun ref = replay_reference_seconds(hetero_instance,
+                                                     replay, 1);
+      const ReplayRun full = replay_seconds(hetero_instance, parents,
+                                            replay, 1, KernelMode::Full);
+      const ReplayRun incr = replay_seconds(hetero_instance, parents,
+                                            replay, 1,
+                                            KernelMode::Incremental);
+      const ReplayRun batched = replay_seconds(hetero_instance, parents,
+                                               replay, 1,
+                                               KernelMode::Batched);
+      if (full.fitness_sum != incr.fitness_sum ||
+          full.fitness_sum != ref.fitness_sum ||
+          full.fitness_sum != batched.fitness_sum) {
+        std::fprintf(stderr,
+                     "eval_throughput: heterogeneous kernel mismatch "
+                     "(reference sum %.17g, full sum %.17g, incremental "
+                     "sum %.17g, batched sum %.17g)\n",
+                     ref.fitness_sum, full.fitness_sum, incr.fitness_sum,
+                     batched.fitness_sum);
+        return 1;
+      }
+      h_ref_best = std::min(h_ref_best, ref.seconds);
+      h_full_best = std::min(h_full_best, full.seconds);
+      h_incr_best = std::min(h_incr_best, incr.seconds);
+      h_batch_best = std::min(h_batch_best, batched.seconds);
+    }
+    const double hetero_overhead = h_full_best / full_1t_seconds;
+    std::vector<std::vector<std::string>> hetero_table;
+    hetero_table.push_back({"lane", "hetero ref ev/s", "hetero full ev/s",
+                            "hetero incr ev/s", "hetero batch ev/s",
+                            "full overhead"});
+    hetero_table.push_back({"1 thread",
+                            strfmt("%.0f", total / h_ref_best),
+                            strfmt("%.0f", total / h_full_best),
+                            strfmt("%.0f", total / h_incr_best),
+                            strfmt("%.0f", total / h_batch_best),
+                            strfmt("%.2fx", hetero_overhead)});
+    std::fputs(render_table(hetero_table).c_str(), stdout);
+    std::puts("# heterogeneous lanes on the uniform-speed structural-"
+              "hetero twin; full overhead = hetero full seconds / "
+              "homogeneous full seconds at 1 thread.");
+    JsonObject hetero_row;
+    hetero_row.emplace("hetero_reference_evps", Json(total / h_ref_best));
+    hetero_row.emplace("hetero_full_evps", Json(total / h_full_best));
+    hetero_row.emplace("hetero_incremental_evps",
+                       Json(total / h_incr_best));
+    hetero_row.emplace("hetero_batched_evps", Json(total / h_batch_best));
+    hetero_row.emplace("hetero_overhead_vs_full", Json(hetero_overhead));
+    hetero_row.emplace("hetero_incremental_speedup_vs_full",
+                       Json(h_full_best / h_incr_best));
+    hetero_row.emplace("hetero_batched_speedup_vs_incremental",
+                       Json(h_incr_best / h_batch_best));
+
+    // HEFT/PEFT baseline makespans on a genuinely heterogeneous variant
+    // (cycled speeds, uniform link costs): the reference points the
+    // heterogeneous campaign axis quotes.
+    const Cluster baseline_cluster = heterogeneous_variant(cluster, 0.25);
+    const auto baseline_instance =
+        ProblemInstance::borrow(g, model, baseline_cluster);
+    ListScheduler baseline_sched(baseline_instance);
+    JsonObject baseline_row;
+    baseline_row.emplace("platform", Json(baseline_cluster.name()));
+    std::vector<std::vector<std::string>> baseline_table;
+    baseline_table.push_back({"baseline", "makespan"});
+    for (const char* name : {"heft", "peft", "one"}) {
+      const Allocation alloc =
+          make_heuristic(name)->allocate(*baseline_instance);
+      const double ms = baseline_sched.makespan(alloc);
+      baseline_table.push_back({name, strfmt("%.4f", ms)});
+      baseline_row.emplace(std::string(name) + "_makespan", Json(ms));
+    }
+    std::fputs(render_table(baseline_table).c_str(), stdout);
+    std::printf("# list-baseline makespans on %s (%d-task instance).\n",
+                baseline_cluster.name().c_str(), tasks);
+
     if (!json_path.empty()) {
       JsonObject doc;
       doc.emplace("bench", Json("eval_throughput"));
@@ -429,6 +535,8 @@ int main(int argc, char** argv) {
       if (!sweep_rows.empty()) {
         doc.emplace("batch_sweep", Json(std::move(sweep_rows)));
       }
+      doc.emplace("hetero", Json(std::move(hetero_row)));
+      doc.emplace("hetero_baselines", Json(std::move(baseline_row)));
       Json(std::move(doc)).write_file(json_path);
       std::printf("# wrote %s\n", json_path.c_str());
     }
@@ -447,6 +555,14 @@ int main(int argc, char** argv) {
                    "eval_throughput: 1-thread batched speedup %.2fx over "
                    "the incremental lane is below the required %.2fx\n",
                    batched_vs_incr_1t, min_batched_speedup);
+      return 1;
+    }
+    if (max_hetero_overhead > 0.0 && hetero_overhead > max_hetero_overhead) {
+      std::fprintf(stderr,
+                   "eval_throughput: heterogeneous full lane costs %.2fx "
+                   "the homogeneous full lane per evaluation, above the "
+                   "allowed %.2fx\n",
+                   hetero_overhead, max_hetero_overhead);
       return 1;
     }
     return 0;

@@ -17,6 +17,7 @@
 #include "exp/campaign.hpp"
 #include "support/cancellation.hpp"
 #include "support/cli.hpp"
+#include "support/strings.hpp"
 
 using namespace ptgsched;
 
@@ -28,6 +29,10 @@ int main(int argc, char** argv) {
   cli.add_option("seed", "Base seed", "42");
   cli.add_option("tasks", "DAGGEN task count", "100");
   cli.add_option("threads", "Fitness threads per EMTS run", "0");
+  cli.add_option("heuristics",
+                 "Comma-separated baseline heuristics compared against EMTS "
+                 "(any heuristic_names() entry, e.g. mcpa,hcpa,heft,peft)",
+                 "mcpa,hcpa");
   cli.add_flag("skip-emts10", "Skip the EMTS10 half of Figure 5");
   cli.add_option("out", "Output directory for JSON/CSV artifacts",
                  "campaign_out");
@@ -66,6 +71,16 @@ int main(int argc, char** argv) {
     cfg.num_tasks = static_cast<int>(cli.get_int("tasks"));
     cfg.seed = cli.get_u64("seed");
     cfg.threads = static_cast<std::size_t>(cli.get_int("threads"));
+    cfg.baselines.clear();
+    for (const std::string& name : split(cli.get("heuristics"), ',')) {
+      const std::string_view trimmed = trim(name);
+      if (!trimmed.empty()) cfg.baselines.emplace_back(trimmed);
+    }
+    if (cfg.baselines.empty()) {
+      std::fprintf(stderr, "paper_campaign: --heuristics must name at least "
+                           "one baseline\n");
+      return 1;
+    }
     cfg.include_emts10 = !cli.get_flag("skip-emts10");
     cfg.output_dir = cli.get("out");
     cfg.unit_deadline_seconds = cli.get_double("deadline-seconds");

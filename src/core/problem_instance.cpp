@@ -157,6 +157,85 @@ std::span<const double> ProblemInstance::times_of(TaskId v) const {
                               static_cast<std::size_t>(p_));
 }
 
+std::span<const double> ProblemInstance::proc_time_table() const {
+  std::call_once(proc_table_once_, [this] {
+    const std::size_t n = num_tasks();
+    proc_table_.resize(n * static_cast<std::size_t>(p_));
+    for (TaskId v = 0; v < n; ++v) {
+      const double t1 = model_->time(graph_->task(v), 1, *cluster_);
+      double* row = proc_table_.data() + v * static_cast<std::size_t>(p_);
+      for (int j = 0; j < p_; ++j) {
+        // 1.0 speeds reproduce t1 exactly (degeneracy identity).
+        row[j] = t1 / cluster_->relative_speed(j);
+      }
+    }
+  });
+  return proc_table_;
+}
+
+double ProblemInstance::proc_time(TaskId v, int proc) const {
+  if (v >= num_tasks()) {
+    throw ModelError("ProblemInstance::proc_time: unknown task id " +
+                     std::to_string(v));
+  }
+  if (proc < 0 || proc >= p_) {
+    throw ModelError("ProblemInstance::proc_time: processor " +
+                     std::to_string(proc) + " outside [0, " +
+                     std::to_string(p_) + ")");
+  }
+  return proc_time_table()[v * static_cast<std::size_t>(p_) +
+                           static_cast<std::size_t>(proc)];
+}
+
+std::span<const double> ProblemInstance::bottom_levels_avg() const {
+  std::call_once(avg_once_, [this] {
+    const std::size_t n = num_tasks();
+    const std::span<const double> table = proc_time_table();
+    const double cbar = cluster_->mean_comm_cost();
+    // Mean of the per-processor row = HEFT's w_i average task weight.
+    std::vector<double> wbar(n);
+    for (TaskId v = 0; v < n; ++v) {
+      const double* row = table.data() + v * static_cast<std::size_t>(p_);
+      double sum = 0.0;
+      for (int j = 0; j < p_; ++j) sum += row[j];
+      wbar[v] = sum / static_cast<double>(p_);
+    }
+    bl_avg_.assign(n, 0.0);
+    tl_avg_.assign(n, 0.0);
+    for (std::size_t i = n; i-- > 0;) {
+      const TaskId v = topo_[i];
+      double best = 0.0;
+      for (std::uint32_t e = succ_off_[v]; e < succ_off_[v + 1]; ++e) {
+        best = std::max(best, cbar + bl_avg_[succ_adj_[e]]);
+      }
+      bl_avg_[v] = wbar[v] + best;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const TaskId v = topo_[i];
+      double best = 0.0;
+      for (std::uint32_t e = pred_off_[v]; e < pred_off_[v + 1]; ++e) {
+        const TaskId u = pred_adj_[e];
+        best = std::max(best, tl_avg_[u] + wbar[u] + cbar);
+      }
+      tl_avg_[v] = best;
+    }
+    avg_cp_ = bl_avg_.empty()
+                  ? 0.0
+                  : *std::max_element(bl_avg_.begin(), bl_avg_.end());
+  });
+  return bl_avg_;
+}
+
+std::span<const double> ProblemInstance::top_levels_avg() const {
+  (void)bottom_levels_avg();
+  return tl_avg_;
+}
+
+double ProblemInstance::avg_critical_path() const {
+  (void)bottom_levels_avg();
+  return avg_cp_;
+}
+
 std::span<const double> ProblemInstance::bottom_levels_seq() const {
   std::call_once(seq_once_, [this] {
     const std::span<const double> table = time_table();
@@ -185,6 +264,10 @@ double ProblemInstance::sequential_critical_path() const {
 const ProblemInstance& ProblemInstance::warm() const {
   (void)time_table();
   (void)bottom_levels_seq();
+  if (heterogeneous()) {
+    (void)proc_time_table();
+    (void)bottom_levels_avg();
+  }
   return *this;
 }
 

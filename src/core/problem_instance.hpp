@@ -147,6 +147,30 @@ class ProblemInstance
   /// index it directly, bypassing even the call_once fast path).
   [[nodiscard]] std::span<const double> time_table() const;
 
+  // Heterogeneous view (built once on first use). ----------------------
+  /// True when the cluster carries per-processor speeds or link costs;
+  /// allocations are then interpreted as task -> processor mappings (see
+  /// ListScheduler) instead of moldable widths.
+  [[nodiscard]] bool heterogeneous() const noexcept {
+    return cluster_->heterogeneous();
+  }
+  /// Per-(task, processor) execution time T(v, 1) / relative_speed(proc)
+  /// as a dense row-major V x P lookup. On homogeneous clusters every row
+  /// entry equals T(v, 1) exactly.
+  [[nodiscard]] std::span<const double> proc_time_table() const;
+  /// One cell of proc_time_table(); throws ModelError out of range.
+  [[nodiscard]] double proc_time(TaskId v, int proc) const;
+
+  // Average-speed ranks (built once on first use). ---------------------
+  // HEFT's rank_u / rank_d generalization of the bottom/top levels: task
+  // weights are the mean of the per-processor row, edge weights are the
+  // cluster's mean link cost. On homogeneous clusters they coincide with
+  // the sequential levels.
+  [[nodiscard]] std::span<const double> bottom_levels_avg() const;
+  [[nodiscard]] std::span<const double> top_levels_avg() const;
+  /// Critical-path length under average speeds (max bottom_levels_avg).
+  [[nodiscard]] double avg_critical_path() const;
+
   // Sequential levels (built once on first use). -----------------------
   /// Bottom levels bl(v) under the all-ones allocation (T(v, 1) times).
   [[nodiscard]] std::span<const double> bottom_levels_seq() const;
@@ -183,6 +207,12 @@ class ProblemInstance
 
   mutable std::once_flag table_once_;
   mutable std::vector<double> table_;  ///< Row-major V x P.
+  mutable std::once_flag proc_table_once_;
+  mutable std::vector<double> proc_table_;  ///< Row-major V x P (hetero).
+  mutable std::once_flag avg_once_;
+  mutable std::vector<double> bl_avg_;
+  mutable std::vector<double> tl_avg_;
+  mutable double avg_cp_ = 0.0;
   mutable std::once_flag seq_once_;
   mutable std::vector<double> bl_seq_;
   mutable std::vector<double> tl_seq_;

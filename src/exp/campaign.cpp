@@ -77,7 +77,7 @@ ComparisonConfig base_config(const CampaignConfig& config) {
   ComparisonConfig cfg;
   cfg.classes = {"fft", "strassen", "layered", "irregular"};
   cfg.platforms = {"chti", "grelon"};
-  cfg.baselines = {"mcpa", "hcpa"};
+  cfg.baselines = config.baselines;
   cfg.num_tasks = config.num_tasks;
   cfg.instances = config.instances;
   cfg.seed = config.seed;
@@ -107,6 +107,13 @@ Json campaign_fingerprint(const CampaignConfig& config) {
   fp.set("instances", static_cast<std::int64_t>(config.instances));
   fp.set("num_tasks", config.num_tasks);
   fp.set("include_emts10", config.include_emts10);
+  // Baselines extend the fingerprint only when they differ from the
+  // historical default, so existing journals keep resuming unchanged.
+  if (config.baselines != std::vector<std::string>{"mcpa", "hcpa"}) {
+    Json bs = Json::array();
+    for (const std::string& b : config.baselines) bs.push_back(Json(b));
+    fp.set("baselines", std::move(bs));
+  }
   // The robustness phase extends the fingerprint only when enabled, so
   // journals of plain campaigns keep resuming unchanged; a --faults
   // journal never resumes into a plain campaign (or vice versa), and any

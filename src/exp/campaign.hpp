@@ -30,6 +30,12 @@ struct CampaignConfig {
   std::uint64_t seed = 42;
   bool include_emts10 = true;
   std::size_t threads = 0;
+  /// Allocation heuristics evaluated as baselines next to EMTS in the
+  /// comparison phases (paper_campaign --heuristics). Any
+  /// heuristic_names() entry is valid — including the heterogeneous
+  /// "heft"/"peft" list baselines; unknown names fail the unit with an
+  /// input error naming the valid set.
+  std::vector<std::string> baselines = {"mcpa", "hcpa"};
   /// If non-empty, CSV and JSON artifacts are written here, and a
   /// `campaign_checkpoint.json` journal records every completed unit
   /// (durably, fsynced per line) so an interrupted campaign can resume.

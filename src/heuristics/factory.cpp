@@ -5,12 +5,14 @@
 #include "heuristics/cpa.hpp"
 #include "heuristics/cpr.hpp"
 #include "heuristics/delta_critical.hpp"
+#include "heuristics/list_baselines.hpp"
 
 namespace ptgsched {
 
 const std::vector<std::string>& heuristic_names() {
   static const std::vector<std::string> names = {
-      "one", "cpa", "hcpa", "mcpa", "mcpa2", "delta", "cpr", "bicpa"};
+      "one", "cpa", "hcpa", "mcpa", "mcpa2", "delta", "cpr", "bicpa",
+      "heft", "peft"};
   return names;
 }
 
@@ -23,6 +25,8 @@ std::unique_ptr<AllocationHeuristic> make_heuristic(const std::string& name) {
   if (name == "delta") return std::make_unique<DeltaCriticalAllocation>();
   if (name == "cpr") return std::make_unique<CprAllocation>();
   if (name == "bicpa") return std::make_unique<BicpaAllocation>();
+  if (name == "heft") return std::make_unique<HeftAllocation>();
+  if (name == "peft") return std::make_unique<PeftAllocation>();
   // std::invalid_argument on purpose: the experiment driver classifies it
   // as an input error (classify_unit_error), not an internal failure.
   std::string valid;

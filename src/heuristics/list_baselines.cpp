@@ -1,0 +1,151 @@
+#include "heuristics/list_baselines.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace ptgsched {
+
+namespace {
+
+/// Shared greedy list-mapping loop of HEFT and PEFT. Pops the ready task
+/// with the largest `rank` (ties: lowest id — a deterministic total
+/// order), then places it on the processor minimizing `score(v, j, eft)`
+/// (ties: lowest j), where eft is the task's earliest finish time on j
+/// under the actual durations, processor availability and link costs. The
+/// ready-set discipline keeps the order feasible even when the rank is
+/// not monotone along edges (PEFT's rank_oct is not).
+template <typename ScoreFn>
+Allocation greedy_eft(const ProblemInstance& pi, std::span<const double> rank,
+                      const ScoreFn& score) {
+  const std::size_t n = pi.num_tasks();
+  const int procs = pi.num_processors();
+  const Cluster& cluster = pi.cluster();
+  const std::span<const double> table = pi.proc_time_table();
+
+  std::vector<double> avail(static_cast<std::size_t>(procs), 0.0);
+  std::vector<double> finish(n, 0.0);
+  std::vector<int> proc_of(n, 0);
+  std::vector<std::size_t> waiting(n);
+  std::vector<TaskId> ready;
+  ready.reserve(n);
+  for (TaskId v = 0; v < n; ++v) {
+    waiting[v] = pi.pred_offsets()[v + 1] - pi.pred_offsets()[v];
+    if (waiting[v] == 0) ready.push_back(v);
+  }
+
+  const std::span<const std::uint32_t> poff = pi.pred_offsets();
+  const std::span<const TaskId> padj = pi.pred_adjacency();
+  const std::span<const std::uint32_t> soff = pi.succ_offsets();
+  const std::span<const TaskId> sadj = pi.succ_adjacency();
+
+  Allocation alloc(n, 1);
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best_i = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+      const TaskId a = ready[i];
+      const TaskId b = ready[best_i];
+      if (rank[a] > rank[b] || (rank[a] == rank[b] && a < b)) best_i = i;
+    }
+    const TaskId v = ready[best_i];
+    ready[best_i] = ready.back();
+    ready.pop_back();
+
+    int best_j = 0;
+    double best_eft = 0.0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < procs; ++j) {
+      double est = avail[static_cast<std::size_t>(j)];
+      for (std::uint32_t e = poff[v]; e < poff[v + 1]; ++e) {
+        const TaskId u = padj[e];
+        const double arrive = finish[u] + cluster.comm_cost(proc_of[u], j);
+        if (arrive > est) est = arrive;
+      }
+      const double eft = est + table[v * static_cast<std::size_t>(procs) +
+                                     static_cast<std::size_t>(j)];
+      const double s = score(v, j, eft);
+      if (s < best_score) {
+        best_score = s;
+        best_eft = eft;
+        best_j = j;
+      }
+    }
+
+    proc_of[v] = best_j;
+    finish[v] = best_eft;
+    avail[static_cast<std::size_t>(best_j)] = best_eft;
+    alloc[v] = best_j + 1;
+
+    for (std::uint32_t e = soff[v]; e < soff[v + 1]; ++e) {
+      const TaskId w = sadj[e];
+      if (--waiting[w] == 0) ready.push_back(w);
+    }
+  }
+  return alloc;
+}
+
+}  // namespace
+
+Allocation HeftAllocation::allocate(const ProblemInstance& instance) const {
+  if (!instance.heterogeneous()) {
+    return Allocation(instance.num_tasks(), 1);
+  }
+  return greedy_eft(instance, instance.bottom_levels_avg(),
+                    [](TaskId, int, double eft) { return eft; });
+}
+
+Allocation PeftAllocation::allocate(const ProblemInstance& instance) const {
+  const std::size_t n = instance.num_tasks();
+  if (!instance.heterogeneous()) {
+    return Allocation(n, 1);
+  }
+  const int procs = instance.num_processors();
+  const auto up = static_cast<std::size_t>(procs);
+  const Cluster& cluster = instance.cluster();
+  const std::span<const double> table = instance.proc_time_table();
+  const std::span<const std::uint32_t> soff = instance.succ_offsets();
+  const std::span<const TaskId> sadj = instance.succ_adjacency();
+
+  // Optimistic Cost Table, reverse topological: OCT(v, j) is the longest
+  // path below v assuming every descendant takes its own best processor —
+  // max over successors w of min over k of OCT(w,k) + time(w,k) +
+  // comm(j,k). Exit rows are zero.
+  std::vector<double> oct(n * up, 0.0);
+  const std::span<const TaskId> topo = instance.topo_order();
+  for (std::size_t i = n; i-- > 0;) {
+    const TaskId v = topo[i];
+    if (soff[v] == soff[v + 1]) continue;
+    double* row = oct.data() + v * up;
+    for (int j = 0; j < procs; ++j) {
+      double worst = 0.0;
+      for (std::uint32_t e = soff[v]; e < soff[v + 1]; ++e) {
+        const TaskId w = sadj[e];
+        const double* wrow = oct.data() + w * up;
+        double best = std::numeric_limits<double>::infinity();
+        for (int k = 0; k < procs; ++k) {
+          const double c = wrow[static_cast<std::size_t>(k)] +
+                           table[w * up + static_cast<std::size_t>(k)] +
+                           cluster.comm_cost(j, k);
+          if (c < best) best = c;
+        }
+        if (best > worst) worst = best;
+      }
+      row[static_cast<std::size_t>(j)] = worst;
+    }
+  }
+
+  std::vector<double> rank_oct(n, 0.0);
+  for (TaskId v = 0; v < n; ++v) {
+    const double* row = oct.data() + v * up;
+    double sum = 0.0;
+    for (int j = 0; j < procs; ++j) sum += row[static_cast<std::size_t>(j)];
+    rank_oct[v] = sum / static_cast<double>(procs);
+  }
+
+  return greedy_eft(instance, rank_oct,
+                    [&oct, up](TaskId v, int j, double eft) {
+                      return eft + oct[v * up + static_cast<std::size_t>(j)];
+                    });
+}
+
+}  // namespace ptgsched

@@ -19,6 +19,15 @@ void ExecutionTimeModel::check_args(const Task& task, int p,
   }
 }
 
+double proc_time(const ExecutionTimeModel& model, const Task& task, int proc,
+                 const Cluster& cluster) {
+  const double speed = cluster.relative_speed(proc);  // throws out of range
+  const double t1 = model.time(task, 1, cluster);
+  // speed == 1.0 must reproduce t1 bit for bit (degeneracy identity), and
+  // x / 1.0 == x exactly in IEEE arithmetic.
+  return t1 / speed;
+}
+
 bool is_perfect_square(int p) noexcept {
   if (p < 1) return false;
   const int r = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));

@@ -118,6 +118,16 @@ class PenaltyTableModel final : public ExecutionTimeModel {
   std::vector<double> multipliers_;
 };
 
+/// Heterogeneous per-processor execution time: the task's sequential time
+/// under `model` scaled by processor `proc`'s relative speed,
+/// T(v, proc) = T(v, 1) / relative_speed(proc). On homogeneous clusters
+/// (relative_speed == 1.0 everywhere) this is exactly the sequential time,
+/// which is what keeps the degenerate configuration bit-identical. Throws
+/// PlatformError when proc is outside [0, P).
+[[nodiscard]] double proc_time(const ExecutionTimeModel& model,
+                               const Task& task, int proc,
+                               const Cluster& cluster);
+
 /// Factory for the model names used throughout benches and examples:
 /// "amdahl" | "model1", "synthetic" | "model2", "downey".
 [[nodiscard]] std::shared_ptr<const ExecutionTimeModel> make_model(

@@ -1,15 +1,31 @@
 #pragma once
-// Homogeneous cluster platform model (Section II-A / IV-A).
+// Cluster platform model (Section II-A / IV-A), generalized to
+// heterogeneity.
 //
-// A cluster is P identical processors of a given speed (GFLOPS); every pair
-// of processors can communicate and communication costs are not modeled
-// (they are folded into the task execution-time model, Section III). The
-// two evaluation platforms from the paper, the Grid'5000 clusters Chti and
-// Grelon, are provided as presets.
+// The paper's platform is P identical processors of a given speed (GFLOPS);
+// every pair of processors can communicate and communication costs are not
+// modeled (they are folded into the task execution-time model, Section
+// III). That homogeneous cluster is still the default — the two evaluation
+// platforms from the paper, the Grid'5000 clusters Chti and Grelon, are
+// provided as presets — but a Cluster may additionally carry
+//
+//   * per-processor *relative* speeds (multipliers on the base gflops;
+//     processor j runs at gflops() * relative_speed(j)), and
+//   * a P x P symmetric link-cost matrix in seconds (comm_cost(i, j) is
+//     charged on every dependency edge crossing from processor i to j;
+//     the diagonal is zero — same-processor data is free).
+//
+// Presence of either field switches the scheduling stack into its
+// heterogeneous mode (allocations become task -> processor mappings, see
+// ListScheduler); a cluster without them behaves exactly as before. The
+// degenerate heterogeneous configuration — uniform speeds of 1.0 and an
+// all-zero cost matrix — is pinned bit-identical to the homogeneous paths
+// by the hetero identity suite.
 
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "support/json.hpp"
 
@@ -21,28 +37,70 @@ class PlatformError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
-/// Homogeneous cluster: `num_processors` identical processors running at
-/// `gflops` * 1e9 floating-point operations per second each.
+/// A cluster of `num_processors` processors with base speed `gflops` * 1e9
+/// floating-point operations per second, optionally heterogeneous (see the
+/// file comment).
 class Cluster {
  public:
   Cluster(std::string name, int num_processors, double gflops);
 
+  /// Heterogeneous construction. `speeds` is either empty (uniform) or one
+  /// positive finite multiplier per processor; `comm_costs` is either
+  /// empty (free communication) or a row-major P x P matrix of
+  /// non-negative finite seconds, symmetric with a zero diagonal. Throws
+  /// PlatformError on any violation.
+  Cluster(std::string name, int num_processors, double gflops,
+          std::vector<double> speeds, std::vector<double> comm_costs = {});
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] int num_processors() const noexcept { return p_; }
-  /// Per-processor speed in GFLOPS.
+  /// Base per-processor speed in GFLOPS (processor j additionally scales
+  /// by relative_speed(j)).
   [[nodiscard]] double gflops() const noexcept { return gflops_; }
-  /// Per-processor speed in FLOP per second.
+  /// Base per-processor speed in FLOP per second.
   [[nodiscard]] double flops_per_second() const noexcept {
     return gflops_ * 1e9;
   }
 
-  /// Sequential execution time (seconds) of `flops` work on one processor.
+  /// Sequential execution time (seconds) of `flops` work on one processor
+  /// at the base speed.
   [[nodiscard]] double sequential_time(double flops) const {
     return flops / flops_per_second();
   }
 
   /// Clamp an allocation request into the feasible range [1, P].
   [[nodiscard]] int clamp_allocation(long long p) const noexcept;
+
+  // Heterogeneity ------------------------------------------------------
+  /// True when the cluster carries per-processor speeds or a link-cost
+  /// matrix (structural: explicit uniform values still count, so the
+  /// degenerate configuration exercises the heterogeneous code paths).
+  [[nodiscard]] bool heterogeneous() const noexcept {
+    return !speeds_.empty() || !comm_.empty();
+  }
+  [[nodiscard]] bool has_comm_costs() const noexcept {
+    return !comm_.empty();
+  }
+  /// Relative speed multiplier of processor `proc` (1.0 on homogeneous
+  /// clusters). Throws PlatformError outside [0, P).
+  [[nodiscard]] double relative_speed(int proc) const;
+  /// Link cost in seconds from processor `from` to `to` (0.0 when no
+  /// matrix is present or from == to). Throws PlatformError out of range.
+  [[nodiscard]] double comm_cost(int from, int to) const;
+  /// The raw speed vector (empty = uniform 1.0).
+  [[nodiscard]] const std::vector<double>& relative_speeds() const noexcept {
+    return speeds_;
+  }
+  /// The raw row-major P x P cost matrix (empty = all-zero).
+  [[nodiscard]] const std::vector<double>& comm_matrix() const noexcept {
+    return comm_;
+  }
+  /// Mean relative speed over the processors (1.0 when uniform); the
+  /// average-speed ranks (HEFT's rank_u) normalize by this.
+  [[nodiscard]] double mean_relative_speed() const noexcept;
+  /// Mean link cost over ordered processor pairs i != j (0.0 when P == 1
+  /// or no matrix is present) — the average edge cost in rank_u.
+  [[nodiscard]] double mean_comm_cost() const noexcept;
 
   [[nodiscard]] Json to_json() const;
   [[nodiscard]] static Cluster from_json(const Json& doc);
@@ -53,6 +111,8 @@ class Cluster {
   std::string name_;
   int p_;
   double gflops_;
+  std::vector<double> speeds_;  ///< Per processor; empty = uniform 1.0.
+  std::vector<double> comm_;    ///< Row-major P x P seconds; empty = zero.
 };
 
 /// Grid'5000 "Chti" (Lille): 20 nodes at 4.3 GFLOPS (HP-LinPACK, Sec. IV-A).
@@ -61,7 +121,21 @@ class Cluster {
 /// Grid'5000 "Grelon" (Nancy): 120 nodes at 3.1 GFLOPS.
 [[nodiscard]] Cluster grelon();
 
-/// Look up a preset platform by name ("chti" | "grelon"), case-sensitive.
+/// Deterministic heterogeneous variant of a base cluster for benches and
+/// tests: relative speeds cycle over {1.0, 0.75, 1.25, 0.5} and every
+/// cross-processor link costs `link_cost` seconds (0 = no matrix). The
+/// name gains a "-hetero" suffix.
+[[nodiscard]] Cluster heterogeneous_variant(const Cluster& base,
+                                            double link_cost = 0.0);
+
+/// Degenerate heterogeneous twin of a base cluster: explicit uniform
+/// speeds of 1.0 and an explicit all-zero cost matrix, so the
+/// heterogeneous code paths run with values that must reproduce the
+/// homogeneous behavior bit for bit (the identity suite's subject).
+[[nodiscard]] Cluster degenerate_hetero_variant(const Cluster& base);
+
+/// Look up a preset platform by name ("chti" | "grelon" | "chti-hetero" |
+/// "grelon-hetero"), case-sensitive.
 [[nodiscard]] Cluster platform_by_name(const std::string& name);
 
 }  // namespace ptgsched

@@ -42,7 +42,9 @@ std::size_t MultiClusterPlatform::cluster_of(int global_processor) const {
 double MultiClusterPlatform::total_gflops() const noexcept {
   double sum = 0.0;
   for (const Cluster& c : clusters_) {
-    sum += c.gflops() * c.num_processors();
+    // mean_relative_speed() is 1.0 on homogeneous clusters, so this
+    // degrades to gflops * P exactly.
+    sum += c.gflops() * c.mean_relative_speed() * c.num_processors();
   }
   return sum;
 }

@@ -12,15 +12,39 @@ std::shared_ptr<const ProblemInstance> require_instance(
   }
   return instance;
 }
+
+std::vector<MappingLane> make_lanes(const ProblemInstance& instance) {
+  if (!instance.heterogeneous()) {
+    return {MappingLane{instance.num_processors(), 0}};
+  }
+  // Heterogeneous mode: one lane per processor, so a gene names a lane and
+  // every kernel mechanism (snapshots, certification, replay) transfers.
+  std::vector<MappingLane> lanes;
+  lanes.reserve(static_cast<std::size_t>(instance.num_processors()));
+  for (int j = 0; j < instance.num_processors(); ++j) {
+    lanes.push_back(MappingLane{1, j});
+  }
+  return lanes;
+}
 }  // namespace
 
 ListScheduler::ListScheduler(std::shared_ptr<const ProblemInstance> instance,
                              ListSchedulerOptions options)
     : instance_(require_instance(std::move(instance))),
       options_(options),
-      core_(*instance_, {MappingLane{instance_->num_processors(), 0}}),
-      table_(instance_->time_table().data()),
-      times_(instance_->num_tasks()) {}
+      hetero_(instance_->heterogeneous()),
+      core_(*instance_, make_lanes(*instance_)),
+      table_(hetero_ ? instance_->proc_time_table().data()
+                     : instance_->time_table().data()),
+      times_(instance_->num_tasks()) {
+  if (hetero_ && instance_->cluster().has_comm_costs()) {
+    lane_of_.assign(instance_->num_tasks(), 0);
+    core_.set_comm_context(
+        instance_->cluster().comm_matrix().data(),
+        static_cast<std::size_t>(instance_->num_processors()),
+        lane_of_.data());
+  }
+}
 
 ListScheduler::ListScheduler(const Ptg& g, const Cluster& cluster,
                              const ExecutionTimeModel& model,
@@ -50,35 +74,26 @@ void ListScheduler::load_times(const Allocation& alloc) {
   for (TaskId v = 0; v < n; ++v) {
     times_[v] = table_[v * stride + static_cast<std::size_t>(alloc[v] - 1)];
   }
+  if (!lane_of_.empty()) {
+    for (TaskId v = 0; v < n; ++v) lane_of_[v] = alloc[v] - 1;
+  }
 }
 
 double ListScheduler::run(const Allocation& alloc, Schedule* out,
                           double upper_bound) {
   load_times(alloc);
-  const auto place = [&](TaskId v, double data_ready) {
-    MappingKernel::Placement p;
-    p.lane = 0;
-    p.size = static_cast<std::size_t>(alloc[v]);
-    p.start = core_.earliest_start(0, p.size, data_ready);
-    p.finish = p.start + times_[v];
-    return p;
-  };
-  return core_.run(times_, options_.selection, upper_bound, out, place);
+  return with_place(alloc, [&](const auto& place) {
+    return core_.run(times_, options_.selection, upper_bound, out, place);
+  });
 }
 
 double ListScheduler::makespan_traced(const Allocation& alloc,
                                       EvalTrace& trace) {
   load_times(alloc);
   trace.alloc.assign(alloc.begin(), alloc.end());
-  const auto place = [&](TaskId v, double data_ready) {
-    MappingKernel::Placement p;
-    p.lane = 0;
-    p.size = static_cast<std::size_t>(alloc[v]);
-    p.start = core_.earliest_start(0, p.size, data_ready);
-    p.finish = p.start + times_[v];
-    return p;
-  };
-  return core_.run_traced(times_, options_.selection, place, trace);
+  return with_place(alloc, [&](const auto& place) {
+    return core_.run_traced(times_, options_.selection, place, trace);
+  });
 }
 
 double ListScheduler::makespan_delta(const Allocation& alloc,
@@ -91,24 +106,19 @@ double ListScheduler::makespan_delta(const Allocation& alloc,
   }
   load_times(alloc);
   // A task's pass behavior depends on its allocation alone (the requested
-  // size and, through the time table, its execution time), so the change
-  // set is exactly the touched genes that actually differ from the parent.
+  // size — or processor, in heterogeneous mode — and, through the time
+  // table, its execution time), so the change set is exactly the touched
+  // genes that actually differ from the parent.
   changed_.clear();
   for (const TaskId v : touched) {
     if (v < alloc.size() && alloc[v] != parent.alloc[v]) {
       changed_.push_back(v);
     }
   }
-  const auto place = [&](TaskId v, double data_ready) {
-    MappingKernel::Placement p;
-    p.lane = 0;
-    p.size = static_cast<std::size_t>(alloc[v]);
-    p.start = core_.earliest_start(0, p.size, data_ready);
-    p.finish = p.start + times_[v];
-    return p;
-  };
-  return core_.run_delta(times_, changed_, parent, options_.selection,
-                         upper_bound, place);
+  return with_place(alloc, [&](const auto& place) {
+    return core_.run_delta(times_, changed_, parent, options_.selection,
+                           upper_bound, place);
+  });
 }
 
 bool ListScheduler::begin_sibling_batch(const EvalTrace& parent) {
@@ -116,10 +126,13 @@ bool ListScheduler::begin_sibling_batch(const EvalTrace& parent) {
   batch_valid_ = parent.valid && parent.alloc.size() == n &&
                  parent.times.size() == n && parent.bl.size() == n;
   if (!batch_valid_) return false;
-  // The session baseline: times_ holds the parent's per-task times, the
-  // kernel holds its bottom levels. Each sibling stages and un-stages
-  // only its own changed genes on top.
+  // The session baseline: times_ (and, in comm mode, lane_of_) holds the
+  // parent's state, the kernel holds its bottom levels. Each sibling
+  // stages and un-stages only its own changed genes on top.
   std::copy(parent.times.begin(), parent.times.end(), times_.begin());
+  if (!lane_of_.empty()) {
+    for (TaskId v = 0; v < n; ++v) lane_of_[v] = parent.alloc[v] - 1;
+  }
   core_.begin_sibling_batch(parent);
   return true;
 }
@@ -153,18 +166,16 @@ double ListScheduler::makespan_sibling(const Allocation& alloc,
           "ListScheduler::makespan_sibling: allocation entry out of range");
     }
     times_[v] = table_[v * stride + static_cast<std::size_t>(alloc[v] - 1)];
+    if (!lane_of_.empty()) lane_of_[v] = alloc[v] - 1;
   }
-  const auto place = [&](TaskId v, double data_ready) {
-    MappingKernel::Placement p;
-    p.lane = 0;
-    p.size = static_cast<std::size_t>(alloc[v]);
-    p.start = core_.earliest_start(0, p.size, data_ready);
-    p.finish = p.start + times_[v];
-    return p;
-  };
-  const double r = core_.run_sibling(times_, changed_, parent,
-                                     options_.selection, upper_bound, place);
-  for (const TaskId v : changed_) times_[v] = parent.times[v];
+  const double r = with_place(alloc, [&](const auto& place) {
+    return core_.run_sibling(times_, changed_, parent, options_.selection,
+                             upper_bound, place);
+  });
+  for (const TaskId v : changed_) {
+    times_[v] = parent.times[v];
+    if (!lane_of_.empty()) lane_of_[v] = parent.alloc[v] - 1;
+  }
   return r;
 }
 

@@ -15,6 +15,17 @@
 // (EarliestAvailable / BestFit, ablation EXP-A3) and the incremental
 // (trace/delta) machinery behind makespan_traced()/makespan_delta() are
 // documented there.
+//
+// Heterogeneous mode (DESIGN.md §14). When the instance's Cluster carries
+// per-processor speeds or link costs, the same Allocation genome is
+// reinterpreted: gene v names the PROCESSOR task v runs on (1-based, so
+// validate_allocation and the dense-table indexing work unchanged) instead
+// of a moldable width. The kernel is then built with P one-processor
+// lanes, durations come from the per-(task, processor) table, and — when a
+// cost matrix is present — the kernel charges link costs on successor
+// edges through a comm context fed by the lane_of_ buffer kept current
+// here. Every incremental path (traces, deltas, sibling batches) works in
+// both modes.
 
 #include <limits>
 #include <memory>
@@ -133,6 +144,10 @@ class ListScheduler {
     return core_;
   }
 
+  /// Whether this scheduler interprets genes as processors (heterogeneous
+  /// cluster) rather than moldable widths.
+  [[nodiscard]] bool heterogeneous() const noexcept { return hetero_; }
+
  private:
   double run(const Allocation& alloc, Schedule* out,
              double upper_bound = std::numeric_limits<double>::infinity());
@@ -140,12 +155,48 @@ class ListScheduler {
   /// Fill times_ from the time table for `alloc` (validates first).
   void load_times(const Allocation& alloc);
 
+  /// Invoke `fn` with the placement functor for the current mode: the
+  /// moldable one (single lane, gene = width) or the heterogeneous one
+  /// (gene = processor index, one-processor lanes). A generic callback
+  /// instead of a branch per pop: each kernel entry point is instantiated
+  /// once per functor type, so both modes keep a branch-free hot loop.
+  template <typename Fn>
+  double with_place(const Allocation& alloc, Fn&& fn) {
+    if (hetero_) {
+      return fn([this, &alloc](TaskId v, double data_ready) {
+        MappingKernel::Placement p;
+        p.lane = static_cast<std::size_t>(alloc[v] - 1);
+        p.size = 1;
+        p.start = core_.earliest_start(p.lane, 1, data_ready);
+        p.finish = p.start + times_[v];
+        return p;
+      });
+    }
+    return fn([this, &alloc](TaskId v, double data_ready) {
+      MappingKernel::Placement p;
+      p.lane = 0;
+      p.size = static_cast<std::size_t>(alloc[v]);
+      p.start = core_.earliest_start(0, p.size, data_ready);
+      p.finish = p.start + times_[v];
+      return p;
+    });
+  }
+
   std::shared_ptr<const ProblemInstance> instance_;
   ListSchedulerOptions options_;
+  bool hetero_ = false;  ///< instance_->heterogeneous(), cached.
   MappingKernel core_;
-  const double* table_ = nullptr;  ///< instance_->time_table().data().
+  /// Dense duration table: time_table() (per width) in moldable mode,
+  /// proc_time_table() (per processor) in heterogeneous mode; both are
+  /// indexed table_[v * P + alloc[v] - 1].
+  const double* table_ = nullptr;
   std::vector<double> times_;      ///< Per-task times under the allocation.
   std::vector<TaskId> changed_;    ///< makespan_delta scratch.
+  /// Comm mode only (heterogeneous cluster with a cost matrix): the lane
+  /// (processor) of every task under the allocation being evaluated. The
+  /// kernel's comm context reads this buffer when charging edge costs, so
+  /// every path that stages times_ also stages lane_of_.
+  std::vector<int> lane_of_;
   /// True while times_ holds an open sibling-batch parent's times (any
   /// full-path evaluation clears it via load_times).
   bool batch_valid_ = false;

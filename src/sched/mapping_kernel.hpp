@@ -115,6 +115,24 @@
 // on the same operands (see the certification argument above), and the
 // whole matrix is pinned by tests against the ReferenceMapper oracle.
 //
+// Heterogeneous mode (DESIGN.md §14). On a heterogeneous Cluster the
+// driver (ListScheduler) builds the kernel with P one-processor lanes and
+// interprets each gene as a processor index; durations come from the
+// per-(task, processor) table, so every mechanism above — checkpoints,
+// certification, replay, re-sync — transfers unchanged. Link costs enter
+// through exactly one point: the successor data-ready update charges
+// comm(lane(v), lane(w)) on each edge. That hook is compiled in only when
+// a comm context is set (set_comm_context; the kComm template flag below),
+// so the homogeneous hot loop is byte-identical to the pre-hetero kernel.
+// Certification stays sound with link costs because the pop order is a
+// pure function of the bottom levels and the graph — comm only shifts
+// data-ready and start times, which never steer pops. The one repair comm
+// mode needs: a restored snapshot's data-ready values for the
+// alloc-changed tasks embed link costs toward their PARENT lanes, so
+// after every restore the kernel recomputes them toward the child lanes
+// from the recorded prefix (fixup_comm_data_ready; exact because every
+// predecessor popped before the snapshot is provably unchanged).
+//
 // Processor-selection policies (ablation EXP-A3):
 //   * EarliestAvailable — take the s(v) processors that free up first;
 //   * BestFit — among processors already free at the task's start time,
@@ -233,8 +251,12 @@ class MappingKernel {
         [&](auto& st) {
           compute_bottom_levels(st, priority_times);
           reset_dynamic_state(st, out != nullptr);
-          return drive<false>(st, selection, upper_bound, out, place,
-                              nullptr, 0, 0.0, 0.0);
+          if (comm_ != nullptr) {
+            return drive<false, true>(st, selection, upper_bound, out, place,
+                                      nullptr, 0, 0.0, 0.0);
+          }
+          return drive<false, false>(st, selection, upper_bound, out, place,
+                                     nullptr, 0, 0.0, 0.0);
         },
         state_);
   }
@@ -259,9 +281,14 @@ class MappingKernel {
           compute_bottom_levels(st, priority_times);
           trace.bl.assign(bl_.begin(), bl_.end());
           reset_dynamic_state(st, false);
-          return drive<true>(st, selection,
-                             std::numeric_limits<double>::infinity(), nullptr,
-                             place, &trace, 0, 0.0, 0.0);
+          if (comm_ != nullptr) {
+            return drive<true, true>(st, selection,
+                                     std::numeric_limits<double>::infinity(),
+                                     nullptr, place, &trace, 0, 0.0, 0.0);
+          }
+          return drive<true, false>(st, selection,
+                                    std::numeric_limits<double>::infinity(),
+                                    nullptr, place, &trace, 0, 0.0, 0.0);
         },
         state_);
   }
@@ -287,8 +314,12 @@ class MappingKernel {
     batch_parent_ = nullptr;
     return std::visit(
         [&](auto& st) {
-          return delta_impl(st, priority_times, changed, parent, selection,
-                            upper_bound, place);
+          if (comm_ != nullptr) {
+            return delta_impl<true>(st, priority_times, changed, parent,
+                                    selection, upper_bound, place);
+          }
+          return delta_impl<false>(st, priority_times, changed, parent,
+                                   selection, upper_bound, place);
         },
         state_);
   }
@@ -330,11 +361,36 @@ class MappingKernel {
     }
     return std::visit(
         [&](auto& st) {
-          return sibling_impl(st, priority_times, changed, parent, selection,
-                              upper_bound, place);
+          if (comm_ != nullptr) {
+            return sibling_impl<true>(st, priority_times, changed, parent,
+                                      selection, upper_bound, place);
+          }
+          return sibling_impl<false>(st, priority_times, changed, parent,
+                                     selection, upper_bound, place);
         },
         state_);
   }
+
+  /// Install the heterogeneous communication context: `comm` is a
+  /// row-major `stride` x `stride` link-cost matrix (seconds) indexed by
+  /// lane, and `task_lane[v]` is the lane every placement for task v will
+  /// name — the driver keeps the buffer current across passes (the kernel
+  /// reads it when charging edge costs toward successors). Both pointers
+  /// must stay valid until cleared. Traces record comm-shifted times, so
+  /// they are only portable between kernels holding the same context.
+  void set_comm_context(const double* comm, std::size_t stride,
+                        const int* task_lane) noexcept {
+    comm_ = comm;
+    comm_stride_ = stride;
+    task_lane_ = task_lane;
+  }
+  void clear_comm_context() noexcept {
+    comm_ = nullptr;
+    comm_stride_ = 0;
+    task_lane_ = nullptr;
+  }
+  /// True when a communication context is installed (the kComm paths run).
+  [[nodiscard]] bool comm_active() const noexcept { return comm_ != nullptr; }
 
   // --- Cost model for the delta-vs-full decision. Perf only, never
   // correctness: every branch is bit-identical, the model just picks the
@@ -527,8 +583,10 @@ class MappingKernel {
   /// The shared main loop: pops the ready queue to completion starting
   /// from an arbitrary consistent state at pop index `pops`. With kTrace,
   /// records ready_pos and periodic checkpoints into `trace` and finalizes
-  /// it (bound must then be +inf).
-  template <bool kTrace, typename Idx, typename PlaceFn>
+  /// it (bound must then be +inf). With kComm, each successor update
+  /// charges the link cost from the popped task's lane to the successor's
+  /// (the only point where the heterogeneous cost matrix enters).
+  template <bool kTrace, bool kComm, typename Idx, typename PlaceFn>
   double drive(State<Idx>& st, ProcessorSelection selection,
                double upper_bound, Schedule* out, const PlaceFn& place,
                EvalTrace* trace, std::size_t pops, double makespan,
@@ -567,7 +625,12 @@ class MappingKernel {
       ++pops;
       for (std::uint32_t e = soff[v]; e < soff[v + 1]; ++e) {
         const auto w = static_cast<std::size_t>(sadj[e]);
-        if (p.finish > data_ready_[w]) data_ready_[w] = p.finish;
+        double arrive = p.finish;
+        if constexpr (kComm) {
+          arrive += comm_[p.lane * comm_stride_ +
+                          static_cast<std::size_t>(task_lane_[w])];
+        }
+        if (arrive > data_ready_[w]) data_ready_[w] = arrive;
         if (--st.waiting[w] == 0) {
           st.ready.push({bl_[w], static_cast<Idx>(w)});
           if constexpr (kTrace) {
@@ -783,7 +846,39 @@ class MappingKernel {
     st.ready.assign(st.restore.begin(), st.restore.end());
   }
 
-  template <typename Idx, typename PlaceFn>
+  /// Comm mode only: repair a restored snapshot's data-ready times. The
+  /// snapshot's values for the alloc-changed tasks embed link costs toward
+  /// their PARENT lanes (accumulated as their predecessors finished before
+  /// the snapshot), which is wrong once the child moved them. Recompute
+  /// each changed task's data-ready toward its child lane from the
+  /// recorded prefix: exact, because the snapshot sits at or before R_cap
+  /// (the first changed pop), so every predecessor popped before it is
+  /// provably unchanged — its recorded start, duration and lane are the
+  /// child's too, and parent.start[u] + parent.times[u] reproduces the
+  /// recorded finish bit for bit. Predecessors popping at or after the
+  /// snapshot contribute live in the resumed drive.
+  template <typename Idx>
+  void fixup_comm_data_ready(const State<Idx>& st,
+                             std::span<const TaskId> changed,
+                             const EvalTrace& parent,
+                             const EvalTrace::Checkpoint& c) {
+    const std::uint32_t* poff = pred_off_;
+    for (const TaskId v : changed) {
+      double dr = 0.0;
+      const auto lv = static_cast<std::size_t>(task_lane_[v]);
+      for (std::uint32_t e = poff[v]; e < poff[v + 1]; ++e) {
+        const auto u = static_cast<std::size_t>(st.pred_adj[e]);
+        if (parent.pop_pos[u] >= c.pops) continue;
+        const double arrive =
+            parent.start[u] + parent.times[u] +
+            comm_[static_cast<std::size_t>(task_lane_[u]) * comm_stride_ + lv];
+        if (arrive > dr) dr = arrive;
+      }
+      data_ready_[v] = dr;
+    }
+  }
+
+  template <bool kComm, typename Idx, typename PlaceFn>
   double delta_impl(State<Idx>& st, std::span<const double> priority_times,
                     std::span<const TaskId> changed, const EvalTrace& parent,
                     ProcessorSelection selection, double upper_bound,
@@ -812,8 +907,8 @@ class MappingKernel {
         delta_full_.fetch_add(1, std::memory_order_relaxed);
         compute_bottom_levels(st, priority_times);
         reset_dynamic_state(st, false);
-        return drive<false>(st, selection, upper_bound, nullptr, place,
-                            nullptr, 0, 0.0, 0.0);
+        return drive<false, kComm>(st, selection, upper_bound, nullptr, place,
+                                   nullptr, 0, 0.0, 0.0);
       }
     }
 
@@ -833,9 +928,10 @@ class MappingKernel {
       return std::numeric_limits<double>::infinity();
     }
     restore_checkpoint(st, c, /*full=*/true);
+    if constexpr (kComm) fixup_comm_data_ready(st, changed, parent, c);
     delta_resumed_.fetch_add(1, std::memory_order_relaxed);
-    return drive<false>(st, selection, upper_bound, nullptr, place, nullptr,
-                        c.pops, c.makespan, 0.0);
+    return drive<false, kComm>(st, selection, upper_bound, nullptr, place,
+                               nullptr, c.pops, c.makespan, 0.0);
   }
 
   /// Heap-free lockstep drive for a fully certified sibling: the child's
@@ -844,7 +940,7 @@ class MappingKernel {
   /// data-ready updates they imply. Bit-identical to drive<false> from the
   /// same state because each pop performs the same place / occupy / bound
   /// arithmetic on the same operands in the same order.
-  template <typename Idx, typename PlaceFn>
+  template <bool kComm, typename Idx, typename PlaceFn>
   double replay_drive(State<Idx>& st, const EvalTrace& parent,
                       std::size_t pops, double makespan,
                       ProcessorSelection selection, double upper_bound,
@@ -864,7 +960,12 @@ class MappingKernel {
       occupy_value(p, selection);
       for (std::uint32_t e = soff[v]; e < soff[v + 1]; ++e) {
         const auto w = static_cast<std::size_t>(sadj[e]);
-        if (p.finish > data_ready_[w]) data_ready_[w] = p.finish;
+        double arrive = p.finish;
+        if constexpr (kComm) {
+          arrive += comm_[p.lane * comm_stride_ +
+                          static_cast<std::size_t>(task_lane_[w])];
+        }
+        if (arrive > data_ready_[w]) data_ready_[w] = arrive;
       }
     }
     return makespan;
@@ -886,7 +987,7 @@ class MappingKernel {
   /// every pop performs the same place / occupy / bound arithmetic on the
   /// same operands in the same order, only the ready-queue bookkeeping is
   /// dropped once it is provably redundant.
-  template <typename Idx, typename PlaceFn>
+  template <bool kComm, typename Idx, typename PlaceFn>
   double resync_drive(State<Idx>& st, const EvalTrace& parent,
                       std::size_t pops, double makespan,
                       std::size_t keys_pending, ProcessorSelection selection,
@@ -939,7 +1040,12 @@ class MappingKernel {
       ++pops;
       for (std::uint32_t e = soff[v]; e < soff[v + 1]; ++e) {
         const auto w = static_cast<std::size_t>(sadj[e]);
-        if (p.finish > data_ready_[w]) data_ready_[w] = p.finish;
+        double arrive = p.finish;
+        if constexpr (kComm) {
+          arrive += comm_[p.lane * comm_stride_ +
+                          static_cast<std::size_t>(task_lane_[w])];
+        }
+        if (arrive > data_ready_[w]) data_ready_[w] = arrive;
         if (--st.waiting[w] == 0) {
           st.ready.push({bl_[w], static_cast<Idx>(w)});
         }
@@ -948,8 +1054,8 @@ class MappingKernel {
         // diff == 0 means every order_mark is back to zero already.
         st.order_dirty.clear();
         delta_resynced_.fetch_add(1, std::memory_order_relaxed);
-        return replay_drive(st, parent, pops, makespan, selection,
-                            upper_bound, place);
+        return replay_drive<kComm>(st, parent, pops, makespan, selection,
+                                   upper_bound, place);
       }
     }
     unmark();
@@ -959,7 +1065,7 @@ class MappingKernel {
     return makespan;
   }
 
-  template <typename Idx, typename PlaceFn>
+  template <bool kComm, typename Idx, typename PlaceFn>
   double sibling_impl(State<Idx>& st, std::span<const double> priority_times,
                       std::span<const TaskId> changed, const EvalTrace& parent,
                       ProcessorSelection selection, double upper_bound,
@@ -1003,25 +1109,28 @@ class MappingKernel {
       // divergence washes out.
       delta_full_.fetch_add(1, std::memory_order_relaxed);
       reset_dynamic_state(st, false);
-      result = resync_drive(st, parent, 0, 0.0, st.bl_changed.size(),
-                            selection, upper_bound, place);
+      result = resync_drive<kComm>(st, parent, 0, 0.0, st.bl_changed.size(),
+                                   selection, upper_bound, place);
     } else if (prefix_rejects(parent, c, upper_bound)) {
       result = std::numeric_limits<double>::infinity();
     } else if (replay) {
       delta_replayed_.fetch_add(1, std::memory_order_relaxed);
       restore_checkpoint(st, c, /*full=*/false);
-      result = replay_drive(st, parent, c.pops, c.makespan, selection,
-                            upper_bound, place);
+      if constexpr (kComm) fixup_comm_data_ready(st, changed, parent, c);
+      result = replay_drive<kComm>(st, parent, c.pops, c.makespan, selection,
+                                   upper_bound, place);
     } else {
       delta_resumed_.fetch_add(1, std::memory_order_relaxed);
       restore_checkpoint(st, c, /*full=*/true);
+      if constexpr (kComm) fixup_comm_data_ready(st, changed, parent, c);
       std::size_t keys_pending = 0;
       for (const Idx vi : st.bl_changed) {
         const auto v = static_cast<std::size_t>(vi);
         keys_pending += static_cast<std::size_t>(parent.pop_pos[v] >= c.pops);
       }
-      result = resync_drive(st, parent, c.pops, c.makespan, keys_pending,
-                            selection, upper_bound, place);
+      result = resync_drive<kComm>(st, parent, c.pops, c.makespan,
+                                   keys_pending, selection, upper_bound,
+                                   place);
     }
 
     // Un-patch: hand the session's parent levels back for the next
@@ -1215,6 +1324,14 @@ class MappingKernel {
   /// Open sibling-batch session (bl_ holds this trace's bottom levels);
   /// null outside a session.
   const EvalTrace* batch_parent_ = nullptr;
+
+  /// Heterogeneous communication context (set_comm_context): row-major
+  /// lane-to-lane link costs, their stride, and the driver-maintained
+  /// per-task lane buffer the successor updates read. Null outside comm
+  /// mode — every pass then compiles the kComm=false (pre-hetero) loops.
+  const double* comm_ = nullptr;
+  std::size_t comm_stride_ = 0;
+  const int* task_lane_ = nullptr;
 
   std::variant<State<std::uint16_t>, State<std::uint32_t>> state_;
 };

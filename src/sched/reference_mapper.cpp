@@ -12,7 +12,12 @@ ReferenceMapper::ReferenceMapper(
   if (instance_ == nullptr) {
     throw std::invalid_argument("ReferenceMapper: null problem instance");
   }
-  table_ = instance_->time_table().data();
+  hetero_ = instance_->heterogeneous();
+  table_ = hetero_ ? instance_->proc_time_table().data()
+                   : instance_->time_table().data();
+  if (instance_->cluster().has_comm_costs()) {
+    comm_ = instance_->cluster().comm_matrix().data();
+  }
   const std::size_t n = instance_->num_tasks();
   avail_.assign(static_cast<std::size_t>(instance_->num_processors()), 0.0);
   times_.resize(n);
@@ -82,7 +87,12 @@ double ReferenceMapper::run(const Allocation& alloc, Schedule* out,
     ready_heap_.pop_back();
 
     const auto size = static_cast<std::size_t>(alloc[v]);
-    const double start = earliest_start(size, data_ready_[v]);
+    // Heterogeneous mode: the gene IS the processor, so availability is a
+    // direct read and occupation a direct write — no selection policy.
+    const std::size_t proc =
+        hetero_ ? static_cast<std::size_t>(alloc[v] - 1) : 0;
+    const double start = hetero_ ? std::max(data_ready_[v], avail_[proc])
+                                 : earliest_start(size, data_ready_[v]);
     const double finish = start + times_[v];
     makespan = std::max(makespan, finish);
 
@@ -91,11 +101,28 @@ double ReferenceMapper::run(const Allocation& alloc, Schedule* out,
       return std::numeric_limits<double>::infinity();
     }
 
-    occupy(v, size, start, finish, options_.selection, out);
+    if (hetero_) {
+      avail_[proc] = finish;
+      if (out != nullptr) {
+        PlacedTask placed;
+        placed.task = v;
+        placed.start = start;
+        placed.finish = finish;
+        placed.processors.push_back(static_cast<int>(proc));
+        out->add(std::move(placed));
+      }
+    } else {
+      occupy(v, size, start, finish, options_.selection, out);
+    }
 
     ++scheduled;
     for (const TaskId w : g.successors(v)) {
-      data_ready_[w] = std::max(data_ready_[w], finish);
+      double arrive = finish;
+      if (comm_ != nullptr) {
+        arrive += comm_[proc * stride +
+                        static_cast<std::size_t>(alloc[w] - 1)];
+      }
+      data_ready_[w] = std::max(data_ready_[w], arrive);
       if (--waiting_preds_[w] == 0) {
         ready_heap_.push_back(w);
         std::push_heap(ready_heap_.begin(), ready_heap_.end(), ready_less);

@@ -16,6 +16,14 @@
 // Deliberately NOT a drop-in ListScheduler replacement: it only does
 // single-lane value/placement passes (the multi-cluster path has its own
 // agreement tests against the single-cluster scheduler).
+//
+// On heterogeneous instances the mapper is the oracle for the kernel's
+// heterogeneous mode too: genes name processors, durations come from the
+// per-(task, processor) table, the per-processor availability array is
+// read directly (no selection needed — the gene IS the processor), and
+// successor updates charge the cluster's link costs. Written against the
+// plain per-processor arrays precisely so it shares none of the kernel's
+// lane/window machinery.
 
 #include <limits>
 #include <memory>
@@ -57,6 +65,8 @@ class ReferenceMapper {
 
   std::shared_ptr<const ProblemInstance> instance_;
   ListSchedulerOptions options_;
+  bool hetero_ = false;            ///< Genes are processors, not widths.
+  const double* comm_ = nullptr;   ///< Link-cost matrix, when present.
   const double* table_ = nullptr;
 
   std::vector<double> avail_;  ///< Per processor, unsorted (legacy layout).

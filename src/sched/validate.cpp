@@ -17,6 +17,9 @@ void validate_schedule(const Schedule& sched, const Ptg& g,
                         " tasks, graph has " + std::to_string(g.num_tasks()));
   }
 
+  // Heterogeneous clusters reinterpret the genome: gene v names the one
+  // processor task v runs on (1-based), not a moldable width.
+  const bool hetero = cluster.heterogeneous();
   constexpr double kTol = 1e-9;
   for (TaskId v = 0; v < g.num_tasks(); ++v) {
     if (!sched.has_placement(v)) {
@@ -24,7 +27,14 @@ void validate_schedule(const Schedule& sched, const Ptg& g,
     }
     const PlacedTask& p = sched.placement(v);
 
-    if (p.allocation() != alloc[v]) {
+    if (hetero) {
+      if (p.allocation() != 1 || p.processors.front() != alloc[v] - 1) {
+        throw ScheduleError("task " + std::to_string(v) +
+                            " not placed on the single processor " +
+                            std::to_string(alloc[v] - 1) +
+                            " its gene names");
+      }
+    } else if (p.allocation() != alloc[v]) {
       throw ScheduleError("task " + std::to_string(v) + " placed on " +
                           std::to_string(p.allocation()) +
                           " processors, allocation says " +
@@ -41,19 +51,26 @@ void validate_schedule(const Schedule& sched, const Ptg& g,
       throw ScheduleError("task " + std::to_string(v) +
                           " uses an out-of-range processor");
     }
-    // Duration must match the model.
-    const double want = model.time(g.task(v), alloc[v], cluster);
+    // Duration must match the model (sequential time scaled by the
+    // assigned processor's relative speed in heterogeneous mode).
+    const double want =
+        hetero ? proc_time(model, g.task(v), alloc[v] - 1, cluster)
+               : model.time(g.task(v), alloc[v], cluster);
     if (std::fabs(p.duration() - want) > kTol * std::max(1.0, want)) {
       throw ScheduleError("task " + std::to_string(v) +
                           " duration deviates from the model");
     }
-    // Precedence.
+    // Precedence, including link costs on cross-processor edges.
     for (const TaskId u : g.predecessors(v)) {
       const PlacedTask& pu = sched.placement(u);
-      if (p.start + kTol < pu.finish) {
+      const double arrive =
+          pu.finish + (hetero ? cluster.comm_cost(pu.processors.front(),
+                                                  p.processors.front())
+                              : 0.0);
+      if (p.start + kTol < arrive) {
         throw ScheduleError("task " + std::to_string(v) +
                             " starts before predecessor " +
-                            std::to_string(u) + " finishes");
+                            std::to_string(u) + "'s data arrives");
       }
     }
   }

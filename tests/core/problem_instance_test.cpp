@@ -131,6 +131,56 @@ TEST(ProblemInstance, RejectsNullInputsAndInvalidGraphs) {
                std::invalid_argument);
 }
 
+TEST(ProblemInstance, ProcTimeTableScalesSequentialTimesBySpeed) {
+  const Ptg g = testutil::chain3();
+  const Cluster c("het", 4, 1.0, {1.0, 0.5, 2.0, 0.25});
+  const testutil::FixedTimeModel model;
+  const auto pi = ProblemInstance::borrow(g, model, c);
+  ASSERT_TRUE(pi->heterogeneous());
+  const auto table = pi->proc_time_table();
+  ASSERT_EQ(table.size(), g.num_tasks() * 4);
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    const double t1 = model.time(g.task(v), 1, c);
+    EXPECT_EQ(pi->proc_time(v, 0), t1);
+    EXPECT_EQ(pi->proc_time(v, 1), t1 / 0.5);
+    EXPECT_EQ(pi->proc_time(v, 2), t1 / 2.0);
+    EXPECT_EQ(pi->proc_time(v, 3), t1 / 0.25);
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_EQ(table[v * 4 + static_cast<std::size_t>(j)],
+                pi->proc_time(v, j));
+    }
+  }
+  EXPECT_THROW((void)pi->proc_time(0, 4), ModelError);
+  EXPECT_THROW((void)pi->proc_time(0, -1), ModelError);
+}
+
+TEST(ProblemInstance, AverageSpeedRanksFollowTheHeftRecurrence) {
+  // chain3: a(1) -> b(2) -> c(3), unit mean speed would give bl = suffix
+  // sums. Speeds {1.0, 0.5} have mean row time t1 * (1 + 2) / 2 = 1.5 t1,
+  // and a uniform 0.5 link cost enters once per edge.
+  const Ptg g = testutil::chain3();
+  const Cluster c("het", 2, 1.0, {1.0, 0.5}, {0.0, 0.5, 0.5, 0.0});
+  const testutil::FixedTimeModel model;
+  const auto pi = ProblemInstance::borrow(g, model, c);
+  const double cbar = c.mean_comm_cost();
+  EXPECT_DOUBLE_EQ(cbar, 0.5);
+  const auto bl = pi->bottom_levels_avg();
+  const auto tl = pi->top_levels_avg();
+  // wbar: a = 1.5, b = 3.0, c = 4.5.
+  EXPECT_DOUBLE_EQ(bl[2], 4.5);
+  EXPECT_DOUBLE_EQ(bl[1], 3.0 + 0.5 + 4.5);
+  EXPECT_DOUBLE_EQ(bl[0], 1.5 + 0.5 + 8.0);
+  EXPECT_DOUBLE_EQ(tl[0], 0.0);
+  EXPECT_DOUBLE_EQ(tl[1], 1.5 + 0.5);
+  EXPECT_DOUBLE_EQ(tl[2], 2.0 + 3.0 + 0.5);
+  EXPECT_DOUBLE_EQ(pi->avg_critical_path(), bl[0]);
+  // Entry + exit levels are consistent: bl[v] + tl[v] spans the whole
+  // critical path through v.
+  for (TaskId v = 0; v < g.num_tasks(); ++v) {
+    EXPECT_LE(bl[v] + tl[v], pi->avg_critical_path() + 1e-12);
+  }
+}
+
 TEST(ProblemInstance, WarmIsIdempotentAndSharedAcrossThreads) {
   const Ptg g = irregular_corpus(30, 1, 13).front();
   const Cluster c = chti();

@@ -81,6 +81,51 @@ TEST(MalformedInput, ClusterCorpusRaisesPlatformError) {
   }
 }
 
+TEST(MalformedInput, HeteroClusterCorpusNamesTheOffendingKey) {
+  // Hostile heterogeneous fields: every entry must raise a PlatformError
+  // whose message pins the offending key, so a LoadError wrapping it
+  // diagnoses the file without reading the source.
+  const std::vector<std::pair<const char*, const char*>> corpus = {
+      {R"({"name": "h", "processors": 2, "gflops": 1.0,
+           "speeds": [1.0, 0.0]})",
+       "speeds[1]"},
+      {R"({"name": "h", "processors": 2, "gflops": 1.0,
+           "speeds": [-1.0, 1.0]})",
+       "speeds[0]"},
+      {R"({"name": "h", "processors": 2, "gflops": 1.0,
+           "speeds": [1.0, 1.0, 1.0]})",
+       "speeds"},
+      {R"({"name": "h", "processors": 2, "gflops": 1.0,
+           "speeds": []})",
+       "speeds"},
+      {R"({"name": "h", "processors": 2, "gflops": 1.0,
+           "speeds": ["fast", "slow"]})",
+       "speeds"},
+      {R"({"name": "h", "processors": 2, "gflops": 1.0,
+           "comm_costs": [0.0, 1.0]})",
+       "comm_costs"},
+      {R"({"name": "h", "processors": 2, "gflops": 1.0,
+           "comm_costs": [0.0, 1.0, 2.0, 0.0]})",
+       "comm_costs"},
+      {R"({"name": "h", "processors": 2, "gflops": 1.0,
+           "comm_costs": [0.0, -1.0, -1.0, 0.0]})",
+       "comm_costs[0][1]"},
+      {R"({"name": "h", "processors": 2, "gflops": 1.0,
+           "comm_costs": [0.5, 1.0, 1.0, 0.0]})",
+       "comm_costs[0][0]"},
+  };
+  for (const auto& [json, key] : corpus) {
+    SCOPED_TRACE(json);
+    try {
+      (void)Cluster::from_json(Json::parse(json));
+      FAIL() << "expected PlatformError";
+    } catch (const PlatformError& e) {
+      EXPECT_NE(std::string(e.what()).find(key), std::string::npos)
+          << "what(): " << e.what();
+    }
+  }
+}
+
 TEST(MalformedInput, ScheduleCorpusRaisesInvalidArgument) {
   const std::vector<std::pair<const char*, const char*>> corpus = {
       {"processor index beyond cluster",

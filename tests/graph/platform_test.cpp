@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <limits>
+#include <vector>
 
 #include "support/error_context.hpp"
 
@@ -99,6 +101,116 @@ TEST(PlatformByName, LookupAndErrors) {
   EXPECT_EQ(platform_by_name("grelon").num_processors(), 120);
   EXPECT_THROW((void)platform_by_name("nope"), PlatformError);
   EXPECT_THROW((void)platform_by_name("Chti"), PlatformError);
+  // Heterogeneous presets ride the same lookup.
+  EXPECT_TRUE(platform_by_name("chti-hetero").heterogeneous());
+  EXPECT_EQ(platform_by_name("grelon-hetero").num_processors(), 120);
+}
+
+TEST(HeteroCluster, DefaultsAreHomogeneous) {
+  const Cluster c("flat", 8, 2.0);
+  EXPECT_FALSE(c.heterogeneous());
+  EXPECT_FALSE(c.has_comm_costs());
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_DOUBLE_EQ(c.relative_speed(j), 1.0);
+    for (int k = 0; k < 8; ++k) EXPECT_DOUBLE_EQ(c.comm_cost(j, k), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(c.mean_relative_speed(), 1.0);
+  EXPECT_DOUBLE_EQ(c.mean_comm_cost(), 0.0);
+}
+
+TEST(HeteroCluster, SpeedsAndCommAccessors) {
+  const Cluster c("het", 3, 2.0, {1.0, 0.5, 2.0},
+                  {0.0, 1.0, 2.0,
+                   1.0, 0.0, 3.0,
+                   2.0, 3.0, 0.0});
+  EXPECT_TRUE(c.heterogeneous());
+  EXPECT_TRUE(c.has_comm_costs());
+  EXPECT_DOUBLE_EQ(c.relative_speed(1), 0.5);
+  EXPECT_DOUBLE_EQ(c.relative_speed(2), 2.0);
+  EXPECT_THROW((void)c.relative_speed(3), PlatformError);
+  EXPECT_THROW((void)c.relative_speed(-1), PlatformError);
+  EXPECT_DOUBLE_EQ(c.comm_cost(0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(c.comm_cost(2, 1), 3.0);
+  EXPECT_DOUBLE_EQ(c.mean_relative_speed(), 3.5 / 3.0);
+  // Mean over ordered pairs i != j: (1+2+1+3+2+3)/6.
+  EXPECT_DOUBLE_EQ(c.mean_comm_cost(), 2.0);
+}
+
+TEST(HeteroCluster, ConstructorRejectsBadSpeedsAndMatrices) {
+  const std::vector<double> nan_speed = {
+      1.0, std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_THROW(Cluster("x", 2, 1.0, {1.0}), PlatformError);  // size
+  EXPECT_THROW(Cluster("x", 2, 1.0, {1.0, 0.0}), PlatformError);
+  EXPECT_THROW(Cluster("x", 2, 1.0, {1.0, -2.0}), PlatformError);
+  EXPECT_THROW(Cluster("x", 2, 1.0, nan_speed), PlatformError);
+  // Non-square, asymmetric, negative cell, nonzero diagonal.
+  EXPECT_THROW(Cluster("x", 2, 1.0, {1.0, 1.0}, {0.0, 1.0}), PlatformError);
+  EXPECT_THROW(Cluster("x", 2, 1.0, {1.0, 1.0}, {0.0, 1.0, 2.0, 0.0}),
+               PlatformError);
+  EXPECT_THROW(Cluster("x", 2, 1.0, {1.0, 1.0}, {0.0, -1.0, -1.0, 0.0}),
+               PlatformError);
+  EXPECT_THROW(Cluster("x", 2, 1.0, {1.0, 1.0}, {0.5, 1.0, 1.0, 0.0}),
+               PlatformError);
+}
+
+TEST(HeteroCluster, JsonRoundTripPreservesSpeedsAndComm) {
+  const Cluster c("het", 3, 1.5, {1.0, 0.75, 1.25},
+                  {0.0, 0.5, 0.5,
+                   0.5, 0.0, 0.5,
+                   0.5, 0.5, 0.0});
+  const Cluster back = Cluster::from_json(c.to_json());
+  EXPECT_TRUE(back.heterogeneous());
+  EXPECT_TRUE(back.has_comm_costs());
+  EXPECT_EQ(back.relative_speeds(), c.relative_speeds());
+  EXPECT_EQ(back.comm_matrix(), c.comm_matrix());
+  // A homogeneous cluster's document carries neither field, and loads
+  // back homogeneous.
+  const Json flat_doc = Cluster("flat", 4, 1.0).to_json();
+  EXPECT_FALSE(flat_doc.as_object().count("speeds"));
+  EXPECT_FALSE(flat_doc.as_object().count("comm_costs"));
+  EXPECT_FALSE(Cluster::from_json(flat_doc).heterogeneous());
+}
+
+TEST(HeteroCluster, FileRoundTripAndLoadErrorsNameSpeedKeys) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "ptgsched_platform_hetero.json";
+  heterogeneous_variant(chti(), 0.25).save(path.string());
+  const Cluster back = Cluster::load(path.string());
+  EXPECT_TRUE(back.heterogeneous());
+  EXPECT_TRUE(back.has_comm_costs());
+  EXPECT_EQ(back.relative_speeds(),
+            heterogeneous_variant(chti(), 0.25).relative_speeds());
+
+  // NaN speed in the file: the LoadError names the path AND the cell.
+  Json doc = chti().to_json();
+  doc.as_object()["speeds"] = Json::parse("[1.0]");
+  doc.write_file(path.string());
+  try {
+    (void)Cluster::load(path.string());
+    FAIL() << "expected LoadError";
+  } catch (const LoadError& e) {
+    EXPECT_EQ(e.path(), path.string());
+    EXPECT_NE(std::string(e.what()).find("speeds"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(HeteroCluster, VariantsAreDeterministicAndDegenerate) {
+  const Cluster het = heterogeneous_variant(chti());
+  EXPECT_TRUE(het.heterogeneous());
+  EXPECT_FALSE(het.has_comm_costs());
+  EXPECT_EQ(het.num_processors(), chti().num_processors());
+
+  const Cluster flat = degenerate_hetero_variant(chti());
+  // Structurally heterogeneous — the fields are PRESENT — but every
+  // value is the homogeneous identity, for degeneracy tests.
+  EXPECT_TRUE(flat.heterogeneous());
+  EXPECT_TRUE(flat.has_comm_costs());
+  for (int j = 0; j < flat.num_processors(); ++j) {
+    EXPECT_EQ(flat.relative_speed(j), 1.0);
+  }
+  EXPECT_EQ(flat.mean_comm_cost(), 0.0);
 }
 
 }  // namespace

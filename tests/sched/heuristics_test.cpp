@@ -17,12 +17,55 @@ namespace {
 using testutil::unit_cluster;
 
 TEST(Factory, CreatesEveryHeuristic) {
-  for (const char* name : {"one", "cpa", "hcpa", "mcpa", "mcpa2", "delta"}) {
+  for (const char* name :
+       {"one", "cpa", "hcpa", "mcpa", "mcpa2", "delta", "heft", "peft"}) {
     const auto h = make_heuristic(name);
     ASSERT_NE(h, nullptr);
     EXPECT_EQ(h->name(), name);
   }
   EXPECT_THROW((void)make_heuristic("unknown"), std::invalid_argument);
+}
+
+TEST(ListBaselines, DegradeToAllOnesOnHomogeneousClusters) {
+  // On a homogeneous cluster the EFT baselines have no speed axis to
+  // exploit; they return the width-one genome (the moldable "one"
+  // baseline) instead of pretending the lanes differ.
+  const Ptg g = testutil::diamond();
+  const Cluster c = unit_cluster(8);
+  const AmdahlModel model;
+  EXPECT_EQ(make_heuristic("heft")->allocate(g, model, c),
+            (Allocation{1, 1, 1, 1}));
+  EXPECT_EQ(make_heuristic("peft")->allocate(g, model, c),
+            (Allocation{1, 1, 1, 1}));
+}
+
+TEST(ListBaselines, ValidAllocationsOnHeterogeneousCorpus) {
+  const auto graphs = irregular_corpus(45, 3, 33);
+  const SyntheticModel model;
+  for (const Cluster& c : {heterogeneous_variant(chti()),
+                           heterogeneous_variant(chti(), 0.3)}) {
+    for (const auto& g : graphs) {
+      const auto pi = ProblemInstance::borrow(g, model, c);
+      for (const char* name : {"heft", "peft"}) {
+        const Allocation alloc = make_heuristic(name)->allocate(*pi);
+        EXPECT_NO_THROW(validate_allocation(alloc, g, c)) << name;
+        // Deterministic: same instance, same mapping.
+        EXPECT_EQ(alloc, make_heuristic(name)->allocate(*pi)) << name;
+      }
+    }
+  }
+}
+
+TEST(ListBaselines, PreferFastProcessorsOnSteepSpeedGradients) {
+  // One processor 4x faster than the other three: a chain must live
+  // entirely on it under both baselines (any hop costs time and no
+  // parallelism is available to win it back).
+  const Ptg g = testutil::chain3();
+  const Cluster c("steep", 4, 1.0, {0.25, 0.25, 1.0, 0.25});
+  const testutil::FixedTimeModel model;
+  const auto pi = ProblemInstance::borrow(g, model, c);
+  EXPECT_EQ(make_heuristic("heft")->allocate(*pi), (Allocation{3, 3, 3}));
+  EXPECT_EQ(make_heuristic("peft")->allocate(*pi), (Allocation{3, 3, 3}));
 }
 
 TEST(Factory, PublishesNamesAndExplainsUnknownOnes) {
