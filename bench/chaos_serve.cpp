@@ -1,0 +1,420 @@
+// chaos_serve: the deterministic fault-injection soak (BENCH_10).
+//
+// Runs the same multi-tenant workload through the daemon twice — once
+// clean, once with a seed-derived ChaosPolicy injecting EINTR/EAGAIN
+// storms and short I/O at every durability and transport seam — across
+// several stop/restart rounds of one shared journal, with rotation
+// watermarks low enough that compaction fires mid-soak and rude clients
+// stalling and disconnecting mid-frame on the side. The oracle is
+// bit-identity: the daemon pins the tier cap at cpa_one_shot (the one
+// wall-clock-independent tier), so every request that completes in both
+// passes at the same attempt must return byte-identical results — chaos
+// may slow the daemon down or shed more load, but it must never change
+// an answer, lose an accepted request, or fail one.
+//
+//   chaos_serve --rounds 3 --flood 24 --trickle 4 --json BENCH_10.json
+//
+// The report carries the per-site injected-fault counts, per-tenant shed
+// totals, journal rotation/compaction counters, recovery counts across
+// the restart rounds, and the oracle verdict. scripts/chaos_smoke pins
+// the invariants (0 mismatches, 0 lost, 0 failed, faults actually
+// injected) as a regression guard.
+
+#include <unistd.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "support/chaos.hpp"
+#include "support/cli.hpp"
+#include "support/timer.hpp"
+
+using namespace ptgsched;
+using namespace ptgsched::serve;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+JobSpec spec_for(int tenant_index, int r, std::uint64_t seed) {
+  static const char* kClasses[] = {"layered", "irregular", "fft",
+                                   "strassen"};
+  JobSpec spec;
+  spec.cls = kClasses[(tenant_index + r) % 4];
+  spec.tasks = 20 + 10 * (r % 3);
+  spec.platform = "chti";
+  spec.model = "model1";
+  spec.seed = seed + static_cast<std::uint64_t>(r % 8);
+  return spec;
+}
+
+/// One submitted request tracked across submit -> terminal -> result.
+struct Tracked {
+  std::string key;  ///< tenant "#" index — stable across both passes.
+  std::uint64_t id = 0;
+};
+
+struct PassReport {
+  /// key "@" attempt -> result dump, for completed requests. The attempt
+  /// is part of the identity (a request recovered mid-run legitimately
+  /// re-runs at a later attempt, which re-derives its seed).
+  std::map<std::string, std::string> results;
+  std::map<std::string, std::int64_t> shed_per_tenant;
+  std::int64_t recovered = 0;
+  std::int64_t rotations = 0;
+  std::int64_t compactions = 0;
+  std::int64_t compaction_failures = 0;
+  std::int64_t shed_total = 0;
+  int completed = 0;
+  int rejected = 0;
+  int lost = 0;
+  int failed = 0;
+  int rude_connections = 0;
+  double elapsed_seconds = 0.0;
+  Json chaos_stats;
+};
+
+/// A hostile peer: connects, sends a torn frame prefix, then either
+/// stalls past the daemon's per-op bound or hangs up mid-handshake. The
+/// daemon must drop exactly this connection and keep serving.
+void rude_client(const std::string& socket_path, bool stall,
+                 int stall_ms) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+    // Two bytes of a four-byte length prefix: a frame the reader can
+    // neither complete nor reject.
+    const unsigned char torn[2] = {0x00, 0x00};
+    (void)::send(fd, torn, sizeof(torn), MSG_NOSIGNAL);
+    if (stall) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+    }
+  }
+  ::close(fd);
+}
+
+struct SoakOptions {
+  int rounds = 3;
+  int flood = 24;
+  int trickle_tenants = 3;
+  int trickle = 4;
+  int carryover = 2;
+  int rude = 2;
+  std::uint64_t seed = 42;
+  std::size_t capacity = 32;
+  std::size_t workers = 2;
+  double chaos_rate = 0.15;
+};
+
+PassReport run_pass(const SoakOptions& opt, bool with_chaos) {
+  const fs::path dir =
+      fs::path("/tmp") / ("ptgchaos_" + std::to_string(::getpid()) +
+                          (with_chaos ? "_chaos" : "_plain"));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  ChaosConfig chaos_config;
+  chaos_config.seed = opt.seed;
+  ChaosSiteConfig storm;
+  // Split the headline rate across the three outcome-preserving faults;
+  // kFail/kKill stay off — the soak proves transparent-retry seams, the
+  // chaos ctest suite covers the hard-failure paths.
+  storm.eintr_rate = opt.chaos_rate / 3.0;
+  storm.eagain_rate = opt.chaos_rate / 3.0;
+  storm.short_rate = opt.chaos_rate / 3.0;
+  chaos_config.set_sites(
+      {ChaosSite::kJournalWrite, ChaosSite::kJournalFsync,
+       ChaosSite::kAtomicWrite, ChaosSite::kAtomicFsync,
+       ChaosSite::kAtomicRename, ChaosSite::kSocketRead,
+       ChaosSite::kSocketWrite},
+      storm);
+  ChaosPolicy policy(chaos_config);
+  if (with_chaos) install_chaos(&policy);
+
+  PassReport report;
+  const WallTimer wall;
+  std::vector<Tracked> carryover;  // submitted last round, unawaited
+  ServeConfig cfg;
+  cfg.socket_path = (dir / "sock").string();
+  cfg.journal_path = (dir / "journal.jsonl").string();
+  cfg.queue_capacity = opt.capacity;
+  cfg.workers = opt.workers;
+  cfg.base_seed = opt.seed;
+  cfg.fair_dequeue = true;
+  // The flood tenant gets a tight queue quota so per-tenant shedding
+  // actually fires under the burst; tricklers keep the default.
+  cfg.tenant_quotas["flood"].max_queued = 4;
+  cfg.journal_rotation.max_segment_records = 48;
+  cfg.stall_timeout_ms = 250;
+  // cpa_one_shot is deterministic in the request seed alone (no time
+  // budget), which is what makes the cross-pass bit-identity oracle
+  // possible.
+  cfg.tier_cap = ServiceTier::kCpaOneShot;
+
+  for (int round = 0; round < opt.rounds; ++round) {
+    ServeServer server(cfg);
+    server.start();
+
+    std::vector<std::thread> threads;
+    std::mutex mu;
+    std::vector<Tracked> submitted = std::move(carryover);
+    carryover.clear();
+    auto submit_tenant = [&](const std::string& tenant, int tenant_index,
+                             int count, int base_index) {
+      ServeClient client(cfg.socket_path);
+      for (int r = 0; r < count; ++r) {
+        const int index = base_index + r;
+        const SubmitOutcome o = client.submit_with_retry(
+            spec_for(tenant_index, index, opt.seed), tenant,
+            /*deadline_seconds=*/0.0, /*max_attempts=*/10,
+            /*backoff_seed=*/opt.seed +
+                static_cast<std::uint64_t>(tenant_index));
+        std::lock_guard<std::mutex> lock(mu);
+        if (!o.accepted) {
+          ++report.rejected;
+          continue;
+        }
+        submitted.push_back(
+            Tracked{tenant + "#" + std::to_string(index), o.id});
+      }
+    };
+    threads.emplace_back(
+        [&] { submit_tenant("flood", 0, opt.flood, round * opt.flood); });
+    for (int t = 0; t < opt.trickle_tenants; ++t) {
+      threads.emplace_back([&, t] {
+        submit_tenant("trickle-" + std::to_string(t), t + 1, opt.trickle,
+                      round * opt.trickle);
+      });
+    }
+    for (int t = 0; t < opt.rude; ++t) {
+      threads.emplace_back([&, t] {
+        rude_client(cfg.socket_path, /*stall=*/t % 2 == 0,
+                    /*stall_ms=*/cfg.stall_timeout_ms + 150);
+        std::lock_guard<std::mutex> lock(mu);
+        ++report.rude_connections;
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    // Await every terminal state and fingerprint the completions.
+    {
+      ServeClient client(cfg.socket_path);
+      for (const Tracked& tr : submitted) {
+        const auto status =
+            client.wait_terminal(tr.id, /*timeout_seconds=*/120.0);
+        if (!status.has_value()) {
+          ++report.lost;
+          continue;
+        }
+        const std::string& s = status->at("status").as_string();
+        if (s != "done") {
+          ++report.failed;  // nothing in this soak may fail or cancel
+          continue;
+        }
+        ++report.completed;
+        const std::string key =
+            tr.key + "@" + std::to_string(status->at("attempt").as_int());
+        report.results[key] = client.result(tr.id).dump();
+      }
+
+      const Json stats = client.stats();
+      report.recovered += stats.at("recovered").as_int();
+      report.shed_total += stats.at("shed").as_int();
+      const Json& tenants = stats.at("tenants");
+      for (const auto& [tenant, t] : tenants.as_object()) {
+        report.shed_per_tenant[tenant] += t.at("shed").as_int();
+      }
+      const Json& journal = stats.at("journal");
+      report.rotations += journal.at("rotations").as_int();
+      report.compactions += journal.at("compactions").as_int();
+      report.compaction_failures +=
+          journal.at("compaction_failures").as_int();
+
+      // All rounds but the last: park a few unawaited requests, then
+      // stop. The stop interrupts whatever is mid-run (journal state
+      // stays non-terminal), so the next round's start() must recover
+      // and finish them — the restart half of the soak.
+      if (round + 1 < opt.rounds) {
+        for (int r = 0; r < opt.carryover; ++r) {
+          const int index = 1000 + round * opt.carryover + r;
+          const SubmitOutcome o = client.submit_with_retry(
+              spec_for(9, index, opt.seed), "carryover");
+          if (o.accepted) {
+            carryover.push_back(
+                Tracked{"carryover#" + std::to_string(index), o.id});
+          }
+        }
+      }
+    }
+    server.stop();
+  }
+
+  report.elapsed_seconds = wall.seconds();
+  report.chaos_stats = policy.stats_json();
+  if (with_chaos) install_chaos(nullptr);
+  fs::remove_all(dir);
+  return report;
+}
+
+Json pass_json(const PassReport& report) {
+  JsonObject out;
+  out["completed"] = report.completed;
+  out["rejected_after_retries"] = report.rejected;
+  out["lost"] = report.lost;
+  out["failed"] = report.failed;
+  out["recovered"] = report.recovered;
+  out["rude_connections"] = report.rude_connections;
+  out["shed_submissions"] = report.shed_total;
+  JsonObject shed;
+  for (const auto& [tenant, count] : report.shed_per_tenant) {
+    shed[tenant] = count;
+  }
+  out["shed_per_tenant"] = Json(std::move(shed));
+  JsonObject journal;
+  journal["rotations"] = report.rotations;
+  journal["compactions"] = report.compactions;
+  journal["compaction_failures"] = report.compaction_failures;
+  out["journal"] = Json(std::move(journal));
+  out["elapsed_seconds"] = report.elapsed_seconds;
+  out["chaos"] = report.chaos_stats;
+  return Json(std::move(out));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("chaos_serve",
+                "Soak the serve daemon under deterministic fault "
+                "injection and prove results stay bit-identical.");
+  cli.add_option("rounds", "Daemon stop/restart rounds", "3");
+  cli.add_option("flood", "Flood-tenant requests per round", "24");
+  cli.add_option("trickle-tenants", "Well-behaved tenant count", "3");
+  cli.add_option("trickle", "Requests per trickle tenant per round", "4");
+  cli.add_option("carryover",
+                 "Requests parked across each restart", "2");
+  cli.add_option("rude", "Stalling/torn-frame clients per round", "2");
+  cli.add_option("capacity", "Admission queue bound", "32");
+  cli.add_option("workers", "Daemon worker threads", "2");
+  cli.add_option("seed", "Workload + chaos schedule seed", "42");
+  cli.add_option("chaos-rate",
+                 "Total injection rate per instrumented op", "0.15");
+  cli.add_option("json", "Write the report as JSON to this path", "");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    SoakOptions opt;
+    opt.rounds = static_cast<int>(cli.get_int("rounds"));
+    opt.flood = static_cast<int>(cli.get_int("flood"));
+    opt.trickle_tenants = static_cast<int>(cli.get_int("trickle-tenants"));
+    opt.trickle = static_cast<int>(cli.get_int("trickle"));
+    opt.carryover = static_cast<int>(cli.get_int("carryover"));
+    opt.rude = static_cast<int>(cli.get_int("rude"));
+    opt.capacity = static_cast<std::size_t>(cli.get_int("capacity"));
+    opt.workers = static_cast<std::size_t>(cli.get_int("workers"));
+    opt.seed = cli.get_u64("seed");
+    opt.chaos_rate = cli.get_double("chaos-rate");
+
+    const PassReport reference = run_pass(opt, /*with_chaos=*/false);
+    const PassReport chaos = run_pass(opt, /*with_chaos=*/true);
+
+    // The bit-identity oracle: every (request, attempt) completed in
+    // both passes must carry byte-identical results.
+    int compared = 0;
+    int mismatches = 0;
+    for (const auto& [key, dump] : chaos.results) {
+      const auto it = reference.results.find(key);
+      if (it == reference.results.end()) continue;
+      ++compared;
+      if (it->second != dump) {
+        ++mismatches;
+        std::fprintf(stderr, "chaos_serve: MISMATCH at %s\n",
+                     key.c_str());
+      }
+    }
+
+    const std::uint64_t injected = [&] {
+      std::uint64_t total = 0;
+      for (const auto& [site, counters] :
+           chaos.chaos_stats.as_object()) {
+        for (const char* action : {"eintr", "eagain", "short", "fail"}) {
+          total += static_cast<std::uint64_t>(
+              counters.at(action).as_int());
+        }
+      }
+      return total;
+    }();
+
+    JsonObject doc;
+    doc["bench"] = "chaos_serve";
+    JsonObject config;
+    config["rounds"] = opt.rounds;
+    config["flood"] = opt.flood;
+    config["trickle_tenants"] = opt.trickle_tenants;
+    config["trickle"] = opt.trickle;
+    config["carryover"] = opt.carryover;
+    config["rude"] = opt.rude;
+    config["capacity"] = static_cast<std::uint64_t>(opt.capacity);
+    config["workers"] = static_cast<std::uint64_t>(opt.workers);
+    config["seed"] = opt.seed;
+    config["chaos_rate"] = opt.chaos_rate;
+    doc["config"] = Json(std::move(config));
+    doc["reference"] = pass_json(reference);
+    doc["chaos"] = pass_json(chaos);
+    JsonObject oracle;
+    oracle["compared_results"] = compared;
+    oracle["mismatches"] = mismatches;
+    oracle["injected_faults"] = injected;
+    doc["oracle"] = Json(std::move(oracle));
+    const Json out(std::move(doc));
+
+    std::printf("%s\n", out.dump(2).c_str());
+    const std::string json_path = cli.get("json");
+    if (!json_path.empty()) out.write_file(json_path);
+
+    bool ok = true;
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "chaos_serve: FAIL — %d result mismatches between "
+                   "the chaos and reference passes\n",
+                   mismatches);
+      ok = false;
+    }
+    for (const PassReport* pass : {&reference, &chaos}) {
+      if (pass->lost != 0 || pass->failed != 0) {
+        std::fprintf(stderr,
+                     "chaos_serve: FAIL — %d lost, %d failed requests\n",
+                     pass->lost, pass->failed);
+        ok = false;
+      }
+    }
+    if (injected == 0) {
+      std::fprintf(stderr,
+                   "chaos_serve: FAIL — the chaos pass injected no "
+                   "faults (seams not wired?)\n");
+      ok = false;
+    }
+    if (compared == 0) {
+      std::fprintf(stderr,
+                   "chaos_serve: FAIL — no results were comparable "
+                   "across the passes\n");
+      ok = false;
+    }
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chaos_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -12,12 +12,44 @@
 //   $ serve_loadgen --socket /tmp/ptg.sock --clients 4 --requests 32
 
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
 #include "serve/server.hpp"
 #include "support/cancellation.hpp"
 #include "support/cli.hpp"
+#include "support/strings.hpp"
 
 using namespace ptgsched;
+
+namespace {
+
+/// Parse --quotas: comma-separated `tenant=max_queued:max_in_flight:weight`
+/// entries ("0" = unlimited for the caps), e.g.
+/// `--quotas batch=8:4:0.5,interactive=0:0:2`.
+void parse_quotas(const std::string& arg, serve::ServeConfig& cfg) {
+  for (const std::string& entry : split(arg, ',')) {
+    if (entry.empty()) continue;
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("--quotas entry '" + entry +
+                                  "' is not tenant=queued:in_flight:weight");
+    }
+    const std::vector<std::string> parts =
+        split(std::string_view(entry).substr(eq + 1), ':');
+    if (parts.size() != 3) {
+      throw std::invalid_argument("--quotas entry '" + entry +
+                                  "' needs queued:in_flight:weight");
+    }
+    serve::TenantQuota quota;
+    quota.max_queued = std::stoull(parts[0]);
+    quota.max_in_flight = std::stoull(parts[1]);
+    quota.weight = std::stod(parts[2]);
+    cfg.tenant_quotas[entry.substr(0, eq)] = quota;
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   CliParser cli("ptgsched_serve",
@@ -36,6 +68,26 @@ int main(int argc, char** argv) {
   cli.add_option("p95-budget",
                  "Latency budget driving degradation [s]", "2");
   cli.add_option("pool-capacity", "Idle evaluation engines retained", "8");
+  cli.add_option("rotate-bytes",
+                 "Journal rotation watermark [bytes]; 0 = never", "0");
+  cli.add_option("rotate-records",
+                 "Journal rotation watermark [records]; 0 = never", "0");
+  cli.add_option("tenant-queued",
+                 "Default per-tenant queued cap; 0 = unlimited", "0");
+  cli.add_option("tenant-in-flight",
+                 "Default per-tenant in-flight cap; 0 = unlimited", "0");
+  cli.add_option("quotas",
+                 "Per-tenant overrides: tenant=queued:in_flight:weight"
+                 " entries, comma-separated", "");
+  cli.add_flag("fair",
+               "Weighted-fair (deficit round-robin) dequeue across "
+               "tenants instead of global FIFO");
+  cli.add_option("stall-timeout-ms",
+                 "Drop a peer stalled mid-frame this long; -1 = never",
+                 "5000");
+  cli.add_option("tier-cap",
+                 "Best tier any request may run at "
+                 "(emts|heuristic|cpa_one_shot)", "emts");
   try {
     if (!cli.parse(argc, argv)) return 0;
 
@@ -51,6 +103,19 @@ int main(int argc, char** argv) {
     cfg.tiers.p95_budget_seconds = cli.get_double("p95-budget");
     cfg.engine_pool.capacity =
         static_cast<std::size_t>(cli.get_int("pool-capacity"));
+    cfg.journal_rotation.max_segment_bytes =
+        static_cast<std::size_t>(cli.get_int("rotate-bytes"));
+    cfg.journal_rotation.max_segment_records =
+        static_cast<std::size_t>(cli.get_int("rotate-records"));
+    cfg.tenant_default_quota.max_queued =
+        static_cast<std::size_t>(cli.get_int("tenant-queued"));
+    cfg.tenant_default_quota.max_in_flight =
+        static_cast<std::size_t>(cli.get_int("tenant-in-flight"));
+    parse_quotas(cli.get("quotas"), cfg);
+    cfg.fair_dequeue = cli.get_flag("fair");
+    cfg.stall_timeout_ms =
+        static_cast<int>(cli.get_int("stall-timeout-ms"));
+    cfg.tier_cap = serve::service_tier_from_name(cli.get("tier-cap"));
 
     CancellationToken shutdown;
     install_signal_cancellation(&shutdown);

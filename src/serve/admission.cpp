@@ -4,29 +4,200 @@
 
 namespace ptgsched::serve {
 
-AdmissionQueue::AdmissionQueue(std::size_t capacity)
-    : capacity_(capacity == 0 ? 1 : capacity) {}
+const char* admit_outcome_name(AdmitOutcome o) noexcept {
+  switch (o) {
+    case AdmitOutcome::kAdmitted:
+      return "admitted";
+    case AdmitOutcome::kQueueFull:
+      return "queue_full";
+    case AdmitOutcome::kTenantQueueFull:
+      return "tenant_queue_full";
+    case AdmitOutcome::kTenantSaturated:
+      return "tenant_saturated";
+    case AdmitOutcome::kClosed:
+      return "closed";
+  }
+  return "unknown";
+}
 
-bool AdmissionQueue::try_push(std::uint64_t id) {
+namespace {
+
+AdmissionConfig with_capacity(std::size_t capacity) {
+  AdmissionConfig config;
+  config.capacity = capacity;
+  return config;
+}
+
+/// DRR credit per head visit; clamped so a zero/negative weight cannot
+/// spin take_locked() forever (it still drains, just slowest).
+double credit(const TenantQuota& quota) noexcept {
+  return std::max(quota.weight, 1e-3);
+}
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(AdmissionConfig config)
+    : config_(std::move(config)),
+      capacity_(config_.capacity == 0 ? 1 : config_.capacity) {}
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity)
+    : AdmissionQueue(with_capacity(capacity)) {}
+
+const TenantQuota& AdmissionQueue::quota_for(
+    const std::string& tenant) const noexcept {
+  const auto it = config_.tenant_quotas.find(tenant);
+  return it == config_.tenant_quotas.end() ? config_.default_quota
+                                           : it->second;
+}
+
+AdmitOutcome AdmissionQueue::push(std::uint64_t id,
+                                  const std::string& tenant) {
+  AdmitOutcome outcome = AdmitOutcome::kAdmitted;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (closed_ || queue_.size() >= capacity_) {
-      ++shed_;
-      return false;
+    TenantState& st = tenants_[tenant];
+    const TenantQuota& quota = quota_for(tenant);
+    if (closed_) {
+      outcome = AdmitOutcome::kClosed;
+    } else if (total_queued_ >= capacity_) {
+      outcome = AdmitOutcome::kQueueFull;
+    } else if (quota.max_queued > 0 &&
+               st.queue.size() >= quota.max_queued) {
+      outcome = AdmitOutcome::kTenantQueueFull;
+    } else if (quota.max_in_flight > 0 &&
+               st.queue.size() + st.in_flight >= quota.max_in_flight) {
+      outcome = AdmitOutcome::kTenantSaturated;
     }
-    queue_.push_back(id);
+    if (outcome != AdmitOutcome::kAdmitted) {
+      ++shed_;
+      ++st.shed;
+      return outcome;
+    }
+    st.queue.push_back(id);
+    ++st.admitted;
+    ++total_queued_;
+    if (config_.fair_dequeue) {
+      if (!st.in_rotation) {
+        rotation_.push_back(tenant);
+        st.in_rotation = true;
+      }
+    } else {
+      // FIFO mode: one rotation entry per queued id, in arrival order —
+      // the i-th occurrence of a tenant pairs with the i-th element of
+      // its sub-queue, so global FIFO order is preserved exactly.
+      rotation_.push_back(tenant);
+    }
   }
   cv_.notify_one();
-  return true;
+  return outcome;
+}
+
+bool AdmissionQueue::try_push(std::uint64_t id, const std::string& tenant) {
+  return push(id, tenant) == AdmitOutcome::kAdmitted;
+}
+
+bool AdmissionQueue::poppable_locked() const {
+  if (total_queued_ == 0) return false;
+  if (closed_) return true;  // caps are lifted: shutdown always drains
+  for (const auto& [tenant, st] : tenants_) {
+    if (st.queue.empty()) continue;
+    const TenantQuota& quota = quota_for(tenant);
+    if (quota.max_in_flight == 0 || st.in_flight < quota.max_in_flight) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t AdmissionQueue::take_locked() {
+  if (!config_.fair_dequeue) {
+    // Global FIFO with in-flight skips: the first rotation entry whose
+    // tenant is under its cap is the oldest poppable request, and it is
+    // necessarily that tenant's first occurrence (all of a tenant's
+    // entries are equally eligible).
+    for (auto it = rotation_.begin(); it != rotation_.end(); ++it) {
+      TenantState& st = tenants_[*it];
+      const TenantQuota& quota = quota_for(*it);
+      if (!closed_ && quota.max_in_flight > 0 &&
+          st.in_flight >= quota.max_in_flight) {
+        continue;
+      }
+      const std::uint64_t id = st.queue.front();
+      st.queue.pop_front();
+      ++st.popped;
+      ++st.in_flight;
+      --total_queued_;
+      in_flight_ids_[id] = *it;
+      rotation_.erase(it);
+      return id;
+    }
+  } else {
+    // Deficit round-robin: the head tenant earns `weight` credit per
+    // visit (while under one full credit) and drains one request per
+    // credit spent; a tenant whose burst is exhausted rotates to the
+    // back. poppable_locked() guarantees this terminates — some tenant
+    // is eligible, and its deficit grows every full rotation.
+    while (!rotation_.empty()) {
+      const std::string tenant = rotation_.front();
+      TenantState& st = tenants_[tenant];
+      if (st.queue.empty()) {
+        rotation_.pop_front();
+        st.in_rotation = false;
+        st.deficit = 0.0;
+        continue;
+      }
+      const TenantQuota& quota = quota_for(tenant);
+      if (!closed_ && quota.max_in_flight > 0 &&
+          st.in_flight >= quota.max_in_flight) {
+        rotation_.pop_front();
+        rotation_.push_back(tenant);
+        continue;
+      }
+      if (st.deficit < 1.0) st.deficit += credit(quota);
+      if (st.deficit < 1.0) {
+        rotation_.pop_front();
+        rotation_.push_back(tenant);
+        continue;
+      }
+      st.deficit -= 1.0;
+      const std::uint64_t id = st.queue.front();
+      st.queue.pop_front();
+      ++st.popped;
+      ++st.in_flight;
+      --total_queued_;
+      in_flight_ids_[id] = tenant;
+      if (st.queue.empty()) {
+        rotation_.pop_front();
+        st.in_rotation = false;
+        st.deficit = 0.0;
+      } else if (st.deficit < 1.0) {
+        rotation_.pop_front();
+        rotation_.push_back(tenant);
+      }
+      return id;
+    }
+  }
+  // Unreachable when poppable_locked() held; defend anyway.
+  return 0;
 }
 
 std::optional<std::uint64_t> AdmissionQueue::pop() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-  if (queue_.empty()) return std::nullopt;  // closed and drained
-  const std::uint64_t id = queue_.front();
-  queue_.pop_front();
-  return id;
+  cv_.wait(lock, [&] { return closed_ || poppable_locked(); });
+  if (total_queued_ == 0) return std::nullopt;  // closed and drained
+  return take_locked();
+}
+
+void AdmissionQueue::release(std::uint64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = in_flight_ids_.find(id);
+    if (it == in_flight_ids_.end()) return;
+    TenantState& st = tenants_[it->second];
+    if (st.in_flight > 0) --st.in_flight;
+    in_flight_ids_.erase(it);
+  }
+  cv_.notify_all();
 }
 
 void AdmissionQueue::close() {
@@ -39,12 +210,49 @@ void AdmissionQueue::close() {
 
 std::size_t AdmissionQueue::depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return total_queued_;
+}
+
+std::size_t AdmissionQueue::tenant_depth(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.queue.size();
 }
 
 std::uint64_t AdmissionQueue::shed_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return shed_;
+}
+
+TenantAdmissionStats AdmissionQueue::tenant_stats(
+    const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantAdmissionStats out;
+  out.weight = quota_for(tenant).weight;
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) return out;
+  out.queued = it->second.queue.size();
+  out.in_flight = it->second.in_flight;
+  out.admitted = it->second.admitted;
+  out.popped = it->second.popped;
+  out.shed = it->second.shed;
+  return out;
+}
+
+Json AdmissionQueue::tenants_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonObject out;
+  for (const auto& [tenant, st] : tenants_) {
+    JsonObject t;
+    t["queued"] = static_cast<std::uint64_t>(st.queue.size());
+    t["in_flight"] = static_cast<std::uint64_t>(st.in_flight);
+    t["admitted"] = st.admitted;
+    t["popped"] = st.popped;
+    t["shed"] = st.shed;
+    t["weight"] = quota_for(tenant).weight;
+    out[tenant] = Json(std::move(t));
+  }
+  return Json(std::move(out));
 }
 
 double suggest_retry_after(std::size_t queue_depth, std::size_t workers,

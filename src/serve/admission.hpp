@@ -1,49 +1,155 @@
 #pragma once
-// Admission control for ptgsched-serve: a bounded FIFO of request ids with
-// explicit backpressure.
+// Admission control for ptgsched-serve: bounded, tenant-aware, fair.
 //
 // The queue is the daemon's only elastic buffer, and it is deliberately
 // small: every queued request holds journal state and a client waiting on
 // it, so "accept everything and let latency explode" is the failure mode
-// this module exists to prevent. When the queue is full, try_push refuses
-// and the server answers the client with `overloaded` plus a concrete
-// retry_after_seconds hint — the client-visible half of the backpressure
-// loop (the jittered client-side schedule lives in support/backoff).
+// this module exists to prevent. When admission is refused, the server
+// answers the client with `overloaded` plus a concrete retry_after_seconds
+// hint — the client-visible half of the backpressure loop (the jittered
+// client-side schedule lives in support/backoff).
+//
+// Tenant fairness (DESIGN.md §15): a global bound alone lets one flooding
+// tenant fill the whole queue and starve everyone else — the flood is
+// admitted FIFO, the trickle waits behind it. Two mechanisms fix that:
+//
+//   * Per-tenant quotas — each tenant has its own queued and in-flight
+//     caps (TenantQuota, defaulted by AdmissionConfig::default_quota).
+//     A tenant at its cap is shed *individually*, with a retry hint
+//     computed from that tenant's backlog, while other tenants keep
+//     being admitted.
+//   * Weighted-fair dequeue — requests are held in per-tenant FIFO
+//     sub-queues and drained by deficit round-robin: each visit credits
+//     a tenant's deficit by its weight and dequeues while a full credit
+//     is available. A tenant with weight 2 drains twice as fast as one
+//     with weight 1; a tenant flooding 10x faster still gets only its
+//     weighted share of worker time. Per-tenant order stays FIFO.
+//
+// Both are opt-in: the default config (no quotas, fair_dequeue off) is
+// bit-compatible with the PR 7 global FIFO, which the single-tenant tests
+// and benches rely on.
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <string>
+
+#include "support/json.hpp"
 
 namespace ptgsched::serve {
 
-/// Bounded MPMC FIFO of request ids. All methods are thread-safe.
+/// Per-tenant admission bounds. Zeros mean "no per-tenant bound" — the
+/// global capacity still applies.
+struct TenantQuota {
+  std::size_t max_queued = 0;     ///< Queued requests; 0 = unbounded.
+  std::size_t max_in_flight = 0;  ///< Popped-but-unreleased; 0 = unbounded.
+  double weight = 1.0;            ///< Deficit-round-robin drain share.
+};
+
+struct AdmissionConfig {
+  std::size_t capacity = 64;  ///< Global queued bound (clamped to >= 1).
+  /// Quota for tenants without an explicit entry below.
+  TenantQuota default_quota;
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Deficit-round-robin across tenants; false = global FIFO (PR 7).
+  bool fair_dequeue = false;
+};
+
+/// Why try_push refused (kAdmitted = it did not).
+enum class AdmitOutcome : int {
+  kAdmitted = 0,
+  kQueueFull = 1,        ///< Global capacity reached.
+  kTenantQueueFull = 2,  ///< Tenant's max_queued reached.
+  kTenantSaturated = 3,  ///< Tenant's max_in_flight reached (queued+running).
+  kClosed = 4,
+};
+
+[[nodiscard]] const char* admit_outcome_name(AdmitOutcome o) noexcept;
+
+/// Per-tenant counters for the stats op and the fairness tests.
+struct TenantAdmissionStats {
+  std::size_t queued = 0;
+  std::size_t in_flight = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t popped = 0;
+  std::uint64_t shed = 0;  ///< Refusals charged to this tenant's quota.
+  double weight = 1.0;
+};
+
+/// Bounded MPMC queue of request ids with per-tenant sub-queues. All
+/// methods are thread-safe.
 class AdmissionQueue {
  public:
+  explicit AdmissionQueue(AdmissionConfig config);
+  /// Global-FIFO shorthand: capacity only, no quotas, no fair dequeue.
   explicit AdmissionQueue(std::size_t capacity);
 
-  /// Enqueue if there is room; false (without blocking) when full or
-  /// closed. Never blocks — backpressure must be immediate.
-  [[nodiscard]] bool try_push(std::uint64_t id);
+  /// Enqueue if global capacity and the tenant's quota allow; refuses
+  /// (without blocking) otherwise — backpressure must be immediate.
+  [[nodiscard]] AdmitOutcome push(std::uint64_t id,
+                                  const std::string& tenant = "");
+  /// push() == kAdmitted (the PR 7 surface; single-tenant tests use it).
+  [[nodiscard]] bool try_push(std::uint64_t id,
+                              const std::string& tenant = "");
 
-  /// Dequeue the oldest id, blocking until one is available or the queue
-  /// is closed. nullopt only after close() with the queue drained.
+  /// Dequeue the next id — FIFO, or the deficit-round-robin pick with
+  /// fair_dequeue — blocking until one is available or the queue is
+  /// closed. nullopt only after close() with the queue drained. Tenants
+  /// at their in-flight cap are skipped until release(); close() lifts
+  /// the caps so shutdown always drains.
   [[nodiscard]] std::optional<std::uint64_t> pop();
+
+  /// Return a popped id's in-flight slot to its tenant (call when the
+  /// request reaches a terminal state or is re-queued by shutdown).
+  void release(std::uint64_t id);
 
   /// Wake all poppers; pop() drains what remains, then returns nullopt.
   void close();
 
   [[nodiscard]] std::size_t depth() const;
+  /// Queued requests belonging to `tenant` (0 for unknown tenants).
+  [[nodiscard]] std::size_t tenant_depth(const std::string& tenant) const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  /// Submissions refused because the queue was full (lifetime counter).
+  /// Submissions refused for any reason (lifetime counter).
   [[nodiscard]] std::uint64_t shed_count() const;
+  [[nodiscard]] TenantAdmissionStats tenant_stats(
+      const std::string& tenant) const;
+  /// {"<tenant>": {"queued": ..., "in_flight": ..., "admitted": ...,
+  ///  "popped": ..., "shed": ..., "weight": ...}, ...}
+  [[nodiscard]] Json tenants_json() const;
 
  private:
+  struct TenantState {
+    std::deque<std::uint64_t> queue;
+    std::size_t in_flight = 0;
+    double deficit = 0.0;
+    std::uint64_t admitted = 0;
+    std::uint64_t popped = 0;
+    std::uint64_t shed = 0;
+    bool in_rotation = false;  ///< Present in rotation_.
+  };
+
+  [[nodiscard]] const TenantQuota& quota_for(const std::string& tenant)
+      const noexcept;
+  /// True if some tenant has queued work poppable right now (in-flight
+  /// caps respected unless closed). Caller holds mu_.
+  [[nodiscard]] bool poppable_locked() const;
+  /// The DRR (or FIFO) pick; caller holds mu_ and poppable_locked().
+  [[nodiscard]] std::uint64_t take_locked();
+
+  const AdmissionConfig config_;
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::uint64_t> queue_;
+  std::map<std::string, TenantState> tenants_;
+  /// Round-robin order over tenants with queued work (fair_dequeue), or
+  /// global arrival order of (tenant) per queued id (FIFO mode).
+  std::deque<std::string> rotation_;
+  std::map<std::uint64_t, std::string> in_flight_ids_;
+  std::size_t total_queued_ = 0;
   std::uint64_t shed_ = 0;
   bool closed_ = false;
 };
@@ -52,7 +158,9 @@ class AdmissionQueue {
 /// of the client to drain at the observed per-request latency, bounded to
 /// [0.05, 30] seconds so a misbehaving estimate can neither hammer the
 /// daemon nor strand the client. `p95_latency_seconds` <= 0 (no samples
-/// yet) falls back to 100 ms per queued request.
+/// yet) falls back to 100 ms per queued request. Tenant-quota sheds pass
+/// the *tenant's* backlog here, so a flooding neighbor does not inflate a
+/// trickling tenant's hint.
 [[nodiscard]] double suggest_retry_after(std::size_t queue_depth,
                                          std::size_t workers,
                                          double p95_latency_seconds);

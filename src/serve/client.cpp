@@ -28,8 +28,12 @@ ServeClient::ServeClient(const std::string& socket_path) {
   if (fd_ < 0) {
     throw std::runtime_error("socket: " + std::string(std::strerror(errno)));
   }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
+  // connect() interrupted by a signal must be retried, not reported as a
+  // failure — on a signal-heavy host (or under the chaos harness's fault
+  // storms) EINTR here is routine.
+  while (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
     const int saved = errno;
     ::close(fd_);
     fd_ = -1;

@@ -1,90 +1,164 @@
 #include "serve/journal.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "support/error_context.hpp"
+
 namespace ptgsched::serve {
 
-RequestJournal::RequestJournal(std::string path)
-    : journal_(std::move(path)) {}
+namespace fs = std::filesystem;
 
-void RequestJournal::append(const Json& event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  journal_.append_line(event.dump());
-}
+// ---------------------------------------------------------------------
+// Snapshot round trip.
 
-void RequestJournal::record_submit(const JournaledRequest& request) {
+Json JournaledRequest::to_snapshot_json() const {
   JsonObject o;
-  o["event"] = "submit";
-  o["id"] = request.id;
-  o["tenant"] = request.tenant;
-  o["spec"] = request.spec.to_json();
-  o["deadline_seconds"] = request.deadline_seconds;
-  append(Json(std::move(o)));
-}
-
-void RequestJournal::record_start(std::uint64_t id, ServiceTier tier,
-                                  int attempt) {
-  JsonObject o;
-  o["event"] = "start";
   o["id"] = id;
+  o["tenant"] = tenant;
+  o["spec"] = spec.to_json();
+  o["deadline_seconds"] = deadline_seconds;
+  o["status"] = request_status_name(status);
+  o["tier_pinned"] = tier_pinned;
   o["tier"] = service_tier_name(tier);
   o["attempt"] = attempt;
-  append(Json(std::move(o)));
-}
-
-void RequestJournal::record_complete(std::uint64_t id, const Json& result) {
-  JsonObject o;
-  o["event"] = "complete";
-  o["id"] = id;
   o["result"] = result;
-  append(Json(std::move(o)));
+  o["error"] = error;
+  return Json(std::move(o));
 }
 
-void RequestJournal::record_cancel(std::uint64_t id,
-                                   std::string_view reason) {
-  JsonObject o;
-  o["event"] = "cancel";
-  o["id"] = id;
-  o["reason"] = std::string(reason);
-  append(Json(std::move(o)));
+JournaledRequest JournaledRequest::from_snapshot_json(const Json& j) {
+  JournaledRequest r;
+  r.id = static_cast<std::uint64_t>(j.at("id").as_int());
+  r.tenant = j.at("tenant").as_string();
+  r.spec = JobSpec::from_json(j.at("spec"));
+  r.deadline_seconds = j.at("deadline_seconds").as_double();
+  r.status = request_status_from_name(j.at("status").as_string());
+  r.tier_pinned = j.at("tier_pinned").as_bool();
+  r.tier = service_tier_from_name(j.at("tier").as_string());
+  r.attempt = static_cast<int>(j.at("attempt").as_int());
+  r.result = j.at("result");
+  r.error = j.at("error").as_string();
+  return r;
 }
 
-void RequestJournal::record_fail(std::uint64_t id,
-                                 std::string_view message) {
+Json JournalStats::to_json() const {
   JsonObject o;
-  o["event"] = "fail";
-  o["id"] = id;
-  o["message"] = std::string(message);
-  append(Json(std::move(o)));
+  o["rotations"] = rotations;
+  o["compactions"] = compactions;
+  o["compaction_failures"] = compaction_failures;
+  o["segments_removed"] = segments_removed;
+  o["sealed_segments"] = sealed_segments;
+  o["active_records"] = active_records;
+  o["active_bytes"] = active_bytes;
+  o["snapshot_bytes"] = snapshot_bytes;
+  o["repaired_torn_tail"] = repaired_torn_tail;
+  return Json(std::move(o));
+}
+
+// ---------------------------------------------------------------------
+// On-disk layout helpers.
+
+std::string RequestJournal::snapshot_path(const std::string& path) {
+  return path + ".snapshot";
+}
+
+std::string RequestJournal::segment_path(const std::string& path,
+                                         std::uint64_t seq) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%06llu",
+                static_cast<unsigned long long>(seq));
+  return path + ".seg-" + buf;
 }
 
 namespace {
 
-/// Apply one parsed journal event to the request table.
-void apply_event(RecoveredState& state, const Json& event) {
+/// Sealed segments of journal root `path`, sorted by ascending sequence.
+std::vector<std::pair<std::uint64_t, std::string>> list_segments(
+    const std::string& path) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  const fs::path root(path);
+  const std::string prefix = root.filename().string() + ".seg-";
+  const fs::path dir =
+      root.parent_path().empty() ? fs::path(".") : root.parent_path();
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    const std::string digits = name.substr(prefix.size());
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    out.emplace_back(std::stoull(digits), entry.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Provenance of one parsed event, for LoadError messages.
+struct EventContext {
+  const std::string* file = nullptr;
+  std::size_t line = 0;
+  std::uint64_t byte_offset = 0;
+};
+
+std::string where(const EventContext& ctx) {
+  return "line " + std::to_string(ctx.line) + " at byte offset " +
+         std::to_string(ctx.byte_offset);
+}
+
+/// Apply one parsed journal event to the request table. Semantic
+/// violations (unknown ids, duplicate submits, a second terminal event
+/// for an id) raise LoadError naming the id and byte offset — they are
+/// corruption, never tolerable crash debris (a torn line cannot parse as
+/// a complete event).
+void apply_event(std::map<std::uint64_t, JournaledRequest>& requests,
+                 std::uint64_t& next_id, const Json& event,
+                 const EventContext& ctx) {
   const std::string& kind = event.at("event").as_string();
   const auto id = static_cast<std::uint64_t>(event.at("id").as_int());
-  if (id >= state.next_id) state.next_id = id + 1;
+  if (id >= next_id) next_id = id + 1;
 
   if (kind == "submit") {
+    if (requests.count(id) != 0) {
+      throw LoadError(*ctx.file, "",
+                      "duplicate submit for request " + std::to_string(id) +
+                          " (" + where(ctx) + ")");
+    }
     JournaledRequest r;
     r.id = id;
     r.tenant = event.at("tenant").as_string();
     r.spec = JobSpec::from_json(event.at("spec"));
     r.deadline_seconds = event.at("deadline_seconds").as_double();
     r.status = RequestStatus::kQueued;
-    state.requests[id] = std::move(r);
+    requests[id] = std::move(r);
     return;
   }
-  const auto it = state.requests.find(id);
-  if (it == state.requests.end()) {
-    throw std::runtime_error("journal: event '" + kind +
-                             "' for request " + std::to_string(id) +
-                             " with no submit record");
+  const auto it = requests.find(id);
+  if (it == requests.end()) {
+    throw LoadError(*ctx.file, "",
+                    "event '" + kind + "' for request " +
+                        std::to_string(id) + " with no submit record (" +
+                        where(ctx) + ")");
   }
   JournaledRequest& r = it->second;
+  if (is_terminal(r.status)) {
+    // Terminal states are journaled exactly once; any further event for
+    // the id — a second terminal record most of all — is corruption.
+    throw LoadError(*ctx.file, "",
+                    "duplicate terminal event '" + kind + "' for request " +
+                        std::to_string(id) + ": already " +
+                        request_status_name(r.status) + " (" + where(ctx) +
+                        ")");
+  }
   if (kind == "start") {
     r.status = RequestStatus::kRunning;
     r.tier = service_tier_from_name(event.at("tier").as_string());
@@ -100,7 +174,59 @@ void apply_event(RecoveredState& state, const Json& event) {
     r.status = RequestStatus::kFailed;
     r.error = event.at("message").as_string();
   } else {
-    throw std::runtime_error("journal: unknown event kind '" + kind + "'");
+    throw LoadError(*ctx.file, "",
+                    "unknown event kind '" + kind + "' (" + where(ctx) +
+                        ")");
+  }
+}
+
+/// Replay one journal file into the state. A line is durable iff
+/// newline-terminated: an unterminated final chunk is tolerated (and
+/// reported for truncation) only when `is_newest_file` — anywhere else it
+/// is corruption. Parse failures on *terminated* lines are always
+/// corruption: the fsync-per-line append order (payload bytes, then the
+/// newline) means crash debris never carries the trailing newline.
+void replay_file(RecoveredState& state, const std::string& file,
+                 bool is_newest_file) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in.is_open()) return;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    ++line_no;
+    if (nl == std::string::npos) {
+      // Unterminated final chunk: the append a crash interrupted.
+      if (!is_newest_file) {
+        throw LoadError(file, "",
+                        "unterminated line " + std::to_string(line_no) +
+                            " in a sealed journal segment");
+      }
+      state.tolerated_torn_tail = true;
+      state.torn_file = file;
+      state.torn_valid_bytes = pos;
+      return;
+    }
+    const std::string_view line(content.data() + pos, nl - pos);
+    if (!line.empty()) {
+      EventContext ctx;
+      ctx.file = &file;
+      ctx.line = line_no;
+      ctx.byte_offset = pos;
+      try {
+        apply_event(state.requests, state.next_id, Json::parse(line), ctx);
+      } catch (const LoadError&) {
+        throw;  // already annotated with file/id/offset
+      } catch (const std::exception& e) {
+        throw LoadError(file, "",
+                        "corrupt " + where(ctx) + ": " + e.what());
+      }
+    }
+    pos = nl + 1;
   }
 }
 
@@ -108,33 +234,253 @@ void apply_event(RecoveredState& state, const Json& event) {
 
 RecoveredState RequestJournal::recover(const std::string& path) {
   RecoveredState state;
-  std::ifstream in(path);
-  if (!in.is_open()) return state;  // no journal yet: fresh daemon
 
-  std::vector<std::string> lines;
-  std::string line;
-  while (std::getline(in, line)) lines.push_back(line);
-  // A line the crash tore is by construction the last one (AppendJournal
-  // fsyncs each line before the next append starts). Parse failures on
-  // the final line are therefore expected crash debris; anywhere earlier
-  // they are real corruption and must not be papered over.
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (lines[i].empty()) continue;
+  // --- Snapshot (absent = no compaction ever ran). ---------------------
+  std::uint64_t covers_seq = 0;
+  const std::string snap = snapshot_path(path);
+  if (std::ifstream probe(snap, std::ios::binary); probe.is_open()) {
+    std::ostringstream buf;
+    buf << probe.rdbuf();
     try {
-      apply_event(state, Json::parse(lines[i]));
-    } catch (const std::exception& e) {
-      if (i + 1 == lines.size()) {
-        state.tolerated_torn_tail = true;
-        break;
+      const Json doc = Json::parse(buf.str());
+      covers_seq =
+          static_cast<std::uint64_t>(doc.at("covers_seq").as_int());
+      state.next_id =
+          static_cast<std::uint64_t>(doc.at("next_id").as_int());
+      for (const Json& entry : doc.at("requests").as_array()) {
+        JournaledRequest r = JournaledRequest::from_snapshot_json(entry);
+        const std::uint64_t id = r.id;
+        state.requests[id] = std::move(r);
       }
-      throw std::runtime_error("journal: corrupt line " +
-                               std::to_string(i + 1) + ": " + e.what());
+      state.from_snapshot = true;
+    } catch (const std::exception& e) {
+      // Snapshots are written atomically (tmp+fsync+rename): a torn or
+      // malformed one is real corruption, never crash debris.
+      throw LoadError(snap, "",
+                      std::string("corrupt journal snapshot: ") + e.what());
     }
   }
+
+  // --- Sealed segments newer than the snapshot, oldest first. ----------
+  const auto segments = list_segments(path);
+  const bool active_exists = [&] {
+    std::ifstream probe(path, std::ios::binary);
+    return probe.is_open();
+  }();
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto& [seq, file] = segments[i];
+    if (seq <= covers_seq) continue;  // compaction covered it already
+    const bool newest = !active_exists && i + 1 == segments.size();
+    replay_file(state, file, newest);
+  }
+
+  // --- Active tail. ----------------------------------------------------
+  if (active_exists) replay_file(state, path, /*is_newest_file=*/true);
+
   for (const auto& [id, r] : state.requests) {
     if (!is_terminal(r.status)) state.pending.push_back(id);
   }
   return state;
+}
+
+// ---------------------------------------------------------------------
+// Append side.
+
+RequestJournal::RequestJournal(std::string path, JournalRotation rotation)
+    : path_(std::move(path)), rotation_(rotation) {
+  recovered_ = recover(path_);
+  mirror_ = recovered_.requests;
+
+  // Truncate crash debris so later appends can never concatenate onto a
+  // torn fragment (an unterminated line followed by a valid append would
+  // merge into one corrupt line and poison the *next* recovery).
+  if (recovered_.tolerated_torn_tail) {
+    if (::truncate(recovered_.torn_file.c_str(),
+                   static_cast<off_t>(recovered_.torn_valid_bytes)) != 0) {
+      throw IoError(recovered_.torn_file,
+                    "journal: failed to truncate torn tail");
+    }
+    stats_.repaired_torn_tail = true;
+  }
+
+  const auto segments = list_segments(path_);
+  if (!segments.empty()) next_seq_ = segments.back().first + 1;
+  stats_.sealed_segments = segments.size();
+
+  journal_ = std::make_unique<AppendJournal>(path_);
+  if (std::ifstream in(path_, std::ios::binary); in.is_open()) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string& content = buf.str();
+    stats_.active_bytes = content.size();
+    stats_.active_records = static_cast<std::uint64_t>(
+        std::count(content.begin(), content.end(), '\n'));
+  }
+}
+
+JournalStats RequestJournal::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void RequestJournal::append(const Json& event, std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Validate against the mirror *before* touching disk: journal events are
+  // daemon-authored, so a violation here — a second terminal event for an
+  // id, an event for a request never submitted — is a logic bug that must
+  // not reach the durable log (recovery would reject the whole journal).
+  const std::string& kind = event.at("event").as_string();
+  const auto it = mirror_.find(id);
+  if (kind == "submit") {
+    if (it != mirror_.end()) {
+      throw std::logic_error("journal: duplicate submit for request " +
+                             std::to_string(id));
+    }
+  } else if (it == mirror_.end()) {
+    throw std::logic_error("journal: event '" + kind + "' for request " +
+                           std::to_string(id) + " with no submit record");
+  } else if (is_terminal(it->second.status)) {
+    throw std::logic_error("journal: refusing to append event '" + kind +
+                           "' for request " + std::to_string(id) +
+                           ": already terminal (" +
+                           request_status_name(it->second.status) + ")");
+  }
+  const std::string line = event.dump();
+  journal_->append_line(line);
+  stats_.active_bytes += line.size() + 1;
+  stats_.active_records += 1;
+  {
+    EventContext ctx;
+    ctx.file = &path_;
+    ctx.line = stats_.active_records;
+    ctx.byte_offset = 0;
+    std::uint64_t next_id = 0;
+    apply_event(mirror_, next_id, event, ctx);
+  }
+
+  if (rotation_.enabled() &&
+      ((rotation_.max_segment_bytes > 0 &&
+        stats_.active_bytes >= rotation_.max_segment_bytes) ||
+       (rotation_.max_segment_records > 0 &&
+        stats_.active_records >= rotation_.max_segment_records))) {
+    rotate_and_compact_locked();
+  }
+}
+
+void RequestJournal::rotate_and_compact_locked() {
+  // --- Seal: active file -> sealed segment, fresh active file. ---------
+  const std::uint64_t seq = next_seq_;
+  const std::string sealed = segment_path(path_, seq);
+  if (std::rename(path_.c_str(), sealed.c_str()) != 0) {
+    ++stats_.compaction_failures;
+    return;  // keep appending to the unsealed file; recovery stays exact
+  }
+  ++next_seq_;
+  ++stats_.rotations;
+  ++stats_.sealed_segments;
+  // The old AppendJournal fd now points at the sealed file; a fresh one
+  // (re)creates the active path and fsyncs the directory, which also
+  // persists the rename above (same directory entry set).
+  journal_.reset();
+  try {
+    journal_ = std::make_unique<AppendJournal>(path_);
+  } catch (...) {
+    // No active journal — unseal so appends can continue on the original
+    // file; if even that fails the journal is genuinely unusable.
+    if (std::rename(sealed.c_str(), path_.c_str()) == 0) {
+      --next_seq_;
+      --stats_.rotations;
+      --stats_.sealed_segments;
+      journal_ = std::make_unique<AppendJournal>(path_);
+      ++stats_.compaction_failures;
+      return;  // active_bytes/records unchanged: same file, same contents
+    }
+    throw;
+  }
+  stats_.active_bytes = 0;
+  stats_.active_records = 0;
+
+  // --- Compact: snapshot the mirror, covering everything sealed. -------
+  try {
+    JsonObject doc;
+    doc["kind"] = "ptgsched-journal-snapshot";
+    doc["covers_seq"] = seq;
+    std::uint64_t next_id = 1;
+    JsonArray requests;
+    requests.reserve(mirror_.size());
+    for (const auto& [id, r] : mirror_) {
+      if (id >= next_id) next_id = id + 1;
+      requests.emplace_back(r.to_snapshot_json());
+    }
+    doc["next_id"] = next_id;
+    doc["requests"] = Json(std::move(requests));
+    const std::string payload = Json(std::move(doc)).dump();
+    write_file_atomic(snapshot_path(path_), payload);
+    stats_.snapshot_bytes = payload.size();
+    ++stats_.compactions;
+  } catch (const std::exception&) {
+    // Disk full / injected chaos mid-snapshot: absorbed. The sealed
+    // segments stay on disk and recovery replays them; only the pruning
+    // below is skipped, so growth is unbounded until a later compaction
+    // succeeds — a degradation, not a correctness loss.
+    ++stats_.compaction_failures;
+    return;
+  }
+
+  // --- Prune: segments the snapshot subsumes. --------------------------
+  for (const auto& [old_seq, file] : list_segments(path_)) {
+    if (old_seq > seq) continue;
+    if (::unlink(file.c_str()) == 0) {
+      ++stats_.segments_removed;
+      if (stats_.sealed_segments > 0) --stats_.sealed_segments;
+    }
+  }
+}
+
+void RequestJournal::record_submit(const JournaledRequest& request) {
+  JsonObject o;
+  o["event"] = "submit";
+  o["id"] = request.id;
+  o["tenant"] = request.tenant;
+  o["spec"] = request.spec.to_json();
+  o["deadline_seconds"] = request.deadline_seconds;
+  append(Json(std::move(o)), request.id);
+}
+
+void RequestJournal::record_start(std::uint64_t id, ServiceTier tier,
+                                  int attempt) {
+  JsonObject o;
+  o["event"] = "start";
+  o["id"] = id;
+  o["tier"] = service_tier_name(tier);
+  o["attempt"] = attempt;
+  append(Json(std::move(o)), id);
+}
+
+void RequestJournal::record_complete(std::uint64_t id, const Json& result) {
+  JsonObject o;
+  o["event"] = "complete";
+  o["id"] = id;
+  o["result"] = result;
+  append(Json(std::move(o)), id);
+}
+
+void RequestJournal::record_cancel(std::uint64_t id,
+                                   std::string_view reason) {
+  JsonObject o;
+  o["event"] = "cancel";
+  o["id"] = id;
+  o["reason"] = std::string(reason);
+  append(Json(std::move(o)), id);
+}
+
+void RequestJournal::record_fail(std::uint64_t id,
+                                 std::string_view message) {
+  JsonObject o;
+  o["event"] = "fail";
+  o["id"] = id;
+  o["message"] = std::string(message);
+  append(Json(std::move(o)), id);
 }
 
 }  // namespace ptgsched::serve

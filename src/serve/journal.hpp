@@ -1,5 +1,5 @@
 #pragma once
-// Crash-safe request journal for ptgsched-serve.
+// Crash-safe request journal for ptgsched-serve, with bounded growth.
 //
 // Every request state transition is one JSON line durably appended (via
 // atomic_io::AppendJournal, fsync-per-line) *before* the transition is
@@ -8,24 +8,56 @@
 // request table exactly from the journal on restart:
 //
 //   {"event":"submit","id":N,"tenant":T,"spec":{...},
-//    "deadline_seconds":D,"tier_cap":"emts"}
+//    "deadline_seconds":D}
 //   {"event":"start","id":N,"tier":"emts","attempt":A}
 //   {"event":"complete","id":N,"result":{...}}
 //   {"event":"cancel","id":N,"reason":"user_cancel"}
 //   {"event":"fail","id":N,"message":"..."}
 //
-// Recovery semantics: requests whose last event is terminal keep their
-// recorded outcome verbatim — in particular a "complete" result is
-// returned bit-identically (Json doubles serialize with %.17g, which
-// round-trips exactly). Non-terminal requests (submitted or started but
-// never finished) are re-queued; a "start" event pins the tier, so the
-// re-run draws the same deterministic seed *and* the same pipeline,
-// reproducing the result the lost run would have produced. A torn final
-// line (the append the crash interrupted) is tolerated and ignored; a
-// malformed line anywhere earlier is corruption and throws.
+// Rotation and compaction (journal lifecycle, DESIGN.md §15): without
+// them the journal grows without bound — every completed request keeps
+// its submit/start/complete lines forever. With watermarks configured
+// (JournalRotation), an append that pushes the active segment past either
+// bound triggers:
+//
+//   1. seal    — the active file `P` is renamed to `P.seg-NNNNNN` and a
+//                fresh `P` is opened (directory fsync makes both durable);
+//   2. compact — the *entire* request table (maintained as an in-memory
+//                mirror of every applied event) is written atomically to
+//                `P.snapshot` (tmp + fsync + rename, via atomic_io) with
+//                a `covers_seq` marker naming the newest sealed segment
+//                the snapshot subsumes;
+//   3. prune   — sealed segments with seq <= covers_seq are unlinked.
+//
+// Every step is crash-safe in isolation: a kill between seal and compact
+// leaves snapshot(old) + extra segments (recovery replays them); a kill
+// between compact and prune leaves covered segments on disk (recovery
+// skips anything <= covers_seq); write_file_atomic guarantees the
+// snapshot itself is old-or-new, never torn. A compaction that *fails*
+// (disk full, injected chaos) is absorbed: the error is counted, covered
+// segments stay, and recovery remains exact — bounded growth degrades,
+// correctness does not.
+//
+// Recovery reads snapshot → sealed segments (> covers_seq, ascending) →
+// active tail, and is bit-identical to replaying the same events from an
+// unrotated journal (proved by test). A line is durable iff
+// newline-terminated: an unterminated final chunk in the newest file is
+// the append the crash interrupted — tolerated, flagged, and *truncated*
+// on reopen so later appends can never concatenate onto torn debris.
+// Everything else is corruption and raises LoadError with the file, line,
+// and byte offset — including a duplicate terminal event for a request id
+// (the invariant "terminal states are journaled exactly once" is checked,
+// not assumed).
+//
+// Recovery semantics for requests are unchanged from PR 7: terminal
+// requests keep their recorded outcome verbatim (Json doubles serialize
+// with %.17g and round-trip exactly); non-terminal requests are re-queued
+// with their pinned tier and attempt so the re-run reproduces the result
+// the lost run would have produced.
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -52,6 +84,10 @@ struct JournaledRequest {
   int attempt = 0;           ///< Last started attempt (0 = never started).
   Json result;               ///< "complete" payload (null otherwise).
   std::string error;         ///< "fail" message / "cancel" reason.
+
+  /// Snapshot round trip (compaction writes these; recovery reads them).
+  [[nodiscard]] Json to_snapshot_json() const;
+  [[nodiscard]] static JournaledRequest from_snapshot_json(const Json& j);
 };
 
 /// Journal reconstruction: every request ever journaled, plus the next
@@ -61,15 +97,50 @@ struct RecoveredState {
   std::uint64_t next_id = 1;
   /// Ids needing re-execution (non-terminal), in submission order.
   std::vector<std::uint64_t> pending;
-  bool tolerated_torn_tail = false;  ///< Final line was torn and skipped.
+  bool tolerated_torn_tail = false;  ///< Final chunk was torn and skipped.
+  bool from_snapshot = false;        ///< A snapshot seeded the state.
+  /// When a torn tail was tolerated: the file holding it and the byte
+  /// length of its durable prefix (what reopen truncates it to).
+  std::string torn_file;
+  std::uint64_t torn_valid_bytes = 0;
+};
+
+/// Growth bounds for the active segment. Both 0 (the default) disables
+/// rotation entirely — the PR 7 single-file behavior.
+struct JournalRotation {
+  std::uint64_t max_segment_bytes = 0;    ///< 0 = unbounded.
+  std::uint64_t max_segment_records = 0;  ///< 0 = unbounded.
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return max_segment_bytes > 0 || max_segment_records > 0;
+  }
+};
+
+/// Lifetime counters for the stats op and the chaos bench.
+struct JournalStats {
+  std::uint64_t rotations = 0;     ///< Segments sealed.
+  std::uint64_t compactions = 0;   ///< Snapshots written successfully.
+  std::uint64_t compaction_failures = 0;  ///< Absorbed rotate/compact errors.
+  std::uint64_t segments_removed = 0;     ///< Sealed segments pruned.
+  std::uint64_t sealed_segments = 0;      ///< Currently on disk.
+  std::uint64_t active_records = 0;       ///< Lines in the active segment.
+  std::uint64_t active_bytes = 0;         ///< Bytes in the active segment.
+  std::uint64_t snapshot_bytes = 0;       ///< Size of the last snapshot.
+  bool repaired_torn_tail = false;  ///< Open truncated crash debris.
+
+  [[nodiscard]] Json to_json() const;
 };
 
 /// Append-side of the journal. Thread-safe (appends are serialized; the
-/// underlying AppendJournal fsyncs each line before returning).
+/// underlying AppendJournal fsyncs each line before returning). Opening
+/// recovers the existing state (exposed via recovered()) and repairs a
+/// torn tail by truncation, so the server never parses the journal twice.
 class RequestJournal {
  public:
-  /// Opens (creating if absent) the journal at `path`.
-  explicit RequestJournal(std::string path);
+  /// Opens (creating if absent) the journal rooted at `path`. Throws
+  /// IoError on open failures and LoadError on mid-journal corruption.
+  explicit RequestJournal(std::string path,
+                          JournalRotation rotation = JournalRotation());
 
   void record_submit(const JournaledRequest& request);
   void record_start(std::uint64_t id, ServiceTier tier, int attempt);
@@ -77,20 +148,39 @@ class RequestJournal {
   void record_cancel(std::uint64_t id, std::string_view reason);
   void record_fail(std::uint64_t id, std::string_view message);
 
-  [[nodiscard]] const std::string& path() const noexcept {
-    return journal_.path();
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// State recovered when this journal was opened.
+  [[nodiscard]] const RecoveredState& recovered() const noexcept {
+    return recovered_;
   }
+  [[nodiscard]] JournalStats stats() const;
 
-  /// Parse the journal at `path` (absent file = empty state). Throws
-  /// JsonError/std::runtime_error on mid-file corruption; a torn final
-  /// line is skipped and flagged.
+  /// Parse the journal rooted at `path` — snapshot, sealed segments, then
+  /// the active file (all absent = empty state). Throws LoadError on
+  /// corruption anywhere but an unterminated final chunk of the newest
+  /// file, which is skipped and flagged (with its durable prefix length,
+  /// so a writer can truncate the debris).
   [[nodiscard]] static RecoveredState recover(const std::string& path);
 
- private:
-  void append(const Json& event);
+  /// `P.snapshot` / `P.seg-NNNNNN` names for journal root `P` (exposed
+  /// for tests and tooling that inspect the on-disk layout).
+  [[nodiscard]] static std::string snapshot_path(const std::string& path);
+  [[nodiscard]] static std::string segment_path(const std::string& path,
+                                                std::uint64_t seq);
 
-  std::mutex mu_;
-  AppendJournal journal_;
+ private:
+  void append(const Json& event, std::uint64_t id);
+  void rotate_and_compact_locked();
+
+  std::string path_;
+  JournalRotation rotation_;
+  mutable std::mutex mu_;
+  std::unique_ptr<AppendJournal> journal_;
+  RecoveredState recovered_;  ///< Frozen at open.
+  /// Live mirror of every applied event; compaction snapshots this.
+  std::map<std::uint64_t, JournaledRequest> mirror_;
+  std::uint64_t next_seq_ = 1;  ///< Sequence the next sealed segment gets.
+  JournalStats stats_;
 };
 
 }  // namespace ptgsched::serve

@@ -1,9 +1,12 @@
 #include "serve/protocol.hpp"
 
+#include <poll.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+
+#include "support/chaos.hpp"
 
 namespace ptgsched::serve {
 
@@ -21,25 +24,60 @@ namespace {
                       std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
 }
 
-void write_all(int fd, const char* data, std::size_t len) {
+/// Block until `fd` is ready for `events`, or the stall timeout lapses.
+/// Throws ProtocolError on a lapsed timeout — a stalled peer must not pin
+/// this thread forever (the daemon joins connection threads on stop()).
+void wait_ready(int fd, short events, int stall_timeout_ms) {
+  pollfd pfd{fd, events, 0};
+  const int ready = ::poll(&pfd, 1, stall_timeout_ms);
+  if (ready > 0) return;
+  if (ready == 0 && stall_timeout_ms >= 0) {
+    throw ProtocolError("stalled peer: no socket progress within " +
+                        std::to_string(stall_timeout_ms) + " ms");
+  }
+  // ready < 0 (EINTR or transient poll failure): let the caller's
+  // read/write loop retry — the syscall itself reports real errors.
+}
+
+/// Write the whole buffer, looping on short writes and EINTR/EAGAIN (a
+/// signal-heavy host or an injected fault storm must not be mistaken for
+/// a protocol error). Routes through the kSocketWrite chaos seam.
+void write_all(int fd, const char* data, std::size_t len,
+               int stall_timeout_ms) {
   std::size_t off = 0;
   while (off < len) {
-    const ssize_t n = ::write(fd, data + off, len - off);
+    const long n =
+        chaos_write(fd, data + off, len - off, ChaosSite::kSocketWrite);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_ready(fd, POLLOUT, stall_timeout_ms);
+        continue;
+      }
       throw_errno("write");
     }
     off += static_cast<std::size_t>(n);
   }
 }
 
-/// Returns bytes read; < len only on EOF.
-std::size_t read_upto(int fd, char* data, std::size_t len) {
+/// Returns bytes read; < len only on EOF. Loops on short reads and
+/// EINTR/EAGAIN; with a non-negative stall timeout, each wait for the
+/// next byte is bounded. Routes through the kSocketRead chaos seam.
+std::size_t read_upto(int fd, char* data, std::size_t len,
+                      int stall_timeout_ms) {
   std::size_t off = 0;
   while (off < len) {
-    const ssize_t n = ::read(fd, data + off, len - off);
+    if (stall_timeout_ms >= 0) {
+      wait_ready(fd, POLLIN, stall_timeout_ms);
+    }
+    const long n =
+        chaos_read(fd, data + off, len - off, ChaosSite::kSocketRead);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_ready(fd, POLLIN, stall_timeout_ms);
+        continue;
+      }
       throw_errno("read");
     }
     if (n == 0) break;  // EOF
@@ -50,7 +88,7 @@ std::size_t read_upto(int fd, char* data, std::size_t len) {
 
 }  // namespace
 
-void write_frame(int fd, std::string_view payload) {
+void write_frame(int fd, std::string_view payload, int stall_timeout_ms) {
   if (payload.size() > kMaxFrameBytes) {
     throw ProtocolError("frame payload exceeds kMaxFrameBytes (" +
                         std::to_string(payload.size()) + " bytes)");
@@ -62,13 +100,14 @@ void write_frame(int fd, std::string_view payload) {
       static_cast<char>((len >> 8) & 0xff),
       static_cast<char>(len & 0xff),
   };
-  write_all(fd, prefix, sizeof prefix);
-  write_all(fd, payload.data(), payload.size());
+  write_all(fd, prefix, sizeof prefix, stall_timeout_ms);
+  write_all(fd, payload.data(), payload.size(), stall_timeout_ms);
 }
 
-bool read_frame(int fd, std::string& out) {
+bool read_frame(int fd, std::string& out, int stall_timeout_ms) {
   char prefix[4];
-  const std::size_t got = read_upto(fd, prefix, sizeof prefix);
+  const std::size_t got =
+      read_upto(fd, prefix, sizeof prefix, stall_timeout_ms);
   if (got == 0) return false;  // clean EOF between frames
   if (got < sizeof prefix) {
     throw ProtocolError("torn frame: EOF inside the length prefix");
@@ -86,19 +125,19 @@ bool read_frame(int fd, std::string& out) {
                         " exceeds kMaxFrameBytes");
   }
   out.resize(len);
-  if (read_upto(fd, out.data(), len) < len) {
+  if (read_upto(fd, out.data(), len, stall_timeout_ms) < len) {
     throw ProtocolError("torn frame: EOF inside the payload");
   }
   return true;
 }
 
-void write_message(int fd, const Json& message) {
-  write_frame(fd, message.dump());
+void write_message(int fd, const Json& message, int stall_timeout_ms) {
+  write_frame(fd, message.dump(), stall_timeout_ms);
 }
 
-bool read_message(int fd, Json& out) {
+bool read_message(int fd, Json& out, int stall_timeout_ms) {
   std::string payload;
-  if (!read_frame(fd, payload)) return false;
+  if (!read_frame(fd, payload, stall_timeout_ms)) return false;
   out = Json::parse(payload, wire_json_limits());
   return true;
 }

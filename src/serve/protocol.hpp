@@ -61,22 +61,31 @@ class ProtocolError : public std::runtime_error {
 };
 
 /// Write one frame (length prefix + payload) to `fd`, looping over partial
-/// writes and EINTR. Throws ProtocolError on oversized payloads and
+/// writes, EINTR, and EAGAIN (a signal-heavy host must not look like a
+/// protocol error). Throws ProtocolError on oversized payloads and
 /// IoError-style failures (reported as ProtocolError with errno text).
-void write_frame(int fd, std::string_view payload);
+/// `stall_timeout_ms >= 0` bounds each wait for the peer to accept more
+/// bytes; a lapsed bound throws ProtocolError ("stalled peer") so a
+/// stalled reader cannot pin the writing thread forever. -1 = unbounded.
+void write_frame(int fd, std::string_view payload,
+                 int stall_timeout_ms = -1);
 
 /// Read one frame from `fd` into `out`. Returns false on clean EOF before
 /// any prefix byte (peer closed between messages); throws ProtocolError on
-/// EOF mid-frame (torn message) or an announced length above
-/// kMaxFrameBytes.
-[[nodiscard]] bool read_frame(int fd, std::string& out);
+/// EOF mid-frame (torn message), an announced length above kMaxFrameBytes,
+/// or — with `stall_timeout_ms >= 0` — a peer that stops sending bytes
+/// mid-frame for longer than the bound. Short reads, EINTR, and EAGAIN
+/// are retried, never misread as errors.
+[[nodiscard]] bool read_frame(int fd, std::string& out,
+                              int stall_timeout_ms = -1);
 
 /// write_frame(dump(message)).
-void write_message(int fd, const Json& message);
+void write_message(int fd, const Json& message, int stall_timeout_ms = -1);
 
 /// Read one frame and parse it under wire_json_limits(). Returns false on
 /// clean EOF. Throws ProtocolError (framing) or JsonError (payload).
-[[nodiscard]] bool read_message(int fd, Json& out);
+[[nodiscard]] bool read_message(int fd, Json& out,
+                                int stall_timeout_ms = -1);
 
 /// {"ok": true, ...fields}
 [[nodiscard]] Json ok_response(JsonObject fields = {});

@@ -42,11 +42,21 @@ std::shared_ptr<const ProblemInstance> build_instance(const JobSpec& spec) {
                                  std::move(cluster));
 }
 
+/// The AdmissionQueue view of a ServeConfig.
+AdmissionConfig admission_config(const ServeConfig& config) {
+  AdmissionConfig a;
+  a.capacity = config.queue_capacity;
+  a.default_quota = config.tenant_default_quota;
+  a.tenant_quotas = config.tenant_quotas;
+  a.fair_dequeue = config.fair_dequeue;
+  return a;
+}
+
 }  // namespace
 
 ServeServer::ServeServer(ServeConfig config)
     : config_(std::move(config)),
-      queue_(config_.queue_capacity),
+      queue_(admission_config(config_)),
       tiers_(config_.tiers),
       engines_(config_.engine_pool) {
   if (config_.socket_path.empty()) {
@@ -71,12 +81,15 @@ void ServeServer::start() {
   }
 
   // --- Journal recovery before anything is accepted. -------------------
-  RecoveredState recovered = RequestJournal::recover(config_.journal_path);
-  journal_ = std::make_unique<RequestJournal>(config_.journal_path);
+  // Opening the journal recovers snapshot + segments + active tail and
+  // truncates a torn final line, all in one pass (serve/journal.hpp).
+  journal_ = std::make_unique<RequestJournal>(config_.journal_path,
+                                              config_.journal_rotation);
+  const RecoveredState& recovered = journal_->recovered();
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
     next_id_ = recovered.next_id;
-    for (auto& [id, jr] : recovered.requests) {
+    for (const auto& [id, jr] : recovered.requests) {
       auto request = std::make_shared<Request>();
       request->id = jr.id;
       request->tenant = jr.tenant;
@@ -98,15 +111,15 @@ void ServeServer::start() {
     }
   }
   for (const std::uint64_t id : recovered.pending) {
-    if (!queue_.try_push(id)) {
+    const auto pending = find(id);
+    if (pending == nullptr) continue;
+    if (!queue_.try_push(id, pending->tenant)) {
       // More recovered work than queue capacity: journal-fail the
       // overflow rather than dropping it silently.
-      if (auto request = find(id)) {
-        std::lock_guard<std::mutex> lock(request->mu);
-        request->status = RequestStatus::kFailed;
-        request->error = "recovery overflow: admission queue full";
-        journal_->record_fail(id, request->error);
-      }
+      std::lock_guard<std::mutex> lock(pending->mu);
+      pending->status = RequestStatus::kFailed;
+      pending->error = "recovery overflow: admission queue full";
+      journal_->record_fail(id, pending->error);
       continue;
     }
     std::lock_guard<std::mutex> lock(counters_mu_);
@@ -217,9 +230,13 @@ void ServeServer::connection_loop(int fd) {
     if (ready <= 0) continue;
     Json request;
     try {
-      if (!read_message(fd, request)) break;  // clean EOF
+      if (!read_message(fd, request, config_.stall_timeout_ms)) {
+        break;  // clean EOF
+      }
     } catch (const std::exception&) {
-      break;  // torn frame or oversized announcement: drop the peer
+      // Torn frame, oversized announcement, or a peer stalled mid-frame
+      // past stall_timeout_ms: drop this peer, keep serving others.
+      break;
     }
     Json response;
     try {
@@ -235,7 +252,7 @@ void ServeServer::connection_loop(int fd) {
       response = error_response(kErrInternal, e.what());
     }
     try {
-      write_message(fd, response);
+      write_message(fd, response, config_.stall_timeout_ms);
     } catch (const std::exception&) {
       break;
     }
@@ -295,20 +312,38 @@ Json ServeServer::handle_submit(const Json& message) {
   // before the queue (a crash right here recovers the request), and a
   // refused push is journal-failed so the shed outcome is durable too.
   journal_->record_submit(jr);
-  const bool admitted = queue_.try_push(request->id);
-  if (!admitted) {
+  const AdmitOutcome admitted = queue_.push(request->id, request->tenant);
+  if (admitted != AdmitOutcome::kAdmitted) {
+    // A tenant-quota shed computes the retry hint from *that tenant's*
+    // backlog — a flooding neighbor must not inflate a trickling
+    // tenant's wait (and vice versa, a quota-shed flooder gets a hint
+    // sized to its own pile, not the healthy global queue).
+    const bool tenant_shed =
+        admitted == AdmitOutcome::kTenantQueueFull ||
+        admitted == AdmitOutcome::kTenantSaturated;
+    const std::size_t backlog = tenant_shed
+                                    ? queue_.tenant_depth(request->tenant)
+                                    : queue_.depth();
     const double retry_after = suggest_retry_after(
-        queue_.depth(), config_.workers, tiers_.p95_latency());
+        backlog, config_.workers, tiers_.p95_latency());
     {
       std::lock_guard<std::mutex> lock(request->mu);
       request->status = RequestStatus::kFailed;
-      request->error = "shed by admission control";
+      request->error = std::string("shed by admission control: ") +
+                       admit_outcome_name(admitted);
       journal_->record_fail(request->id, request->error);
     }
     JsonObject extra;
     extra["retry_after_seconds"] = retry_after;
+    extra["reason"] = admit_outcome_name(admitted);
     extra["queue_depth"] = static_cast<std::uint64_t>(queue_.depth());
-    return error_response(kErrOverloaded, "admission queue full",
+    if (tenant_shed) {
+      extra["tenant_queue_depth"] = static_cast<std::uint64_t>(
+          queue_.tenant_depth(request->tenant));
+    }
+    return error_response(kErrOverloaded,
+                          tenant_shed ? "tenant quota exceeded"
+                                      : "admission queue full",
                           std::move(extra));
   }
   {
@@ -402,13 +437,20 @@ void ServeServer::worker_loop() {
     const auto id = queue_.pop();
     if (!id.has_value()) return;  // queue closed and drained
     const auto request = find(*id);
-    if (request == nullptr) continue;
-    {
-      std::lock_guard<std::mutex> lock(request->mu);
-      if (request->status != RequestStatus::kQueued) continue;
-      request->status = RequestStatus::kRunning;
+    if (request != nullptr) {
+      bool runnable = false;
+      {
+        std::lock_guard<std::mutex> lock(request->mu);
+        if (request->status == RequestStatus::kQueued) {
+          request->status = RequestStatus::kRunning;
+          runnable = true;
+        }
+      }
+      if (runnable) execute(request);
     }
-    execute(request);
+    // Return the in-flight slot to the tenant whatever happened — done,
+    // cancelled, failed, skipped, or re-queued by shutdown.
+    queue_.release(*id);
   }
 }
 
@@ -502,7 +544,11 @@ void ServeServer::execute(const std::shared_ptr<Request>& request) {
   {
     std::lock_guard<std::mutex> lock(request->mu);
     if (!request->tier_pinned) {
-      request->tier = tiers_.decide(queue_.depth(), queue_.capacity());
+      // tier_cap bounds the best tier: max() over the enum picks the
+      // cheaper (higher-valued) of the load decision and the cap.
+      request->tier = std::max(
+          tiers_.decide(queue_.depth(), queue_.capacity()),
+          config_.tier_cap);
       request->tier_pinned = true;
     }
     tier = request->tier;
@@ -612,6 +658,10 @@ Json ServeServer::stats_json() const {
   fields["tier_completions"] = Json(std::move(tiers));
   fields["current_tier"] = service_tier_name(tiers_.current());
   fields["p95_latency_seconds"] = tiers_.p95_latency();
+  fields["tenants"] = queue_.tenants_json();
+  if (journal_ != nullptr) {
+    fields["journal"] = journal_->stats().to_json();
+  }
   JsonObject pool_stats;
   pool_stats["hits"] = pool.hits;
   pool_stats["misses"] = pool.misses;

@@ -55,7 +55,25 @@ namespace ptgsched::serve {
 struct ServeConfig {
   std::string socket_path;   ///< AF_UNIX socket path (required).
   std::string journal_path;  ///< Request journal path (required).
-  std::size_t queue_capacity = 64;  ///< Admission queue bound.
+  std::size_t queue_capacity = 64;  ///< Global admission queue bound.
+  /// Per-tenant admission quotas and the weighted-fair dequeue switch
+  /// (serve/admission.hpp). The defaults — no quotas, fair_dequeue off —
+  /// reproduce the PR 7 global FIFO exactly.
+  TenantQuota tenant_default_quota;
+  std::map<std::string, TenantQuota> tenant_quotas;
+  bool fair_dequeue = false;
+  /// Journal segment watermarks; both 0 (default) = never rotate.
+  JournalRotation journal_rotation;
+  /// Per-socket-op stall bound for connection reads/writes: a peer that
+  /// stops making byte progress mid-frame for this long is dropped (its
+  /// connection only). -1 = unbounded.
+  int stall_timeout_ms = 5000;
+  /// Best tier any request may run at; degradation can only go cheaper.
+  /// kEmts (default) = no cap. Capping at kHeuristic or kCpaOneShot makes
+  /// every result independent of wall-clock (the EMTS time budget is the
+  /// one nondeterministic input), which the chaos bench's bit-identity
+  /// oracle relies on.
+  ServiceTier tier_cap = ServiceTier::kEmts;
   std::size_t workers = 2;          ///< Scheduling worker threads.
   std::uint64_t base_seed = 1;      ///< Root of every per-request seed.
   /// EMTS wall-clock budget per request at the kEmts tier; 0 = none.

@@ -10,6 +10,8 @@
 #include <filesystem>
 #include <system_error>
 
+#include "support/chaos.hpp"
+
 namespace ptgsched {
 
 namespace {
@@ -22,15 +24,16 @@ std::string errno_detail(const char* op) {
          std::generic_category().message(errno) + ")";
 }
 
-/// Write the whole buffer, retrying on EINTR/short writes. Returns false
-/// (with errno set) on failure.
-bool write_all(int fd, std::string_view content) {
+/// Write the whole buffer, retrying on EINTR/EAGAIN/short writes. Returns
+/// false (with errno set) on failure. Writes route through the chaos seam
+/// for `site`, so a chaos soak can exercise exactly these retry paths.
+bool write_all(int fd, std::string_view content, ChaosSite site) {
   std::size_t off = 0;
   while (off < content.size()) {
-    const ::ssize_t n =
-        ::write(fd, content.data() + off, content.size() - off);
+    const long n = chaos_write(fd, content.data() + off,
+                               content.size() - off, site);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN) continue;
       return false;
     }
     off += static_cast<std::size_t>(n);
@@ -38,11 +41,14 @@ bool write_all(int fd, std::string_view content) {
   return true;
 }
 
-/// fsync a data-file fd, counting the attempt. Returns false with errno
-/// set on failure.
-bool fsync_file(int fd) {
+/// fsync a data-file fd, counting the attempt and retrying interrupts.
+/// Returns false with errno set on failure.
+bool fsync_file(int fd, ChaosSite site) {
   g_file_fsyncs.fetch_add(1, std::memory_order_relaxed);
-  return ::fsync(fd) == 0;
+  for (;;) {
+    if (chaos_fsync(fd, site) == 0) return true;
+    if (errno != EINTR && errno != EAGAIN) return false;
+  }
 }
 
 /// fsync the directory containing `path`, so a rename or file creation in
@@ -56,8 +62,10 @@ void fsync_parent_dir(const std::string& path) {
   const int dfd = ::open(d.c_str(), O_RDONLY | O_DIRECTORY);
   if (dfd < 0) throw IoError(d, errno_detail("open directory"));
   g_dir_fsyncs.fetch_add(1, std::memory_order_relaxed);
-  if (::fsync(dfd) != 0) {
+  for (;;) {
+    if (chaos_fsync(dfd, ChaosSite::kAtomicFsync) == 0) break;
     const int saved = errno;
+    if (saved == EINTR || saved == EAGAIN) continue;
     ::close(dfd);
     if (saved == EINVAL || saved == ENOTSUP) return;
     errno = saved;
@@ -86,14 +94,18 @@ void write_file_atomic(const std::string& path, std::string_view content) {
     ::unlink(tmp.c_str());
     return err;
   };
-  if (!write_all(fd, content)) throw fail("write");
-  if (!fsync_file(fd)) throw fail("fsync");
+  if (!write_all(fd, content, ChaosSite::kAtomicWrite)) {
+    throw fail("write");
+  }
+  if (!fsync_file(fd, ChaosSite::kAtomicFsync)) throw fail("fsync");
   if (::close(fd) != 0) {
     const IoError err(tmp, errno_detail("close"));
     ::unlink(tmp.c_str());
     throw err;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  while (chaos_rename(tmp.c_str(), path.c_str(),
+                      ChaosSite::kAtomicRename) != 0) {
+    if (errno == EINTR || errno == EAGAIN) continue;
     const IoError err(path, errno_detail("rename"));
     ::unlink(tmp.c_str());
     throw err;
@@ -134,8 +146,12 @@ AppendJournal::~AppendJournal() {
 void AppendJournal::append_line(std::string_view line) {
   std::string buf(line);
   buf += '\n';
-  if (!write_all(fd_, buf)) throw IoError(path_, errno_detail("write"));
-  if (!fsync_file(fd_)) throw IoError(path_, errno_detail("fsync"));
+  if (!write_all(fd_, buf, ChaosSite::kJournalWrite)) {
+    throw IoError(path_, errno_detail("write"));
+  }
+  if (!fsync_file(fd_, ChaosSite::kJournalFsync)) {
+    throw IoError(path_, errno_detail("fsync"));
+  }
 }
 
 }  // namespace ptgsched

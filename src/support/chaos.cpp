@@ -1,0 +1,236 @@
+#include "support/chaos.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+
+#include "support/rng.hpp"
+
+namespace ptgsched {
+
+namespace {
+
+std::atomic<ChaosPolicy*> g_chaos{nullptr};
+
+}  // namespace
+
+const char* chaos_site_name(ChaosSite site) noexcept {
+  switch (site) {
+    case ChaosSite::kJournalWrite:
+      return "journal_write";
+    case ChaosSite::kJournalFsync:
+      return "journal_fsync";
+    case ChaosSite::kAtomicWrite:
+      return "atomic_write";
+    case ChaosSite::kAtomicFsync:
+      return "atomic_fsync";
+    case ChaosSite::kAtomicRename:
+      return "atomic_rename";
+    case ChaosSite::kSocketRead:
+      return "socket_read";
+    case ChaosSite::kSocketWrite:
+      return "socket_write";
+  }
+  return "unknown";
+}
+
+void ChaosConfig::set_sites(std::initializer_list<ChaosSite> where,
+                            const ChaosSiteConfig& rates) {
+  for (const ChaosSite site : where) {
+    sites[static_cast<int>(site)] = rates;
+  }
+}
+
+struct ChaosPolicy::SiteCounters {
+  std::atomic<std::uint64_t> ops[kChaosSiteCount] = {};
+  std::atomic<std::uint64_t> injected[kChaosSiteCount][kChaosActionCount] =
+      {};
+  std::atomic<std::uint64_t> global_ops{0};
+};
+
+ChaosPolicy::ChaosPolicy(ChaosConfig config)
+    : config_(config), counters_(std::make_shared<SiteCounters>()) {}
+
+ChaosAction ChaosPolicy::decide(ChaosSite site) {
+  const int s = static_cast<int>(site);
+  const std::uint64_t op =
+      counters_->ops[s].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t global =
+      counters_->global_ops.fetch_add(1, std::memory_order_relaxed);
+  if (config_.kill_after_ops >= 0 &&
+      global == static_cast<std::uint64_t>(config_.kill_after_ops)) {
+    // The SIGKILL stand-in: no destructors, no flushing, no unwinding.
+    ::_exit(137);
+  }
+
+  const ChaosSiteConfig& rates = config_.sites[s];
+  // One uniform draw per op, deterministic in (seed, site, op): the fault
+  // schedule at a seam is independent of which thread reaches it.
+  const std::uint64_t h = splitmix64(
+      config_.seed ^
+      (static_cast<std::uint64_t>(s) * std::uint64_t{0x9e3779b97f4a7c15}) ^
+      splitmix64(op));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+
+  ChaosAction action = ChaosAction::kNone;
+  double edge = rates.eintr_rate;
+  if (u < edge) {
+    action = ChaosAction::kEintr;
+  } else if (u < (edge += rates.eagain_rate)) {
+    action = ChaosAction::kEagain;
+  } else if (u < (edge += rates.short_rate)) {
+    action = ChaosAction::kShort;
+  } else if (u < (edge += rates.fail_rate)) {
+    action = ChaosAction::kFail;
+  }
+  if (action != ChaosAction::kNone) {
+    counters_->injected[s][static_cast<int>(action)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  return action;
+}
+
+std::uint64_t ChaosPolicy::ops(ChaosSite site) const noexcept {
+  return counters_->ops[static_cast<int>(site)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t ChaosPolicy::injected(ChaosSite site,
+                                    ChaosAction action) const noexcept {
+  return counters_->injected[static_cast<int>(site)][static_cast<int>(
+                                 action)]
+      .load(std::memory_order_relaxed);
+}
+
+std::uint64_t ChaosPolicy::injected_total() const noexcept {
+  std::uint64_t total = 0;
+  for (int s = 0; s < kChaosSiteCount; ++s) {
+    for (int a = 0; a < kChaosActionCount; ++a) {
+      total += counters_->injected[s][a].load(std::memory_order_relaxed);
+    }
+  }
+  return total;
+}
+
+Json ChaosPolicy::stats_json() const {
+  JsonObject sites;
+  for (int s = 0; s < kChaosSiteCount; ++s) {
+    JsonObject site;
+    site["ops"] = ops(static_cast<ChaosSite>(s));
+    site["eintr"] =
+        injected(static_cast<ChaosSite>(s), ChaosAction::kEintr);
+    site["eagain"] =
+        injected(static_cast<ChaosSite>(s), ChaosAction::kEagain);
+    site["short"] =
+        injected(static_cast<ChaosSite>(s), ChaosAction::kShort);
+    site["fail"] = injected(static_cast<ChaosSite>(s), ChaosAction::kFail);
+    sites[chaos_site_name(static_cast<ChaosSite>(s))] =
+        Json(std::move(site));
+  }
+  return Json(std::move(sites));
+}
+
+void install_chaos(ChaosPolicy* policy) noexcept {
+  g_chaos.store(policy, std::memory_order_release);
+}
+
+ChaosPolicy* current_chaos() noexcept {
+  return g_chaos.load(std::memory_order_acquire);
+}
+
+namespace {
+
+/// Draw for `site`; kNone with no policy installed.
+ChaosAction draw(ChaosSite site) noexcept {
+  ChaosPolicy* policy = current_chaos();
+  return policy == nullptr ? ChaosAction::kNone : policy->decide(site);
+}
+
+int site_errno(ChaosSite site) noexcept {
+  ChaosPolicy* policy = current_chaos();
+  if (policy == nullptr) return EIO;
+  return policy->config().sites[static_cast<int>(site)].fail_errno;
+}
+
+}  // namespace
+
+long chaos_read(int fd, void* buf, std::size_t n, ChaosSite site) noexcept {
+  switch (draw(site)) {
+    case ChaosAction::kEintr:
+      errno = EINTR;
+      return -1;
+    case ChaosAction::kEagain:
+      errno = EAGAIN;
+      return -1;
+    case ChaosAction::kFail:
+      errno = site_errno(site);
+      return -1;
+    case ChaosAction::kShort:
+      if (n > 1) n = (n + 1) / 2;
+      break;
+    default:
+      break;
+  }
+  return static_cast<long>(::read(fd, buf, n));
+}
+
+long chaos_write(int fd, const void* buf, std::size_t n,
+                 ChaosSite site) noexcept {
+  switch (draw(site)) {
+    case ChaosAction::kEintr:
+      errno = EINTR;
+      return -1;
+    case ChaosAction::kEagain:
+      errno = EAGAIN;
+      return -1;
+    case ChaosAction::kFail:
+      errno = site_errno(site);
+      return -1;
+    case ChaosAction::kShort:
+      if (n > 1) n = (n + 1) / 2;
+      break;
+    default:
+      break;
+  }
+  return static_cast<long>(::write(fd, buf, n));
+}
+
+int chaos_fsync(int fd, ChaosSite site) noexcept {
+  switch (draw(site)) {
+    case ChaosAction::kEintr:
+      errno = EINTR;
+      return -1;
+    case ChaosAction::kEagain:
+      errno = EAGAIN;
+      return -1;
+    case ChaosAction::kFail:
+      errno = site_errno(site);
+      return -1;
+    default:
+      break;
+  }
+  return ::fsync(fd);
+}
+
+int chaos_rename(const char* from, const char* to,
+                 ChaosSite site) noexcept {
+  switch (draw(site)) {
+    case ChaosAction::kEintr:
+      errno = EINTR;
+      return -1;
+    case ChaosAction::kEagain:
+      errno = EAGAIN;
+      return -1;
+    case ChaosAction::kFail:
+      errno = site_errno(site);
+      return -1;
+    default:
+      break;
+  }
+  return ::rename(from, to);
+}
+
+}  // namespace ptgsched

@@ -1,0 +1,155 @@
+#pragma once
+// Deterministic fault injection for the durability and transport seams.
+//
+// The simulator proved (src/sim/fault_model) that robustness results only
+// count when the failure model is reproducible: a fault trace derived from
+// a seed can be replayed against any scheduler and the comparison is
+// apples to apples. This module gives the *serving* stack the same
+// treatment. A ChaosPolicy is a pure function of (config, site, op index):
+// the Nth syscall at a given seam always draws the same fault for a given
+// seed, independent of thread interleaving, so a chaos soak that found a
+// bug can be re-run with the identical fault schedule.
+//
+// Determinism contract: decisions are derived per *site* from a splitmix64
+// hash of (seed, site, per-site op counter). Which thread performs the Nth
+// journal write may vary run to run, but the *sequence of faults each seam
+// observes* does not — the same contract FaultTrace gives the simulator
+// (the trace is fixed; which task a crash lands on depends on the
+// schedule being replayed).
+//
+// Seams (see ChaosSite): the append-journal write/fsync pair, the
+// atomic-write (tmp+fsync+rename) triple used by snapshots and reports,
+// and the serve socket read/write loops. Injection happens *instead of*
+// (EINTR/EAGAIN/fail) or *on a truncated prefix of* (short I/O) the real
+// syscall, so the underlying file or socket is never actually corrupted —
+// chaos exercises the callers' retry and error paths, not the kernel.
+//
+// The kill switch (`kill_after_ops`) terminates the process with _exit()
+// at a chosen global op index — a SIGKILL-equivalent (no destructors, no
+// flushing) for fork-based crash-recovery sweeps that step the kill point
+// through a rotation or compaction window.
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace ptgsched {
+
+/// Instrumented seams. Values index config/stat arrays and are stable
+/// (they appear in chaos reports).
+enum class ChaosSite : int {
+  kJournalWrite = 0,  ///< AppendJournal line write().
+  kJournalFsync = 1,  ///< AppendJournal per-line fsync().
+  kAtomicWrite = 2,   ///< write_file_atomic tmp-file write().
+  kAtomicFsync = 3,   ///< write_file_atomic file/dir fsync().
+  kAtomicRename = 4,  ///< write_file_atomic rename() over the target.
+  kSocketRead = 5,    ///< serve protocol read() loop.
+  kSocketWrite = 6,   ///< serve protocol write() loop.
+};
+inline constexpr int kChaosSiteCount = 7;
+
+/// Stable site name ("journal_write", ..., "socket_write").
+[[nodiscard]] const char* chaos_site_name(ChaosSite site) noexcept;
+
+/// What one op at one site draws.
+enum class ChaosAction : int {
+  kNone = 0,
+  kShort = 1,   ///< Truncate the attempted length (real partial I/O).
+  kEintr = 2,   ///< Fail with EINTR without touching the fd.
+  kEagain = 3,  ///< Fail with EAGAIN without touching the fd.
+  kFail = 4,    ///< Fail with the site's configured errno (EIO/ENOSPC...).
+  kKill = 5,    ///< _exit(137): the SIGKILL stand-in for crash sweeps.
+};
+inline constexpr int kChaosActionCount = 6;
+
+/// Per-site injection rates (each in [0, 1]; they are tried in the order
+/// eintr, eagain, short, fail against one uniform draw, so their sum
+/// should stay <= 1).
+struct ChaosSiteConfig {
+  double eintr_rate = 0.0;
+  double eagain_rate = 0.0;
+  double short_rate = 0.0;
+  double fail_rate = 0.0;
+  int fail_errno = 5;  ///< EIO; rotation tests override with ENOSPC (28).
+};
+
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  ChaosSiteConfig sites[kChaosSiteCount];
+  /// Kill the process at the Nth instrumented op across all sites
+  /// (0-based); negative disables. Used by fork-based crash sweeps.
+  std::int64_t kill_after_ops = -1;
+
+  /// Uniform helper: the same rates at every listed site.
+  void set_sites(std::initializer_list<ChaosSite> where,
+                 const ChaosSiteConfig& rates);
+};
+
+/// Thread-safe decision source + per-site injection counters.
+class ChaosPolicy {
+ public:
+  explicit ChaosPolicy(ChaosConfig config);
+
+  /// Draw the action for the next op at `site` (advances the site's op
+  /// counter; never returns kKill — the kill switch fires inside decide()
+  /// via _exit, by design there is no "about to die" state to observe).
+  [[nodiscard]] ChaosAction decide(ChaosSite site);
+
+  [[nodiscard]] const ChaosConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Ops seen / faults injected per site since construction.
+  [[nodiscard]] std::uint64_t ops(ChaosSite site) const noexcept;
+  [[nodiscard]] std::uint64_t injected(ChaosSite site,
+                                       ChaosAction action) const noexcept;
+  /// Total faults injected across all sites and actions.
+  [[nodiscard]] std::uint64_t injected_total() const noexcept;
+
+  /// {"site": {"ops": N, "eintr": a, "eagain": b, "short": c, "fail": d}}.
+  [[nodiscard]] Json stats_json() const;
+
+ private:
+  ChaosConfig config_;
+  struct SiteCounters;
+  // Fixed-size POD-ish atomics, defined in the .cpp to keep <atomic> out
+  // of this header's dependents.
+  std::shared_ptr<SiteCounters> counters_;
+};
+
+/// Install `policy` as the process-global chaos source consulted by the
+/// instrumented seams (nullptr uninstalls; the default). The caller keeps
+/// ownership and must keep the policy alive while installed. Installation
+/// is for tests and the chaos bench — production runs never install one,
+/// and the seams reduce to the plain syscalls.
+void install_chaos(ChaosPolicy* policy) noexcept;
+[[nodiscard]] ChaosPolicy* current_chaos() noexcept;
+
+/// RAII install/uninstall for tests.
+class ScopedChaos {
+ public:
+  explicit ScopedChaos(ChaosPolicy& policy) { install_chaos(&policy); }
+  ~ScopedChaos() { install_chaos(nullptr); }
+  ScopedChaos(const ScopedChaos&) = delete;
+  ScopedChaos& operator=(const ScopedChaos&) = delete;
+};
+
+// --- Chaos-aware syscall wrappers used at the seams. -------------------
+// With no policy installed these are the plain syscalls. With one
+// installed, the drawn action either replaces the syscall (kEintr/kEagain/
+// kFail set errno and return -1) or shrinks it (kShort truncates the
+// attempted length to ceil(n/2), a genuine partial op). Callers keep
+// their normal errno-based handling; nothing here throws.
+[[nodiscard]] long chaos_read(int fd, void* buf, std::size_t n,
+                              ChaosSite site) noexcept;
+[[nodiscard]] long chaos_write(int fd, const void* buf, std::size_t n,
+                               ChaosSite site) noexcept;
+[[nodiscard]] int chaos_fsync(int fd, ChaosSite site) noexcept;
+[[nodiscard]] int chaos_rename(const char* from, const char* to,
+                               ChaosSite site) noexcept;
+
+}  // namespace ptgsched

@@ -1,0 +1,315 @@
+// Chaos-policy tests: the fault schedule must be a pure function of
+// (seed, site, op index); the instrumented seams — append journal,
+// atomic writes, socket loops — must absorb EINTR/EAGAIN/short storms
+// without data corruption and surface hard failures as their callers'
+// documented errors; stalled peers must be dropped, not waited on
+// forever.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/journal.hpp"
+#include "serve/protocol.hpp"
+#include "support/atomic_io.hpp"
+#include "support/chaos.hpp"
+
+namespace ptgsched {
+namespace {
+
+namespace fs = std::filesystem;
+
+ChaosSiteConfig storm() {
+  ChaosSiteConfig rates;
+  rates.eintr_rate = 0.25;
+  rates.eagain_rate = 0.15;
+  rates.short_rate = 0.25;
+  return rates;
+}
+
+std::vector<ChaosAction> draw_sequence(ChaosPolicy& policy, ChaosSite site,
+                                       int n) {
+  std::vector<ChaosAction> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(policy.decide(site));
+  return out;
+}
+
+TEST(ChaosPolicy, SameSeedSameSchedulePerSite) {
+  ChaosConfig config;
+  config.seed = 42;
+  config.set_sites({ChaosSite::kJournalWrite, ChaosSite::kSocketRead},
+                   storm());
+  ChaosPolicy a(config);
+  ChaosPolicy b(config);
+  EXPECT_EQ(draw_sequence(a, ChaosSite::kJournalWrite, 200),
+            draw_sequence(b, ChaosSite::kJournalWrite, 200));
+  EXPECT_EQ(draw_sequence(a, ChaosSite::kSocketRead, 200),
+            draw_sequence(b, ChaosSite::kSocketRead, 200));
+}
+
+TEST(ChaosPolicy, ScheduleIsIndependentOfSiteInterleaving) {
+  // Drawing the two sites alternately or back-to-back must not change
+  // what each site observes — the determinism contract that makes chaos
+  // soaks replayable across thread interleavings.
+  ChaosConfig config;
+  config.seed = 7;
+  config.set_sites({ChaosSite::kJournalWrite, ChaosSite::kSocketRead},
+                   storm());
+  ChaosPolicy sequential(config);
+  const auto journal_seq =
+      draw_sequence(sequential, ChaosSite::kJournalWrite, 100);
+  const auto socket_seq =
+      draw_sequence(sequential, ChaosSite::kSocketRead, 100);
+
+  ChaosPolicy interleaved(config);
+  std::vector<ChaosAction> journal_inter;
+  std::vector<ChaosAction> socket_inter;
+  for (int i = 0; i < 100; ++i) {
+    journal_inter.push_back(interleaved.decide(ChaosSite::kJournalWrite));
+    socket_inter.push_back(interleaved.decide(ChaosSite::kSocketRead));
+  }
+  EXPECT_EQ(journal_seq, journal_inter);
+  EXPECT_EQ(socket_seq, socket_inter);
+}
+
+TEST(ChaosPolicy, DifferentSeedsDiffer) {
+  ChaosConfig a;
+  a.seed = 1;
+  a.set_sites({ChaosSite::kJournalWrite}, storm());
+  ChaosConfig b = a;
+  b.seed = 2;
+  ChaosPolicy pa(a);
+  ChaosPolicy pb(b);
+  EXPECT_NE(draw_sequence(pa, ChaosSite::kJournalWrite, 300),
+            draw_sequence(pb, ChaosSite::kJournalWrite, 300));
+}
+
+TEST(ChaosPolicy, RatesRoughlyHonoredAndCounted) {
+  ChaosConfig config;
+  ChaosSiteConfig rates;
+  rates.eintr_rate = 0.5;
+  config.set_sites({ChaosSite::kAtomicWrite}, rates);
+  ChaosPolicy policy(config);
+  const int kDraws = 2000;
+  int eintr = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (policy.decide(ChaosSite::kAtomicWrite) == ChaosAction::kEintr) {
+      ++eintr;
+    }
+  }
+  EXPECT_NEAR(0.5, static_cast<double>(eintr) / kDraws, 0.05);
+  EXPECT_EQ(static_cast<std::uint64_t>(eintr),
+            policy.injected(ChaosSite::kAtomicWrite, ChaosAction::kEintr));
+  EXPECT_EQ(static_cast<std::uint64_t>(kDraws),
+            policy.ops(ChaosSite::kAtomicWrite));
+  EXPECT_EQ(policy.injected_total(),
+            policy.injected(ChaosSite::kAtomicWrite, ChaosAction::kEintr));
+}
+
+TEST(ChaosPolicy, NoPolicyInstalledMeansPlainSyscalls) {
+  ASSERT_EQ(nullptr, current_chaos());
+  int fds[2];
+  ASSERT_EQ(0, ::pipe(fds));
+  const char msg[] = "hello";
+  EXPECT_EQ(static_cast<long>(sizeof msg),
+            chaos_write(fds[1], msg, sizeof msg, ChaosSite::kSocketWrite));
+  char buf[sizeof msg];
+  EXPECT_EQ(static_cast<long>(sizeof msg),
+            chaos_read(fds[0], buf, sizeof buf, ChaosSite::kSocketRead));
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+class ChaosSeamTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ptgsched_chaos_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()
+                ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    install_chaos(nullptr);
+    fs::remove_all(dir_);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(ChaosSeamTest, AtomicWriteSurvivesAnEintrEagainShortStorm) {
+  ChaosConfig config;
+  config.seed = 11;
+  config.set_sites({ChaosSite::kAtomicWrite, ChaosSite::kAtomicFsync,
+                    ChaosSite::kAtomicRename},
+                   storm());
+  ChaosPolicy policy(config);
+  ScopedChaos scope(policy);
+
+  const std::string path = (dir_ / "report.json").string();
+  std::string payload(4096, 'x');
+  payload += "END";
+  for (int i = 0; i < 20; ++i) {
+    write_file_atomic(path, payload);
+  }
+  EXPECT_GT(policy.injected_total(), 0u) << "storm never actually fired";
+
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(payload, buf.str());
+}
+
+TEST_F(ChaosSeamTest, JournalAppendsSurviveTheStormBitExactly) {
+  ChaosConfig config;
+  config.seed = 13;
+  config.set_sites({ChaosSite::kJournalWrite, ChaosSite::kJournalFsync},
+                   storm());
+  ChaosPolicy policy(config);
+  ScopedChaos scope(policy);
+
+  const std::string path = (dir_ / "journal.jsonl").string();
+  std::vector<std::string> lines;
+  {
+    AppendJournal journal(path);
+    for (int i = 0; i < 50; ++i) {
+      lines.push_back("{\"line\":" + std::to_string(i) + "}");
+      journal.append_line(lines.back());
+    }
+  }
+  EXPECT_GT(policy.injected_total(), 0u);
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    ASSERT_LT(count, lines.size());
+    EXPECT_EQ(lines[count], line) << "line " << count << " corrupted";
+    ++count;
+  }
+  EXPECT_EQ(lines.size(), count);
+}
+
+TEST_F(ChaosSeamTest, PersistentFsyncFailureIsIoErrorNotCorruption) {
+  ChaosConfig config;
+  ChaosSiteConfig always_fail;
+  always_fail.fail_rate = 1.0;
+  always_fail.fail_errno = 28;  // ENOSPC
+  config.set_sites({ChaosSite::kAtomicFsync}, always_fail);
+  ChaosPolicy policy(config);
+  ScopedChaos scope(policy);
+
+  const std::string path = (dir_ / "report.json").string();
+  EXPECT_THROW(write_file_atomic(path, "data"), IoError);
+  EXPECT_FALSE(fs::exists(path)) << "failed write must not leave a target";
+}
+
+TEST_F(ChaosSeamTest, RotatingJournalAbsorbsSnapshotFailures) {
+  // Disk-full at the snapshot seam: rotation keeps sealing, compaction
+  // fails and is *absorbed* — recovery stays exact off the segments.
+  ChaosConfig config;
+  ChaosSiteConfig always_fail;
+  always_fail.fail_rate = 1.0;
+  always_fail.fail_errno = 28;
+  config.set_sites({ChaosSite::kAtomicWrite}, always_fail);
+  ChaosPolicy policy(config);
+
+  const std::string path = (dir_ / "journal.jsonl").string();
+  const std::string plain = (dir_ / "plain.jsonl").string();
+  serve::JournalRotation rotation;
+  rotation.max_segment_records = 2;
+  {
+    ScopedChaos scope(policy);
+    serve::RequestJournal j(path, rotation);
+    serve::RequestJournal p(plain);
+    for (std::uint64_t id = 1; id <= 5; ++id) {
+      serve::JournaledRequest r;
+      r.id = id;
+      r.tenant = "t";
+      j.record_submit(r);
+      p.record_submit(r);
+      j.record_start(id, serve::ServiceTier::kEmts, 1);
+      p.record_start(id, serve::ServiceTier::kEmts, 1);
+    }
+    const serve::JournalStats stats = j.stats();
+    EXPECT_GT(stats.rotations, 0u);
+    EXPECT_GT(stats.compaction_failures, 0u);
+    EXPECT_EQ(0u, stats.compactions);
+    EXPECT_GT(stats.sealed_segments, 0u);  // nothing pruned
+  }
+  const auto recovered = serve::RequestJournal::recover(path);
+  const auto reference = serve::RequestJournal::recover(plain);
+  EXPECT_FALSE(recovered.from_snapshot);
+  ASSERT_EQ(reference.requests.size(), recovered.requests.size());
+  for (const auto& [id, r] : reference.requests) {
+    EXPECT_EQ(r.to_snapshot_json().dump(),
+              recovered.requests.at(id).to_snapshot_json().dump());
+  }
+}
+
+TEST_F(ChaosSeamTest, SocketFramesSurviveTheStorm) {
+  ChaosConfig config;
+  config.seed = 17;
+  config.set_sites({ChaosSite::kSocketRead, ChaosSite::kSocketWrite},
+                   storm());
+  ChaosPolicy policy(config);
+  ScopedChaos scope(policy);
+
+  int fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  const std::string payload(2000, 'p');
+  std::thread writer([&] {
+    for (int i = 0; i < 10; ++i) {
+      serve::write_frame(fds[1], payload + std::to_string(i));
+    }
+  });
+  for (int i = 0; i < 10; ++i) {
+    std::string got;
+    ASSERT_TRUE(serve::read_frame(fds[0], got));
+    EXPECT_EQ(payload + std::to_string(i), got);
+  }
+  writer.join();
+  EXPECT_GT(policy.injected_total(), 0u);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(ChaosSeamTest, StalledPeerIsDroppedNotWaitedOnForever) {
+  int fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  // Write half a frame: a 100-byte announcement with 3 payload bytes.
+  const char prefix[4] = {0, 0, 0, 100};
+  ASSERT_EQ(4, ::write(fds[1], prefix, 4));
+  ASSERT_EQ(3, ::write(fds[1], "abc", 3));
+
+  std::string out;
+  EXPECT_THROW((void)serve::read_frame(fds[0], out, /*stall_timeout_ms=*/60),
+               serve::ProtocolError);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_F(ChaosSeamTest, MidHandshakeDisconnectIsATornFrame) {
+  int fds[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  const char prefix[4] = {0, 0, 0, 100};
+  ASSERT_EQ(4, ::write(fds[1], prefix, 4));
+  ::close(fds[1]);  // peer dies mid-frame
+
+  std::string out;
+  EXPECT_THROW((void)serve::read_frame(fds[0], out), serve::ProtocolError);
+  ::close(fds[0]);
+}
+
+}  // namespace
+}  // namespace ptgsched

@@ -132,22 +132,27 @@ TEST_F(JournalTest, MidFileCorruptionThrows) {
     j.record_submit(sample_request(1));
   }
   {
+    // Newline-terminated garbage: durable under the "a line is durable
+    // iff newline-terminated" rule, hence corruption — never mistaken
+    // for a torn tail, even as the final line.
     std::ofstream out(path_, std::ios::app);
     out << "NOT JSON AT ALL\n";
   }
-  {
-    RequestJournal j(path_);
-    j.record_start(1, ServiceTier::kEmts, 1);
-  }
   EXPECT_THROW((void)RequestJournal::recover(path_), std::runtime_error);
+  // Opening for appending recovers too, so it must refuse as well rather
+  // than extend a journal recovery will reject.
+  EXPECT_THROW(RequestJournal{path_}, std::runtime_error);
 }
 
 TEST_F(JournalTest, EventForUnknownIdThrows) {
   {
+    // The append side refuses to write an event with no submit record
+    // (it would poison recovery), so fabricate one with a raw write.
     RequestJournal j(path_);
-    j.record_complete(99, Json(JsonObject{}));
-    // Make the bad line non-final so it is not torn-tail-tolerated.
-    j.record_submit(sample_request(1));
+    EXPECT_THROW(j.record_complete(99, Json(JsonObject{})),
+                 std::logic_error);
+    std::ofstream out(path_, std::ios::app);
+    out << R"({"event":"complete","id":99,"result":{}})" << "\n";
   }
   EXPECT_THROW((void)RequestJournal::recover(path_), std::runtime_error);
 }
